@@ -1,0 +1,87 @@
+"""Ablations — execution mode and input form.
+
+DESIGN.md design decisions 1 and 4:
+
+* **tuple-wise vs micro-batched input** (§2.1: both are accepted; the
+  framework treats each input tuple-wise) — this bench verifies identical
+  pollution output for both input forms and compares their cost;
+* **direct vs stream-engine execution** — the pollution semantics live in
+  the pipeline objects; the engine adds topology traversal cost. The bench
+  quantifies that cost and re-asserts output equality.
+"""
+
+from benchmarks.conftest import report, scaled
+from repro.core.runner import pollute
+from repro.datasets.wearable import WEARABLE_SCHEMA
+from repro.experiments.reporting import render_table
+from repro.experiments.scenarios import software_update_scenario
+from repro.streaming.source import CollectionSource, MicroBatchSource
+
+import time
+
+
+def _median_time(fn, rounds):
+    times = []
+    fn()
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2] * 1000.0
+
+
+def test_ablation_microbatch_and_engine(benchmark, wearable_records):
+    scenario = software_update_scenario()
+    rounds = scaled(small=5, paper=20)
+    rows_as_dicts = [r.as_dict() for r in wearable_records]
+
+    tuple_source = lambda: CollectionSource(  # noqa: E731
+        WEARABLE_SCHEMA, rows_as_dicts, validate=False
+    )
+    batched = [rows_as_dicts[i:i + 64] for i in range(0, len(rows_as_dicts), 64)]
+    batch_source = lambda: MicroBatchSource(  # noqa: E731
+        WEARABLE_SCHEMA, batched, validate=False
+    )
+
+    outputs = {}
+    timings = {}
+    variants = {
+        "tuple-wise / direct": dict(data=tuple_source, engine="direct"),
+        "micro-batch / direct": dict(data=batch_source, engine="direct"),
+        "tuple-wise / stream-engine": dict(data=tuple_source, engine="stream"),
+    }
+    for name, cfg in variants.items():
+        def run(cfg=cfg):
+            return pollute(
+                cfg["data"](), scenario.pipeline(), seed=11, log=False,
+                engine=cfg["engine"],
+            )
+
+        timings[name] = _median_time(run, rounds)
+        outputs[name] = [r.as_dict() for r in run().polluted]
+
+    benchmark.pedantic(
+        lambda: pollute(
+            tuple_source(), scenario.pipeline(), seed=11, log=False, engine="direct"
+        ),
+        rounds=rounds,
+        iterations=1,
+    )
+
+    baseline = timings["tuple-wise / direct"]
+    report(
+        "Ablation — execution mode and input form (software-update scenario)",
+        render_table(
+            ["variant", "median ms", "vs direct"],
+            [
+                [name, f"{t:.1f}", f"{100 * (t - baseline) / baseline:+.0f}%"]
+                for name, t in timings.items()
+            ],
+        ),
+    )
+
+    # All variants produce byte-identical pollution.
+    reference = outputs["tuple-wise / direct"]
+    for name, out in outputs.items():
+        assert out == reference, f"{name} diverged from the reference output"

@@ -1,0 +1,57 @@
+"""Extension bench — synthesis error-agnosticism study (paper §5, item 4).
+
+The paper's planned future experiment, executed: pollute a stream with a
+temporal error pattern, fit an error-preserving synthesizer (seasonal block
+bootstrap) and an error-agnostic one (seasonal AR model) on the *polluted*
+stream, and measure with the DQ tool how much of the error pattern each
+synthetic stream carries.
+
+Asserted shapes (the paper's hypothesis in §5):
+* the bootstrap's synthetic error rate tracks the source error rate, and
+  the *temporal profile* (the sinusoidal per-hour shape) survives — the
+  synthetic data is suitable "for error analysis tasks, such as training
+  ML models for error detection";
+* the AR synthesizer's error rate collapses toward zero — suitable "for
+  applications that require clean data".
+"""
+
+from benchmarks.conftest import report, scaled
+from repro.experiments.exp4_synthesis import run_synthesis_study
+from repro.experiments.reporting import render_table
+
+
+def test_ext_synthesis_error_agnosticism(benchmark):
+    n_hours = scaled(small=24 * 60, paper=24 * 365)
+
+    result = benchmark.pedantic(
+        lambda: run_synthesis_study(n_hours=n_hours, n_synthetic=n_hours),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        ["polluted source", f"{100 * result.source_error_rate:.1f}%", "-"],
+        [
+            "seasonal block bootstrap",
+            f"{100 * result.bootstrap_error_rate:.1f}%",
+            "preserves" if result.bootstrap_preserves else "DOES NOT PRESERVE",
+        ],
+        [
+            "seasonal AR(2) model",
+            f"{100 * result.ar_error_rate:.1f}%",
+            "erases" if result.ar_erases else "DOES NOT ERASE",
+        ],
+    ]
+    hours = "  ".join(
+        f"{h:02d}:{result.bootstrap_by_hour[h]}" for h in (0, 3, 6, 9, 12, 15, 18, 21)
+    )
+    report(
+        "Extension (§5.4) — are synthesizers agnostic to temporal errors?",
+        render_table(["stream", "null rate in NO2", "verdict"], rows)
+        + f"\nbootstrap per-hour error counts: {hours}",
+    )
+
+    assert result.bootstrap_preserves
+    assert result.ar_erases
+    # The temporal error *pattern* survives bootstrap synthesis.
+    assert result.bootstrap_by_hour[0] > result.bootstrap_by_hour[12]

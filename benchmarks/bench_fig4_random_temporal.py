@@ -1,0 +1,56 @@
+"""Figure 4 — random temporal errors: expected vs measured per hour (§3.1.1).
+
+Regenerates both series of the paper's Figure 4: the number of tuples the
+pollution process is *expected* to null per hour of day (the sinusoidal
+condition integrated over the wearable stream) and the number the DQ tool
+*measures* via ``expect_column_values_to_not_be_null``, averaged over the
+repetitions.
+
+Shape assertions (the paper's findings):
+* overall measured error proportion ~= 25 % (paper: 24.58 % with 1.22 %
+  variance);
+* measured-per-hour tracks expected-per-hour closely across all 24 bins;
+* the hourly profile is sinusoidal — midnight peak, midday trough.
+"""
+
+import statistics
+
+from benchmarks.conftest import report, scaled
+from repro.experiments.exp1_dq import run_random_temporal
+from repro.experiments.reporting import render_hourly_series
+
+
+def test_fig4_random_temporal_errors(benchmark, wearable_records):
+    repetitions = scaled(small=10, paper=50)
+
+    result = benchmark.pedantic(
+        lambda: run_random_temporal(repetitions=repetitions),
+        rounds=1,
+        iterations=1,
+    )
+
+    measured_total = result.measured_mean("expect_column_values_to_not_be_null")
+    variance = result.measured_variance("expect_column_values_to_not_be_null")
+    n = len(wearable_records)
+    proportion = measured_total / n
+    expected_by_hour = {
+        h: result.expected[f"hour_{h:02d}"] for h in range(24)
+    }
+    measured_by_hour = result.measured_by_hour("expect_column_values_to_not_be_null")
+
+    body = render_hourly_series(
+        expected_by_hour, measured_by_hour,
+        title=f"reps={repetitions}  measured total={measured_total:.1f} "
+        f"(expected {result.expected['distance_nulls']:.1f})  "
+        f"proportion={100 * proportion:.2f}% (paper: 24.58%)  "
+        f"variance={100 * variance / n ** 2:.4f}%",
+    )
+    report("Figure 4 — random temporal errors (expected vs measured per hour)", body)
+
+    # Shape: ~25 % of tuples polluted, detection == injection per hour.
+    assert 0.22 < proportion < 0.28
+    for h in range(24):
+        assert abs(measured_by_hour[h] - expected_by_hour[h]) < 6.0
+    # Sinusoid: midnight-adjacent bins dominate midday bins.
+    assert measured_by_hour[0] > measured_by_hour[11]
+    assert measured_by_hour[23] > measured_by_hour[12]

@@ -1,0 +1,80 @@
+"""Figure 8 — runtime overhead of the pollution process (§3.3).
+
+Regenerates the paper's runtime comparison: each §3.1 scenario end-to-end
+(parse the wearable stream from disk, pollute on the stream engine,
+serialize the output) against the pass-through baseline ("the same data
+stream was loaded and written to disk without polluting it"), repeated and
+reported as distribution statistics.
+
+Substrate note (see DESIGN.md): the paper's 3-7 % overhead rests on Flink's
+~1.7 ms/tuple substrate cost dwarfing the pollution work. This engine
+spends tens of *micro*seconds per tuple in total, so identical absolute
+pollution costs are a larger fraction of the total. The preserved shapes:
+
+* pollution cost is a small constant per tuple (single-digit to low tens
+  of microseconds, far below Flink's per-tuple substrate cost);
+* relative to the identical dataflow topology with non-firing polluters,
+  the simple scenarios sit in the paper's single-digit-percent band;
+* the composite software-update scenario is the most expensive of the
+  three, the ordering the paper's box plots show.
+"""
+
+from benchmarks.conftest import report, scaled
+from repro.experiments.exp3_runtime import run_runtime_overhead
+from repro.experiments.reporting import render_table
+
+
+def test_fig8_runtime_overhead(benchmark):
+    repetitions = scaled(small=15, paper=50)
+
+    result = benchmark.pedantic(
+        lambda: run_runtime_overhead(repetitions=repetitions),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            "no-pollution (io baseline)",
+            f"{result.io_baseline.median_ms:.1f}",
+            f"{result.io_baseline.mean_ms:.1f}",
+            f"{result.io_baseline.stdev_ms:.1f}",
+            "-", "-",
+        ],
+        [
+            "no-op topology baseline",
+            f"{result.topology_baseline.median_ms:.1f}",
+            f"{result.topology_baseline.mean_ms:.1f}",
+            f"{result.topology_baseline.stdev_ms:.1f}",
+            "-", "-",
+        ],
+    ]
+    for name, sample in result.scenarios.items():
+        rows.append(
+            [
+                name,
+                f"{sample.median_ms:.1f}",
+                f"{sample.mean_ms:.1f}",
+                f"{sample.stdev_ms:.1f}",
+                f"{result.overhead_percent(name, 'topology'):+.1f}%",
+                f"{result.pollution_cost_us_per_tuple(name):.1f}",
+            ]
+        )
+    report(
+        "Figure 8 — runtime overhead (ms per run of the 1,060-tuple stream)",
+        render_table(
+            ["pipeline", "median", "mean", "stdev", "vs topology", "us/tuple"],
+            rows,
+            title=f"reps={repetitions} (paper: 3-7% overhead on Flink at ~1.7 ms/tuple)",
+        ),
+    )
+
+    for name, sample in result.scenarios.items():
+        # Per-tuple pollution cost stays tiny in absolute terms — orders of
+        # magnitude below the paper's Flink per-tuple cost.
+        assert result.pollution_cost_us_per_tuple(name) < 100.0
+        # And every polluted pipeline costs more than the pass-through.
+        assert sample.median_ms > result.io_baseline.median_ms
+    # The composite scenario is the most expensive of the three.
+    su = result.scenarios["software-update"].median_ms
+    assert su >= result.scenarios["bad-network"].median_ms

@@ -1,0 +1,71 @@
+"""Throughput bench — pollution cost scaling with pipeline length.
+
+Complements Figure 8 with the scaling view the paper's complexity analysis
+(§2.3) predicts: total cost O(n * m * (1/m + l + log(n*m))) is linear in
+the pipeline length ``l`` per tuple. The bench measures tuples/second for
+pipeline lengths 1, 2, 4, and 8 and asserts approximate linearity in the
+marginal per-polluter cost.
+"""
+
+import time
+
+from benchmarks.conftest import report, scaled
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import GaussianNoise
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.experiments.reporting import render_table
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("a", DataType.FLOAT),
+        Attribute("b", DataType.FLOAT),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def make_pipeline(length: int) -> PollutionPipeline:
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                GaussianNoise(1.0), ["a"], ProbabilityCondition(0.5), name=f"noise{i}"
+            )
+            for i in range(length)
+        ],
+        name="scaling",
+    )
+
+
+def test_throughput_scales_linearly_with_pipeline_length(benchmark):
+    n = scaled(small=20_000, paper=100_000)
+    rows = [
+        {"a": float(i % 97), "b": float(i % 13), "timestamp": i} for i in range(n)
+    ]
+
+    def run(length: int) -> float:
+        start = time.perf_counter()
+        pollute(rows, make_pipeline(length), schema=SCHEMA, seed=5, log=False)
+        return time.perf_counter() - start
+
+    run(1)  # warm-up
+    timings = {length: run(length) for length in (1, 2, 4, 8)}
+    benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+
+    report(
+        "Throughput — pipeline-length scaling "
+        f"(n={n} tuples, 50% firing probability per polluter)",
+        render_table(
+            ["pipeline length", "seconds", "tuples/s"],
+            [[l, f"{t:.2f}", f"{n / t:,.0f}"] for l, t in timings.items()],
+        ),
+    )
+
+    # Marginal cost per added polluter is ~constant: the l=8 run costs less
+    # than ~8x the l=1 run plus generous headroom, and more than the l=1 run.
+    assert timings[8] > timings[1]
+    marginal_2 = timings[2] - timings[1]
+    marginal_8 = (timings[8] - timings[1]) / 7
+    assert marginal_8 < max(4 * marginal_2, 4 * timings[1] / 8 + marginal_2)

@@ -1,0 +1,63 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) at a scale controlled by ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — reduced repetitions / stream lengths so the whole
+  harness completes in a few minutes while preserving every reported shape;
+* ``paper`` — the paper's own parameters (50 DQ repetitions, 10 forecasting
+  repetitions, full stream spans).
+
+Benches print the same rows/series the paper reports (run pytest with
+``-s`` to see them live) and additionally append them to
+``benchmarks/results.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale
+
+
+def scaled(small: int, paper: int) -> int:
+    return paper if bench_scale() == "paper" else small
+
+
+def report(title: str, body: str) -> None:
+    """Print a result block and persist it to benchmarks/results.txt."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    print(block)
+    with open(RESULTS_FILE, "a") as f:
+        f.write(block)
+
+
+@pytest.fixture(scope="session")
+def wearable_records():
+    from repro.datasets.wearable import generate_wearable
+
+    return generate_wearable()
+
+
+@pytest.fixture(scope="session")
+def region_stream():
+    """The Wanshouxigong stream used by the forecasting benches (2 years)."""
+    from repro.experiments.exp2_forecasting import load_region
+
+    return load_region(region="Wanshouxigong", n_hours=2 * 365 * 24 + 24)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_FILE.unlink(missing_ok=True)
+    yield

@@ -1,0 +1,104 @@
+"""Benchmarking stream-cleaning algorithms with Icewafl-generated data.
+
+The paper's introduction motivates data polluters for exactly this loop:
+take clean data, inject *known* errors, run cleaning algorithms on the
+dirty stream, and score them against the pollution log's ground truth.
+This example benchmarks three cleaners against three error families on an
+air-quality stream:
+
+* spikes   (OutlierSpike under a random condition),
+* nulls    (SetToNull under a bursty Gilbert-Elliott condition),
+* a frozen run (FrozenValue inside a fixed time interval),
+
+and prints a cleaner x error-family score matrix — precision/recall of
+detection plus repair-RMSE improvement.
+
+Run:  python examples/cleaning_benchmark.py
+"""
+
+from repro.cleaning import (
+    HampelFilter,
+    InterpolationImputer,
+    SpeedConstraintCleaner,
+    score_cleaner,
+)
+from repro.core.conditions import BurstCondition, ProbabilityCondition, TimeIntervalCondition
+from repro.core.errors import FrozenValue, OutlierSpike, SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.datasets.airquality import AIR_QUALITY_SCHEMA, AirQualityConfig, generate_air_quality
+from repro.datasets.imputation import forward_backward_fill
+
+TARGET = "NO2"
+
+
+def main() -> None:
+    cfg = AirQualityConfig(stations=("Gucheng",), n_hours=24 * 60, missing_rate=0.0)
+    records = generate_air_quality(cfg)["Gucheng"]
+    records = forward_backward_fill(records, [TARGET])
+    t0 = records[0]["timestamp"]
+
+    pipeline = PollutionPipeline(
+        [
+            StandardPolluter(
+                OutlierSpike(k=6.0, scale=20.0), [TARGET],
+                ProbabilityCondition(0.03), name="spikes",
+            ),
+            StandardPolluter(
+                SetToNull(), [TARGET],
+                BurstCondition(p_enter=0.01, p_exit=0.15, p_error_bad=0.9),
+                name="null-bursts",
+            ),
+            StandardPolluter(
+                FrozenValue(), [TARGET],
+                TimeIntervalCondition(t0 + 20 * 86400, t0 + 22 * 86400),
+                name="frozen-run",
+            ),
+        ],
+        name="mix",
+    )
+    result = pollute(records, pipeline, schema=AIR_QUALITY_SCHEMA, seed=17)
+    print(
+        f"injected errors: {result.log.count_by_polluter()} "
+        f"over {result.n_clean} tuples\n"
+    )
+
+    cleaners = {
+        "hampel(w=5)": HampelFilter([TARGET], window=5, n_sigmas=3.5),
+        "speed(0.02/s)": SpeedConstraintCleaner([TARGET], max_speed=0.02),
+        "interpolate": InterpolationImputer([TARGET]),
+    }
+    families = {
+        "spikes": ["mix/spikes"],
+        "null-bursts": ["mix/null-bursts"],
+        "frozen-run": ["mix/frozen-run"],
+        "all": None,
+    }
+
+    header = f"{'cleaner':<14}" + "".join(f"{fam:>26}" for fam in families)
+    print(header)
+    print("-" * len(header))
+    for name, cleaner in cleaners.items():
+        cleaned = cleaner.clean(result.polluted, AIR_QUALITY_SCHEMA)
+        cells = []
+        for fam, polluters in families.items():
+            score = score_cleaner(cleaned, result, [TARGET], polluters=polluters)
+            cells.append(
+                f"P{score.detection.precision:.2f}/R{score.detection.recall:.2f} "
+                f"{100 * score.improvement:+.0f}%"
+            )
+        print(f"{name:<14}" + "".join(f"{c:>26}" for c in cells))
+
+    print(
+        "\nReadings: the Hampel filter owns spikes, the interpolation "
+        "imputer owns missing bursts, and nobody repairs a frozen run "
+        "(constant values look perfectly plausible locally) — exactly the "
+        "kind of differentiated verdict temporal pollution benchmarks are "
+        "for. Precision against single families is naturally low for "
+        "cleaners that (correctly) also repaired the other families."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Config-driven pollution: JSON in, benchmark dataset out (Challenge C3).
+
+Icewafl balances ease of use against expressiveness with declarative
+configurations: inexperienced users describe error scenarios as plain JSON
+(no code), experts nest composites and temporal conditions inside the same
+format. This example loads a configuration describing a two-phase sensor
+degradation, pollutes the wearable stream, and writes the three Fig. 2
+outputs to disk: clean data, dirty data, log data.
+
+Run:  python examples/config_driven_pollution.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import pipeline_from_config, pollute
+from repro.datasets.io import save_records
+from repro.datasets.wearable import WEARABLE_SCHEMA, generate_wearable
+
+#: A realistic scenario, entirely as data. Phase 1: growing calibration
+#: drift on BPM (a derived temporal error: Gaussian noise whose magnitude
+#: ramps over the first week). Phase 2: after a firmware date, distance
+#: readings occasionally freeze to null during the night.
+CONFIG = {
+    "name": "two-phase-degradation",
+    "polluters": [
+        {
+            "type": "standard",
+            "name": "calibration-drift",
+            "attributes": ["BPM"],
+            "error": {
+                "type": "derived",
+                "error": {"type": "gaussian_noise", "sigma": 8.0},
+                "pattern": {
+                    "type": "incremental",
+                    "start": "2016-02-27",
+                    "end": "2016-03-05",
+                },
+            },
+        },
+        {
+            "type": "composite",
+            "name": "firmware-bug",
+            "condition": {"type": "after", "timestamp": "2016-03-01"},
+            "children": [
+                {
+                    "type": "standard",
+                    "name": "night-nulls",
+                    "attributes": ["Distance"],
+                    "condition": {
+                        "type": "all_of",
+                        "children": [
+                            {"type": "daily_interval", "start_hour": 0, "end_hour": 6},
+                            {"type": "probability", "p": 0.4},
+                        ],
+                    },
+                    "error": {"type": "set_null"},
+                },
+            ],
+        },
+    ],
+}
+
+
+def main() -> None:
+    # A user would json.load() this from a file; round-trip to prove it.
+    config = json.loads(json.dumps(CONFIG))
+    pipeline = pipeline_from_config(config)
+    print("pipeline built from config:")
+    print(f"  {pipeline.describe()}\n")
+
+    records = generate_wearable()
+    result = pollute(records, pipeline, schema=WEARABLE_SCHEMA, seed=2024)
+
+    out_dir = Path(tempfile.mkdtemp(prefix="icewafl-"))
+    save_records(result.clean, WEARABLE_SCHEMA, out_dir / "clean.csv")
+    save_records(result.polluted, WEARABLE_SCHEMA, out_dir / "dirty.csv")
+    result.log.to_csv(out_dir / "log.csv")
+    (out_dir / "config.json").write_text(json.dumps(config, indent=2))
+
+    print(f"errors injected: {len(result.log)} "
+          f"(by polluter: {result.log.count_by_polluter()})")
+    print(f"\noutputs written to {out_dir}:")
+    for name in ("clean.csv", "dirty.csv", "log.csv", "config.json"):
+        size = (out_dir / name).stat().st_size
+        print(f"  {name:<12} {size:>8,} bytes")
+    print(
+        "\nThe config + the seed fully reproduce the benchmark dataset; the "
+        "log links every dirty tuple back to its clean original by id."
+    )
+
+
+if __name__ == "__main__":
+    main()

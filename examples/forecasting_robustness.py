@@ -1,0 +1,43 @@
+"""Forecasting robustness under temporal errors — Experiment 2 in miniature.
+
+Reproduces the structure of Figures 6 and 7 on a reduced scale: generate a
+two-year air-quality stream for one region, pollute its evaluation year
+with (a) temporally increasing multiplicative noise (Eq. 3) and (b)
+temporally increasing scale errors (Eq. 4), then run ARIMA, Holt-Winters,
+and ARIMAX through the prequential protocol (train 504 h -> forecast 12 h
+-> release) and print the MAE curves.
+
+Run:  python examples/forecasting_robustness.py        (~1 minute)
+"""
+
+from repro.experiments.exp2_forecasting import load_region, run_scenario
+from repro.experiments.reporting import render_curves
+
+REGION = "Wanshouxigong"
+REPETITIONS = 2  # the paper uses 10
+
+
+def main() -> None:
+    print(f"generating two-year {REGION} stream + imputation ...")
+    records = load_region(region=REGION, n_hours=2 * 365 * 24 + 24)
+
+    for scenario, label in (
+        ("eval", "D_eval (unpolluted)"),
+        ("noise", "D_noise (Eq. 3: temporally increasing noise)"),
+        ("scale", "D_scale (Eq. 4: temporally increasing scale errors)"),
+    ):
+        result = run_scenario(records, scenario, region=REGION, repetitions=REPETITIONS)
+        print()
+        print(render_curves(result.curves, title=f"--- {label}"))
+
+    print(
+        "\nReadings: under noise the MAE of every method grows as the noise "
+        "bounds ramp up, and ARIMAX — anchored on exogenous weather plus "
+        "clean calendar encodings instead of polluted lags — degrades "
+        "least (Fig. 6). Under the rare ramped scale errors all three "
+        "methods stay near their clean baselines (Fig. 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Hyperparameter search for the forecasting models (§3.2.2).
+
+Reproduces the paper's model-selection protocol: "we determined suitable
+settings for the hyperparameters of the evaluated forecasting methods using
+grid search in combination with a 5-fold time series cross validation."
+The search runs on the clean training year of one region and prints the
+winning configuration per method — the values baked into
+``repro.experiments.exp2_forecasting.default_models``.
+
+Run:  python examples/hyperparameter_search.py        (~1 minute)
+"""
+
+from repro.datasets.airquality import AIR_QUALITY_SCHEMA
+from repro.experiments.exp2_forecasting import EXOG_FEATURES, exog_of, load_region
+from repro.forecasting.arima import OnlineARIMA, OnlineARIMAX
+from repro.forecasting.evaluation import make_splits
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.model_selection import GridSearch, TimeSeriesSplit
+
+REGION = "Wanshouxigong"
+
+
+def main() -> None:
+    print(f"generating {REGION} stream and cutting Table 2 splits ...")
+    records = load_region(region=REGION, n_hours=2 * 365 * 24 + 24)
+    splits = make_splits(records, AIR_QUALITY_SCHEMA)
+    y_train = [r.get("NO2") for r in splits.train]
+    x_train = [exog_of(r) for r in splits.train]
+
+    searches = {
+        "ARIMA": GridSearch(
+            lambda **kw: OnlineARIMA(clip_sigma=None, **kw),
+            {"p": [2, 3, 24], "d": [0, 1], "q": [1, 2]},
+            splitter=TimeSeriesSplit(5),
+            horizon=12,
+        ),
+        "ARIMAX": GridSearch(
+            lambda **kw: OnlineARIMAX(
+                exog_features=EXOG_FEATURES, clip_sigma=None, **kw
+            ),
+            {"p": [2, 3, 24], "d": [0, 1], "q": [1]},
+            splitter=TimeSeriesSplit(5),
+            horizon=12,
+        ),
+        "Holt-Winters": GridSearch(
+            lambda **kw: HoltWinters(season_length=24, **kw),
+            {"alpha": [0.1, 0.2, 0.4], "beta": [0.05, 0.1], "gamma": [0.1, 0.3]},
+            splitter=TimeSeriesSplit(5),
+            horizon=12,
+        ),
+    }
+
+    for name, search in searches.items():
+        x = x_train if name == "ARIMAX" else None
+        result = search.run(y_train, x=x)
+        print(f"\n{name}: best {result.best_params}  "
+              f"(CV MAE {result.best_score:.2f})")
+        for params, score in result.scores[:3]:
+            print(f"    {params}  ->  {score:.2f}")
+
+    print(
+        "\nNote the structural outcome driving Figure 6: on *clean* data the "
+        "search prefers d=1 for ARIMA (forecasts anchored on the most recent "
+        "observation) but d=0 for ARIMAX (the exogenous features carry the "
+        "level) — so when the stream is polluted, ARIMA follows the noise "
+        "while ARIMAX stays anchored on clean calendar encodings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: required for editable installs with the offline toolchain."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Stream cleaning algorithms — the polluter's second customer.
+
+The paper's introduction motivates data polluters for selecting "the right
+data quality tool to clean" a stream and for benchmarking "specific
+cleaning algorithms". This package provides three classic online cleaners
+so the library covers that use case end to end (pollute -> clean -> score
+against the pollution log):
+
+* :class:`~repro.cleaning.hampel.HampelFilter` — rolling-median/MAD outlier
+  detection and repair (robust to the spike/noise error family);
+* :class:`~repro.cleaning.speed.SpeedConstraintCleaner` — SCREEN-style
+  speed constraints: consecutive values may change at most ``max_speed``
+  per second; violations are flagged and repaired to the nearest feasible
+  value (catches frozen-to-jump transitions and spikes);
+* :class:`~repro.cleaning.interpolation.InterpolationImputer` — repairs
+  missing values by linear interpolation over event time (falls back to
+  nearest-neighbour fill at the boundaries).
+
+All cleaners share the :class:`~repro.cleaning.base.StreamCleaner`
+interface: ``clean(records, schema) -> CleaningResult`` with per-record
+repair annotations, so results join against the pollution log via record
+ids exactly like DQ detections do
+(:func:`repro.cleaning.evaluation.score_cleaner`).
+"""
+
+from repro.cleaning.base import CleaningResult, Repair, StreamCleaner
+from repro.cleaning.evaluation import CleaningScore, score_cleaner
+from repro.cleaning.hampel import HampelFilter
+from repro.cleaning.interpolation import InterpolationImputer
+from repro.cleaning.speed import SpeedConstraintCleaner
+
+__all__ = [
+    "CleaningResult",
+    "CleaningScore",
+    "HampelFilter",
+    "InterpolationImputer",
+    "Repair",
+    "SpeedConstraintCleaner",
+    "StreamCleaner",
+    "score_cleaner",
+]

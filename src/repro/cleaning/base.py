@@ -1,0 +1,70 @@
+"""The stream-cleaner interface and result model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import IcewaflError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class CleaningError(IcewaflError):
+    """A cleaner is misconfigured or received unusable input."""
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One value a cleaner changed (or flagged)."""
+
+    record_id: int | None
+    attribute: str
+    observed: Any
+    repaired: Any
+
+    @property
+    def was_missing(self) -> bool:
+        v = self.observed
+        return v is None or (isinstance(v, float) and v != v)
+
+
+@dataclass
+class CleaningResult:
+    """A cleaned stream plus the repair annotations."""
+
+    cleaned: list[Record]
+    repairs: list[Repair] = field(default_factory=list)
+
+    def repaired_ids(self, attribute: str | None = None) -> set[int]:
+        return {
+            r.record_id
+            for r in self.repairs
+            if r.record_id is not None
+            and (attribute is None or r.attribute == attribute)
+        }
+
+    def __len__(self) -> int:
+        return len(self.cleaned)
+
+
+class StreamCleaner:
+    """Base class: one pass over a record sequence, values repaired in copies."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise CleaningError("a cleaner needs at least one target attribute")
+        self.attributes = tuple(attributes)
+
+    def clean(self, records: Sequence[Record], schema: Schema) -> CleaningResult:
+        raise NotImplementedError
+
+    def _check_schema(self, schema: Schema) -> None:
+        for name in self.attributes:
+            if name not in schema:
+                raise CleaningError(f"attribute {name!r} not in schema")
+            if not schema[name].dtype.is_numeric:
+                raise CleaningError(
+                    f"cleaner targets numeric attributes; {name!r} is "
+                    f"{schema[name].dtype.value}"
+                )

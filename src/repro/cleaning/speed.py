@@ -1,0 +1,68 @@
+"""Speed-constraint cleaning (SCREEN-style).
+
+Many physical quantities cannot change faster than a known rate — a body
+temperature does not move 40 units in a minute, a reservoir level does not
+double in a second. A *speed constraint* bounds ``|y_t - y_{t-1}| /
+(t - t_{t-1})``; values breaking it are flagged and repaired to the nearest
+feasible value given the last accepted reading (the minimal-repair
+principle of SCREEN, Song et al., SIGMOD'15).
+
+This catches exactly the temporal error families Icewafl injects: outlier
+spikes (huge instantaneous speed) and the jump at the end of a frozen run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cleaning.base import CleaningError, CleaningResult, Repair, StreamCleaner
+from repro.quality.dataset import is_missing
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class SpeedConstraintCleaner(StreamCleaner):
+    """Repairs values whose change rate exceeds ``max_speed`` per second.
+
+    Repair policy: clamp to the feasible envelope around the last accepted
+    value (``last ± max_speed * dt``). The repaired value becomes the new
+    anchor, so a spike does not poison subsequent feasibility windows.
+    """
+
+    def __init__(self, attributes: Sequence[str], max_speed: float) -> None:
+        super().__init__(attributes)
+        if max_speed <= 0:
+            raise CleaningError("max_speed must be positive")
+        self.max_speed = max_speed
+
+    def clean(self, records: Sequence[Record], schema: Schema) -> CleaningResult:
+        self._check_schema(schema)
+        ts_attr = schema.timestamp_attribute
+        cleaned = [r.copy() for r in records]
+        repairs: list[Repair] = []
+        for name in self.attributes:
+            last_value: float | None = None
+            last_ts: int | None = None
+            for i, record in enumerate(records):
+                value = record.get(name)
+                ts = record.get(ts_attr)
+                if is_missing(value) or ts is None:
+                    continue
+                if last_value is not None and last_ts is not None and ts > last_ts:
+                    dt = ts - last_ts
+                    bound = self.max_speed * dt
+                    if abs(value - last_value) > bound:
+                        repaired = last_value + (bound if value > last_value else -bound)
+                        cleaned[i][name] = repaired
+                        repairs.append(
+                            Repair(
+                                record_id=record.record_id,
+                                attribute=name,
+                                observed=value,
+                                repaired=repaired,
+                            )
+                        )
+                        last_value, last_ts = repaired, ts
+                        continue
+                last_value, last_ts = float(value), int(ts)
+        return CleaningResult(cleaned=cleaned, repairs=repairs)

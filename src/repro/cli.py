@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``pollute``
+    Pollute a CSV stream with a JSON pollution config::
+
+        python -m repro pollute --config scenario.json --schema schema.json \\
+            --input clean.csv --output dirty.csv --log log.csv --seed 42
+
+``validate``
+    Validate a CSV stream against a JSON expectation-suite spec::
+
+        python -m repro validate --suite suite.json --schema schema.json \\
+            --input dirty.csv
+
+``generate``
+    Write one of the built-in synthetic datasets to CSV::
+
+        python -m repro generate wearable --output wearable.csv
+        python -m repro generate airquality --station Gucheng --hours 8760 \\
+            --output gucheng.csv
+
+Schema files are JSON: ``{"attributes": [{"name": ..., "dtype":
+"float|int|string|bool|timestamp|category", "nullable": true}],
+"timestamp_attribute": "..."}``. Suite files: ``{"name": ...,
+"expectations": [{"type": "not_be_null", "column": ...}, ...]}`` with the
+types registered in :data:`EXPECTATION_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.core.config import pipeline_from_config
+from repro.core.runner import pollute
+from repro.datasets.io import load_records, save_records
+from repro.errors import ConfigError, IcewaflError
+from repro.quality import (
+    ExpectColumnMeanToBeBetween,
+    ExpectColumnMedianToBeBetween,
+    ExpectColumnPairValuesAToBeGreaterThanB,
+    ExpectColumnProportionOfUniqueValuesToBeBetween,
+    ExpectColumnStdevToBeBetween,
+    ExpectColumnSumToBeBetween,
+    ExpectColumnValueLengthsToBeBetween,
+    ExpectColumnValuesToBeBetween,
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToBeInSet,
+    ExpectColumnValuesToBeUnique,
+    ExpectColumnValuesToMatchRegex,
+    ExpectColumnValuesToNotBeNull,
+    ExpectationSuite,
+    ValidationDataset,
+)
+from repro.streaming.schema import Attribute, DataType, Schema
+
+EXPECTATION_REGISTRY: dict[str, Callable[..., Any]] = {
+    "not_be_null": lambda column, **kw: ExpectColumnValuesToNotBeNull(column, **kw),
+    "match_regex": lambda column, regex, **kw: ExpectColumnValuesToMatchRegex(column, regex, **kw),
+    "be_increasing": lambda column, **kw: ExpectColumnValuesToBeIncreasing(column, **kw),
+    "pair_a_greater_than_b": lambda column_a, column_b, **kw: ExpectColumnPairValuesAToBeGreaterThanB(
+        column_a, column_b, **kw
+    ),
+    "be_between": lambda column, **kw: ExpectColumnValuesToBeBetween(column, **kw),
+    "be_in_set": lambda column, value_set, **kw: ExpectColumnValuesToBeInSet(
+        column, value_set, **kw
+    ),
+    "be_unique": lambda column, **kw: ExpectColumnValuesToBeUnique(column, **kw),
+    "mean_between": lambda column, **kw: ExpectColumnMeanToBeBetween(column, **kw),
+    "stdev_between": lambda column, **kw: ExpectColumnStdevToBeBetween(column, **kw),
+    "median_between": lambda column, **kw: ExpectColumnMedianToBeBetween(column, **kw),
+    "sum_between": lambda column, **kw: ExpectColumnSumToBeBetween(column, **kw),
+    "unique_proportion_between": lambda column, **kw: ExpectColumnProportionOfUniqueValuesToBeBetween(
+        column, **kw
+    ),
+    "value_lengths_between": lambda column, **kw: ExpectColumnValueLengthsToBeBetween(
+        column, **kw
+    ),
+}
+
+
+def schema_from_config(spec: Mapping[str, Any]) -> Schema:
+    """Build a :class:`Schema` from its JSON form."""
+    attrs_spec = spec.get("attributes")
+    if not attrs_spec:
+        raise ConfigError("schema spec needs a non-empty 'attributes' list")
+    attributes = []
+    for a in attrs_spec:
+        try:
+            dtype = DataType(a.get("dtype", "float"))
+        except ValueError as exc:
+            raise ConfigError(
+                f"unknown dtype {a.get('dtype')!r} for attribute {a.get('name')!r}"
+            ) from exc
+        attributes.append(
+            Attribute(
+                a["name"],
+                dtype,
+                nullable=a.get("nullable", True),
+                domain=tuple(a["domain"]) if "domain" in a else None,
+            )
+        )
+    return Schema(attributes, timestamp_attribute=spec.get("timestamp_attribute"))
+
+
+def suite_from_config(spec: Mapping[str, Any]) -> ExpectationSuite:
+    """Build an :class:`ExpectationSuite` from its JSON form."""
+    expectations_spec = spec.get("expectations")
+    if not expectations_spec:
+        raise ConfigError("suite spec needs a non-empty 'expectations' list")
+    suite = ExpectationSuite(spec.get("name", "suite"))
+    for e in expectations_spec:
+        kind = e.get("type")
+        if kind not in EXPECTATION_REGISTRY:
+            raise ConfigError(
+                f"unknown expectation type {kind!r}; known: {sorted(EXPECTATION_REGISTRY)}"
+            )
+        kwargs = {k: v for k, v in e.items() if k != "type"}
+        try:
+            suite.add(EXPECTATION_REGISTRY[kind](**kwargs))
+        except TypeError as exc:
+            raise ConfigError(f"bad arguments for expectation {kind!r}: {exc}") from exc
+    return suite
+
+
+def _load_json(path: str) -> Any:
+    return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_pollute(args: argparse.Namespace) -> int:
+    schema = schema_from_config(_load_json(args.schema))
+    pipeline = pipeline_from_config(_load_json(args.config))
+    records = load_records(schema, args.input)
+    result = pollute(records, pipeline, schema=schema, seed=args.seed)
+    save_records(result.polluted, schema, args.output)
+    if args.log:
+        result.log.to_csv(args.log)
+    print(
+        f"polluted {result.n_clean} -> {result.n_polluted} tuples, "
+        f"{len(result.log)} errors injected "
+        f"({args.output}{', log: ' + args.log if args.log else ''})"
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    schema = schema_from_config(_load_json(args.schema))
+    suite = suite_from_config(_load_json(args.suite))
+    records = load_records(schema, args.input)
+    report = suite.validate(ValidationDataset(records, schema))
+    print(report.summary())
+    return 0 if report.success else 1
+
+
+CLEANER_REGISTRY: dict[str, Callable[..., Any]] = {
+    "hampel": lambda attributes, window=5, n_sigmas=3.0, **_: __import__(
+        "repro.cleaning", fromlist=["HampelFilter"]
+    ).HampelFilter(attributes, window=int(window), n_sigmas=float(n_sigmas)),
+    "speed": lambda attributes, max_speed, **_: __import__(
+        "repro.cleaning", fromlist=["SpeedConstraintCleaner"]
+    ).SpeedConstraintCleaner(attributes, max_speed=float(max_speed)),
+    "interpolate": lambda attributes, max_gap=None, **_: __import__(
+        "repro.cleaning", fromlist=["InterpolationImputer"]
+    ).InterpolationImputer(
+        attributes, max_gap_seconds=int(max_gap) if max_gap else None
+    ),
+}
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    schema = schema_from_config(_load_json(args.schema))
+    options = dict(kv.split("=", 1) for kv in (args.option or []))
+    try:
+        cleaner = CLEANER_REGISTRY[args.cleaner](args.attribute, **options)
+    except TypeError as exc:
+        raise ConfigError(f"bad options for cleaner {args.cleaner!r}: {exc}") from exc
+    records = load_records(schema, args.input)
+    result = cleaner.clean(records, schema)
+    save_records(result.cleaned, schema, args.output)
+    print(
+        f"cleaned {len(records)} tuples with {args.cleaner}: "
+        f"{len(result.repairs)} values repaired ({args.output})"
+    )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "wearable":
+        from repro.datasets.wearable import WEARABLE_SCHEMA, generate_wearable
+
+        records = generate_wearable()
+        save_records(records, WEARABLE_SCHEMA, args.output)
+    else:
+        from repro.datasets.airquality import (
+            AIR_QUALITY_SCHEMA,
+            AirQualityConfig,
+            generate_air_quality,
+        )
+
+        cfg = AirQualityConfig(stations=(args.station,), n_hours=args.hours)
+        records = generate_air_quality(cfg)[args.station]
+        save_records(records, AIR_QUALITY_SCHEMA, args.output)
+    print(f"wrote {len(records)} tuples to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Icewafl reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pollute", help="pollute a CSV stream with a JSON config")
+    p.add_argument("--config", required=True, help="pollution pipeline JSON")
+    p.add_argument("--schema", required=True, help="stream schema JSON")
+    p.add_argument("--input", required=True, help="clean input CSV")
+    p.add_argument("--output", required=True, help="polluted output CSV")
+    p.add_argument("--log", help="optional pollution-log CSV (ground truth)")
+    p.add_argument("--seed", type=int, default=None, help="run seed (reproducibility)")
+    p.set_defaults(fn=cmd_pollute)
+
+    v = sub.add_parser("validate", help="validate a CSV stream with a suite")
+    v.add_argument("--suite", required=True, help="expectation suite JSON")
+    v.add_argument("--schema", required=True, help="stream schema JSON")
+    v.add_argument("--input", required=True, help="input CSV to validate")
+    v.set_defaults(fn=cmd_validate)
+
+    c = sub.add_parser("clean", help="repair a CSV stream with a cleaning algorithm")
+    c.add_argument("--cleaner", required=True, choices=sorted(CLEANER_REGISTRY))
+    c.add_argument("--schema", required=True, help="stream schema JSON")
+    c.add_argument("--input", required=True, help="dirty input CSV")
+    c.add_argument("--output", required=True, help="repaired output CSV")
+    c.add_argument(
+        "--attribute", action="append", required=True,
+        help="attribute to clean (repeatable)",
+    )
+    c.add_argument(
+        "--option", action="append", metavar="KEY=VALUE",
+        help="cleaner option, e.g. window=7, max_speed=0.05 (repeatable)",
+    )
+    c.set_defaults(fn=cmd_clean)
+
+    g = sub.add_parser("generate", help="write a built-in synthetic dataset")
+    g.add_argument("dataset", choices=["wearable", "airquality"])
+    g.add_argument("--output", required=True, help="output CSV path")
+    g.add_argument("--station", default="Wanshouxigong", help="air-quality station")
+    g.add_argument("--hours", type=int, default=24 * 365, help="air-quality stream hours")
+    g.set_defaults(fn=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (IcewaflError, FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

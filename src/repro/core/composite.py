@@ -1,0 +1,189 @@
+"""Composite polluters: structuring pollution pipelines (§2.2.1).
+
+"Composite polluters can register an arbitrary number of standard polluters
+that actually insert the errors. Through nesting, composite polluters allow
+modeling more complex pollution strategies, for example, two error types
+that always occur together or a set of errors that are mutually exclusive."
+
+Three delegation modes cover the paper's examples:
+
+* :attr:`CompositeMode.ALL` — every child is applied in sequence (errors
+  that occur together; the software-update scenario of Fig. 5);
+* :attr:`CompositeMode.FIRST_MATCH` — children are offered the tuple in
+  order until one fires (mutually exclusive errors with priority);
+* :attr:`CompositeMode.CHOOSE_ONE` — one child is drawn (optionally
+  weighted) and applied (mutually exclusive errors, random mix).
+
+Since children are themselves polluters, composites nest arbitrarily —
+Fig. 5's "wrong BPM Measurement" composite sits inside the "Software
+Update" composite. A composite with mode ALL and condition *always* is an
+inlined sub-pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.conditions.base import Condition
+from repro.core.conditions.random import AlwaysCondition
+from repro.core.log import PollutionLog
+from repro.core.polluter import Application, Polluter
+from repro.core.rng import RandomSource
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+
+
+class CompositeMode(enum.Enum):
+    """How a composite delegates to its children: all in sequence, first
+    whose condition fires (mutual exclusion with priority), or one drawn at
+    random (mutual exclusion with mixing weights)."""
+
+    ALL = "all"
+    FIRST_MATCH = "first_match"
+    CHOOSE_ONE = "choose_one"
+
+
+class CompositePolluter(Polluter):
+    """A polluter that delegates to registered child polluters.
+
+    Parameters
+    ----------
+    children:
+        The registered polluters (standard or composite), applied per
+        ``mode`` when the composite's own ``condition`` fires.
+    condition:
+        The shared gate — e.g. Fig. 5's "Time >= 2016-02-27".
+    mode:
+        Delegation mode, see :class:`CompositeMode`.
+    weights:
+        Only for ``CHOOSE_ONE``: relative child weights (normalized
+        internally); uniform if omitted.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Polluter],
+        condition: Condition | None = None,
+        mode: CompositeMode = CompositeMode.ALL,
+        weights: Sequence[float] | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or "composite")
+        if not children:
+            raise PollutionError("composite polluter needs at least one child")
+        names = [c.name for c in children]
+        if len(set(names)) != len(names):
+            raise PollutionError(
+                f"composite {self.name!r}: duplicate child names {names}; "
+                "give children distinct names for stable seeding"
+            )
+        self.children = list(children)
+        self.condition = condition or AlwaysCondition()
+        self.mode = mode
+        if weights is not None:
+            if mode is not CompositeMode.CHOOSE_ONE:
+                raise PollutionError("weights are only valid with CHOOSE_ONE")
+            if len(weights) != len(children):
+                raise PollutionError(
+                    f"got {len(weights)} weights for {len(children)} children"
+                )
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise PollutionError("weights must be non-negative with positive sum")
+            total = float(sum(weights))
+            self.weights: tuple[float, ...] | None = tuple(w / total for w in weights)
+        else:
+            self.weights = None
+        self._choice_rng: np.random.Generator | None = None
+
+    def bind(self, source: RandomSource, scope: str = "") -> None:
+        self._qualified_name = f"{scope}/{self.name}" if scope else self.name
+        self.condition.bind_rng(source.child(self._qualified_name, stream=0))
+        self._choice_rng = source.child(self._qualified_name, stream=2)
+        for child in self.children:
+            child.bind(source, scope=self._qualified_name)
+
+    def reset(self) -> None:
+        self.condition.reset()
+        for child in self.children:
+            child.reset()
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
+        if not self.condition.evaluate(record, tau):
+            return Application([record], fired=False)
+        if self.mode is CompositeMode.ALL:
+            return self._apply_all(record, tau, log)
+        if self.mode is CompositeMode.FIRST_MATCH:
+            return self._apply_first_match(record, tau, log)
+        return self._apply_choose_one(record, tau, log)
+
+    def _apply_all(self, record: Record, tau: int, log: PollutionLog | None) -> Application:
+        records = [record]
+        fired_any = False
+        for child in self.children:
+            next_records: list[Record] = []
+            for r in records:
+                outcome = child.apply(r, tau, log)
+                fired_any = fired_any or outcome.fired
+                next_records.extend(outcome.records)
+            records = next_records
+            if not records:
+                break  # tuple dropped; nothing left for later children
+        return Application(records, fired=fired_any)
+
+    def _apply_first_match(self, record: Record, tau: int, log: PollutionLog | None) -> Application:
+        for child in self.children:
+            outcome = child.apply(record, tau, log)
+            if outcome.fired:
+                return Application(outcome.records, fired=True)
+            # Not fired => records == [record] untouched; try the next child.
+        return Application([record], fired=False)
+
+    def _apply_choose_one(self, record: Record, tau: int, log: PollutionLog | None) -> Application:
+        if self._choice_rng is None:
+            raise PollutionError(
+                f"composite {self.name!r} not bound; attach it to a pipeline first"
+            )
+        idx = int(self._choice_rng.choice(len(self.children), p=self.weights))
+        outcome = self.children[idx].apply(record, tau, log)
+        return Application(outcome.records, fired=outcome.fired)
+
+    # -- ground truth -------------------------------------------------------------
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        """Probability that *at least one* child fires on this tuple."""
+        gate = self.condition.expected_probability(record, tau)
+        if gate == 0.0:
+            return 0.0
+        if self.mode is CompositeMode.CHOOSE_ONE:
+            weights = self.weights or [1.0 / len(self.children)] * len(self.children)
+            p = sum(
+                w * c.expected_probability(record, tau)
+                for w, c in zip(weights, self.children)
+            )
+            return gate * p
+        # ALL / FIRST_MATCH: fires unless every child's condition misses.
+        p_none = 1.0
+        for child in self.children:
+            p_none *= 1.0 - child.expected_probability(record, tau)
+        return gate * (1.0 - p_none)
+
+    def child_gate_probability(self, record: Record, tau: int) -> float:
+        """Probability that delegation reaches the children at all.
+
+        Experiments multiply this with a specific child's own expected
+        probability to get that child's marginal firing rate (Table 1's
+        "Expected after Pollution" column).
+        """
+        return self.condition.expected_probability(record, tau)
+
+    def describe(self) -> str:
+        inner = "; ".join(c.describe() for c in self.children)
+        return (
+            f"{self.name}[{self.mode.value}]: if {self.condition.describe()} "
+            f"then ({inner})"
+        )

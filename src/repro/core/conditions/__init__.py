@@ -1,0 +1,65 @@
+"""Pollution conditions — the ``c`` in a polluter ``<e, c, A_p>``.
+
+Following Schelter et al.'s error-injection taxonomy (cited in §2.2), a
+condition may fire
+
+(i)   completely at random (:class:`ProbabilityCondition` — MCAR),
+(ii)  depending on the values to be polluted (:class:`AttributeCondition`
+      over an attribute in ``A_p`` — MNAR), or
+(iii) depending on values of the tuple that are *not* polluted
+      (:class:`AttributeCondition` over any other attribute — MAR).
+
+Icewafl adds **temporal conditions** over the event time ``tau``
+(:mod:`repro.core.conditions.temporal`) and **composite conditions** that
+conjoin any of the above (:mod:`repro.core.conditions.composite`).
+"""
+
+from repro.core.conditions.base import Condition
+from repro.core.conditions.composite import AllOf, AnyOf, Not
+from repro.core.conditions.markov import BurstCondition
+from repro.core.conditions.random import (
+    AlwaysCondition,
+    NeverCondition,
+    ProbabilityCondition,
+)
+from repro.core.conditions.temporal import (
+    AfterCondition,
+    BeforeCondition,
+    DailyIntervalCondition,
+    EveryNthCondition,
+    LinearRampCondition,
+    PatternProbabilityCondition,
+    SinusoidalCondition,
+    TimeIntervalCondition,
+)
+from repro.core.conditions.value import (
+    AttributeCondition,
+    InSetCondition,
+    NullValueCondition,
+    PredicateCondition,
+    RangeCondition,
+)
+
+__all__ = [
+    "AfterCondition",
+    "AllOf",
+    "AlwaysCondition",
+    "AnyOf",
+    "BurstCondition",
+    "AttributeCondition",
+    "BeforeCondition",
+    "Condition",
+    "DailyIntervalCondition",
+    "EveryNthCondition",
+    "InSetCondition",
+    "LinearRampCondition",
+    "NeverCondition",
+    "Not",
+    "NullValueCondition",
+    "PatternProbabilityCondition",
+    "PredicateCondition",
+    "ProbabilityCondition",
+    "RangeCondition",
+    "SinusoidalCondition",
+    "TimeIntervalCondition",
+]

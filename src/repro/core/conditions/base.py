@@ -1,0 +1,91 @@
+"""Condition base class.
+
+A condition is evaluated per tuple as ``c(t, tau)`` (paper Eq. 2): it sees
+the full record (so it can depend on polluted or unpolluted attributes) and
+the event time ``tau`` (so it can be temporal). Stochastic conditions draw
+from a generator bound by the owning polluter, keeping all randomness under
+the run's named-seed scheme (:mod:`repro.core.rng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConditionError
+from repro.streaming.record import Record
+
+
+class Condition:
+    """Base class for pollution conditions."""
+
+    #: True if the condition draws random numbers (needs a bound generator).
+    stochastic: bool = False
+
+    def __init__(self) -> None:
+        self._rng: np.random.Generator | None = None
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        """Attach the random stream this condition draws from."""
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ConditionError(
+                f"{type(self).__name__} is stochastic but has no bound RNG; "
+                "attach the polluter to a pipeline (or call bind_rng) first"
+            )
+        return self._rng
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        """True iff the polluter should fire on this tuple."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-run state (counters, Markov chains). No-op by default.
+
+        The runner resets every polluter — and through it every condition —
+        before each pollution run, so stateful conditions never leak state
+        across repetitions.
+        """
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        """The marginal firing probability for this tuple (ground truth).
+
+        Deterministic conditions return 0.0 or 1.0. Experiments use this to
+        compute the *expected* number of injected errors analytically (the
+        blue series of Fig. 4 and the expectation column of Table 1).
+        """
+        return 1.0 if self.evaluate_deterministic(record, tau) else 0.0
+
+    def evaluate_deterministic(self, record: Record, tau: int) -> bool:
+        """Like :meth:`evaluate` for non-stochastic conditions.
+
+        Stochastic conditions override :meth:`expected_probability` instead
+        and leave this unimplemented.
+        """
+        if self.stochastic:
+            raise ConditionError(
+                f"{type(self).__name__} is stochastic; use expected_probability"
+            )
+        return self.evaluate(record, tau)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    # -- composition sugar -------------------------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        from repro.core.conditions.composite import AllOf
+
+        return AllOf(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        from repro.core.conditions.composite import AnyOf
+
+        return AnyOf(self, other)
+
+    def __invert__(self) -> "Condition":
+        from repro.core.conditions.composite import Not
+
+        return Not(self)

@@ -1,0 +1,114 @@
+"""Composite conditions: conjunction, disjunction, negation.
+
+§2.2: "Icewafl supports ... composite conditions that allow to conjoin any
+of the aforementioned conditions." The bad-network scenario nests a 20 %
+probability condition inside a daily time gate — ``AllOf(DailyInterval(13,
+15), Probability(0.2))``.
+
+Expected-probability propagation assumes the children are independent given
+the tuple (true for the built-in stochastic conditions, which draw from
+separate streams); deterministic children contribute exactly 0 or 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.conditions.base import Condition
+from repro.errors import ConditionError
+from repro.streaming.record import Record
+
+
+class _Composite(Condition):
+    def __init__(self, *children: Condition) -> None:
+        super().__init__()
+        if not children:
+            raise ConditionError(f"{type(self).__name__} needs at least one child")
+        self.children = tuple(children)
+
+    @property
+    def stochastic(self) -> bool:  # type: ignore[override]
+        return any(c.stochastic for c in self.children)
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        super().bind_rng(rng)
+        for child in self.children:
+            child.bind_rng(rng)
+
+    def reset(self) -> None:
+        for child in self.children:
+            child.reset()
+
+
+class AllOf(_Composite):
+    """Logical AND: fires iff every child fires.
+
+    Children are evaluated left-to-right with short-circuiting, so a cheap
+    deterministic gate placed first avoids burning random draws — and since
+    stochastic draws are per-polluter streams, short-circuiting never skews
+    sibling polluters.
+    """
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        return all(c.evaluate(record, tau) for c in self.children)
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        p = 1.0
+        for c in self.children:
+            p *= c.expected_probability(record, tau)
+            if p == 0.0:
+                break
+        return p
+
+    def describe(self) -> str:
+        return "(" + " and ".join(c.describe() for c in self.children) + ")"
+
+
+class AnyOf(_Composite):
+    """Logical OR: fires iff at least one child fires.
+
+    No short-circuiting: every stochastic child draws on every tuple, so the
+    sequence of random numbers each child consumes is independent of its
+    siblings' outcomes — reproducibility under config edits again.
+    """
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        results = [c.evaluate(record, tau) for c in self.children]
+        return any(results)
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        p_none = 1.0
+        for c in self.children:
+            p_none *= 1.0 - c.expected_probability(record, tau)
+        return 1.0 - p_none
+
+    def describe(self) -> str:
+        return "(" + " or ".join(c.describe() for c in self.children) + ")"
+
+
+class Not(Condition):
+    """Logical negation of one child condition."""
+
+    def __init__(self, child: Condition) -> None:
+        super().__init__()
+        self.child = child
+
+    @property
+    def stochastic(self) -> bool:  # type: ignore[override]
+        return self.child.stochastic
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        super().bind_rng(rng)
+        self.child.bind_rng(rng)
+
+    def reset(self) -> None:
+        self.child.reset()
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        return not self.child.evaluate(record, tau)
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        return 1.0 - self.child.expected_probability(record, tau)
+
+    def describe(self) -> str:
+        return f"not {self.child.describe()}"

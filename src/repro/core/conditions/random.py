@@ -1,0 +1,53 @@
+"""Random (MCAR) conditions: errors injected completely at random."""
+
+from __future__ import annotations
+
+from repro.core.conditions.base import Condition
+from repro.errors import ConditionError
+from repro.streaming.record import Record
+
+
+class AlwaysCondition(Condition):
+    """Fires on every tuple; the default condition of a polluter."""
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "always"
+
+
+class NeverCondition(Condition):
+    """Never fires; useful to disable a polluter in a config without removing it."""
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "never"
+
+
+class ProbabilityCondition(Condition):
+    """Fires independently with fixed probability ``p`` (MCAR).
+
+    The software-update scenario (§3.1.2) uses ``p = 0.2`` for its nested
+    BPM-to-null polluter, and the scale scenario (§3.2.1) uses a prior
+    ``p = 0.01``.
+    """
+
+    stochastic = True
+
+    def __init__(self, p: float) -> None:
+        super().__init__()
+        if not 0.0 <= p <= 1.0:
+            raise ConditionError(f"probability must be in [0, 1], got {p}")
+        self.p = p
+
+    def evaluate(self, record: Record, tau: int) -> bool:
+        return bool(self.rng.random() < self.p)
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        return self.p
+
+    def describe(self) -> str:
+        return f"prob({self.p})"

@@ -1,0 +1,286 @@
+"""Declarative pollution configuration (Fig. 2's "Define Error Conditions").
+
+Challenge C3 asks for a configuration surface that is simple for
+inexperienced users yet expressive for experts. This module maps plain
+dicts (JSON-compatible — load them from files with ``json.load``) to
+pipeline objects:
+
+.. code-block:: python
+
+    pipeline = pipeline_from_config({
+        "name": "random-temporal",
+        "polluters": [
+            {
+                "type": "standard",
+                "name": "distance-nulls",
+                "attributes": ["Distance"],
+                "error": {"type": "set_null"},
+                "condition": {"type": "sinusoidal",
+                              "amplitude": 0.25, "offset": 0.25},
+            },
+        ],
+    })
+
+Composites nest naturally: a polluter spec with ``"type": "composite"``
+carries a ``"children"`` list of polluter specs. Every error/condition type
+in the catalogues is registered under a snake_case key; unknown keys raise
+:class:`~repro.errors.ConfigError` with the list of known types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core import conditions as C
+from repro.core import patterns as P
+from repro.core.composite import CompositeMode, CompositePolluter
+from repro.core.errors import (
+    CaseError,
+    CumulativeDrift,
+    DelayTuple,
+    DerivedTemporalError,
+    DropTuple,
+    DuplicateTuple,
+    FrozenValue,
+    GaussianNoise,
+    IncorrectCategory,
+    Offset,
+    OutlierSpike,
+    RampedMultiplicativeNoise,
+    RoundToPrecision,
+    ScaleByFactor,
+    SetToConstant,
+    SetToDefault,
+    SetToNaN,
+    SetToNull,
+    SignFlip,
+    SwapAttributes,
+    SwapWithPrevious,
+    TimestampJitter,
+    Truncate,
+    Typo,
+    UniformNoise,
+    UnitConversion,
+    WhitespacePadding,
+)
+from repro.core.errors.base import ErrorFunction
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import Polluter, StandardPolluter
+from repro.errors import ConfigError
+from repro.streaming.time import Duration, parse_timestamp
+
+
+def _ts(value: Any) -> int:
+    """Accept epoch seconds or a timestamp string in configs."""
+    if isinstance(value, str):
+        return parse_timestamp(value)
+    return int(value)
+
+
+def _duration(value: Any) -> Duration:
+    """Accept seconds (number) or e.g. ``{"hours": 1}`` in configs."""
+    if isinstance(value, Mapping):
+        total = 0
+        for unit, n in value.items():
+            if unit == "seconds":
+                total += int(n)
+            elif unit == "minutes":
+                total += int(n * 60)
+            elif unit == "hours":
+                total += int(n * 3600)
+            elif unit == "days":
+                total += int(n * 86400)
+            else:
+                raise ConfigError(f"unknown duration unit {unit!r}")
+        return Duration(total)
+    return Duration(int(value))
+
+
+# ---------------------------------------------------------------------------
+# Pattern registry
+# ---------------------------------------------------------------------------
+
+_PATTERNS: dict[str, Callable[..., P.ChangePattern]] = {
+    "constant": lambda value=1.0: P.ConstantPattern(value),
+    "abrupt": lambda change_time, before=0.0, after=1.0: P.AbruptPattern(
+        _ts(change_time), before, after
+    ),
+    "incremental": lambda start, end, start_value=0.0, end_value=1.0: P.IncrementalPattern(
+        _ts(start), _ts(end), start_value, end_value
+    ),
+    "intermediate": lambda start, end, block_seconds=3600: P.IntermediatePattern(
+        _ts(start), _ts(end), block_seconds
+    ),
+    "sinusoidal": lambda amplitude=0.25, offset=0.25, period_hours=24.0, phase=0.0: P.SinusoidalPattern(
+        amplitude, offset, period_hours, phase
+    ),
+}
+
+
+def pattern_from_config(spec: Mapping[str, Any]) -> P.ChangePattern:
+    kind = spec.get("type")
+    if kind not in _PATTERNS:
+        raise ConfigError(
+            f"unknown pattern type {kind!r}; known: {sorted(_PATTERNS)}"
+        )
+    kwargs = {k: v for k, v in spec.items() if k != "type"}
+    return _PATTERNS[kind](**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Condition registry
+# ---------------------------------------------------------------------------
+
+_CONDITIONS: dict[str, Callable[..., C.Condition]] = {
+    "always": lambda: C.AlwaysCondition(),
+    "never": lambda: C.NeverCondition(),
+    "probability": lambda p: C.ProbabilityCondition(p),
+    "attribute": lambda attribute, op, value: C.AttributeCondition(attribute, op, value),
+    "null_value": lambda attribute: C.NullValueCondition(attribute),
+    "in_set": lambda attribute, values: C.InSetCondition(attribute, values),
+    "range": lambda attribute, low=None, high=None: C.RangeCondition(attribute, low, high),
+    "after": lambda timestamp: C.AfterCondition(_ts(timestamp)),
+    "before": lambda timestamp: C.BeforeCondition(_ts(timestamp)),
+    "time_interval": lambda start, end: C.TimeIntervalCondition(_ts(start), _ts(end)),
+    "daily_interval": lambda start_hour, end_hour: C.DailyIntervalCondition(
+        start_hour, end_hour
+    ),
+    "sinusoidal": lambda amplitude=0.25, offset=0.25, period_hours=24.0, phase=0.0: C.SinusoidalCondition(
+        amplitude, offset, period_hours, phase
+    ),
+    "linear_ramp": lambda tau0, taun, scale=1.0: C.LinearRampCondition(
+        _ts(tau0), _ts(taun), scale
+    ),
+    "every_nth": lambda n, offset=0: C.EveryNthCondition(n, offset),
+}
+
+
+def condition_from_config(spec: Mapping[str, Any]) -> C.Condition:
+    kind = spec.get("type")
+    if kind in ("all_of", "and"):
+        return C.AllOf(*(condition_from_config(c) for c in spec["children"]))
+    if kind in ("any_of", "or"):
+        return C.AnyOf(*(condition_from_config(c) for c in spec["children"]))
+    if kind == "not":
+        return C.Not(condition_from_config(spec["child"]))
+    if kind == "pattern_probability":
+        return C.PatternProbabilityCondition(
+            pattern_from_config(spec["pattern"]), scale=spec.get("scale", 1.0)
+        )
+    if kind not in _CONDITIONS:
+        known = sorted(_CONDITIONS) + ["all_of", "any_of", "not", "pattern_probability"]
+        raise ConfigError(f"unknown condition type {kind!r}; known: {known}")
+    kwargs = {k: v for k, v in spec.items() if k != "type"}
+    try:
+        return _CONDITIONS[kind](**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"bad arguments for condition {kind!r}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Error registry
+# ---------------------------------------------------------------------------
+
+_ERRORS: dict[str, Callable[..., ErrorFunction]] = {
+    "gaussian_noise": lambda sigma: GaussianNoise(sigma),
+    "uniform_noise": lambda low, high, multiplicative=False, signed=False: UniformNoise(
+        low, high, multiplicative, signed
+    ),
+    "scale": lambda factor: ScaleByFactor(factor),
+    "unit_conversion": lambda from_unit, to_unit: UnitConversion(from_unit, to_unit),
+    "offset": lambda delta: Offset(delta),
+    "round": lambda digits: RoundToPrecision(digits),
+    "outlier": lambda k=10.0, scale=None, signed=True: OutlierSpike(k, scale, signed),
+    "sign_flip": lambda: SignFlip(),
+    "swap_attributes": lambda: SwapAttributes(),
+    "set_null": lambda: SetToNull(),
+    "set_nan": lambda: SetToNaN(),
+    "set_constant": lambda value: SetToConstant(value),
+    "set_default": lambda defaults: SetToDefault(defaults),
+    "incorrect_category": lambda domain: IncorrectCategory(domain),
+    "typo": lambda n_errors=1: Typo(n_errors),
+    "case": lambda mode="random": CaseError(mode),
+    "truncate": lambda keep: Truncate(keep),
+    "whitespace": lambda max_spaces=3: WhitespacePadding(max_spaces),
+    "delay": lambda delay, timestamp_attribute=None: DelayTuple(
+        _duration(delay), timestamp_attribute
+    ),
+    "frozen_value": lambda: FrozenValue(),
+    "timestamp_jitter": lambda max_jitter, timestamp_attribute=None: TimestampJitter(
+        _duration(max_jitter), timestamp_attribute
+    ),
+    "drop": lambda: DropTuple(),
+    "duplicate": lambda copies=1, spacing=None, timestamp_attribute=None: DuplicateTuple(
+        copies,
+        _duration(spacing) if spacing is not None else None,
+        timestamp_attribute,
+    ),
+    "cumulative_drift": lambda step: CumulativeDrift(step),
+    "swap_with_previous": lambda: SwapWithPrevious(),
+    "ramped_mult_noise": lambda tau0, taun, a_max=0.0, b_max=0.5: RampedMultiplicativeNoise(
+        _ts(tau0), _ts(taun), a_max, b_max
+    ),
+}
+
+
+def error_from_config(spec: Mapping[str, Any]) -> ErrorFunction:
+    kind = spec.get("type")
+    if kind == "derived":
+        return DerivedTemporalError(
+            error_from_config(spec["error"]), pattern_from_config(spec["pattern"])
+        )
+    if kind not in _ERRORS:
+        known = sorted(_ERRORS) + ["derived"]
+        raise ConfigError(f"unknown error type {kind!r}; known: {known}")
+    kwargs = {k: v for k, v in spec.items() if k != "type"}
+    try:
+        return _ERRORS[kind](**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"bad arguments for error {kind!r}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Polluters & pipelines
+# ---------------------------------------------------------------------------
+
+
+def polluter_from_config(spec: Mapping[str, Any]) -> Polluter:
+    """Build a standard or composite polluter from its JSON-compatible spec."""
+    kind = spec.get("type", "standard")
+    if kind == "standard":
+        if "error" not in spec:
+            raise ConfigError("standard polluter spec needs an 'error' entry")
+        condition = (
+            condition_from_config(spec["condition"]) if "condition" in spec else None
+        )
+        return StandardPolluter(
+            error=error_from_config(spec["error"]),
+            attributes=spec.get("attributes", ()),
+            condition=condition,
+            name=spec.get("name"),
+        )
+    if kind == "composite":
+        children_spec = spec.get("children")
+        if not children_spec:
+            raise ConfigError("composite polluter spec needs non-empty 'children'")
+        condition = (
+            condition_from_config(spec["condition"]) if "condition" in spec else None
+        )
+        mode = CompositeMode(spec.get("mode", "all"))
+        return CompositePolluter(
+            children=[polluter_from_config(c) for c in children_spec],
+            condition=condition,
+            mode=mode,
+            weights=spec.get("weights"),
+            name=spec.get("name"),
+        )
+    raise ConfigError(f"unknown polluter type {kind!r}; known: ['standard', 'composite']")
+
+
+def pipeline_from_config(spec: Mapping[str, Any]) -> PollutionPipeline:
+    """Build a :class:`PollutionPipeline` from a JSON-compatible dict."""
+    polluter_specs = spec.get("polluters")
+    if not polluter_specs:
+        raise ConfigError("pipeline spec needs a non-empty 'polluters' list")
+    polluters = [polluter_from_config(p) for p in polluter_specs]
+    return PollutionPipeline(polluters, name=spec.get("name", "pipeline"))

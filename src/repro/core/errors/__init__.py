@@ -1,0 +1,81 @@
+"""Error functions — the ``e`` in a polluter ``<e, c, A_p>``.
+
+An error function ``e : dom(A) x 2^A x T -> dom(A)`` transforms a tuple
+given target attributes and the event time (paper §2.2). The catalogue
+mirrors Figure 3:
+
+* **static** errors (event-time independent):
+  :mod:`~repro.core.errors.static_numeric` (noise, scaling, precision, unit
+  change, outliers, ...), :mod:`~repro.core.errors.static_string` (typos,
+  incorrect category, casing, ...), :mod:`~repro.core.errors.missing`
+  (nulls, NaNs, defaults);
+* **native temporal** errors (temporal by definition):
+  :mod:`~repro.core.errors.native_temporal` (delayed tuple, frozen value,
+  timestamp error, dropped/duplicated tuple);
+* **derived temporal** errors (static error x change pattern):
+  :mod:`~repro.core.errors.derived`;
+* **stateful** errors keyed on stream history (the paper's future-work
+  direction, implemented here as an extension):
+  :mod:`~repro.core.errors.stateful`.
+"""
+
+from repro.core.errors.base import ErrorFunction
+from repro.core.errors.derived import DerivedTemporalError, RampedMultiplicativeNoise
+from repro.core.errors.missing import SetToConstant, SetToDefault, SetToNaN, SetToNull
+from repro.core.errors.native_temporal import (
+    DelayTuple,
+    DropTuple,
+    DuplicateTuple,
+    FrozenValue,
+    TimestampJitter,
+)
+from repro.core.errors.static_numeric import (
+    GaussianNoise,
+    Offset,
+    OutlierSpike,
+    RoundToPrecision,
+    ScaleByFactor,
+    SignFlip,
+    SwapAttributes,
+    UniformNoise,
+    UnitConversion,
+)
+from repro.core.errors.static_string import (
+    CaseError,
+    IncorrectCategory,
+    Truncate,
+    Typo,
+    WhitespacePadding,
+)
+from repro.core.errors.stateful import CumulativeDrift, SwapWithPrevious
+
+__all__ = [
+    "CaseError",
+    "CumulativeDrift",
+    "DelayTuple",
+    "DerivedTemporalError",
+    "DropTuple",
+    "DuplicateTuple",
+    "ErrorFunction",
+    "FrozenValue",
+    "GaussianNoise",
+    "IncorrectCategory",
+    "Offset",
+    "OutlierSpike",
+    "RampedMultiplicativeNoise",
+    "RoundToPrecision",
+    "ScaleByFactor",
+    "SetToConstant",
+    "SetToDefault",
+    "SetToNaN",
+    "SetToNull",
+    "SignFlip",
+    "SwapAttributes",
+    "SwapWithPrevious",
+    "TimestampJitter",
+    "Truncate",
+    "Typo",
+    "UniformNoise",
+    "UnitConversion",
+    "WhitespacePadding",
+]

@@ -1,0 +1,97 @@
+"""Error function base class and application contract.
+
+An error function receives the record (already copied by the pipeline — it
+may mutate freely), the target attribute names ``A_p``, the event time
+``tau``, and an *intensity* in ``[0, 1]`` supplied by derived temporal
+errors (1.0 for plain static application). It returns:
+
+* the (mutated) record — the common case;
+* ``None`` — the tuple is dropped from the polluted stream
+  (:class:`~repro.core.errors.native_temporal.DropTuple`);
+* a list of records — the tuple fans out
+  (:class:`~repro.core.errors.native_temporal.DuplicateTuple`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+
+#: What an error function may return.
+ErrorOutput = Record | list[Record] | None
+
+
+class ErrorFunction:
+    """Base class for error functions."""
+
+    #: True if the function draws random numbers (needs a bound generator).
+    stochastic: bool = False
+    #: True for errors that are temporal by definition (Fig. 3, "native").
+    native_temporal: bool = False
+
+    def __init__(self) -> None:
+        self._rng: np.random.Generator | None = None
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ErrorFunctionError(
+                f"{type(self).__name__} is stochastic but has no bound RNG; "
+                "attach the polluter to a pipeline (or call bind_rng) first"
+            )
+        return self._rng
+
+    def apply(
+        self,
+        record: Record,
+        attributes: Sequence[str],
+        tau: int,
+        intensity: float = 1.0,
+    ) -> ErrorOutput:
+        """Transform ``record`` in place (and return it), drop it, or fan out."""
+        raise NotImplementedError
+
+    def target_attributes(self, attributes: Sequence[str]) -> tuple[str, ...]:
+        """The attributes this function actually writes, for ground-truth logs.
+
+        Defaults to the polluter's ``A_p``; timestamp errors configured with
+        an explicit timestamp attribute override this so the pollution log
+        captures the rewritten timestamp even when ``A_p`` is empty.
+        """
+        return tuple(attributes)
+
+    def reset(self) -> None:
+        """Clear any per-stream state (frozen-value memory etc.).
+
+        Called by the runner before each pollution run so an error-function
+        instance can be reused across repetitions.
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def require_numeric(record: Record, attribute: str) -> float | None:
+    """Fetch a numeric attribute value, or None if missing/NaN.
+
+    Numeric error functions skip attributes that are currently null — a
+    polluter cannot meaningfully scale a missing measurement. Raises for
+    non-numeric types, which indicates a mis-targeted ``A_p``.
+    """
+    value = record.get(attribute)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ErrorFunctionError(
+            f"attribute {attribute!r} holds non-numeric value {value!r}"
+        )
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return float(value)

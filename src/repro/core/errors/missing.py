@@ -1,0 +1,83 @@
+"""Missing-value and constant-replacement error functions.
+
+"Missing Value" is one of Figure 3's canonical static error examples;
+Experiment 3.1.1 injects nulls into the wearable stream's ``Distance``
+attribute, and the software-update scenario sets ``BPM`` to 0 and to null.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.core.errors.base import ErrorFunction, ErrorOutput
+from repro.streaming.record import Record
+
+
+class SetToNull(ErrorFunction):
+    """Replaces the value with ``None`` (a missing value)."""
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            record[name] = None
+        return record
+
+    def describe(self) -> str:
+        return "set_null"
+
+
+class SetToNaN(ErrorFunction):
+    """Replaces the value with ``float('nan')``.
+
+    Distinct from :class:`SetToNull`: a NaN is a *present but unusable*
+    float, which some DQ tools and models treat differently from absence.
+    """
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            record[name] = math.nan
+        return record
+
+    def describe(self) -> str:
+        return "set_nan"
+
+
+class SetToConstant(ErrorFunction):
+    """Replaces the value with a fixed constant.
+
+    The software-update scenario's first BPM polluter is
+    ``SetToConstant(0)`` — a disguised missing value that null checks miss.
+    """
+
+    def __init__(self, value: Any) -> None:
+        super().__init__()
+        self.value = value
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            record[name] = self.value
+        return record
+
+    def describe(self) -> str:
+        return f"set_constant({self.value!r})"
+
+
+class SetToDefault(ErrorFunction):
+    """Replaces the value with a per-attribute default.
+
+    Models systems that silently substitute configured defaults when a
+    reading is unavailable — each attribute can carry its own default.
+    """
+
+    def __init__(self, defaults: dict[str, Any]) -> None:
+        super().__init__()
+        self.defaults = dict(defaults)
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            if name in self.defaults:
+                record[name] = self.defaults[name]
+        return record
+
+    def describe(self) -> str:
+        return f"set_default({self.defaults!r})"

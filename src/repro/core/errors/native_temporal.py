@@ -1,0 +1,187 @@
+"""Native temporal error functions — temporal by definition (Fig. 3).
+
+* :class:`DelayTuple` — shifts the tuple's *timestamp attribute* forward,
+  simulating late arrival (e.g. a bad network connection, §3.1.3). The
+  replicated event time ``tau`` is untouched, so pollution conditions keep
+  seeing the true time; the output stream, sorted by the polluted
+  timestamp, shows the tuple out of its original position.
+* :class:`FrozenValue` — repeats the last observed value ("stuck-at"
+  sensor); keeps per-attribute memory across tuples.
+* :class:`TimestampJitter` — perturbs the timestamp by bounded random
+  jitter (clock skew / sync errors).
+* :class:`DropTuple` — removes the tuple from the stream entirely.
+* :class:`DuplicateTuple` — re-emits the tuple ``n`` extra times, optionally
+  spacing the copies by a timestamp step (retransmission artifacts; merged
+  sub-streams turn these into fuzzy duplicates).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors.base import ErrorFunction, ErrorOutput
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+from repro.streaming.time import Duration
+
+
+class DelayTuple(ErrorFunction):
+    """Delays a tuple by rewriting its timestamp attribute.
+
+    Parameters
+    ----------
+    delay:
+        How far the tuple arrives late. §3.1.3 uses one hour.
+    timestamp_attribute:
+        Which attribute carries the output timestamp; the pollution runner
+        fills this in from the schema if left ``None``.
+    """
+
+    native_temporal = True
+
+    def __init__(self, delay: Duration, timestamp_attribute: str | None = None) -> None:
+        super().__init__()
+        if delay.seconds <= 0:
+            raise ErrorFunctionError("delay must be positive")
+        self.delay = delay
+        self.timestamp_attribute = timestamp_attribute
+
+    def _ts_attr(self, attributes: Sequence[str]) -> str:
+        if self.timestamp_attribute is not None:
+            return self.timestamp_attribute
+        if len(attributes) != 1:
+            raise ErrorFunctionError(
+                "DelayTuple needs an explicit timestamp_attribute when A_p "
+                f"is not a single attribute (got {list(attributes)})"
+            )
+        return attributes[0]
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        name = self._ts_attr(attributes)
+        current = record.get(name)
+        if current is None:
+            return record
+        record[name] = int(current) + int(self.delay.seconds * intensity)
+        return record
+
+    def target_attributes(self, attributes: Sequence[str]) -> tuple[str, ...]:
+        if self.timestamp_attribute is not None:
+            return (self.timestamp_attribute,)
+        return tuple(attributes)
+
+    def describe(self) -> str:
+        return f"delay({self.delay.seconds}s)"
+
+
+class FrozenValue(ErrorFunction):
+    """Repeats the last seen value per attribute (a stuck sensor).
+
+    On the first tuple it fires for, there is no history yet, so the value
+    freezes *from then on*: the current value is recorded and subsequent
+    firings replay it. Call :meth:`reset` (the runner does) between runs.
+
+    When used inside a keyed/partitioned scenario, instantiate one polluter
+    per sub-stream — memory is per instance, matching the per-sub-pipeline
+    error independence of §2.2.2.
+    """
+
+    native_temporal = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._memory: dict[str, object] = {}
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            if name in self._memory:
+                record[name] = self._memory[name]
+            else:
+                self._memory[name] = record.get(name)
+        return record
+
+    def reset(self) -> None:
+        self._memory = {}
+
+    def describe(self) -> str:
+        return "frozen_value"
+
+
+class TimestampJitter(ErrorFunction):
+    """Adds uniform jitter in ``[-max_jitter, +max_jitter]`` to the timestamp.
+
+    Fig. 3's "Timestamp Error": clocks drift both ways, unlike
+    :class:`DelayTuple` which only moves forward.
+    """
+
+    native_temporal = True
+    stochastic = True
+
+    def __init__(self, max_jitter: Duration, timestamp_attribute: str | None = None) -> None:
+        super().__init__()
+        if max_jitter.seconds <= 0:
+            raise ErrorFunctionError("max_jitter must be positive")
+        self.max_jitter = max_jitter
+        self.timestamp_attribute = timestamp_attribute
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        name = self.timestamp_attribute or attributes[0]
+        current = record.get(name)
+        if current is None:
+            return record
+        bound = int(self.max_jitter.seconds * intensity)
+        jitter = int(self.rng.integers(-bound, bound + 1))
+        record[name] = int(current) + jitter
+        return record
+
+    def target_attributes(self, attributes: Sequence[str]) -> tuple[str, ...]:
+        if self.timestamp_attribute is not None:
+            return (self.timestamp_attribute,)
+        return tuple(attributes)
+
+    def describe(self) -> str:
+        return f"timestamp_jitter(±{self.max_jitter.seconds}s)"
+
+
+class DropTuple(ErrorFunction):
+    """Removes the tuple from the polluted stream (message loss)."""
+
+    native_temporal = True
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        return None
+
+    def describe(self) -> str:
+        return "drop"
+
+
+class DuplicateTuple(ErrorFunction):
+    """Emits ``copies`` extra copies of the tuple.
+
+    Each copy's timestamp is advanced by ``spacing`` (0 = exact duplicates).
+    All copies keep the original ``record_id``, so ground-truth matching
+    identifies them as duplicates of one clean tuple.
+    """
+
+    native_temporal = True
+
+    def __init__(self, copies: int = 1, spacing: Duration | None = None,
+                 timestamp_attribute: str | None = None) -> None:
+        super().__init__()
+        if copies < 1:
+            raise ErrorFunctionError(f"copies must be >= 1, got {copies}")
+        self.copies = copies
+        self.spacing = spacing or Duration.of_seconds(0)
+        self.timestamp_attribute = timestamp_attribute
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        out = [record]
+        ts_attr = self.timestamp_attribute
+        for i in range(1, self.copies + 1):
+            dup = record.copy()
+            if ts_attr is not None and self.spacing.seconds and dup.get(ts_attr) is not None:
+                dup[ts_attr] = int(dup[ts_attr]) + i * self.spacing.seconds
+            out.append(dup)
+        return out
+
+    def describe(self) -> str:
+        return f"duplicate(copies={self.copies}, spacing={self.spacing.seconds}s)"

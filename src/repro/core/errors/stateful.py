@@ -1,0 +1,86 @@
+"""History-dependent error functions (the paper's future-work extension).
+
+§5 item (1): "modeling more sophisticated dependency patterns requires
+knowledge about the data stream's history and modeling of arbitrary
+relationships between past events. To address this, we plan to extend our
+model to incorporate time-dependent states of the data stream."
+
+These error functions carry explicit state across tuples — beyond
+:class:`~repro.core.errors.native_temporal.FrozenValue`'s single-value
+memory — implementing that planned extension:
+
+* :class:`CumulativeDrift` — sensor drift that accumulates per firing (a
+  calibration error that worsens with use);
+* :class:`SwapWithPrevious` — swaps the target value with the previous
+  tuple's value (an inter-tuple dependency: two adjacent tuples are wrong
+  *together*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors.base import ErrorFunction, ErrorOutput, require_numeric
+from repro.core.errors.static_numeric import _preserve_int
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+
+
+class CumulativeDrift(ErrorFunction):
+    """Adds a bias that grows by ``step`` every time the error fires.
+
+    The first firing adds ``step``, the second ``2 * step``, and so on —
+    the classic picture of a sensor drifting further out of calibration
+    with every reading. ``intensity`` scales the per-firing step.
+    """
+
+    def __init__(self, step: float) -> None:
+        super().__init__()
+        if step == 0:
+            raise ErrorFunctionError("drift step must be non-zero")
+        self.step = step
+        self._accumulated: dict[str, float] = {}
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            self._accumulated[name] = self._accumulated.get(name, 0.0) + self.step * intensity
+            record[name] = _preserve_int(record[name], value + self._accumulated[name])
+        return record
+
+    def reset(self) -> None:
+        self._accumulated = {}
+
+    def describe(self) -> str:
+        return f"cumulative_drift(step={self.step})"
+
+
+class SwapWithPrevious(ErrorFunction):
+    """Swaps the target value with the value of the previous firing tuple.
+
+    The first firing has no predecessor, so it only *stores* its value and
+    leaves the tuple clean; every later firing receives the stored value and
+    stores its own. This creates pairs of tuples whose errors depend on each
+    other — the inter-tuple dependency pattern of the motivating example
+    (Fig. 1), where errors propagate between related measurements.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._previous: dict[str, object] = {}
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            current = record.get(name)
+            if name in self._previous:
+                record[name] = self._previous[name]
+            self._previous[name] = current
+        return record
+
+    def reset(self) -> None:
+        self._previous = {}
+
+    def describe(self) -> str:
+        return "swap_with_previous"

@@ -1,0 +1,289 @@
+"""Static numeric error functions.
+
+These model the "Static Error Types" column of Figure 3 for numeric
+attributes: Gaussian noise, scaling by a factor, offsets, precision loss,
+unit conversions, outlier spikes, and sign flips. All accept an
+``intensity`` in ``[0, 1]`` that derived temporal errors use to modulate
+magnitude over time; at ``intensity=1.0`` they behave statically.
+
+Integer-typed attributes keep integer values where the transformation
+allows it (scaling an INT by 100 stays an INT); noise on an INT rounds to
+the nearest integer, matching what a miscalibrated integer sensor emits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors.base import ErrorFunction, ErrorOutput, require_numeric
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+
+
+def _preserve_int(original: object, new_value: float) -> float | int:
+    """Keep INT attributes integral when the clean value was an int."""
+    if isinstance(original, int) and not isinstance(original, bool):
+        return round(new_value)
+    return new_value
+
+
+class GaussianNoise(ErrorFunction):
+    """Adds zero-mean Gaussian noise with standard deviation ``sigma``.
+
+    ``intensity`` scales ``sigma`` linearly, so a derived temporal wrapper
+    produces noise that grows (or follows any pattern) over time.
+    """
+
+    stochastic = True
+
+    def __init__(self, sigma: float) -> None:
+        super().__init__()
+        if sigma <= 0:
+            raise ErrorFunctionError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            noise = self.rng.normal(0.0, self.sigma * intensity)
+            record[name] = _preserve_int(record[name], value + noise)
+        return record
+
+    def describe(self) -> str:
+        return f"gaussian_noise(sigma={self.sigma})"
+
+
+class UniformNoise(ErrorFunction):
+    """Noise drawn from ``U(low, high)``, additive or multiplicative.
+
+    In multiplicative mode the drawn factor ``u`` perturbs the value as
+    ``value * (1 + u)`` — set ``signed=True`` to flip the direction of the
+    perturbation on a fair coin toss, the construction of Experiment 3.2.1's
+    noise scenario.
+    """
+
+    stochastic = True
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        multiplicative: bool = False,
+        signed: bool = False,
+    ) -> None:
+        super().__init__()
+        if high < low:
+            raise ErrorFunctionError(f"need low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.multiplicative = multiplicative
+        self.signed = signed
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            u = self.rng.uniform(self.low, self.high) * intensity
+            if self.signed and self.rng.random() < 0.5:
+                u = -u
+            new = value * (1.0 + u) if self.multiplicative else value + u
+            record[name] = _preserve_int(record[name], new)
+        return record
+
+    def describe(self) -> str:
+        mode = "multiplicative" if self.multiplicative else "additive"
+        return f"uniform_noise([{self.low},{self.high}], {mode}, signed={self.signed})"
+
+
+class ScaleByFactor(ErrorFunction):
+    """Multiplies values by a constant factor (Fig. 3, "Scaled by Factor").
+
+    Experiment 3.2.1's scale scenario uses ``factor = 0.125``. With
+    ``intensity < 1`` the factor interpolates toward identity:
+    ``effective = 1 + intensity * (factor - 1)``.
+    """
+
+    def __init__(self, factor: float) -> None:
+        super().__init__()
+        self.factor = factor
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        effective = 1.0 + intensity * (self.factor - 1.0)
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            record[name] = _preserve_int(record[name], value * effective)
+        return record
+
+    def describe(self) -> str:
+        return f"scale(factor={self.factor})"
+
+
+class UnitConversion(ScaleByFactor):
+    """A unit change, e.g. km -> cm (factor 100 000).
+
+    Semantically distinct from :class:`ScaleByFactor` — the value is now in
+    the *wrong unit*, not merely wrong — which matters for ground-truth
+    labeling; mechanically identical. The software-update scenario converts
+    the ``Distance`` attribute from km to cm.
+    """
+
+    KNOWN = {
+        ("km", "m"): 1_000.0,
+        ("km", "cm"): 100_000.0,
+        ("m", "cm"): 100.0,
+        ("m", "km"): 0.001,
+        ("cm", "m"): 0.01,
+        ("cm", "km"): 0.000_01,
+        ("h", "min"): 60.0,
+        ("min", "s"): 60.0,
+        ("h", "s"): 3_600.0,
+        ("kg", "g"): 1_000.0,
+        ("g", "kg"): 0.001,
+        ("celsius", "fahrenheit"): None,  # affine, handled specially
+    }
+
+    def __init__(self, from_unit: str, to_unit: str) -> None:
+        key = (from_unit.lower(), to_unit.lower())
+        self._affine_c2f = key == ("celsius", "fahrenheit")
+        if self._affine_c2f:
+            factor = 1.8
+        else:
+            if key not in self.KNOWN:
+                raise ErrorFunctionError(
+                    f"unknown unit conversion {from_unit!r} -> {to_unit!r}; "
+                    f"known pairs: {sorted(self.KNOWN)}"
+                )
+            factor = self.KNOWN[key]  # type: ignore[assignment]
+        super().__init__(factor)
+        self.from_unit = from_unit
+        self.to_unit = to_unit
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        record = super().apply(record, attributes, tau, intensity)  # type: ignore[assignment]
+        if self._affine_c2f:
+            for name in attributes:
+                value = require_numeric(record, name)
+                if value is not None:
+                    record[name] = _preserve_int(record[name], value + 32.0 * intensity)
+        return record
+
+    def describe(self) -> str:
+        return f"unit_conversion({self.from_unit}->{self.to_unit})"
+
+
+class Offset(ErrorFunction):
+    """Adds a constant offset (systematic sensor bias)."""
+
+    def __init__(self, delta: float) -> None:
+        super().__init__()
+        self.delta = delta
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            record[name] = _preserve_int(record[name], value + self.delta * intensity)
+        return record
+
+    def describe(self) -> str:
+        return f"offset(delta={self.delta})"
+
+
+class RoundToPrecision(ErrorFunction):
+    """Rounds to ``digits`` decimal places (precision loss).
+
+    The software-update scenario rounds ``CaloriesBurned`` to precision 2.
+    Negative ``digits`` round to tens/hundreds (e.g. ``-2`` -> nearest 100).
+    """
+
+    def __init__(self, digits: int) -> None:
+        super().__init__()
+        self.digits = int(digits)
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            record[name] = _preserve_int(record[name], round(value, self.digits))
+        return record
+
+    def describe(self) -> str:
+        return f"round(digits={self.digits})"
+
+
+class OutlierSpike(ErrorFunction):
+    """Replaces the value by an extreme outlier ``value ± k * scale``.
+
+    ``scale`` defaults to the value's own magnitude (relative spike). With
+    ``signed=True`` (default), the spike direction is random.
+    """
+
+    stochastic = True
+
+    def __init__(self, k: float = 10.0, scale: float | None = None, signed: bool = True) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ErrorFunctionError(f"k must be positive, got {k}")
+        self.k = k
+        self.scale = scale
+        self.signed = signed
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            base = self.scale if self.scale is not None else max(abs(value), 1.0)
+            spike = self.k * base * intensity
+            if self.signed and self.rng.random() < 0.5:
+                spike = -spike
+            record[name] = _preserve_int(record[name], value + spike)
+        return record
+
+    def describe(self) -> str:
+        return f"outlier(k={self.k}, scale={self.scale})"
+
+
+class SignFlip(ErrorFunction):
+    """Negates the value (wiring/parsing errors that invert a sign)."""
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = require_numeric(record, name)
+            if value is None:
+                continue
+            record[name] = _preserve_int(record[name], -value)
+        return record
+
+    def describe(self) -> str:
+        return "sign_flip"
+
+
+class SwapAttributes(ErrorFunction):
+    """Swaps the values of two attributes within the tuple.
+
+    The classic mapping/ETL error (BART's attribute-swap): a height lands
+    in the weight column and vice versa. ``A_p`` must name exactly two
+    attributes; types are not checked — a swap that violates the schema is
+    precisely the kind of dirtiness type-checking DQ rules should catch.
+    """
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        if len(attributes) != 2:
+            raise ErrorFunctionError(
+                f"swap_attributes needs exactly two target attributes, "
+                f"got {list(attributes)}"
+            )
+        a, b = attributes
+        record[a], record[b] = record.get(b), record.get(a)
+        return record
+
+    def describe(self) -> str:
+        return "swap_attributes"

@@ -1,0 +1,182 @@
+"""Static string/category error functions.
+
+Cover Figure 3's "Incorrect Category" example plus the classic
+string-corruption repertoire of static polluters (BART, GouDa, Jenga):
+typos, case errors, truncation, and whitespace padding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors.base import ErrorFunction, ErrorOutput
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+
+
+def _require_string(record: Record, attribute: str) -> str | None:
+    value = record.get(attribute)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ErrorFunctionError(
+            f"attribute {attribute!r} holds non-string value {value!r}"
+        )
+    return value
+
+
+class IncorrectCategory(ErrorFunction):
+    """Replaces a categorical value with a *different* one from the domain.
+
+    The replacement is drawn uniformly from the domain minus the current
+    value, so the result is always an actual error (never a no-op), matching
+    Fig. 3's "Incorrect Category".
+    """
+
+    stochastic = True
+
+    def __init__(self, domain: Sequence[str]) -> None:
+        super().__init__()
+        if len(set(domain)) < 2:
+            raise ErrorFunctionError(
+                "incorrect-category needs a domain with >= 2 distinct values"
+            )
+        self.domain = tuple(dict.fromkeys(domain))  # dedupe, keep order
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = _require_string(record, name)
+            if value is None:
+                continue
+            candidates = [c for c in self.domain if c != value]
+            record[name] = candidates[int(self.rng.integers(len(candidates)))]
+        return record
+
+    def describe(self) -> str:
+        return f"incorrect_category(domain={list(self.domain)})"
+
+
+class Typo(ErrorFunction):
+    """Injects keyboard-style typos: swap, delete, insert, or replace a char.
+
+    ``n_errors`` independent edits are applied; ``intensity`` scales the
+    edit count (ceil), so a derived temporal typo error corrupts more
+    heavily over time.
+    """
+
+    stochastic = True
+    _ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+    def __init__(self, n_errors: int = 1) -> None:
+        super().__init__()
+        if n_errors < 1:
+            raise ErrorFunctionError(f"n_errors must be >= 1, got {n_errors}")
+        self.n_errors = n_errors
+
+    def _one_edit(self, text: str) -> str:
+        if not text:
+            return text
+        kind = int(self.rng.integers(4))
+        pos = int(self.rng.integers(len(text)))
+        if kind == 0 and len(text) >= 2:  # swap adjacent
+            pos = min(pos, len(text) - 2)
+            return text[:pos] + text[pos + 1] + text[pos] + text[pos + 2:]
+        if kind == 1 and len(text) >= 2:  # delete
+            return text[:pos] + text[pos + 1:]
+        if kind == 2:  # insert
+            ch = self._ALPHABET[int(self.rng.integers(len(self._ALPHABET)))]
+            return text[:pos] + ch + text[pos:]
+        ch = self._ALPHABET[int(self.rng.integers(len(self._ALPHABET)))]  # replace
+        return text[:pos] + ch + text[pos + 1:]
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        edits = max(1, round(self.n_errors * intensity))
+        for name in attributes:
+            value = _require_string(record, name)
+            if value is None:
+                continue
+            for _ in range(edits):
+                value = self._one_edit(value)
+            record[name] = value
+        return record
+
+    def describe(self) -> str:
+        return f"typo(n={self.n_errors})"
+
+
+class CaseError(ErrorFunction):
+    """Corrupts letter casing: upper, lower, or random per character."""
+
+    stochastic = True
+
+    def __init__(self, mode: str = "random") -> None:
+        super().__init__()
+        if mode not in ("upper", "lower", "random"):
+            raise ErrorFunctionError(f"mode must be upper/lower/random, got {mode!r}")
+        self.mode = mode
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = _require_string(record, name)
+            if value is None:
+                continue
+            if self.mode == "upper":
+                record[name] = value.upper()
+            elif self.mode == "lower":
+                record[name] = value.lower()
+            else:
+                record[name] = "".join(
+                    c.upper() if self.rng.random() < 0.5 else c.lower() for c in value
+                )
+        return record
+
+    def describe(self) -> str:
+        return f"case({self.mode})"
+
+
+class Truncate(ErrorFunction):
+    """Keeps only the first ``keep`` characters (field-length overflow)."""
+
+    def __init__(self, keep: int) -> None:
+        super().__init__()
+        if keep < 0:
+            raise ErrorFunctionError(f"keep must be >= 0, got {keep}")
+        self.keep = keep
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = _require_string(record, name)
+            if value is None:
+                continue
+            record[name] = value[: self.keep]
+        return record
+
+    def describe(self) -> str:
+        return f"truncate(keep={self.keep})"
+
+
+class WhitespacePadding(ErrorFunction):
+    """Adds leading/trailing whitespace (a classic export artifact)."""
+
+    stochastic = True
+
+    def __init__(self, max_spaces: int = 3) -> None:
+        super().__init__()
+        if max_spaces < 1:
+            raise ErrorFunctionError(f"max_spaces must be >= 1, got {max_spaces}")
+        self.max_spaces = max_spaces
+
+    def apply(self, record: Record, attributes: Sequence[str], tau: int, intensity: float = 1.0) -> ErrorOutput:
+        for name in attributes:
+            value = _require_string(record, name)
+            if value is None:
+                continue
+            left = int(self.rng.integers(self.max_spaces + 1))
+            right = int(self.rng.integers(self.max_spaces + 1))
+            if left == 0 and right == 0:
+                left = 1
+            record[name] = " " * left + value + " " * right
+        return record
+
+    def describe(self) -> str:
+        return f"whitespace(max={self.max_spaces})"

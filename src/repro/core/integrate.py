@@ -1,0 +1,92 @@
+"""Step 3 of Algorithm 1: integrate and output pipeline results.
+
+Line 10 unions the ``m`` polluted sub-streams — each tuple keeps its ID and
+gains its sub-stream identifier, while the replicated event time ``tau`` is
+conceptually dropped (we retain it on the record's metadata for ground-truth
+tooling; serialization sinks never write it). Line 11 sorts the union by the
+(possibly polluted) timestamp, which is what turns a rewritten timestamp
+into an actually *out-of-position* tuple downstream.
+
+The sort is stable with a deterministic tie-break (timestamp, then original
+event time, then record id, then sub-stream), so integration output is fully
+reproducible. Complexity is the paper's O(n*m*log(n*m)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import PollutionError
+from repro.streaming.operators import Collector, ProcessFunction, ProcessContext
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.watermarks import Watermark
+
+
+def sort_by_timestamp(records: Iterable[Record], schema: Schema) -> list[Record]:
+    """Order records by their (possibly polluted) timestamp attribute.
+
+    Tuples whose timestamp was polluted to ``None`` sort to the stream's
+    end — they have no defined position, and placing them last keeps them
+    discoverable rather than silently interleaved.
+    """
+    ts_attr = schema.timestamp_attribute
+
+    def key(r: Record):
+        ts = r.get(ts_attr)
+        return (
+            ts is None,
+            ts if ts is not None else 0,
+            r.event_time if r.event_time is not None else 0,
+            r.record_id if r.record_id is not None else 0,
+            r.substream if r.substream is not None else 0,
+        )
+
+    return sorted(records, key=key)
+
+
+def integrate(substreams: Sequence[list[Record]], schema: Schema) -> list[Record]:
+    """Union ``m`` polluted sub-streams and sort by timestamp (lines 10-11)."""
+    if not substreams:
+        raise PollutionError("integration needs at least one sub-stream")
+    merged: list[Record] = []
+    for index, records in enumerate(substreams):
+        for record in records:
+            if record.substream is None:
+                record.substream = index
+            merged.append(record)
+    return sort_by_timestamp(merged, schema)
+
+
+class EventTimeSorter(ProcessFunction):
+    """Streaming re-sorter: buffers records, emits them in timestamp order.
+
+    The streaming-engine equivalent of line 11 for unbounded execution:
+    records are held until the watermark passes their (polluted) timestamp,
+    then released in order. With the end-of-stream watermark this flushes
+    everything, so bounded runs produce exactly ``sort_by_timestamp``'s
+    output.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._buffer: list[Record] = []
+        self._emitted_up_to: int | None = None
+
+    def process(self, record: Record, ctx: ProcessContext, out: Collector) -> None:
+        self._buffer.append(record)
+
+    def on_watermark(self, watermark: Watermark, out: Collector) -> None:
+        ts_attr = self._schema.timestamp_attribute
+        ready = [
+            r for r in self._buffer
+            if r.get(ts_attr) is not None and r.get(ts_attr) <= watermark.timestamp
+        ]
+        if watermark.timestamp >= Watermark.max().timestamp:
+            ready = list(self._buffer)
+        if not ready:
+            return
+        ready_ids = {id(r) for r in ready}
+        self._buffer = [r for r in self._buffer if id(r) not in ready_ids]
+        for record in sort_by_timestamp(ready, self._schema):
+            out.collect(record)

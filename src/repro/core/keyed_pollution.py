@@ -1,0 +1,140 @@
+"""Keyed pollution: per-partition pipelines with isolated state (§5, items 1-2).
+
+The paper's future work plans to "leverage Flink's keyed process functions
+... as they enable the computation of (current and past) states of the data
+stream across individual computing nodes". This module implements that
+extension on the reproduction's substrate:
+
+* :class:`KeyedPollutionProcessFunction` — a keyed operator that runs one
+  pollution pipeline *per key* (e.g. per sensor/station). Stateful error
+  functions (frozen values, cumulative drift, swaps) are instantiated per
+  key through a pipeline factory, so sensor A freezing never contaminates
+  sensor B's memory — the property that makes stateful pollution correct
+  under partitioning.
+* :func:`pollute_keyed` — Algorithm 1 with key-partitioned pollution: one
+  logical multiplexed stream in, per-key pipelines applied, merged output
+  sorted by timestamp.
+
+Determinism: the per-key pipelines draw from named streams keyed by
+``pipeline-name/key/polluter-name``, so adding a key (a new sensor) never
+perturbs existing keys' randomness — the keyed analogue of the seeding
+design decision in :mod:`repro.core.rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.core.integrate import sort_by_timestamp
+from repro.core.log import PollutionLog
+from repro.core.pipeline import PollutionPipeline
+from repro.core.prepare import IdGenerator, prepare_stream
+from repro.core.rng import RandomSource
+from repro.errors import PollutionError
+from repro.streaming.keyed import (
+    KeyedContext,
+    KeyedProcessFunction,
+    StateStore,
+    TimerService,
+)
+from repro.streaming.operators import Collector
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+PipelineFactory = Callable[[Hashable], PollutionPipeline]
+KeySelector = Callable[[Record], Hashable]
+
+
+class KeyedPollutionProcessFunction(KeyedProcessFunction):
+    """Runs a per-key pollution pipeline inside a keyed stream operator.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        Builds the pipeline for a key on first encounter. Factories must
+        return *fresh* polluter objects per call (stateful error functions
+        hold per-key memory).
+    random_source:
+        The run's seed source; each key's pipeline binds to child streams
+        scoped by the key.
+    log:
+        Optional shared pollution log (events carry record ids, so per-key
+        attribution joins through the clean stream).
+    """
+
+    def __init__(
+        self,
+        pipeline_factory: PipelineFactory,
+        random_source: RandomSource,
+        log: PollutionLog | None = None,
+    ) -> None:
+        self._factory = pipeline_factory
+        self._source = random_source
+        self._log = log
+        self._pipelines: dict[Hashable, PollutionPipeline] = {}
+
+    def _pipeline_for(self, key: Hashable) -> PollutionPipeline:
+        if key not in self._pipelines:
+            pipeline = self._factory(key)
+            # Scope the pipeline's named streams by the key so per-key
+            # randomness is independent and stable under key additions.
+            pipeline.name = f"{pipeline.name}/key={key!r}"
+            pipeline.bind(self._source)
+            pipeline.reset()
+            self._pipelines[key] = pipeline
+        return self._pipelines[key]
+
+    def process(self, record: Record, ctx: KeyedContext, out: Collector) -> None:
+        tau = record.event_time
+        if tau is None:
+            raise PollutionError("keyed pollution received an unprepared record")
+        pipeline = self._pipeline_for(ctx.current_key)
+        for result in pipeline.apply(record, tau, self._log):
+            out.collect(result)
+
+    @property
+    def keys_seen(self) -> list[Hashable]:
+        return list(self._pipelines)
+
+
+def pollute_keyed(
+    data: Sequence[Mapping[str, Any] | Record],
+    key_selector: KeySelector,
+    pipeline_factory: PipelineFactory,
+    schema: Schema,
+    seed: int | None = None,
+    log: bool = True,
+):
+    """Algorithm 1 with key-partitioned pollution.
+
+    Returns a :class:`~repro.core.runner.PollutionResult`; the polluted
+    stream interleaves all keys, sorted by the (possibly polluted)
+    timestamp, exactly like the unkeyed runner's integration step.
+    """
+    from repro.core.runner import PollutionResult
+    from repro.streaming.source import CollectionSource
+
+    source = CollectionSource(schema, data, validate=False)
+    random_source = RandomSource(seed)
+    pollution_log = PollutionLog() if log else None
+
+    operator = KeyedPollutionProcessFunction(
+        pipeline_factory, random_source, pollution_log
+    )
+    clean: list[Record] = []
+    polluted: list[Record] = []
+    collector = Collector(polluted.append)
+    ctx = KeyedContext(StateStore(), TimerService())
+    for record in prepare_stream(source, schema, IdGenerator()):
+        clean.append(record)
+        work = record.copy()
+        ctx.current_key = key_selector(work)
+        ctx.event_time = work.event_time
+        operator.process(work, ctx, collector)
+    return PollutionResult(
+        clean=clean,
+        polluted=sort_by_timestamp(polluted, schema),
+        log=pollution_log if pollution_log is not None else PollutionLog(),
+        schema=schema,
+        seed=seed,
+    )

@@ -1,0 +1,113 @@
+"""Pollution pipelines (§2.2.1).
+
+"A pollution pipeline P is a sequence of o polluters p1, p2, ..., po. The
+pipeline applied to an input tuple t results in an output tuple
+t' = P(t, tau) = po(po-1(... p1(t, tau) ..., tau), tau)."
+
+A pipeline owns the run-scoped concerns: binding every polluter's named
+random streams to the run's :class:`~repro.core.rng.RandomSource`, resetting
+stateful error functions between runs, and fanning tuple multiplicity
+through the chain (a drop terminates the chain for that tuple, a duplicate
+sends every copy through the remaining polluters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.log import PollutionLog
+from repro.core.polluter import Polluter
+from repro.core.rng import RandomSource
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+
+
+class PollutionPipeline:
+    """An ordered sequence of polluters applied tuple-wise."""
+
+    def __init__(self, polluters: Sequence[Polluter], name: str = "pipeline") -> None:
+        if not polluters:
+            raise PollutionError("a pipeline needs at least one polluter")
+        names = [p.name for p in polluters]
+        if len(set(names)) != len(names):
+            raise PollutionError(
+                f"pipeline {name!r}: duplicate polluter names {names}; "
+                "give polluters distinct names for stable seeding"
+            )
+        self.polluters = list(polluters)
+        self.name = name
+        self._bound = False
+
+    def bind(self, source: RandomSource) -> None:
+        """Bind every polluter's random streams for one pollution run."""
+        for polluter in self.polluters:
+            polluter.bind(source, scope=self.name)
+        self._bound = True
+
+    def reset(self) -> None:
+        for polluter in self.polluters:
+            polluter.reset()
+
+    @property
+    def is_bound(self) -> bool:
+        return self._bound
+
+    def __len__(self) -> int:
+        return len(self.polluters)
+
+    def __iter__(self):
+        return iter(self.polluters)
+
+    def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> list[Record]:
+        """Run one tuple through the whole chain.
+
+        Returns the surviving records: usually one, zero if some polluter
+        dropped the tuple, more than one if some polluter duplicated it.
+        """
+        if not self._bound and any(_needs_rng(p) for p in self.polluters):
+            raise PollutionError(
+                f"pipeline {self.name!r} contains stochastic polluters but was "
+                "never bound to a RandomSource; call bind() or use the runner"
+            )
+        records = [record]
+        for polluter in self.polluters:
+            next_records: list[Record] = []
+            for r in records:
+                next_records.extend(polluter.apply(r, tau, log).records)
+            records = next_records
+            if not records:
+                break
+        return records
+
+    def apply_all(
+        self, records: Iterable[Record], log: PollutionLog | None = None
+    ) -> list[Record]:
+        """Apply the pipeline to a prepared record sequence."""
+        out: list[Record] = []
+        for record in records:
+            if record.event_time is None:
+                raise PollutionError(
+                    "record has no event time; run the preparation step first"
+                )
+            out.extend(self.apply(record, record.event_time, log))
+        return out
+
+    def describe(self) -> str:
+        steps = " |> ".join(p.describe() for p in self.polluters)
+        return f"{self.name}: {steps}"
+
+
+def _needs_rng(polluter: Polluter) -> bool:
+    """True if the polluter (or any nested child) is stochastic."""
+    from repro.core.composite import CompositePolluter
+    from repro.core.polluter import StandardPolluter
+
+    if isinstance(polluter, StandardPolluter):
+        return polluter.condition.stochastic or polluter.error.stochastic
+    if isinstance(polluter, CompositePolluter):
+        return (
+            polluter.condition.stochastic
+            or polluter.mode.value == "choose_one"
+            or any(_needs_rng(c) for c in polluter.children)
+        )
+    return True  # unknown subclass: be safe, require binding

@@ -1,0 +1,164 @@
+"""Polluters: the unit of pollution, ``p = <e, c, A_p>`` (paper Eq. 2).
+
+A :class:`StandardPolluter` couples one error function, one condition, and a
+target attribute set; applied to a tuple it either transforms it or passes
+it through. :class:`~repro.core.composite.CompositePolluter` (the second
+polluter kind of §2.2.1) structures pipelines by delegating to registered
+children under a shared condition.
+
+Application contract
+--------------------
+``apply(record, tau, log)`` returns an :class:`Application`: the output
+records (empty if dropped, several if duplicated) and whether the polluter
+*fired*. The fired flag drives composite modes like first-match mutual
+exclusion. The input record is owned by the caller's pipeline and may be
+mutated — the pollution runner copies each clean tuple exactly once before
+the pipeline, so clean data is never aliased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.conditions.base import Condition
+from repro.core.conditions.random import AlwaysCondition
+from repro.core.errors.base import ErrorFunction
+from repro.core.log import PollutionLog
+from repro.core.rng import RandomSource
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+
+
+@dataclass(slots=True)
+class Application:
+    """Result of applying a polluter to one tuple."""
+
+    records: list[Record]
+    fired: bool
+
+
+class Polluter:
+    """Base class for standard and composite polluters."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__
+        self._qualified_name = self.name
+
+    @property
+    def qualified_name(self) -> str:
+        """The pipeline-scoped unique name, set when bound to a pipeline."""
+        return self._qualified_name
+
+    def bind(self, source: RandomSource, scope: str = "") -> None:
+        """Attach named random streams from the run's :class:`RandomSource`.
+
+        ``scope`` is the enclosing pipeline/composite path; the polluter's
+        streams are keyed by ``scope/name`` so every polluter in a run draws
+        from its own reproducible stream (see :mod:`repro.core.rng`).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-run state (stateful error functions, counters)."""
+        raise NotImplementedError
+
+    def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
+        raise NotImplementedError
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        """Marginal probability that this polluter fires on ``record``.
+
+        Used to compute analytic ground-truth error counts (Fig. 4's
+        "expected" series, Table 1's expectation column).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class StandardPolluter(Polluter):
+    """A polluter that actually injects errors: ``<e, c, A_p>``.
+
+    Parameters
+    ----------
+    error:
+        The error function ``e``.
+    attributes:
+        The target attribute set ``A_p``. May be empty only for whole-tuple
+        errors (drop, duplicate, delay with explicit timestamp attribute).
+    condition:
+        The condition ``c``; defaults to firing always.
+    name:
+        Stable name for seeding and logging; defaults to the error's
+        description.
+    """
+
+    def __init__(
+        self,
+        error: ErrorFunction,
+        attributes: Sequence[str] = (),
+        condition: Condition | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or error.describe())
+        self.error = error
+        self.condition = condition or AlwaysCondition()
+        self.attributes = tuple(attributes)
+        if not self.attributes and not error.native_temporal:
+            raise PollutionError(
+                f"polluter {self.name!r}: static error {error.describe()} "
+                "needs at least one target attribute"
+            )
+
+    def bind(self, source: RandomSource, scope: str = "") -> None:
+        self._qualified_name = f"{scope}/{self.name}" if scope else self.name
+        # Streams 0 and 1 keep condition draws independent from error draws.
+        self.condition.bind_rng(source.child(self._qualified_name, stream=0))
+        self.error.bind_rng(source.child(self._qualified_name, stream=1))
+
+    def reset(self) -> None:
+        self.error.reset()
+        self.condition.reset()
+
+    def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
+        if not self.condition.evaluate(record, tau):
+            return Application([record], fired=False)
+        targets = self.error.target_attributes(self.attributes) if log is not None else ()
+        before = {a: record.get(a) for a in targets} if log is not None else None
+        out = self.error.apply(record, self.attributes, tau)
+        if out is None:
+            records: list[Record] = []
+        elif isinstance(out, list):
+            records = out
+        else:
+            records = [out]
+        if log is not None:
+            after = records[0].as_dict() if records else None
+            log.record_event(
+                record=record,
+                polluter=self._qualified_name,
+                error=self.error.describe(),
+                attributes=targets,
+                tau=tau,
+                before=before or {},
+                after={a: after[a] for a in targets if after and a in after}
+                if after is not None
+                else None,
+                emitted=len(records),
+            )
+        return Application(records, fired=True)
+
+    def expected_probability(self, record: Record, tau: int) -> float:
+        return self.condition.expected_probability(record, tau)
+
+    def describe(self) -> str:
+        attrs = ",".join(self.attributes) or "<tuple>"
+        return (
+            f"{self.name}: if {self.condition.describe()} "
+            f"then {self.error.describe()} on [{attrs}]"
+        )

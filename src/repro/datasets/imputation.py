@@ -1,0 +1,60 @@
+"""Missing-value imputation: forward/backward fill.
+
+§3.2.1: "we imputed missing values for each region in the NO2 attribute
+using the forward/backward fill method ffill of Python Pandas." These are
+the equivalents over record lists: forward fill carries the last seen value
+into gaps; backward fill does the reverse; the combined form forward-fills
+first and backward-fills any leading gap — exactly what chained pandas
+``ffill().bfill()`` does.
+
+All functions return new record copies; the input stream is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.quality.dataset import is_missing
+from repro.streaming.record import Record
+
+
+def forward_fill(records: Sequence[Record], attributes: Sequence[str]) -> list[Record]:
+    """Replace missing values with the most recent preceding value."""
+    last: dict[str, object] = {}
+    out = []
+    for record in records:
+        copy = record.copy()
+        for name in attributes:
+            value = copy.get(name)
+            if is_missing(value):
+                if name in last:
+                    copy[name] = last[name]
+            else:
+                last[name] = value
+        out.append(copy)
+    return out
+
+
+def backward_fill(records: Sequence[Record], attributes: Sequence[str]) -> list[Record]:
+    """Replace missing values with the nearest following value."""
+    nxt: dict[str, object] = {}
+    out: list[Record] = []
+    for record in reversed(records):
+        copy = record.copy()
+        for name in attributes:
+            value = copy.get(name)
+            if is_missing(value):
+                if name in nxt:
+                    copy[name] = nxt[name]
+            else:
+                nxt[name] = value
+        out.append(copy)
+    out.reverse()
+    return out
+
+
+def forward_backward_fill(
+    records: Sequence[Record], attributes: Sequence[str]
+) -> list[Record]:
+    """Forward fill, then backward fill remaining (leading) gaps."""
+    return backward_fill(forward_fill(records, attributes), attributes)

@@ -1,0 +1,60 @@
+"""Time-grid resampling.
+
+The paper re-samples the wearable ``HRTable`` to match the ``MainTable``'s
+coarser granularity. :func:`resample_mean` aggregates records into fixed
+buckets (mean for numeric attributes, first non-missing value otherwise),
+producing one record per non-empty bucket at the bucket-start timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.quality.dataset import is_missing
+from repro.streaming.record import Record
+from repro.streaming.schema import DataType, Schema
+
+
+def resample_mean(
+    records: Sequence[Record], schema: Schema, bucket_seconds: int
+) -> list[Record]:
+    """Aggregate a stream onto a coarser regular grid.
+
+    Numeric attributes average over each bucket (missing values excluded);
+    non-numeric attributes keep the bucket's first non-missing value. The
+    timestamp attribute becomes the bucket start. Buckets are aligned to
+    the epoch, matching the windowing substrate's tumbling alignment.
+    """
+    if bucket_seconds <= 0:
+        raise DatasetError("bucket_seconds must be positive")
+    ts_attr = schema.timestamp_attribute
+    buckets: dict[int, list[Record]] = defaultdict(list)
+    for record in records:
+        ts = record.get(ts_attr)
+        if ts is None:
+            raise DatasetError("cannot resample a record without a timestamp")
+        buckets[int(ts) - int(ts) % bucket_seconds].append(record)
+
+    out = []
+    for start in sorted(buckets):
+        group = buckets[start]
+        values: dict[str, object] = {}
+        for attr in schema:
+            if attr.name == ts_attr:
+                values[ts_attr] = start
+                continue
+            observed = [r.get(attr.name) for r in group]
+            observed = [v for v in observed if not is_missing(v)]
+            if not observed:
+                values[attr.name] = None
+            elif attr.dtype in (DataType.FLOAT, DataType.INT):
+                mean = sum(observed) / len(observed)
+                values[attr.name] = (
+                    round(mean) if attr.dtype is DataType.INT else float(mean)
+                )
+            else:
+                values[attr.name] = observed[0]
+        out.append(Record(values))
+    return out

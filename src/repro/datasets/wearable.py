@@ -1,0 +1,197 @@
+"""Synthetic twin of the Wearable Device dataset (Lim et al. 2018).
+
+The paper combines the ``HRTable`` (heart rate) and ``MainTable``
+(activity) of volunteer 0216-0051-NHC, re-sampled to a common 15-minute
+grid, spanning 264.75 hours from late February to early March 2016.
+
+Experiment 1's arithmetic depends on exact sub-population counts, so this
+generator is *calibrated*, not merely plausible:
+
+==============================================  =======
+tuples total                                      1,060
+tuples with Time >= 2016-02-27 00:00:00           1,056
+post-update tuples with BPM > 100                    33
+post-update tuples with Distance > 0                374
+post-update tuples with CaloriesBurned present      960
+  (the other 96 are device-off rows: calories null)
+tuples with hour of day in [13, 15)                  88
+pre-existing violations (BPM == 0, activity > 0)      2
+==============================================  =======
+
+The stream starts 2016-02-26 23:00 UTC and steps every 15 minutes; the
+last tuple is 264.75 hours after the first (2016-03-08 07:45), matching
+the paper's reported span. Schema (a subset of the original's columns,
+exactly the attributes the experiments touch):
+
+``Time`` (epoch seconds), ``BPM``, ``Steps``, ``Distance`` (km),
+``CaloriesBurned``, ``ActiveMinutes``.
+
+Invariants the DQ scenarios assume of *clean* data:
+
+* ``Steps >= Distance`` on every row (steps dwarf km values);
+* every present ``CaloriesBurned`` value has at least three decimal
+  digits, so rounding to precision 2 is always detectable;
+* BPM == 0 exactly on device-off rows (activity sum 0) — except the two
+  calibrated pre-existing violations;
+* timestamps strictly increasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.time import parse_timestamp
+
+#: 15 minutes in seconds.
+STEP_SECONDS = 900
+
+WEARABLE_SCHEMA = Schema(
+    [
+        Attribute("Time", DataType.TIMESTAMP, nullable=False),
+        Attribute("BPM", DataType.FLOAT),
+        Attribute("Steps", DataType.FLOAT),
+        Attribute("Distance", DataType.FLOAT),
+        Attribute("CaloriesBurned", DataType.FLOAT),
+        Attribute("ActiveMinutes", DataType.FLOAT),
+    ],
+    timestamp_attribute="Time",
+)
+
+#: The software-update date of Experiment 3.1.2.
+UPDATE_TIMESTAMP = parse_timestamp("2016-02-27 00:00:00")
+
+#: Default stream start: 2016-02-26 23:00 UTC (4 tuples before the update).
+DEFAULT_START = parse_timestamp("2016-02-26 23:00:00")
+
+
+@dataclass(frozen=True)
+class WearableConfig:
+    """Calibration knobs; defaults reproduce the paper's counts exactly."""
+
+    start: int = DEFAULT_START
+    n_tuples: int = 1060
+    n_high_bpm: int = 33  # post-update tuples with BPM > 100
+    n_active: int = 374  # post-update tuples with Distance > 0
+    n_device_off: int = 96  # post-update tuples with all-null measurements
+    n_preexisting_violations: int = 2
+    seed: int = 20160226
+
+    def __post_init__(self) -> None:
+        post = self.n_post_update
+        needed = self.n_active + self.n_device_off + self.n_preexisting_violations
+        if needed > post:
+            raise DatasetError(
+                f"calibration infeasible: {needed} special rows for {post} "
+                "post-update tuples"
+            )
+        if self.n_high_bpm > self.n_active:
+            raise DatasetError("high-BPM rows are active rows; n_high_bpm too large")
+
+    @property
+    def n_post_update(self) -> int:
+        ts = [self.start + i * STEP_SECONDS for i in range(self.n_tuples)]
+        return sum(1 for t in ts if t >= UPDATE_TIMESTAMP)
+
+
+def _calories(rng: np.random.Generator, base: float) -> float:
+    """A calorie value whose repr always carries >= 3 decimal digits."""
+    whole = base + rng.uniform(-0.15, 0.15) * base
+    frac = int(rng.integers(1, 10_000))
+    if frac % 100 == 0:  # would collapse to <3 decimals in repr
+        frac += int(rng.integers(1, 100))
+    return round(float(int(whole)) + frac / 10_000.0, 4)
+
+
+def generate_wearable(config: WearableConfig | None = None) -> list[Record]:
+    """Generate the calibrated wearable stream, in timestamp order."""
+    cfg = config or WearableConfig()
+    rng = np.random.default_rng(cfg.seed)
+    timestamps = [cfg.start + i * STEP_SECONDS for i in range(cfg.n_tuples)]
+    post_indices = [i for i, t in enumerate(timestamps) if t >= UPDATE_TIMESTAMP]
+
+    # -- assign row roles deterministically-from-seed ------------------------
+    pool = list(post_indices)
+    rng.shuffle(pool)
+    off_rows = set(pool[: cfg.n_device_off])
+    pool = pool[cfg.n_device_off:]
+    violation_rows = set(pool[: cfg.n_preexisting_violations])
+    pool = pool[cfg.n_preexisting_violations:]
+    active_rows = set(pool[: cfg.n_active])
+    high_bpm_rows = set(pool[: cfg.n_high_bpm])  # high-BPM rows are active rows
+
+    records: list[Record] = []
+    for i, ts in enumerate(timestamps):
+        hour = (ts % 86400) / 3600.0
+        asleep = hour < 7 or hour >= 23
+        if i in off_rows:
+            values = {
+                "Time": ts, "BPM": 0.0, "Steps": 0.0, "Distance": 0.0,
+                "CaloriesBurned": None, "ActiveMinutes": 0.0,
+            }
+        elif i in violation_rows:
+            # The two tuples the paper found already violating the
+            # BPM==0 => zero-activity constraint in the original data.
+            values = {
+                "Time": ts, "BPM": 0.0,
+                "Steps": float(int(rng.integers(40, 200))),
+                "Distance": 0.0,
+                "CaloriesBurned": _calories(rng, 25.0),
+                "ActiveMinutes": float(int(rng.integers(1, 5))),
+            }
+        elif i in active_rows:
+            if i in high_bpm_rows:
+                bpm = float(int(rng.integers(101, 165)))
+                steps = float(int(rng.integers(800, 3000)))
+                distance = round(float(steps) * rng.uniform(0.0006, 0.0008), 4)
+                calories = _calories(rng, 90.0)
+                active_minutes = float(int(rng.integers(8, 16)))
+            else:
+                bpm = float(int(rng.integers(75, 101)))
+                steps = float(int(rng.integers(120, 900)))
+                distance = round(float(steps) * rng.uniform(0.0005, 0.0008), 4)
+                calories = _calories(rng, 40.0)
+                active_minutes = float(int(rng.integers(1, 10)))
+            if distance <= 0.0:
+                distance = 0.05  # calibration guard: active rows move
+            values = {
+                "Time": ts, "BPM": bpm, "Steps": steps, "Distance": distance,
+                "CaloriesBurned": calories, "ActiveMinutes": active_minutes,
+            }
+        else:
+            # Worn but idle (sitting, sleeping): heart beats, a few steps,
+            # zero distance at the 15-min resolution.
+            bpm = float(int(rng.integers(48, 62 if asleep else 85)))
+            steps = float(int(rng.integers(1, 5 if asleep else 40)))
+            values = {
+                "Time": ts, "BPM": bpm, "Steps": steps, "Distance": 0.0,
+                "CaloriesBurned": _calories(rng, 22.0),
+                "ActiveMinutes": 0.0,
+            }
+        records.append(Record(values))
+    return records
+
+
+def wearable_summary(records: list[Record]) -> dict[str, int]:
+    """The calibration counts, recomputed from a generated stream."""
+    post = [r for r in records if r["Time"] >= UPDATE_TIMESTAMP]
+    return {
+        "total": len(records),
+        "post_update": len(post),
+        "high_bpm": sum(1 for r in post if (r["BPM"] or 0) > 100),
+        "active": sum(1 for r in post if (r["Distance"] or 0) > 0),
+        "calories_present": sum(1 for r in post if r["CaloriesBurned"] is not None),
+        "afternoon_window": sum(
+            1 for r in records if 13 <= (r["Time"] % 86400) / 3600.0 < 15
+        ),
+        "preexisting_violations": sum(
+            1
+            for r in records
+            if r["BPM"] == 0.0
+            and (r["Steps"] or 0) + (r["Distance"] or 0) + (r["ActiveMinutes"] or 0) > 0
+        ),
+    }

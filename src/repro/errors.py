@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro (Icewafl reproduction) library.
+
+All exceptions raised intentionally by this library derive from
+:class:`IcewaflError`, so callers can catch a single base class. Subclasses
+mark which subsystem raised: the streaming substrate, the pollution core,
+the data-quality tool, or the forecasting package.
+"""
+
+from __future__ import annotations
+
+
+class IcewaflError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(IcewaflError):
+    """A record does not conform to its declared schema, or a schema is invalid."""
+
+
+class StreamError(IcewaflError):
+    """The streaming substrate was used incorrectly (e.g. an unbuilt topology)."""
+
+
+class PollutionError(IcewaflError):
+    """A polluter, condition, or pipeline is misconfigured or failed to apply."""
+
+
+class ConditionError(PollutionError):
+    """A pollution condition is misconfigured or evaluated on incompatible input."""
+
+
+class ErrorFunctionError(PollutionError):
+    """An error function is misconfigured or was applied to incompatible values."""
+
+
+class ConfigError(PollutionError):
+    """A declarative pollution configuration could not be parsed or validated."""
+
+
+class ExpectationError(IcewaflError):
+    """A data-quality expectation is misconfigured."""
+
+
+class ForecastingError(IcewaflError):
+    """A forecasting model is misconfigured or received unusable input."""
+
+
+class NotFittedError(ForecastingError):
+    """A forecasting model was asked to predict before being fitted."""
+
+
+class DatasetError(IcewaflError):
+    """A synthetic dataset generator or dataset utility received invalid input."""

@@ -1,0 +1,36 @@
+"""Experiment drivers: the code behind every table and figure.
+
+Each module reproduces one section of the paper's evaluation:
+
+* :mod:`~repro.experiments.scenarios` — the three pollution scenarios of
+  §3.1 (random temporal errors, software update, bad network connection),
+  each bundling the pollution pipeline, the matching expectation suite,
+  and the analytic expected-error arithmetic;
+* :mod:`~repro.experiments.exp1_dq` — Experiment 1: run a scenario many
+  times, validate each output with the DQ tool, average (Fig. 4, Table 1,
+  §3.1.3);
+* :mod:`~repro.experiments.exp2_forecasting` — Experiment 2: data splits
+  (Table 2), pollution of the evaluation year, prequential evaluation of
+  ARIMA/ARIMAX/Holt-Winters (Fig. 6, Fig. 7);
+* :mod:`~repro.experiments.exp3_runtime` — Experiment 3: runtime overhead
+  of pollution vs a pass-through pipeline (Fig. 8);
+* :mod:`~repro.experiments.reporting` — plain-text rendering of the
+  resulting tables and series, used by the benchmark harness.
+
+Benchmarks call these drivers with paper-scale parameters; tests call them
+with reduced sizes. All drivers are deterministic given their base seed.
+"""
+
+from repro.experiments.scenarios import (
+    DQScenario,
+    bad_network_scenario,
+    random_temporal_scenario,
+    software_update_scenario,
+)
+
+__all__ = [
+    "DQScenario",
+    "bad_network_scenario",
+    "random_temporal_scenario",
+    "software_update_scenario",
+]

@@ -1,0 +1,148 @@
+"""Experiment 1: evaluating a DQ tool with Icewafl (§3.1).
+
+Each scenario is repeated ``repetitions`` times (50 in the paper — "since
+Icewafl's error conditions introduce probabilities and are therefore
+non-deterministic"), each polluted output is validated independently with
+the expectation suite, and measured error counts are averaged.
+
+Drivers return plain dataclasses; the benchmark harness renders them as
+the paper's figures/tables and asserts their shapes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.runner import pollute
+from repro.datasets.wearable import WEARABLE_SCHEMA, generate_wearable
+from repro.experiments.scenarios import (
+    DQScenario,
+    bad_network_scenario,
+    random_temporal_scenario,
+    software_update_scenario,
+)
+from repro.quality.dataset import ValidationDataset
+from repro.quality.suite import ValidationReport
+from repro.streaming.record import Record
+from repro.streaming.time import hour_of_day_int
+
+
+@dataclass
+class ScenarioRun:
+    """One repetition: the validation report plus injected-error truth."""
+
+    report: ValidationReport
+    injected_by_polluter: dict[str, int]
+    injected_by_hour: dict[int, int]
+    #: record_id -> hour of day, for localizing detections in time (Fig. 4).
+    id_to_hour: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class Exp1Result:
+    """Aggregated outcome of one scenario across repetitions."""
+
+    scenario: str
+    repetitions: int
+    expected: dict[str, float]
+    runs: list[ScenarioRun] = field(default_factory=list)
+
+    def measured_mean(self, expectation: str, column: str | None = None) -> float:
+        values = [
+            run.report.result_for(expectation, column).unexpected_count
+            for run in self.runs
+        ]
+        return statistics.fmean(values)
+
+    def measured_variance(self, expectation: str, column: str | None = None) -> float:
+        values = [
+            float(run.report.result_for(expectation, column).unexpected_count)
+            for run in self.runs
+        ]
+        return statistics.pvariance(values) if len(values) > 1 else 0.0
+
+    def measured_by_hour(self, expectation: str) -> dict[int, float]:
+        """Mean number of *detected* errors per hour of day (Fig. 4 orange).
+
+        Detections are localized by joining unexpected record IDs back to
+        the record's event time.
+        """
+        sums = {h: 0.0 for h in range(24)}
+        for run in self.runs:
+            for result in run.report:
+                if result.expectation != expectation:
+                    continue
+                for h, count in _ids_by_hour(result.unexpected_record_ids, run).items():
+                    sums[h] += count
+        return {h: v / max(len(self.runs), 1) for h, v in sums.items()}
+
+    def injected_mean_by_hour(self) -> dict[int, float]:
+        sums = {h: 0.0 for h in range(24)}
+        for run in self.runs:
+            for h, count in run.injected_by_hour.items():
+                sums[h] += count
+        return {h: v / max(len(self.runs), 1) for h, v in sums.items()}
+
+
+def _ids_by_hour(record_ids: Sequence[int | None], run: ScenarioRun) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for rid in record_ids:
+        hour = run.id_to_hour.get(rid)
+        if hour is not None:
+            out[hour] = out.get(hour, 0.0) + 1.0
+    return out
+
+
+def run_scenario(
+    scenario: DQScenario,
+    records: Sequence[Record] | None = None,
+    repetitions: int = 50,
+    base_seed: int = 1234,
+) -> Exp1Result:
+    """Pollute ``repetitions`` times and validate each output with the suite."""
+    records = list(records) if records is not None else generate_wearable()
+    result = Exp1Result(
+        scenario=scenario.name,
+        repetitions=repetitions,
+        expected=scenario.expected(records),
+    )
+    for rep in range(repetitions):
+        pipeline = scenario.pipeline()
+        outcome = pollute(
+            records, pipeline, schema=WEARABLE_SCHEMA,
+            seed=base_seed * 1_000 + rep,
+        )
+        dataset = ValidationDataset.from_pollution_output(outcome.polluted, WEARABLE_SCHEMA)
+        report = scenario.suite.validate(dataset)
+        run = ScenarioRun(
+            report=report,
+            injected_by_polluter={
+                name: outcome.log.count_changed(name)
+                for name in outcome.log.count_by_polluter()
+            },
+            injected_by_hour=outcome.log.count_by_hour(),
+            id_to_hour={
+                r.record_id: hour_of_day_int(r.event_time)
+                for r in outcome.clean
+                if r.record_id is not None and r.event_time is not None
+            },
+        )
+        result.runs.append(run)
+    return result
+
+
+def run_random_temporal(repetitions: int = 50, base_seed: int = 1234) -> Exp1Result:
+    """§3.1.1 / Figure 4."""
+    return run_scenario(random_temporal_scenario(), repetitions=repetitions, base_seed=base_seed)
+
+
+def run_software_update(repetitions: int = 50, base_seed: int = 1234) -> Exp1Result:
+    """§3.1.2 / Figure 5 + Table 1."""
+    return run_scenario(software_update_scenario(), repetitions=repetitions, base_seed=base_seed)
+
+
+def run_bad_network(repetitions: int = 50, base_seed: int = 1234) -> Exp1Result:
+    """§3.1.3."""
+    return run_scenario(bad_network_scenario(), repetitions=repetitions, base_seed=base_seed)

@@ -1,0 +1,282 @@
+"""Experiment 2: robustness of forecasting methods to data errors (§3.2).
+
+The task: forecast NO2 for 12-hour horizons in a Chinese region (the paper
+evaluates Gucheng, Wanshouxigong, and Wanliu; Figures 6 and 7 show
+Wanshouxigong). Protocol:
+
+1. generate the region stream and impute NO2 gaps (forward/backward fill);
+2. split per Table 2 (D_train / D_valid / D_eval);
+3. pollute D_eval per scenario: **noise** — Equation 3's temporally
+   increasing multiplicative uniform noise on all numerical attributes —
+   or **scale** — scaling by 0.125 under Equation 4's temporally increasing
+   activation probability combined with a prior probability of 0.01;
+4. warm every model up on the training year, then run the prequential
+   loop (train 504 h -> forecast 12 h -> release) over the evaluation
+   stream;
+5. repeat over ``repetitions`` independently polluted streams (10 in the
+   paper) and average the MAE curves pointwise.
+
+Models: OnlineARIMA, HoltWinters (pure auto-regressive) and OnlineARIMAX
+(exogenous: TEMP, PRES, WSPM + sine/cosine month and hour encodings,
+§3.2.2 — the paper's PRESM attribute is the pressure column, named PRES
+in the UCI schema).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.conditions import AllOf, LinearRampCondition, ProbabilityCondition
+from repro.core.errors import RampedMultiplicativeNoise, ScaleByFactor
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.datasets.airquality import (
+    AIR_QUALITY_SCHEMA,
+    AirQualityConfig,
+    generate_air_quality,
+)
+from repro.datasets.imputation import forward_backward_fill
+from repro.forecasting.arima import OnlineARIMA, OnlineARIMAX
+from repro.forecasting.base import Features, Forecaster
+from repro.forecasting.evaluation import (
+    ForecastCurve,
+    PrequentialEvaluator,
+    make_splits,
+)
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.preprocessing import calendar_encodings
+from repro.streaming.record import Record
+
+TARGET = "NO2"
+EXOG_ATTRIBUTES = ("TEMP", "PRES", "WSPM")
+EXOG_FEATURES = EXOG_ATTRIBUTES + ("month_sin", "month_cos", "hour_sin", "hour_cos")
+
+#: Attributes polluted by the experiment ("all numerical attributes" —
+#: the measured pollutants and weather readings; calendar/bookkeeping
+#: fields are not measurements).
+POLLUTED_ATTRIBUTES = (
+    "PM25", "PM10", "SO2", "NO2", "CO", "O3", "TEMP", "PRES", "DEWP", "RAIN", "WSPM",
+)
+
+#: Equation 3's noise-bound magnitude reached at the stream's end. The
+#: paper does not state its pi_max; 2.0 (noise factors up to +-200%)
+#: reproduces Figure 6's strong end-of-stream degradation.
+NOISE_PI_MAX = 2.0
+#: The scale scenario's factor and prior activation probability.
+SCALE_FACTOR = 0.125
+SCALE_PRIOR = 0.01
+
+
+def exog_of(record: Record) -> Features:
+    """The ARIMAX feature vector of §3.2.2 for one tuple."""
+    features: dict[str, float] = {
+        name: record.get(name) for name in EXOG_ATTRIBUTES
+    }
+    features.update(calendar_encodings(record["timestamp"]))
+    return features
+
+
+# ---------------------------------------------------------------------------
+# Pollution scenarios (D_noise, D_scale)
+# ---------------------------------------------------------------------------
+
+
+def noise_pipeline(tau0: int, taun: int) -> PollutionPipeline:
+    """D_noise: Eq. 3's temporally increasing multiplicative uniform noise."""
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                RampedMultiplicativeNoise(tau0, taun, a_max=0.0, b_max=NOISE_PI_MAX),
+                attributes=list(POLLUTED_ATTRIBUTES),
+                name="ramped-noise",
+            )
+        ],
+        name="noise",
+    )
+
+
+def scale_pipeline(tau0: int, taun: int) -> PollutionPipeline:
+    """D_scale: scale by 0.125 when prior (0.01) AND Eq. 4's ramp both fire."""
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                ScaleByFactor(SCALE_FACTOR),
+                attributes=list(POLLUTED_ATTRIBUTES),
+                condition=AllOf(
+                    ProbabilityCondition(SCALE_PRIOR),
+                    LinearRampCondition(tau0, taun),
+                ),
+                name="ramped-scale",
+            )
+        ],
+        name="scale",
+    )
+
+
+SCENARIO_PIPELINES: dict[str, Callable[[int, int], PollutionPipeline] | None] = {
+    "eval": None,  # unpolluted D_eval
+    "noise": noise_pipeline,
+    "scale": scale_pipeline,
+}
+
+
+# ---------------------------------------------------------------------------
+# Models (hyperparameters from the reproduction's grid search; see
+# examples/hyperparameter_search.py for the search itself)
+# ---------------------------------------------------------------------------
+
+
+def default_models() -> dict[str, Callable[[], Forecaster]]:
+    """The three methods with grid-searched hyperparameters.
+
+    Selected by :class:`~repro.forecasting.model_selection.GridSearch` with
+    5-fold time-series CV on the clean training year (the paper's §3.2.2
+    protocol; reproduce the search with
+    ``examples/hyperparameter_search.py``). Notably the clean-data search
+    picks ``d=1`` for ARIMA (trend-following) and ``d=0`` for ARIMAX (the
+    exogenous features carry the trend) — which is precisely what makes
+    ARIMA anchor its forecasts on the most recent (possibly polluted)
+    observation while ARIMAX stays anchored on clean calendar encodings.
+    """
+    return {
+        "arima": lambda: OnlineARIMA(p=24, d=1, q=1, clip_sigma=None),
+        "holt_winters": lambda: HoltWinters(
+            alpha=0.2, beta=0.05, gamma=0.3, season_length=24
+        ),
+        "arimax": lambda: OnlineARIMAX(
+            exog_features=EXOG_FEATURES, p=24, d=0, q=1, clip_sigma=None
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Exp2Result:
+    """Averaged MAE curves per model for one region and scenario."""
+
+    region: str
+    scenario: str
+    repetitions: int
+    curves: dict[str, ForecastCurve] = field(default_factory=dict)
+
+    def mean_mae(self, model: str) -> float:
+        return self.curves[model].mean_mae()
+
+    def growth_ratio(self, model: str) -> float:
+        return self.curves[model].late_to_early_ratio()
+
+
+def load_region(
+    region: str = "Wanshouxigong",
+    n_hours: int = 2 * 365 * 24,
+    seed: int = 20130301,
+) -> list[Record]:
+    """Generate and impute one region's stream (NO2 gaps filled, §3.2.1)."""
+    cfg = AirQualityConfig(stations=(region,), n_hours=n_hours, seed=seed)
+    records = generate_air_quality(cfg)[region]
+    return forward_backward_fill(records, [TARGET, *EXOG_ATTRIBUTES])
+
+
+def run_scenario(
+    region_records: Sequence[Record],
+    scenario: str,
+    region: str = "Wanshouxigong",
+    repetitions: int = 10,
+    models: dict[str, Callable[[], Forecaster]] | None = None,
+    base_seed: int = 777,
+    train_hours: int = 504,
+    horizon_hours: int = 12,
+    reference: str = "clean",
+) -> Exp2Result:
+    """Evaluate all models on one pollution scenario of one region.
+
+    ``reference`` selects the MAE target: ``"clean"`` (default) scores
+    forecasts against the true (unpolluted) NO2 values — the
+    generalization error §3.2.3 examines — while ``"observed"`` scores
+    against the polluted stream itself (which adds the irreducible noise
+    floor to every model equally).
+    """
+    models = models or default_models()
+    splits = make_splits(list(region_records), AIR_QUALITY_SCHEMA)
+    eval_records = splits.eval
+    tau0 = eval_records[0]["timestamp"]
+    taun = eval_records[-1]["timestamp"]
+    pipeline_factory = SCENARIO_PIPELINES[scenario]
+    evaluator = PrequentialEvaluator(
+        train_hours=train_hours, horizon_hours=horizon_hours, reference=reference
+    )
+    reps = repetitions if pipeline_factory is not None else 1
+
+    result = Exp2Result(region=region, scenario=scenario, repetitions=reps)
+    curve_accumulator: dict[str, list[ForecastCurve]] = {m: [] for m in models}
+    y_clean = [r.get(TARGET) for r in eval_records]
+    for rep in range(reps):
+        if pipeline_factory is None:
+            polluted = list(eval_records)
+        else:
+            outcome = pollute(
+                eval_records,
+                pipeline_factory(tau0, taun),
+                schema=AIR_QUALITY_SCHEMA,
+                seed=base_seed * 100 + rep,
+                log=False,
+            )
+            polluted = outcome.polluted
+        y = [r.get(TARGET) for r in polluted]
+        timestamps = [r["timestamp"] for r in polluted]
+        x = [exog_of(r) for r in polluted]
+        for name, factory in models.items():
+            # Cold start, per §3.2.3: models learn only from the evaluation
+            # stream itself (D_train/D_valid served the hyperparameter
+            # search); the first 504 training hours precede the first
+            # forecast, so early points reflect a briefly-trained model.
+            model = factory()
+            curve = evaluator.run(
+                model, y, timestamps, x=x, y_clean=y_clean, model_name=name
+            )
+            curve_accumulator[name].append(curve)
+    for name, curves in curve_accumulator.items():
+        result.curves[name] = _average_curves(name, curves)
+    return result
+
+
+def run_all_regions(
+    regions: Sequence[str] = ("Gucheng", "Wanshouxigong", "Wanliu"),
+    scenario: str = "noise",
+    n_hours: int = 2 * 365 * 24,
+    repetitions: int = 10,
+    base_seed: int = 777,
+) -> dict[str, Exp2Result]:
+    """§3.2.4's closing claim — "the results for the other regions are
+    similar" — evaluated: run one scenario over the paper's three regions.
+
+    Returns per-region results; the Fig. 6 bench asserts the cross-region
+    consistency of the winner (ARIMAX) at paper scale.
+    """
+    out = {}
+    for i, region in enumerate(regions):
+        records = load_region(region=region, n_hours=n_hours, seed=20130301 + i)
+        out[region] = run_scenario(
+            records, scenario, region=region,
+            repetitions=repetitions, base_seed=base_seed + i,
+        )
+    return out
+
+
+def _average_curves(name: str, curves: list[ForecastCurve]) -> ForecastCurve:
+    """Pointwise mean across repetitions (the paper reports mean values)."""
+    out = ForecastCurve(name)
+    if not curves:
+        return out
+    n_points = min(len(c) for c in curves)
+    for i in range(n_points):
+        out.eval_starts.append(curves[0].eval_starts[i])
+        out.maes.append(statistics.fmean(c.maes[i] for c in curves))
+    return out

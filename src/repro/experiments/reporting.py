@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment outputs.
+
+Benchmarks print the same rows/series the paper's figures and tables show:
+per-hour bar series (Fig. 4), expected-vs-measured tables (Table 1), MAE
+curves (Figs. 6/7), and runtime box-plot statistics (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.forecasting.evaluation import ForecastCurve
+from repro.streaming.time import format_timestamp
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """A fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_hourly_series(
+    expected: Mapping[int, float],
+    measured: Mapping[int, float],
+    title: str = "Errors per hour of day",
+) -> str:
+    """Fig. 4's two series as a table plus an inline bar chart."""
+    peak = max([*expected.values(), *measured.values(), 1e-9])
+    rows = []
+    for h in range(24):
+        e, m = expected.get(h, 0.0), measured.get(h, 0.0)
+        bar = "#" * int(round(20 * m / peak))
+        rows.append([f"{h:02d}", f"{e:.2f}", f"{m:.2f}", bar])
+    return render_table(
+        ["hour", "expected", "measured", "measured (bar)"], rows, title=title
+    )
+
+
+def render_curves(curves: Mapping[str, ForecastCurve], title: str) -> str:
+    """Figs. 6/7: one MAE column per model over evaluation start dates."""
+    names = list(curves)
+    n = min((len(c) for c in curves.values()), default=0)
+    rows = []
+    for i in range(n):
+        ts = curves[names[0]].eval_starts[i]
+        row: list[object] = [format_timestamp(ts, "%m-%d")]
+        row.extend(f"{curves[name].maes[i]:.2f}" for name in names)
+        rows.append(row)
+    table = render_table(["eval start", *names], rows, title=title)
+    summary = "  ".join(
+        f"{name}: mean={curves[name].mean_mae():.2f} "
+        f"growth={curves[name].late_to_early_ratio():.2f}x"
+        for name in names
+    )
+    return f"{table}\n{summary}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

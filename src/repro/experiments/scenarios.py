@@ -1,0 +1,246 @@
+"""The three DQ pollution scenarios of §3.1, as reusable bundles.
+
+Each scenario couples (a) a pollution pipeline factory (fresh polluter
+objects per run — stateful error functions must not leak between runs),
+(b) the expectation suite that detects the injected errors, and (c) the
+analytic expected-error counts the paper's tables/figures compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.composite import CompositePolluter
+from repro.core.conditions import (
+    AllOf,
+    AttributeCondition,
+    DailyIntervalCondition,
+    ProbabilityCondition,
+    SinusoidalCondition,
+)
+from repro.core.conditions.temporal import AfterCondition
+from repro.core.errors import (
+    DelayTuple,
+    RoundToPrecision,
+    SetToConstant,
+    SetToNull,
+    UnitConversion,
+)
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.datasets.wearable import UPDATE_TIMESTAMP
+from repro.quality import (
+    ExpectationSuite,
+    ExpectColumnPairValuesAToBeGreaterThanB,
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToMatchRegex,
+    ExpectColumnValuesToNotBeNull,
+    ExpectMulticolumnSumToEqual,
+)
+from repro.streaming.record import Record
+from repro.streaming.time import Duration, hour_of_day
+
+
+@dataclass
+class DQScenario:
+    """One §3.1 scenario: pipeline factory + detection suite + ground truth."""
+
+    name: str
+    make_pipeline: Callable[[], PollutionPipeline]
+    suite: ExpectationSuite
+    expected: Callable[[Sequence[Record]], dict[str, float]]
+
+    def pipeline(self) -> PollutionPipeline:
+        return self.make_pipeline()
+
+
+# ---------------------------------------------------------------------------
+# §3.1.1 Random temporal errors
+# ---------------------------------------------------------------------------
+
+
+def random_temporal_scenario() -> DQScenario:
+    """Nulls in ``Distance`` with probability p(t) = 0.25 cos(pi/12 t) + 0.25.
+
+    Detection: ``expect_column_values_to_not_be_null`` on Distance. The
+    clean wearable stream has no Distance nulls, so every detection is an
+    injected error.
+    """
+
+    def make_pipeline() -> PollutionPipeline:
+        return PollutionPipeline(
+            [
+                StandardPolluter(
+                    SetToNull(),
+                    attributes=["Distance"],
+                    condition=SinusoidalCondition(amplitude=0.25, offset=0.25),
+                    name="distance-null",
+                )
+            ],
+            name="random-temporal",
+        )
+
+    suite = ExpectationSuite(
+        "random-temporal", [ExpectColumnValuesToNotBeNull("Distance")]
+    )
+
+    def expected(records: Sequence[Record]) -> dict[str, float]:
+        probe = SinusoidalCondition(amplitude=0.25, offset=0.25)
+        total = sum(probe.probability(r["Time"]) for r in records)
+        per_hour = {h: 0.0 for h in range(24)}
+        for r in records:
+            per_hour[int(hour_of_day(r["Time"]))] += probe.probability(r["Time"])
+        return {
+            "distance_nulls": total,
+            "proportion": total / len(records),
+            **{f"hour_{h:02d}": v for h, v in per_hour.items()},
+        }
+
+    return DQScenario("random-temporal", make_pipeline, suite, expected)
+
+
+# ---------------------------------------------------------------------------
+# §3.1.2 Software update (Fig. 5 / Table 1)
+# ---------------------------------------------------------------------------
+
+#: Valid CaloriesBurned render with at least three decimal digits; rounding
+#: to precision 2 always produces fewer, so polluted values fail this regex.
+CALORIES_REGEX = r"\d+\.\d{3,}"
+
+#: Probability that the nested polluter nulls an already-zeroed BPM value.
+BPM_NULL_PROBABILITY = 0.2
+
+
+def software_update_scenario() -> DQScenario:
+    """Fig. 5's hierarchical pipeline, verbatim.
+
+    A top-level composite gated on ``Time >= 2016-02-27`` delegates to:
+    (1) a km->cm unit change on Distance, (2) rounding CaloriesBurned to
+    precision 2, and (3) a nested composite gated on ``BPM > 100`` whose
+    two children run in series — set BPM to 0, then (with probability 0.2)
+    set it to null.
+    """
+
+    def make_pipeline() -> PollutionPipeline:
+        wrong_bpm = CompositePolluter(
+            children=[
+                StandardPolluter(SetToConstant(0.0), ["BPM"], name="bpm-zero"),
+                StandardPolluter(
+                    SetToNull(), ["BPM"],
+                    condition=ProbabilityCondition(BPM_NULL_PROBABILITY),
+                    name="bpm-null",
+                ),
+            ],
+            condition=AttributeCondition("BPM", ">", 100),
+            name="wrong-bpm",
+        )
+        software_update = CompositePolluter(
+            children=[
+                StandardPolluter(
+                    UnitConversion("km", "cm"), ["Distance"], name="distance-km-to-cm"
+                ),
+                StandardPolluter(
+                    RoundToPrecision(2), ["CaloriesBurned"], name="calories-precision"
+                ),
+                wrong_bpm,
+            ],
+            condition=AfterCondition(UPDATE_TIMESTAMP),
+            name="software-update",
+        )
+        return PollutionPipeline([software_update], name="software-update")
+
+    suite = ExpectationSuite(
+        "software-update",
+        [
+            # (i) unit error: a cm-valued distance exceeds the step count.
+            ExpectColumnPairValuesAToBeGreaterThanB("Steps", "Distance", or_equal=True),
+            # (ii) precision error: valid calories have >= 3 decimals.
+            ExpectColumnValuesToMatchRegex("CaloriesBurned", CALORIES_REGEX),
+            # (iii) BPM zeroed: rows with BPM == 0 must show zero activity.
+            ExpectMulticolumnSumToEqual(
+                ["ActiveMinutes", "Distance", "Steps"], total=0.0,
+                when=lambda r: r.get("BPM") == 0.0,
+            ),
+            # (iv) BPM nulled.
+            ExpectColumnValuesToNotBeNull("BPM"),
+        ],
+    )
+
+    def expected(records: Sequence[Record]) -> dict[str, float]:
+        post = [r for r in records if r["Time"] >= UPDATE_TIMESTAMP]
+        high_bpm = [r for r in post if (r["BPM"] or 0) > 100]
+        preexisting = sum(
+            1 for r in records
+            if r["BPM"] == 0.0
+            and (r["Steps"] or 0) + (r["Distance"] or 0) + (r["ActiveMinutes"] or 0) > 0
+        )
+        return {
+            "post_update_tuples": float(len(post)),
+            "high_bpm_tuples": float(len(high_bpm)),
+            # Distance changes value only when it is non-zero.
+            "distance": float(sum(1 for r in post if (r["Distance"] or 0) > 0)),
+            # Rounding changes every present >=3-decimal calorie value.
+            "calories": float(sum(1 for r in post if r["CaloriesBurned"] is not None)),
+            "bpm_zero": (1 - BPM_NULL_PROBABILITY) * len(high_bpm),
+            "bpm_zero_preexisting": float(preexisting),
+            "bpm_null": BPM_NULL_PROBABILITY * len(high_bpm),
+        }
+
+    return DQScenario("software-update", make_pipeline, suite, expected)
+
+
+# ---------------------------------------------------------------------------
+# §3.1.3 Bad network connection
+# ---------------------------------------------------------------------------
+
+#: The daily window of the bad connection: 01:00 pm to 02:59 pm.
+NETWORK_WINDOW = (13.0, 15.0)
+DELAY_PROBABILITY = 0.2
+
+
+def bad_network_scenario() -> DQScenario:
+    """Tuples delayed one hour, inside 13:00-14:59, with probability 0.2.
+
+    Detection: ``expect_column_values_to_be_increasing`` on Time — a
+    delayed tuple lands out of its original position after the integration
+    sort, breaking the strictly increasing timestamp order.
+    """
+
+    def make_pipeline() -> PollutionPipeline:
+        return PollutionPipeline(
+            [
+                StandardPolluter(
+                    DelayTuple(Duration.of_hours(1), timestamp_attribute="Time"),
+                    condition=AllOf(
+                        DailyIntervalCondition(*NETWORK_WINDOW),
+                        ProbabilityCondition(DELAY_PROBABILITY),
+                    ),
+                    name="network-delay",
+                )
+            ],
+            name="bad-network",
+        )
+
+    suite = ExpectationSuite(
+        "bad-network", [ExpectColumnValuesToBeIncreasing("Time", strictly=True)]
+    )
+
+    def expected(records: Sequence[Record]) -> dict[str, float]:
+        in_window = sum(
+            1 for r in records
+            if NETWORK_WINDOW[0] <= hour_of_day(r["Time"]) < NETWORK_WINDOW[1]
+        )
+        return {
+            "window_tuples": float(in_window),
+            "delayed": DELAY_PROBABILITY * in_window,
+        }
+
+    return DQScenario("bad-network", make_pipeline, suite, expected)
+
+
+ALL_SCENARIOS: tuple[Callable[[], DQScenario], ...] = (
+    random_temporal_scenario,
+    software_update_scenario,
+    bad_network_scenario,
+)

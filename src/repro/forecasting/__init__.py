@@ -1,0 +1,54 @@
+"""Online forecasting methods (River stand-in) and evaluation protocol.
+
+Experiment 2 (§3.2) evaluates the robustness of three online forecasting
+methods against Icewafl's temporal errors: **ARIMA** and **Holt-Winters**
+(pure auto-regressive — they see only the target's history) and **ARIMAX**
+(auto-regressive with exogenous regressors: weather attributes plus sine
+and cosine encodings of the month and hour). This package implements those
+three model families from scratch:
+
+* :class:`~repro.forecasting.arima.OnlineARIMA` — ARIMA(p, d, q) as an
+  online linear model over lagged differences and lagged residuals,
+  trained by recursive least squares;
+* :class:`~repro.forecasting.arima.OnlineARIMAX` — the same plus an
+  exogenous feature vector;
+* :class:`~repro.forecasting.holt_winters.HoltWinters` — additive /
+  multiplicative triple exponential smoothing;
+
+plus the supporting protocol pieces: error metrics
+(:mod:`~repro.forecasting.metrics`), calendar encodings and online scaling
+(:mod:`~repro.forecasting.preprocessing`), time-series cross-validation and
+grid search (:mod:`~repro.forecasting.model_selection`), and the paper's
+prequential train-504h/forecast-12h loop
+(:mod:`~repro.forecasting.evaluation`).
+"""
+
+from repro.forecasting.arima import OnlineARIMA, OnlineARIMAX
+from repro.forecasting.base import Forecaster
+from repro.forecasting.baselines import NaiveForecaster, SeasonalNaive
+from repro.forecasting.evaluation import (
+    ForecastCurve,
+    PrequentialEvaluator,
+    make_splits,
+)
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.metrics import mae, mape, rmse, smape
+from repro.forecasting.model_selection import GridSearch, TimeSeriesSplit
+
+__all__ = [
+    "ForecastCurve",
+    "Forecaster",
+    "GridSearch",
+    "HoltWinters",
+    "NaiveForecaster",
+    "OnlineARIMA",
+    "OnlineARIMAX",
+    "PrequentialEvaluator",
+    "SeasonalNaive",
+    "TimeSeriesSplit",
+    "mae",
+    "make_splits",
+    "mape",
+    "rmse",
+    "smape",
+]

@@ -1,0 +1,58 @@
+"""The online forecaster interface.
+
+Models follow River's online idiom: ``learn_one(y, x=None)`` consumes one
+observation (optionally with exogenous features), ``forecast(horizon,
+x_future=None)`` predicts the next ``horizon`` values. Models must tolerate
+dirty input — missing targets are skipped, NaNs are treated as missing —
+because Experiment 2 feeds them polluted streams by design.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ForecastingError
+
+Features = Mapping[str, float]
+
+
+def is_missing_value(y: object) -> bool:
+    if y is None:
+        return True
+    return isinstance(y, float) and y != y
+
+
+class Forecaster:
+    """Base class for online forecasting models."""
+
+    #: True if the model consumes exogenous features (ARIMAX).
+    uses_exogenous: bool = False
+
+    def learn_one(self, y: float | None, x: Features | None = None) -> "Forecaster":
+        """Consume one observation. Missing ``y`` updates nothing but may
+        advance internal clocks in subclasses. Returns self for chaining."""
+        raise NotImplementedError
+
+    def forecast(
+        self, horizon: int, x_future: Sequence[Features] | None = None
+    ) -> list[float]:
+        """Predict the next ``horizon`` values.
+
+        ``x_future`` supplies exogenous features per future step for models
+        with ``uses_exogenous=True`` (the protocol of §3.2.2: ARIMAX
+        receives TEMP/PRES/WSPM and calendar encodings for the forecast
+        window).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget everything; used between cross-validation folds."""
+        raise NotImplementedError
+
+    def _check_horizon(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ForecastingError(f"horizon must be >= 1, got {horizon}")
+
+    def clone(self) -> "Forecaster":
+        """A fresh, unfitted copy with the same hyperparameters."""
+        raise NotImplementedError

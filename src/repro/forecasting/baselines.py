@@ -1,0 +1,106 @@
+"""Baseline forecasters.
+
+Every forecasting comparison needs naive baselines: a sophisticated model
+that cannot beat "repeat yesterday" is not learning anything. Two
+classics:
+
+* :class:`NaiveForecaster` — repeat the last observed value across the
+  horizon (the random-walk baseline);
+* :class:`SeasonalNaive` — repeat the value from one season ago
+  (yesterday's same hour), the strong baseline for diurnal sensor data.
+
+Both follow the online :class:`~repro.forecasting.base.Forecaster`
+interface, so they drop into the prequential evaluator and the grid search
+unchanged. They also serve as robustness probes: the seasonal naive's
+degradation under pollution is pure noise floor (it has no parameters to
+corrupt), which separates *data* degradation from *model* degradation in
+experiment analyses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.errors import ForecastingError, NotFittedError
+from repro.forecasting.base import Features, Forecaster, is_missing_value
+
+
+class NaiveForecaster(Forecaster):
+    """Predicts the last observed value for every horizon step."""
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._last is not None
+
+    def learn_one(self, y: float | None, x: Features | None = None) -> "NaiveForecaster":
+        if not is_missing_value(y):
+            self._last = float(y)  # type: ignore[arg-type]
+        return self
+
+    def forecast(self, horizon: int, x_future: Sequence[Features] | None = None) -> list[float]:
+        self._check_horizon(horizon)
+        if self._last is None:
+            raise NotFittedError("naive forecaster has seen no data")
+        return [self._last] * horizon
+
+    def reset(self) -> None:
+        self._last = None
+
+    def clone(self) -> "NaiveForecaster":
+        return NaiveForecaster()
+
+    def __repr__(self) -> str:
+        return "NaiveForecaster()"
+
+
+class SeasonalNaive(Forecaster):
+    """Predicts the value observed one season earlier.
+
+    Missing observations are bridged by carrying the previous season's
+    value forward, so the season buffer always holds the best available
+    estimate per phase.
+    """
+
+    def __init__(self, season_length: int = 24) -> None:
+        if season_length < 1:
+            raise ForecastingError("season_length must be >= 1")
+        self.season_length = season_length
+        self._buffer: deque[float] = deque(maxlen=season_length)
+        self._n_seen = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return len(self._buffer) == self.season_length
+
+    def learn_one(self, y: float | None, x: Features | None = None) -> "SeasonalNaive":
+        if is_missing_value(y):
+            if self._buffer:
+                # Recycle the value from one season ago to keep phase.
+                self._buffer.append(self._buffer[0])
+            return self
+        self._buffer.append(float(y))  # type: ignore[arg-type]
+        self._n_seen += 1
+        return self
+
+    def forecast(self, horizon: int, x_future: Sequence[Features] | None = None) -> list[float]:
+        self._check_horizon(horizon)
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"seasonal naive needs {self.season_length} observations"
+            )
+        season = list(self._buffer)
+        return [season[h % self.season_length] for h in range(horizon)]
+
+    def reset(self) -> None:
+        self._buffer = deque(maxlen=self.season_length)
+        self._n_seen = 0
+
+    def clone(self) -> "SeasonalNaive":
+        return SeasonalNaive(self.season_length)
+
+    def __repr__(self) -> str:
+        return f"SeasonalNaive(m={self.season_length})"

@@ -1,0 +1,187 @@
+"""Holt-Winters triple exponential smoothing (additive / multiplicative).
+
+The classical state-space smoother: a level ``l``, a trend ``b``, and ``m``
+seasonal components updated per observation with smoothing constants
+``alpha``, ``beta``, ``gamma`` (Hyndman & Athanasopoulos 2018, the paper's
+reference [22]). For hourly sensor streams the natural season length is
+``m = 24``.
+
+Initialization follows the standard two-season heuristic: the first ``2m``
+observations set the initial level (mean of season one), trend (average
+per-step change between season means), and seasonal components. Missing
+observations are bridged by updating with the model's own one-step forecast,
+which keeps the seasonal phase aligned on streams with injected nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ForecastingError, NotFittedError
+from repro.forecasting.base import Features, Forecaster, is_missing_value
+
+
+class HoltWinters(Forecaster):
+    """Additive or multiplicative Holt-Winters smoothing.
+
+    Parameters
+    ----------
+    alpha, beta, gamma:
+        Smoothing constants for level, trend, and seasonality, each in
+        ``(0, 1)``.
+    season_length:
+        Number of observations per season (24 for hourly data with a daily
+        cycle).
+    multiplicative:
+        Use the multiplicative seasonal form; requires strictly positive
+        data (air-quality concentrations qualify), and the model falls back
+        to additive updates whenever a non-positive value appears.
+    damping:
+        Optional trend damping factor ``phi`` in ``(0, 1]``; values below 1
+        flatten long-horizon trend extrapolation.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        beta: float = 0.1,
+        gamma: float = 0.2,
+        season_length: int = 24,
+        multiplicative: bool = False,
+        damping: float = 1.0,
+    ) -> None:
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0.0 < value < 1.0:
+                raise ForecastingError(f"{name} must be in (0, 1), got {value}")
+        if season_length < 2:
+            raise ForecastingError(f"season_length must be >= 2, got {season_length}")
+        if not 0.0 < damping <= 1.0:
+            raise ForecastingError(f"damping must be in (0, 1], got {damping}")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.season_length = season_length
+        self.multiplicative = multiplicative
+        self.damping = damping
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._warmup: list[float] = []
+        self._level: float | None = None
+        self._trend = 0.0
+        self._season: list[float] = []
+        self._t = 0  # season phase of the *next* observation
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._level is not None
+
+    # -- initialization --------------------------------------------------------
+
+    def _initialize(self) -> None:
+        m = self.season_length
+        first = self._warmup[:m]
+        second = self._warmup[m:2 * m]
+        mean1 = sum(first) / m
+        mean2 = sum(second) / m
+        self._level = mean1
+        self._trend = (mean2 - mean1) / m
+        if self.multiplicative:
+            base = mean1 if abs(mean1) > 1e-9 else 1.0
+            self._season = [v / base for v in first]
+        else:
+            self._season = [v - mean1 for v in first]
+        # Replay the second season through the regular update equations so
+        # the state reflects all 2m warm-up points.
+        self._t = 0
+        for v in second:
+            self._update(v)
+
+    # -- smoothing updates ------------------------------------------------------
+
+    def _update(self, y: float) -> None:
+        assert self._level is not None
+        m = self.season_length
+        idx = self._t % m
+        s = self._season[idx]
+        level_prev = self._level
+        trend_prev = self._trend
+        phi = self.damping
+        if self.multiplicative and y > 0 and abs(s) > 1e-12:
+            self._level = self.alpha * (y / s) + (1 - self.alpha) * (
+                level_prev + phi * trend_prev
+            )
+            self._season[idx] = self.gamma * (y / self._level) + (1 - self.gamma) * s
+        else:
+            self._level = self.alpha * (y - s) + (1 - self.alpha) * (
+                level_prev + phi * trend_prev
+            )
+            self._season[idx] = self.gamma * (y - self._level) + (1 - self.gamma) * s
+        self._trend = self.beta * (self._level - level_prev) + (1 - self.beta) * (
+            phi * trend_prev
+        )
+        self._t += 1
+
+    def _one_step_forecast(self) -> float:
+        assert self._level is not None
+        idx = self._t % self.season_length
+        s = self._season[idx]
+        base = self._level + self.damping * self._trend
+        return base * s if self.multiplicative else base + s
+
+    # -- public API -----------------------------------------------------------------
+
+    def learn_one(self, y: float | None, x: Features | None = None) -> "HoltWinters":
+        if is_missing_value(y):
+            if self.is_fitted:
+                # Keep the seasonal phase moving: update with the model's
+                # own expectation (a no-surprise observation).
+                self._update(self._one_step_forecast())
+            return self
+        y = float(y)  # type: ignore[arg-type]
+        if not self.is_fitted:
+            self._warmup.append(y)
+            if len(self._warmup) >= 2 * self.season_length:
+                self._initialize()
+                self._warmup = []
+            return self
+        self._update(y)
+        return self
+
+    def forecast(
+        self, horizon: int, x_future: Sequence[Features] | None = None
+    ) -> list[float]:
+        self._check_horizon(horizon)
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"HoltWinters needs {2 * self.season_length} observations to "
+                "initialize before forecasting"
+            )
+        assert self._level is not None
+        m = self.season_length
+        phi = self.damping
+        out = []
+        damp_sum = 0.0
+        for h in range(1, horizon + 1):
+            damp_sum += phi**h
+            s = self._season[(self._t + h - 1) % m]
+            base = self._level + damp_sum * self._trend
+            out.append(base * s if self.multiplicative else base + s)
+        return out
+
+    def reset(self) -> None:
+        self._init_state()
+
+    def clone(self) -> "HoltWinters":
+        return HoltWinters(
+            alpha=self.alpha, beta=self.beta, gamma=self.gamma,
+            season_length=self.season_length,
+            multiplicative=self.multiplicative, damping=self.damping,
+        )
+
+    def __repr__(self) -> str:
+        mode = "mul" if self.multiplicative else "add"
+        return (
+            f"HoltWinters(alpha={self.alpha}, beta={self.beta}, "
+            f"gamma={self.gamma}, m={self.season_length}, {mode})"
+        )

@@ -1,0 +1,66 @@
+"""Forecast error metrics.
+
+The paper reports MAE (Figures 6 and 7); RMSE/MAPE/SMAPE are included for
+completeness and for the hyperparameter search. All metrics skip pairs
+where either side is missing (None/NaN) — polluted evaluation streams
+contain injected nulls by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ForecastingError
+
+
+def _clean_pairs(
+    y_true: Sequence[float | None], y_pred: Sequence[float | None]
+) -> list[tuple[float, float]]:
+    if len(y_true) != len(y_pred):
+        raise ForecastingError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    pairs = []
+    for t, p in zip(y_true, y_pred):
+        if t is None or p is None:
+            continue
+        t, p = float(t), float(p)
+        if t != t or p != p:
+            continue
+        pairs.append((t, p))
+    return pairs
+
+
+def mae(y_true: Sequence[float | None], y_pred: Sequence[float | None]) -> float:
+    """Mean absolute error, the headline metric of Figures 6 and 7."""
+    pairs = _clean_pairs(y_true, y_pred)
+    if not pairs:
+        return math.nan
+    return sum(abs(t - p) for t, p in pairs) / len(pairs)
+
+
+def rmse(y_true: Sequence[float | None], y_pred: Sequence[float | None]) -> float:
+    """Root mean squared error."""
+    pairs = _clean_pairs(y_true, y_pred)
+    if not pairs:
+        return math.nan
+    return math.sqrt(sum((t - p) ** 2 for t, p in pairs) / len(pairs))
+
+
+def mape(y_true: Sequence[float | None], y_pred: Sequence[float | None]) -> float:
+    """Mean absolute percentage error; zero-valued truths are skipped."""
+    pairs = [(t, p) for t, p in _clean_pairs(y_true, y_pred) if t != 0.0]
+    if not pairs:
+        return math.nan
+    return 100.0 * sum(abs((t - p) / t) for t, p in pairs) / len(pairs)
+
+
+def smape(y_true: Sequence[float | None], y_pred: Sequence[float | None]) -> float:
+    """Symmetric MAPE in [0, 200]; pairs summing to zero are skipped."""
+    pairs = [
+        (t, p) for t, p in _clean_pairs(y_true, y_pred) if abs(t) + abs(p) > 0.0
+    ]
+    if not pairs:
+        return math.nan
+    return 200.0 * sum(abs(t - p) / (abs(t) + abs(p)) for t, p in pairs) / len(pairs)

@@ -1,0 +1,125 @@
+"""Hyperparameter search: time-series cross-validation + grid search.
+
+§3.2.2: "we determined suitable settings for the hyperparameters of the
+evaluated forecasting methods using grid search in combination with a
+5-fold time series cross validation". :class:`TimeSeriesSplit` reproduces
+scikit-learn's expanding-window splitter (train on everything before the
+fold, test on the fold); :class:`GridSearch` exhausts a parameter grid,
+scoring each configuration by mean MAE across folds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import ForecastingError
+from repro.forecasting.base import Features, Forecaster
+from repro.forecasting.metrics import mae
+
+
+class TimeSeriesSplit:
+    """Expanding-window splits over index positions.
+
+    Mirrors ``sklearn.model_selection.TimeSeriesSplit``: the ``n`` samples
+    are cut into ``n_splits + 1`` blocks; fold ``k`` trains on blocks
+    ``0..k`` and tests on block ``k + 1``. Order is never shuffled — the
+    whole point for streams.
+    """
+
+    def __init__(self, n_splits: int = 5) -> None:
+        if n_splits < 2:
+            raise ForecastingError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+
+    def split(self, n_samples: int) -> Iterator[tuple[range, range]]:
+        if n_samples < self.n_splits + 1:
+            raise ForecastingError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        fold = n_samples // (self.n_splits + 1)
+        for k in range(1, self.n_splits + 1):
+            train_end = fold * k
+            test_end = fold * (k + 1) if k < self.n_splits else n_samples
+            yield range(0, train_end), range(train_end, test_end)
+
+
+@dataclass
+class GridSearchResult:
+    """Best configuration found plus the full per-configuration scores."""
+
+    best_params: dict[str, Any]
+    best_score: float
+    scores: list[tuple[dict[str, Any], float]]
+
+
+class GridSearch:
+    """Exhaustive search over a parameter grid with time-series CV.
+
+    Parameters
+    ----------
+    factory:
+        Builds a fresh :class:`Forecaster` from one parameter combination.
+    grid:
+        ``{param: [values...]}``; the Cartesian product is evaluated.
+    splitter:
+        The CV splitter (5 folds by default, as in the paper).
+    horizon:
+        Forecast horizon scored at each fold boundary (12 h in the paper).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Forecaster],
+        grid: Mapping[str, Sequence[Any]],
+        splitter: TimeSeriesSplit | None = None,
+        horizon: int = 12,
+    ) -> None:
+        if not grid:
+            raise ForecastingError("grid must be non-empty")
+        self.factory = factory
+        self.grid = {k: list(v) for k, v in grid.items()}
+        self.splitter = splitter or TimeSeriesSplit(5)
+        self.horizon = horizon
+
+    def _combinations(self) -> Iterator[dict[str, Any]]:
+        keys = sorted(self.grid)
+        for values in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, values))
+
+    def run(
+        self,
+        y: Sequence[float | None],
+        x: Sequence[Features] | None = None,
+    ) -> GridSearchResult:
+        """Score every combination on ``y`` (and optional exogenous ``x``)."""
+        scores: list[tuple[dict[str, Any], float]] = []
+        for params in self._combinations():
+            fold_maes: list[float] = []
+            for train_idx, test_idx in self.splitter.split(len(y)):
+                try:
+                    model = self.factory(**params)
+                except (ForecastingError, TypeError):
+                    fold_maes = [math.inf]
+                    break
+                for i in train_idx:
+                    model.learn_one(y[i], x[i] if x is not None else None)
+                horizon = min(self.horizon, len(test_idx))
+                try:
+                    x_future = (
+                        [x[i] for i in list(test_idx)[:horizon]] if x is not None else None
+                    )
+                    preds = model.forecast(horizon, x_future)
+                except ForecastingError:
+                    fold_maes.append(math.inf)
+                    continue
+                truth = [y[i] for i in list(test_idx)[:horizon]]
+                score = mae(truth, preds)
+                fold_maes.append(score if score == score else math.inf)
+            mean_score = sum(fold_maes) / len(fold_maes)
+            scores.append((params, mean_score))
+        scores.sort(key=lambda item: item[1])
+        best_params, best_score = scores[0]
+        return GridSearchResult(best_params=best_params, best_score=best_score, scores=scores)

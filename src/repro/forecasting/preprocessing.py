@@ -1,0 +1,136 @@
+"""Feature preprocessing for forecasting.
+
+§3.2.2: "the ARIMAX models also received the attributes TEMP, PRESM, and
+WSPM as input as well as the sine and cosine encodings of the month and the
+hour of the event timestamp." This module provides those calendar
+encodings, an online standard scaler (so regression on raw hPa pressures
+does not drown out wind speed), and differencing utilities shared by the
+ARIMA models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.errors import ForecastingError
+from repro.streaming.time import hour_of_day, month_of_year
+
+
+def calendar_encodings(ts: int) -> dict[str, float]:
+    """Sine/cosine encodings of month-of-year and hour-of-day."""
+    month = month_of_year(ts)
+    hour = hour_of_day(ts)
+    return {
+        "month_sin": math.sin(2 * math.pi * (month - 1) / 12.0),
+        "month_cos": math.cos(2 * math.pi * (month - 1) / 12.0),
+        "hour_sin": math.sin(2 * math.pi * hour / 24.0),
+        "hour_cos": math.cos(2 * math.pi * hour / 24.0),
+    }
+
+
+class OnlineStandardScaler:
+    """Per-feature running standardization (Welford's algorithm).
+
+    ``learn_one`` updates the running mean/variance; ``transform_one``
+    standardizes using the statistics seen so far. Unseen features pass
+    through unscaled until observed twice.
+    """
+
+    def __init__(self) -> None:
+        self._n: dict[str, int] = {}
+        self._mean: dict[str, float] = {}
+        self._m2: dict[str, float] = {}
+
+    def learn_one(self, x: Mapping[str, float]) -> "OnlineStandardScaler":
+        for k, v in x.items():
+            if v is None or (isinstance(v, float) and v != v):
+                continue
+            n = self._n.get(k, 0) + 1
+            mean = self._mean.get(k, 0.0)
+            delta = v - mean
+            mean += delta / n
+            self._n[k] = n
+            self._mean[k] = mean
+            self._m2[k] = self._m2.get(k, 0.0) + delta * (v - mean)
+        return self
+
+    def _std(self, k: str) -> float:
+        n = self._n.get(k, 0)
+        if n < 2:
+            return 1.0
+        var = self._m2[k] / (n - 1)
+        return math.sqrt(var) if var > 1e-12 else 1.0
+
+    def transform_one(self, x: Mapping[str, float]) -> dict[str, float]:
+        out = {}
+        for k, v in x.items():
+            if v is None or (isinstance(v, float) and v != v):
+                out[k] = 0.0  # missing exogenous input: neutral after scaling
+            else:
+                out[k] = (v - self._mean.get(k, 0.0)) / self._std(k)
+        return out
+
+    def reset(self) -> None:
+        self._n.clear()
+        self._mean.clear()
+        self._m2.clear()
+
+
+class Differencer:
+    """Online d-th order differencing with exact inversion.
+
+    ``apply(y)`` returns the d-times differenced value (None while the
+    warm-up window fills); ``invert(delta)`` reconstructs a level forecast
+    from a predicted difference using the latest observed levels, and
+    ``push_forecast`` advances the inversion state during multi-step
+    recursive forecasting without contaminating the learning state.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise ForecastingError(f"difference order must be >= 0, got {d}")
+        self.d = d
+        # last[i] = most recent value of the i-times differenced series
+        self._last: list[float | None] = [None] * d
+
+    def apply(self, y: float) -> float | None:
+        value = y
+        for i in range(self.d):
+            previous = self._last[i]
+            self._last[i] = value
+            if previous is None:
+                return None
+            value = value - previous
+        return value
+
+    def snapshot(self) -> list[float | None]:
+        return list(self._last)
+
+    def invert(self, delta: float, state: list[float | None] | None = None) -> float:
+        """Reconstruct the level implied by a predicted difference."""
+        last = self._last if state is None else state
+        value = delta
+        for i in reversed(range(self.d)):
+            if last[i] is None:
+                raise ForecastingError("differencer not warmed up")
+            value = value + last[i]
+        return value
+
+    @staticmethod
+    def advance(state: list[float | None], delta: float) -> list[float | None]:
+        """State after appending a (forecast) difference — for recursion."""
+        new_state = list(state)
+        value = delta
+        for i in reversed(range(len(new_state))):
+            value = value + new_state[i]  # type: ignore[operator]
+        # Recompute the chain of partial sums for the appended value.
+        chained = value
+        for i in range(len(new_state)):
+            previous = new_state[i]
+            new_state[i] = chained
+            chained = chained - previous  # type: ignore[operator]
+        return new_state
+
+    def reset(self) -> None:
+        self._last = [None] * self.d

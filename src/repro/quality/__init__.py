@@ -1,0 +1,68 @@
+"""An expectations-based data-quality tool (Great Expectations stand-in).
+
+Experiment 1 evaluates Icewafl by checking polluted streams with the DQ tool
+Great Expectations (GX): users declare *expectations* — constraints clean
+data should satisfy — and the tool reports how many elements violate each.
+This package implements that model from scratch:
+
+* :class:`~repro.quality.dataset.ValidationDataset` — a tabular snapshot of
+  a (polluted) stream;
+* :class:`~repro.quality.expectations.base.Expectation` subclasses — the
+  constraint catalogue, including every expectation type the paper's
+  experiments invoke (``not_be_null``, ``match_regex``, ``increasing``,
+  ``pair_a_greater_than_b``, ``multicolumn_sum_to_equal``) plus the
+  common remainder of GX's core set;
+* :class:`~repro.quality.suite.ExpectationSuite` — a named bundle of
+  expectations validated together, yielding a
+  :class:`~repro.quality.suite.ValidationReport`.
+
+Results expose per-row unexpected indices and record IDs so experiments can
+score detections against the pollution log's ground truth.
+"""
+
+from repro.quality.dataset import ValidationDataset
+from repro.quality.result import ExpectationResult
+from repro.quality.suite import ExpectationSuite, ValidationReport
+from repro.quality.expectations import (
+    ExpectColumnMeanToBeBetween,
+    ExpectColumnMedianToBeBetween,
+    ExpectColumnMostCommonValueToBeInSet,
+    ExpectColumnProportionOfUniqueValuesToBeBetween,
+    ExpectColumnQuantileValuesToBeBetween,
+    ExpectColumnSumToBeBetween,
+    ExpectColumnValueLengthsToBeBetween,
+    ExpectColumnPairValuesAToBeGreaterThanB,
+    ExpectColumnStdevToBeBetween,
+    ExpectColumnValuesToBeBetween,
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToBeInSet,
+    ExpectColumnValuesToBeOfType,
+    ExpectColumnValuesToBeUnique,
+    ExpectColumnValuesToMatchRegex,
+    ExpectColumnValuesToNotBeNull,
+    ExpectMulticolumnSumToEqual,
+)
+
+__all__ = [
+    "ExpectColumnMeanToBeBetween",
+    "ExpectColumnMedianToBeBetween",
+    "ExpectColumnMostCommonValueToBeInSet",
+    "ExpectColumnProportionOfUniqueValuesToBeBetween",
+    "ExpectColumnQuantileValuesToBeBetween",
+    "ExpectColumnSumToBeBetween",
+    "ExpectColumnValueLengthsToBeBetween",
+    "ExpectColumnPairValuesAToBeGreaterThanB",
+    "ExpectColumnStdevToBeBetween",
+    "ExpectColumnValuesToBeBetween",
+    "ExpectColumnValuesToBeIncreasing",
+    "ExpectColumnValuesToBeInSet",
+    "ExpectColumnValuesToBeOfType",
+    "ExpectColumnValuesToBeUnique",
+    "ExpectColumnValuesToMatchRegex",
+    "ExpectColumnValuesToNotBeNull",
+    "ExpectMulticolumnSumToEqual",
+    "ExpectationResult",
+    "ExpectationSuite",
+    "ValidationDataset",
+    "ValidationReport",
+]

@@ -1,0 +1,88 @@
+"""Validation datasets: the tabular view expectations run against.
+
+A :class:`ValidationDataset` snapshots a sequence of stream records. It
+keeps row order (order matters for ``expect_column_values_to_be_increasing``
+— the expectation that detects delayed tuples) and retains each row's
+``record_id`` so detections can be joined against the pollution log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ExpectationError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+def is_missing(value: Any) -> bool:
+    """Missing = ``None`` or NaN. The tool's single notion of nullity."""
+    if value is None:
+        return True
+    return isinstance(value, float) and value != value
+
+
+class ValidationDataset:
+    """An ordered, column-accessible snapshot of records."""
+
+    def __init__(
+        self,
+        records: Sequence[Record | Mapping[str, Any]],
+        schema: Schema | None = None,
+    ) -> None:
+        self._rows: list[Record] = [
+            r if isinstance(r, Record) else Record(r) for r in records
+        ]
+        self._schema = schema
+        if self._rows:
+            self._columns = tuple(self._rows[0].keys())
+        elif schema is not None:
+            self._columns = schema.names
+        else:
+            self._columns = ()
+
+    @classmethod
+    def from_pollution_output(cls, polluted: Sequence[Record], schema: Schema) -> "ValidationDataset":
+        """Snapshot a pollution run's dirty stream in its integrated order."""
+        return cls(polluted, schema)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def schema(self) -> Schema | None:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._rows)
+
+    def row(self, index: int) -> Record:
+        return self._rows[index]
+
+    def require_column(self, name: str) -> None:
+        if not self._rows and self._schema is None:
+            return  # empty schemaless snapshot: columns unknown, vacuous pass
+        if name not in self._columns:
+            raise ExpectationError(
+                f"dataset has no column {name!r}; columns: {list(self._columns)}"
+            )
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        self.require_column(name)
+        return [r.get(name) for r in self._rows]
+
+    def column_nonmissing(self, name: str) -> list[tuple[int, Any]]:
+        """(row_index, value) pairs with missing values filtered out."""
+        self.require_column(name)
+        return [
+            (i, r.get(name)) for i, r in enumerate(self._rows)
+            if not is_missing(r.get(name))
+        ]
+
+    def record_ids(self, indices: Iterable[int]) -> list[int | None]:
+        return [self._rows[i].record_id for i in indices]

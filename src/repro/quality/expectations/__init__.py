@@ -1,0 +1,53 @@
+"""The expectation catalogue.
+
+Per-row expectations (not-null, regex, increasing, between, in-set,
+unique, type, value-lengths, pair and multicolumn relations) report which
+rows violate the constraint; aggregate expectations (mean, stdev, median,
+quantiles, sum, unique-proportion, most-common-value) report a single
+verdict on a column statistic. Every expectation the paper's Experiment 1
+invokes is here, alongside the common remainder of GX's core set.
+"""
+
+from repro.quality.expectations.base import Expectation
+from repro.quality.expectations.null import ExpectColumnValuesToNotBeNull
+from repro.quality.expectations.regex import ExpectColumnValuesToMatchRegex
+from repro.quality.expectations.increasing import ExpectColumnValuesToBeIncreasing
+from repro.quality.expectations.pair import ExpectColumnPairValuesAToBeGreaterThanB
+from repro.quality.expectations.multicolumn import ExpectMulticolumnSumToEqual
+from repro.quality.expectations.between import ExpectColumnValuesToBeBetween
+from repro.quality.expectations.sets import ExpectColumnValuesToBeInSet
+from repro.quality.expectations.unique import ExpectColumnValuesToBeUnique
+from repro.quality.expectations.types import ExpectColumnValuesToBeOfType
+from repro.quality.expectations.stats import (
+    ExpectColumnMeanToBeBetween,
+    ExpectColumnStdevToBeBetween,
+)
+from repro.quality.expectations.distribution import (
+    ExpectColumnMedianToBeBetween,
+    ExpectColumnMostCommonValueToBeInSet,
+    ExpectColumnProportionOfUniqueValuesToBeBetween,
+    ExpectColumnQuantileValuesToBeBetween,
+    ExpectColumnSumToBeBetween,
+    ExpectColumnValueLengthsToBeBetween,
+)
+
+__all__ = [
+    "Expectation",
+    "ExpectColumnMeanToBeBetween",
+    "ExpectColumnMedianToBeBetween",
+    "ExpectColumnMostCommonValueToBeInSet",
+    "ExpectColumnProportionOfUniqueValuesToBeBetween",
+    "ExpectColumnQuantileValuesToBeBetween",
+    "ExpectColumnSumToBeBetween",
+    "ExpectColumnValueLengthsToBeBetween",
+    "ExpectColumnPairValuesAToBeGreaterThanB",
+    "ExpectColumnStdevToBeBetween",
+    "ExpectColumnValuesToBeBetween",
+    "ExpectColumnValuesToBeIncreasing",
+    "ExpectColumnValuesToBeInSet",
+    "ExpectColumnValuesToBeOfType",
+    "ExpectColumnValuesToBeUnique",
+    "ExpectColumnValuesToMatchRegex",
+    "ExpectColumnValuesToNotBeNull",
+    "ExpectMulticolumnSumToEqual",
+]

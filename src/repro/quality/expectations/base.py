@@ -1,0 +1,103 @@
+"""Expectation base classes.
+
+An expectation validates one constraint against a
+:class:`~repro.quality.dataset.ValidationDataset` and reports an
+:class:`~repro.quality.result.ExpectationResult`. Two shapes exist:
+
+* **value expectations** (:class:`ColumnValueExpectation` and the
+  multi-column variants) check every row and report the unexpected rows;
+* **aggregate expectations** (:class:`ColumnAggregateExpectation`) check a
+  statistic of a whole column (mean, stdev) and report pass/fail.
+
+The ``mostly`` parameter matches GX's semantics: the expectation *succeeds*
+when at least that fraction of evaluated elements conforms. The unexpected
+count is reported either way — experiments consume counts, not the flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExpectationError
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.result import ExpectationResult
+
+
+class Expectation:
+    """Base class for all expectations."""
+
+    def __init__(self, mostly: float = 1.0) -> None:
+        if not 0.0 < mostly <= 1.0:
+            raise ExpectationError(f"mostly must be in (0, 1], got {mostly}")
+        self.mostly = mostly
+
+    @property
+    def name(self) -> str:
+        """The GX-style snake_case expectation name."""
+        return _snake_case(type(self).__name__)
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        raise NotImplementedError
+
+    def _result(
+        self,
+        dataset: ValidationDataset,
+        column: str | None,
+        element_count: int,
+        unexpected_indices: list[int],
+        details: dict[str, Any] | None = None,
+    ) -> ExpectationResult:
+        unexpected = len(unexpected_indices)
+        conforming = element_count - unexpected
+        success = element_count == 0 or (conforming / element_count) >= self.mostly
+        return ExpectationResult(
+            expectation=self.name,
+            column=column,
+            success=success,
+            element_count=element_count,
+            unexpected_count=unexpected,
+            unexpected_indices=unexpected_indices,
+            unexpected_record_ids=dataset.record_ids(unexpected_indices),
+            details=details or {},
+        )
+
+
+class ColumnValueExpectation(Expectation):
+    """Per-row expectation on one column.
+
+    Subclasses implement :meth:`is_expected` over non-missing values.
+    Missing values are skipped (GX's default behaviour — nullity is the
+    business of ``expect_column_values_to_not_be_null``) unless the subclass
+    sets :attr:`evaluate_missing` to True.
+    """
+
+    evaluate_missing = False
+
+    def __init__(self, column: str, mostly: float = 1.0) -> None:
+        super().__init__(mostly)
+        self.column = column
+
+    def is_expected(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        dataset.require_column(self.column)
+        unexpected: list[int] = []
+        element_count = 0
+        for i, row in enumerate(dataset):
+            value = row.get(self.column)
+            if is_missing(value) and not self.evaluate_missing:
+                continue
+            element_count += 1
+            if not self.is_expected(value):
+                unexpected.append(i)
+        return self._result(dataset, self.column, element_count, unexpected)
+
+
+def _snake_case(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)

@@ -1,0 +1,47 @@
+"""``expect_column_values_to_be_between``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExpectationError
+from repro.quality.expectations.base import ColumnValueExpectation
+
+
+class ExpectColumnValuesToBeBetween(ColumnValueExpectation):
+    """Every value must fall in ``[min_value, max_value]`` (bounds optional).
+
+    The standard detector for out-of-range errors: outlier spikes, sign
+    flips on non-negative quantities, and unit conversions that blow past
+    the physical range of an attribute.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+        strict_min: bool = False,
+        strict_max: bool = False,
+        mostly: float = 1.0,
+    ) -> None:
+        super().__init__(column, mostly)
+        if min_value is None and max_value is None:
+            raise ExpectationError("between expectation needs at least one bound")
+        if min_value is not None and max_value is not None and min_value > max_value:
+            raise ExpectationError(f"empty range [{min_value}, {max_value}]")
+        self.min_value = min_value
+        self.max_value = max_value
+        self.strict_min = strict_min
+        self.strict_max = strict_max
+
+    def is_expected(self, value: Any) -> bool:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if self.min_value is not None:
+            if value < self.min_value or (self.strict_min and value == self.min_value):
+                return False
+        if self.max_value is not None:
+            if value > self.max_value or (self.strict_max and value == self.max_value):
+                return False
+        return True

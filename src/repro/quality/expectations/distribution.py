@@ -1,0 +1,202 @@
+"""Distribution-level expectations.
+
+Beyond per-row checks, GX's core set includes expectations on column
+distributions. These matter for temporal pollution: a scale error that
+keeps every value individually plausible still drags quantiles; duplicate
+storms depress the unique-value proportion; truncation shifts string
+lengths. All are aggregate expectations (unexpected count 0/1).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from typing import Any, Collection, Sequence
+
+from repro.errors import ExpectationError
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import ColumnValueExpectation, Expectation
+from repro.quality.result import ExpectationResult
+
+
+class _AggregateExpectation(Expectation):
+    """Shared machinery: compute a statistic, check bounds, report 0/1."""
+
+    def __init__(self, column: str) -> None:
+        super().__init__(mostly=1.0)
+        self.column = column
+
+    def _values(self, dataset: ValidationDataset) -> list[Any]:
+        dataset.require_column(self.column)
+        return [v for v in dataset.column(self.column) if not is_missing(v)]
+
+    def _verdict(
+        self, dataset: ValidationDataset, ok: bool, statistic: Any
+    ) -> ExpectationResult:
+        result = self._result(
+            dataset, self.column, 1, [] if ok else [0], {"statistic": statistic}
+        )
+        result.unexpected_indices = []
+        result.unexpected_record_ids = []
+        return result
+
+
+class ExpectColumnMedianToBeBetween(_AggregateExpectation):
+    """The column median must fall within the bounds."""
+
+    def __init__(self, column: str, min_value: float | None = None,
+                 max_value: float | None = None) -> None:
+        super().__init__(column)
+        if min_value is None and max_value is None:
+            raise ExpectationError("median expectation needs at least one bound")
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        values = [v for v in self._values(dataset) if isinstance(v, (int, float))]
+        if not values:
+            return self._verdict(dataset, True, None)
+        med = float(statistics.median(values))
+        ok = (self.min_value is None or med >= self.min_value) and (
+            self.max_value is None or med <= self.max_value
+        )
+        return self._verdict(dataset, ok, med)
+
+
+class ExpectColumnQuantileValuesToBeBetween(_AggregateExpectation):
+    """Selected quantiles must fall within per-quantile ranges.
+
+    ``quantile_ranges`` maps quantile (0-1) to ``(low, high)``. The check
+    passes only when every listed quantile lands in its range — the
+    standard guard against distribution drift.
+    """
+
+    def __init__(
+        self, column: str, quantile_ranges: dict[float, tuple[float | None, float | None]]
+    ) -> None:
+        super().__init__(column)
+        if not quantile_ranges:
+            raise ExpectationError("quantile expectation needs at least one quantile")
+        for q in quantile_ranges:
+            if not 0.0 <= q <= 1.0:
+                raise ExpectationError(f"quantile must be in [0, 1], got {q}")
+        self.quantile_ranges = dict(quantile_ranges)
+
+    @staticmethod
+    def _quantile(sorted_values: Sequence[float], q: float) -> float:
+        if not sorted_values:
+            raise ExpectationError("no values")
+        idx = q * (len(sorted_values) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(sorted_values) - 1)
+        frac = idx - lo
+        return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        values = sorted(
+            float(v) for v in self._values(dataset) if isinstance(v, (int, float))
+        )
+        if not values:
+            return self._verdict(dataset, True, None)
+        observed = {q: self._quantile(values, q) for q in self.quantile_ranges}
+        ok = True
+        for q, (low, high) in self.quantile_ranges.items():
+            v = observed[q]
+            if low is not None and v < low:
+                ok = False
+            if high is not None and v > high:
+                ok = False
+        return self._verdict(dataset, ok, observed)
+
+
+class ExpectColumnSumToBeBetween(_AggregateExpectation):
+    """The column sum must fall within the bounds."""
+
+    def __init__(self, column: str, min_value: float | None = None,
+                 max_value: float | None = None) -> None:
+        super().__init__(column)
+        if min_value is None and max_value is None:
+            raise ExpectationError("sum expectation needs at least one bound")
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        values = [v for v in self._values(dataset) if isinstance(v, (int, float))]
+        total = float(sum(values))
+        ok = (self.min_value is None or total >= self.min_value) and (
+            self.max_value is None or total <= self.max_value
+        )
+        return self._verdict(dataset, ok, total)
+
+
+class ExpectColumnProportionOfUniqueValuesToBeBetween(_AggregateExpectation):
+    """distinct/total must fall within the bounds (duplicate-storm detector)."""
+
+    def __init__(self, column: str, min_value: float = 0.0, max_value: float = 1.0) -> None:
+        super().__init__(column)
+        if not 0.0 <= min_value <= max_value <= 1.0:
+            raise ExpectationError(
+                f"need 0 <= min <= max <= 1, got [{min_value}, {max_value}]"
+            )
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        values = self._values(dataset)
+        if not values:
+            return self._verdict(dataset, True, None)
+        proportion = len(set(values)) / len(values)
+        ok = self.min_value <= proportion <= self.max_value
+        return self._verdict(dataset, ok, proportion)
+
+
+class ExpectColumnMostCommonValueToBeInSet(_AggregateExpectation):
+    """The column's mode must belong to a declared set.
+
+    Catches frozen-value runs on categorical-ish columns: a stuck sensor
+    makes one (possibly invalid) value dominate.
+    """
+
+    def __init__(self, column: str, value_set: Collection[Any]) -> None:
+        super().__init__(column)
+        if not value_set:
+            raise ExpectationError("value_set must be non-empty")
+        self.value_set = frozenset(value_set)
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        values = self._values(dataset)
+        if not values:
+            return self._verdict(dataset, True, None)
+        mode, _ = Counter(values).most_common(1)[0]
+        return self._verdict(dataset, mode in self.value_set, mode)
+
+
+class ExpectColumnValueLengthsToBeBetween(ColumnValueExpectation):
+    """String lengths must fall within ``[min_length, max_length]``.
+
+    A per-row expectation (reports unexpected rows): catches truncation and
+    whitespace-padding errors.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        min_length: int | None = None,
+        max_length: int | None = None,
+        mostly: float = 1.0,
+    ) -> None:
+        super().__init__(column, mostly)
+        if min_length is None and max_length is None:
+            raise ExpectationError("length expectation needs at least one bound")
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def is_expected(self, value: Any) -> bool:
+        if not isinstance(value, str):
+            return False
+        n = len(value)
+        if self.min_length is not None and n < self.min_length:
+            return False
+        if self.max_length is not None and n > self.max_length:
+            return False
+        return True

@@ -1,0 +1,62 @@
+"""``expect_multicolumn_sum_to_equal``.
+
+Experiment 3.1.2's detector for "BPM set to 0": the expectation *applies*
+only to rows whose BPM is 0 and asserts that the sum of ``ActiveMinutes +
+Distance + Steps`` is also 0 (the tracker was genuinely not worn). A tuple
+whose BPM > 100 was zeroed by the polluter still carries activity, so the
+sum is positive and the expectation fires.
+
+This reproduction generalizes GX's expectation with an optional row filter
+(``when``) — validating only rows satisfying a predicate — which is how the
+experiment scopes the sum check to BPM==0 rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ExpectationError
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+from repro.streaming.record import Record
+
+RowFilter = Callable[[Record], bool]
+
+
+class ExpectMulticolumnSumToEqual(Expectation):
+    """The sum of several columns must equal ``total`` on every (kept) row."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        total: float,
+        when: RowFilter | None = None,
+        tolerance: float = 1e-9,
+        mostly: float = 1.0,
+    ) -> None:
+        super().__init__(mostly)
+        if not columns:
+            raise ExpectationError("multicolumn sum needs at least one column")
+        self.columns = tuple(columns)
+        self.total = total
+        self.when = when
+        self.tolerance = tolerance
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        for name in self.columns:
+            dataset.require_column(name)
+        unexpected: list[int] = []
+        element_count = 0
+        for i, row in enumerate(dataset):
+            if self.when is not None and not self.when(row):
+                continue
+            values = [row.get(c) for c in self.columns]
+            if any(is_missing(v) for v in values):
+                continue
+            element_count += 1
+            if abs(sum(values) - self.total) > self.tolerance:
+                unexpected.append(i)
+        return self._result(
+            dataset, "+".join(self.columns), element_count, unexpected
+        )

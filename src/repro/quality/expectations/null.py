@@ -1,0 +1,26 @@
+"""``expect_column_values_to_not_be_null``.
+
+The workhorse of Experiments 3.1.1 (detecting injected Distance nulls) and
+3.1.2 (detecting BPM values set to null).
+"""
+
+from __future__ import annotations
+
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+
+
+class ExpectColumnValuesToNotBeNull(Expectation):
+    """Every value of the column must be present (not None/NaN)."""
+
+    def __init__(self, column: str, mostly: float = 1.0) -> None:
+        super().__init__(mostly)
+        self.column = column
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        dataset.require_column(self.column)
+        unexpected = [
+            i for i, row in enumerate(dataset) if is_missing(row.get(self.column))
+        ]
+        return self._result(dataset, self.column, len(dataset), unexpected)

@@ -1,0 +1,51 @@
+"""``expect_column_pair_values_a_to_be_greater_than_b``.
+
+Experiment 3.1.2 detects the km->cm unit error on ``Distance`` with this
+expectation: clean data satisfies ``Steps > Distance`` (a step covers less
+than a meter, distances are in km), while a cm-valued distance dwarfs the
+step count. The *unexpected* rows are exactly the converted tuples.
+"""
+
+from __future__ import annotations
+
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+
+
+class ExpectColumnPairValuesAToBeGreaterThanB(Expectation):
+    """For every row, ``column_a``'s value must exceed ``column_b``'s.
+
+    Rows where either value is missing are skipped; with ``or_equal=True``
+    equality also conforms.
+    """
+
+    def __init__(
+        self,
+        column_a: str,
+        column_b: str,
+        or_equal: bool = False,
+        mostly: float = 1.0,
+    ) -> None:
+        super().__init__(mostly)
+        self.column_a = column_a
+        self.column_b = column_b
+        self.or_equal = or_equal
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        dataset.require_column(self.column_a)
+        dataset.require_column(self.column_b)
+        unexpected: list[int] = []
+        element_count = 0
+        for i, row in enumerate(dataset):
+            a = row.get(self.column_a)
+            b = row.get(self.column_b)
+            if is_missing(a) or is_missing(b):
+                continue
+            element_count += 1
+            ok = a >= b if self.or_equal else a > b
+            if not ok:
+                unexpected.append(i)
+        return self._result(
+            dataset, f"{self.column_a}>{self.column_b}", element_count, unexpected
+        )

@@ -1,0 +1,38 @@
+"""``expect_column_values_to_match_regex``.
+
+Experiment 3.1.2 detects the reduced precision of ``CaloriesBurned`` with a
+regex admitting at most three decimal places: a value rounded *to* precision
+2 still matches, so the experiment's regex is applied to the *textual*
+rendering of the value and crafted such that the pollution artifact
+(exactly-two-decimal rendering where the clean data carried more digits)
+falls outside it; see :mod:`repro.experiments.scenarios` for the exact
+pattern used in the reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import ExpectationError
+from repro.quality.expectations.base import ColumnValueExpectation
+
+
+class ExpectColumnValuesToMatchRegex(ColumnValueExpectation):
+    """Every value's string form must match the pattern (``re.fullmatch``
+    when ``full=True``, the default, else ``re.search``)."""
+
+    def __init__(self, column: str, regex: str, full: bool = True, mostly: float = 1.0) -> None:
+        super().__init__(column, mostly)
+        try:
+            self._pattern = re.compile(regex)
+        except re.error as exc:
+            raise ExpectationError(f"invalid regex {regex!r}: {exc}") from exc
+        self.regex = regex
+        self.full = full
+
+    def is_expected(self, value: Any) -> bool:
+        text = value if isinstance(value, str) else repr(value)
+        if self.full:
+            return self._pattern.fullmatch(text) is not None
+        return self._pattern.search(text) is not None

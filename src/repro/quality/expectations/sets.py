@@ -1,0 +1,27 @@
+"""``expect_column_values_to_be_in_set``."""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+from repro.errors import ExpectationError
+from repro.quality.expectations.base import ColumnValueExpectation
+
+
+class ExpectColumnValuesToBeInSet(ColumnValueExpectation):
+    """Every value must belong to a declared value set.
+
+    Detects the *incorrect category* error when the polluter replaced a
+    value with one from outside the expected domain — and, dually, its
+    complement (a restricted expectation set) can measure category swaps
+    within the domain as distribution shifts.
+    """
+
+    def __init__(self, column: str, value_set: Collection[Any], mostly: float = 1.0) -> None:
+        super().__init__(column, mostly)
+        if not value_set:
+            raise ExpectationError("value_set must be non-empty")
+        self.value_set = frozenset(value_set)
+
+    def is_expected(self, value: Any) -> bool:
+        return value in self.value_set

@@ -1,0 +1,75 @@
+"""Aggregate expectations over column statistics.
+
+Aggregate expectations report a single pass/fail on a column statistic
+rather than per-row hits; the ``unexpected_count`` is 0 or 1 accordingly.
+They detect *distributional* pollution — noise that leaves every single
+value plausible while shifting the mean or inflating the variance (the
+temporally increasing noise of Experiment 2 is invisible to row checks but
+obvious to a stdev expectation over a recent window).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExpectationError
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+
+
+class _ColumnStatExpectation(Expectation):
+    def __init__(
+        self,
+        column: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+    ) -> None:
+        super().__init__(mostly=1.0)
+        if min_value is None and max_value is None:
+            raise ExpectationError("aggregate expectation needs at least one bound")
+        self.column = column
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def _statistic(self, values: list[float]) -> float:
+        raise NotImplementedError
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        dataset.require_column(self.column)
+        values = [
+            float(v) for v in dataset.column(self.column)
+            if not is_missing(v) and isinstance(v, (int, float))
+        ]
+        if not values:
+            return self._result(dataset, self.column, 0, [], {"statistic": None})
+        stat = self._statistic(values)
+        ok = True
+        if self.min_value is not None and stat < self.min_value:
+            ok = False
+        if self.max_value is not None and stat > self.max_value:
+            ok = False
+        result = self._result(dataset, self.column, 1, [] if ok else [0],
+                              {"statistic": stat})
+        # Index 0 is a placeholder for aggregate failures; blank the id list.
+        result.unexpected_indices = []
+        result.unexpected_record_ids = []
+        return result
+
+
+class ExpectColumnMeanToBeBetween(_ColumnStatExpectation):
+    """The column mean must fall within the declared bounds."""
+
+    def _statistic(self, values: list[float]) -> float:
+        return sum(values) / len(values)
+
+
+class ExpectColumnStdevToBeBetween(_ColumnStatExpectation):
+    """The column's sample standard deviation must fall within the bounds."""
+
+    def _statistic(self, values: list[float]) -> float:
+        n = len(values)
+        if n < 2:
+            return 0.0
+        mean = sum(values) / n
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))

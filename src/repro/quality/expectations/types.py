@@ -1,0 +1,37 @@
+"""``expect_column_values_to_be_of_type``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExpectationError
+from repro.quality.expectations.base import ColumnValueExpectation
+
+_TYPE_MAP: dict[str, tuple[type, ...]] = {
+    "float": (float, int),
+    "int": (int,),
+    "str": (str,),
+    "bool": (bool,),
+}
+
+
+class ExpectColumnValuesToBeOfType(ColumnValueExpectation):
+    """Every value must be of the declared Python type.
+
+    Catches type-corrupting errors (e.g. a polluter writing a string into a
+    numeric field, or precision loss turning an INT reading into a float in
+    a loosely-typed pipeline).
+    """
+
+    def __init__(self, column: str, type_: str, mostly: float = 1.0) -> None:
+        super().__init__(column, mostly)
+        if type_ not in _TYPE_MAP:
+            raise ExpectationError(
+                f"unknown type {type_!r}; known: {sorted(_TYPE_MAP)}"
+            )
+        self.type_ = type_
+
+    def is_expected(self, value: Any) -> bool:
+        if isinstance(value, bool) and self.type_ != "bool":
+            return False
+        return isinstance(value, _TYPE_MAP[self.type_])

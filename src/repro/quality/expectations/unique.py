@@ -1,0 +1,36 @@
+"""``expect_column_values_to_be_unique``."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.quality.dataset import ValidationDataset, is_missing
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+
+
+class ExpectColumnValuesToBeUnique(Expectation):
+    """No value may occur more than once in the column.
+
+    The detector for duplicate errors (and for the fuzzy duplicates that
+    merging overlapping sub-streams produces when applied to the tuple
+    identifier or an exactly-copied timestamp). Every row participating in
+    a duplicated value is unexpected, matching GX's semantics.
+    """
+
+    def __init__(self, column: str, mostly: float = 1.0) -> None:
+        super().__init__(mostly)
+        self.column = column
+
+    def validate(self, dataset: ValidationDataset) -> ExpectationResult:
+        dataset.require_column(self.column)
+        counts: Counter = Counter()
+        evaluated: list[tuple[int, object]] = []
+        for i, row in enumerate(dataset):
+            value = row.get(self.column)
+            if is_missing(value):
+                continue
+            counts[value] += 1
+            evaluated.append((i, value))
+        unexpected = [i for i, value in evaluated if counts[value] > 1]
+        return self._result(dataset, self.column, len(evaluated), unexpected)

@@ -1,0 +1,42 @@
+"""Expectation validation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExpectationResult:
+    """Outcome of validating one expectation against one dataset.
+
+    Mirrors the fields GX reports that the paper's experiments consume:
+    ``unexpected_count`` (the measured number of errors — Fig. 4's orange
+    series, Table 1's "Measured with GX" column), the unexpected rows
+    themselves, and an overall success flag.
+    """
+
+    expectation: str
+    column: str | None
+    success: bool
+    element_count: int
+    unexpected_count: int
+    unexpected_indices: list[int] = field(default_factory=list)
+    unexpected_record_ids: list[int | None] = field(default_factory=list)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def unexpected_percent(self) -> float:
+        """Share of evaluated elements that violated the expectation."""
+        if self.element_count == 0:
+            return 0.0
+        return 100.0 * self.unexpected_count / self.element_count
+
+    def summary(self) -> str:
+        status = "PASS" if self.success else "FAIL"
+        col = f" on {self.column!r}" if self.column else ""
+        return (
+            f"[{status}] {self.expectation}{col}: "
+            f"{self.unexpected_count}/{self.element_count} unexpected "
+            f"({self.unexpected_percent:.2f}%)"
+        )

@@ -1,0 +1,114 @@
+"""Detection scoring: precision/recall of a DQ tool against the ground truth.
+
+Experiment 1 compares error *counts*; a polluter's real payoff is per-tuple
+scoring — which injected errors did the detector find, which detections
+were false alarms? The pollution log carries record ids; expectation
+results carry unexpected record ids; joining them yields the classic
+confusion metrics.
+
+``score_detection`` treats the set of record ids touched by (a selection
+of) polluters as positives, and the union of unexpected record ids across
+(a selection of) expectation results as detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.log import PollutionLog
+from repro.quality.result import ExpectationResult
+from repro.quality.suite import ValidationReport
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Confusion metrics of detected vs injected errors (by record id)."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"TP={self.true_positives} FP={self.false_positives} "
+            f"FN={self.false_negatives}  precision={self.precision:.3f} "
+            f"recall={self.recall:.3f} f1={self.f1:.3f}"
+        )
+
+
+def _detected_ids(
+    results: ValidationReport | ExpectationResult | Iterable[ExpectationResult],
+) -> set[int]:
+    if isinstance(results, ValidationReport):
+        results = list(results)
+    elif isinstance(results, ExpectationResult):
+        results = [results]
+    detected: set[int] = set()
+    for result in results:
+        detected.update(
+            rid for rid in result.unexpected_record_ids if rid is not None
+        )
+    return detected
+
+
+def injected_ids(
+    log: PollutionLog,
+    polluters: Sequence[str] | None = None,
+    changed_only: bool = True,
+) -> set[int]:
+    """Record ids the pollution actually made dirty.
+
+    ``changed_only`` skips firings that left every value unchanged (e.g. a
+    unit conversion of a zero) — those are not errors a detector could or
+    should find.
+    """
+    ids: set[int] = set()
+    for event in log:
+        if event.record_id is None:
+            continue
+        if polluters is not None and event.polluter not in polluters:
+            continue
+        if changed_only and not (
+            event.dropped or event.duplicated or event.changed_attributes()
+        ):
+            continue
+        ids.add(event.record_id)
+    return ids
+
+
+def score_detection(
+    results: ValidationReport | ExpectationResult | Iterable[ExpectationResult],
+    log: PollutionLog,
+    polluters: Sequence[str] | None = None,
+    known_clean_violations: Iterable[int] = (),
+) -> DetectionScore:
+    """Score detections against the pollution log.
+
+    ``known_clean_violations`` lists record ids that violate the suite in
+    the *clean* data (the wearable twin's two pre-existing violations);
+    they are excluded from the false-positive count, since flagging them is
+    correct behaviour that the pollution log cannot know about.
+    """
+    detected = _detected_ids(results)
+    injected = injected_ids(log, polluters)
+    excluded = set(known_clean_violations)
+    tp = len(detected & injected)
+    fp = len(detected - injected - excluded)
+    fn = len(injected - detected)
+    return DetectionScore(true_positives=tp, false_positives=fp, false_negatives=fn)

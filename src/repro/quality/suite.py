@@ -1,0 +1,77 @@
+"""Expectation suites and validation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import ExpectationError
+from repro.quality.dataset import ValidationDataset
+from repro.quality.expectations.base import Expectation
+from repro.quality.result import ExpectationResult
+
+
+@dataclass
+class ValidationReport:
+    """All results of validating a suite against one dataset."""
+
+    suite_name: str
+    results: list[ExpectationResult] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return all(r.success for r in self.results)
+
+    @property
+    def total_unexpected(self) -> int:
+        return sum(r.unexpected_count for r in self.results)
+
+    def result_for(self, expectation_name: str, column: str | None = None) -> ExpectationResult:
+        for r in self.results:
+            if r.expectation == expectation_name and (column is None or r.column == column):
+                return r
+        raise ExpectationError(
+            f"report has no result for {expectation_name!r}"
+            + (f" on {column!r}" if column else "")
+        )
+
+    def summary(self) -> str:
+        lines = [f"suite {self.suite_name!r}: "
+                 f"{'PASS' if self.success else 'FAIL'} "
+                 f"({self.total_unexpected} unexpected elements total)"]
+        lines.extend("  " + r.summary() for r in self.results)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[ExpectationResult]:
+        return iter(self.results)
+
+
+class ExpectationSuite:
+    """A named bundle of expectations validated together.
+
+    Mirrors GX's suite concept: experiments build one suite per pollution
+    scenario (see :mod:`repro.experiments.scenarios`) and validate it
+    against each polluted output stream.
+    """
+
+    def __init__(self, name: str, expectations: Sequence[Expectation] = ()) -> None:
+        self.name = name
+        self._expectations: list[Expectation] = list(expectations)
+
+    def add(self, expectation: Expectation) -> "ExpectationSuite":
+        self._expectations.append(expectation)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._expectations)
+
+    def __iter__(self) -> Iterator[Expectation]:
+        return iter(self._expectations)
+
+    def validate(self, dataset: ValidationDataset) -> ValidationReport:
+        if not self._expectations:
+            raise ExpectationError(f"suite {self.name!r} has no expectations")
+        report = ValidationReport(self.name)
+        for expectation in self._expectations:
+            report.results.append(expectation.validate(dataset))
+        return report

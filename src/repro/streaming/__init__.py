@@ -1,0 +1,62 @@
+"""A small single-process stream-processing substrate (mini-Flink).
+
+This package stands in for Apache Flink in the Icewafl reproduction. It
+provides everything the pollution model in :mod:`repro.core` needs from a
+stream processor:
+
+* a typed record/schema data model (:mod:`repro.streaming.record`,
+  :mod:`repro.streaming.schema`),
+* event-time handling and watermarks (:mod:`repro.streaming.time`,
+  :mod:`repro.streaming.watermarks`),
+* sources and sinks (:mod:`repro.streaming.source`, :mod:`repro.streaming.sink`),
+* stateless and keyed stateful operators (:mod:`repro.streaming.operators`,
+  :mod:`repro.streaming.keyed`),
+* event-time windows (:mod:`repro.streaming.windows`),
+* stream splitting/union for integration scenarios
+  (:mod:`repro.streaming.split`), and
+* a fluent execution environment that wires operators into a dataflow graph
+  and runs it tuple-at-a-time or in micro-batches
+  (:mod:`repro.streaming.environment`).
+
+The engine is push-based: sources emit records into a DAG of operator nodes;
+each node transforms records and forwards them downstream. Execution is
+deterministic — given the same input order and seeds, the output is
+byte-identical, which Icewafl's reproducible pollution logs rely on.
+"""
+
+from repro.streaming.environment import DataStream, StreamExecutionEnvironment
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CollectSink, CountingSink, CsvSink, NullSink
+from repro.streaming.source import CollectionSource, CsvSource, GeneratorSource
+from repro.streaming.time import (
+    Duration,
+    format_timestamp,
+    hour_of_day,
+    hours_between,
+    parse_timestamp,
+)
+from repro.streaming.watermarks import BoundedOutOfOrdernessWatermarks, Watermark
+
+__all__ = [
+    "Attribute",
+    "BoundedOutOfOrdernessWatermarks",
+    "CollectSink",
+    "CollectionSource",
+    "CountingSink",
+    "CsvSink",
+    "CsvSource",
+    "DataStream",
+    "DataType",
+    "Duration",
+    "GeneratorSource",
+    "NullSink",
+    "Record",
+    "Schema",
+    "StreamExecutionEnvironment",
+    "Watermark",
+    "format_timestamp",
+    "hour_of_day",
+    "hours_between",
+    "parse_timestamp",
+]

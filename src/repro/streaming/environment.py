@@ -1,0 +1,295 @@
+"""The stream execution environment and fluent ``DataStream`` API.
+
+Mirrors the shape of Flink's ``StreamExecutionEnvironment``: build a dataflow
+graph with a fluent API, then :meth:`StreamExecutionEnvironment.execute` it.
+Execution is synchronous and single-process; sources are drained in
+registration order, each record is pushed through the DAG depth-first, and
+watermarks (from an optional per-source strategy) interleave with records.
+A final ``Watermark.max()`` flushes all event-time state (windows, sorters)
+at end of stream.
+
+Example
+-------
+>>> env = StreamExecutionEnvironment()
+>>> stream = env.from_collection(schema, rows)
+>>> stream.map(prepare).filter(lambda r: r["BPM"] is not None).add_sink(sink)
+>>> env.execute()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import StreamError
+from repro.streaming.keyed import (
+    KeyedProcessFunction,
+    KeyedProcessNode,
+    KeySelector,
+)
+from repro.streaming.operators import (
+    FilterFunction,
+    FilterNode,
+    FlatMapFunction,
+    FlatMapNode,
+    MapFunction,
+    MapNode,
+    Node,
+    ProcessFunction,
+    ProcessNode,
+    SinkNode,
+    UnionNode,
+)
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.sink import Sink
+from repro.streaming.source import CollectionSource, Source
+from repro.streaming.split import SplitNode, SplitStrategy
+from repro.streaming.watermarks import Watermark, WatermarkGenerator
+from repro.streaming.windows import WindowAssigner, WindowFunction, WindowNode
+
+
+class _SourceHead(Node):
+    """Entry node of a source; the environment pushes records into it."""
+
+    def on_record(self, record: Record) -> None:
+        self.emit(record)
+
+
+class _UnionInput(Node):
+    """Adapter in front of a UnionNode attributing watermarks to one input."""
+
+    def __init__(self, name: str, union: UnionNode) -> None:
+        super().__init__(name)
+        self._union = union
+        union.register_input(self)
+
+    def on_record(self, record: Record) -> None:
+        self._union.on_record(record)
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        self._union.on_watermark_from(self, watermark)
+
+
+class DataStream:
+    """A handle on one node of the dataflow graph under construction."""
+
+    def __init__(self, env: "StreamExecutionEnvironment", node: Node, schema: Schema) -> None:
+        self._env = env
+        self._node = node
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def node(self) -> Node:
+        return self._node
+
+    def _attach(self, node: Node, schema: Schema | None = None) -> "DataStream":
+        self._node.add_downstream(node)
+        self._env._register(node)
+        return DataStream(self._env, node, schema or self._schema)
+
+    # -- stateless transformations ------------------------------------------
+
+    def map(
+        self, fn: MapFunction | Callable[[Record], Record], name: str = "map"
+    ) -> "DataStream":
+        return self._attach(MapNode(self._env._unique(name), fn))
+
+    def filter(
+        self, fn: FilterFunction | Callable[[Record], bool], name: str = "filter"
+    ) -> "DataStream":
+        return self._attach(FilterNode(self._env._unique(name), fn))
+
+    def flat_map(
+        self,
+        fn: FlatMapFunction | Callable[[Record], Iterable[Record]],
+        name: str = "flat_map",
+    ) -> "DataStream":
+        return self._attach(FlatMapNode(self._env._unique(name), fn))
+
+    def process(self, fn: ProcessFunction, name: str = "process") -> "DataStream":
+        return self._attach(ProcessNode(self._env._unique(name), fn))
+
+    # -- keyed / windowed -----------------------------------------------------
+
+    def key_by(self, key_selector: KeySelector) -> "KeyedStream":
+        return KeyedStream(self._env, self._node, self._schema, key_selector)
+
+    # -- splitting & union ------------------------------------------------------
+
+    def split(self, strategy: SplitStrategy, name: str = "split") -> list["DataStream"]:
+        """Fan out into ``strategy.m`` sub-streams (Algorithm 1, line 4)."""
+        node = SplitNode(self._env._unique(name), strategy)
+        self._node.add_downstream(node)
+        self._env._register(node)
+        out = []
+        for branch in node.branches:
+            self._env._register(branch)
+            out.append(DataStream(self._env, branch, self._schema))
+        return out
+
+    def union(self, *others: "DataStream", name: str = "union") -> "DataStream":
+        """Merge this stream with others (Algorithm 1, line 10)."""
+        streams = [self, *others]
+        union = UnionNode(self._env._unique(name), n_inputs=len(streams))
+        self._env._register(union)
+        for s in streams:
+            adapter = _UnionInput(self._env._unique(f"{name}.in"), union)
+            s._node.add_downstream(adapter)
+            self._env._register(adapter)
+        return DataStream(self._env, union, self._schema)
+
+    # -- termination ---------------------------------------------------------
+
+    def add_sink(self, sink: Sink, name: str = "sink") -> Sink:
+        node = SinkNode(self._env._unique(name), sink)
+        self._node.add_downstream(node)
+        self._env._register(node)
+        return sink
+
+
+class KeyedStream:
+    """A stream partitioned by key; supports stateful process and windows."""
+
+    def __init__(
+        self,
+        env: "StreamExecutionEnvironment",
+        upstream: Node,
+        schema: Schema,
+        key_selector: KeySelector,
+    ) -> None:
+        self._env = env
+        self._upstream = upstream
+        self._schema = schema
+        self._key_selector = key_selector
+
+    def process(
+        self, fn: KeyedProcessFunction, name: str = "keyed_process"
+    ) -> DataStream:
+        node = KeyedProcessNode(self._env._unique(name), self._key_selector, fn)
+        self._upstream.add_downstream(node)
+        self._env._register(node)
+        return DataStream(self._env, node, self._schema)
+
+    def window(
+        self, assigner: WindowAssigner, fn: WindowFunction, name: str = "window"
+    ) -> DataStream:
+        node = WindowNode(self._env._unique(name), self._key_selector, assigner, fn)
+        self._upstream.add_downstream(node)
+        self._env._register(node)
+        return DataStream(self._env, node, self._schema)
+
+
+class StreamExecutionEnvironment:
+    """Builds and executes a dataflow graph.
+
+    Parameters
+    ----------
+    auto_watermarks:
+        When True (default), each record whose ``event_time`` is set advances
+        a per-source monotonous watermark automatically, so event-time
+        operators work without an explicit strategy.
+    """
+
+    def __init__(self, auto_watermarks: bool = True) -> None:
+        self._sources: list[tuple[_SourceHead, Source, WatermarkGenerator | None]] = []
+        self._nodes: list[Node] = []
+        self._names: set[str] = set()
+        self._auto_watermarks = auto_watermarks
+        self._executed = False
+
+    # -- construction ----------------------------------------------------------
+
+    def _unique(self, base: str) -> str:
+        if base not in self._names:
+            self._names.add(base)
+            return base
+        i = 1
+        while f"{base}#{i}" in self._names:
+            i += 1
+        name = f"{base}#{i}"
+        self._names.add(name)
+        return name
+
+    def _register(self, node: Node) -> None:
+        self._nodes.append(node)
+
+    def from_source(
+        self,
+        source: Source,
+        watermarks: WatermarkGenerator | None = None,
+        name: str = "source",
+    ) -> DataStream:
+        head = _SourceHead(self._unique(name))
+        self._register(head)
+        self._sources.append((head, source, watermarks))
+        return DataStream(self, head, source.schema)
+
+    def from_collection(
+        self,
+        schema: Schema,
+        rows: Iterable[Mapping[str, Any] | Record],
+        validate: bool = True,
+        name: str = "collection",
+    ) -> DataStream:
+        return self.from_source(CollectionSource(schema, rows, validate), name=name)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self) -> None:
+        """Run the dataflow to completion.
+
+        Drains each source in registration order, interleaving watermarks,
+        then sends the end-of-stream watermark through every source head so
+        buffered event-time state flushes. An environment can only execute
+        once; build a fresh one per run (they are cheap).
+        """
+        if self._executed:
+            raise StreamError("environment already executed; build a new one")
+        if not self._sources:
+            raise StreamError("no sources registered")
+        self._executed = True
+        for node in self._nodes:
+            node.open()
+        try:
+            for head, source, wm_gen in self._sources:
+                last_auto_wm: int | None = None
+                for record in source:
+                    if record.event_time is None:
+                        ts_attr = source.schema.timestamp_attribute
+                        ts = record.get(ts_attr)
+                        if isinstance(ts, int):
+                            record.event_time = ts
+                    head.on_record(record)
+                    wm = None
+                    if wm_gen is not None and record.event_time is not None:
+                        wm = wm_gen.on_event(record.event_time)
+                    elif (
+                        self._auto_watermarks
+                        and wm_gen is None
+                        and record.event_time is not None
+                    ):
+                        if last_auto_wm is None or record.event_time > last_auto_wm:
+                            last_auto_wm = record.event_time
+                            wm = Watermark(record.event_time)
+                    if wm is not None:
+                        head.on_watermark(wm)
+                head.on_watermark(Watermark.max())
+        finally:
+            for node in self._nodes:
+                node.close()
+
+    # -- convenience ----------------------------------------------------------
+
+    @staticmethod
+    def run_pass_through(
+        schema: Schema, rows: Sequence[Mapping[str, Any] | Record], sink: Sink
+    ) -> Sink:
+        """Load ``rows`` and write them straight to ``sink`` (Exp. 3 baseline)."""
+        env = StreamExecutionEnvironment()
+        env.from_collection(schema, rows, validate=False).add_sink(sink)
+        env.execute()
+        return sink

@@ -1,0 +1,297 @@
+"""Stream operators and the push-based dataflow node model.
+
+The engine executes a DAG of :class:`Node` objects. A node receives records
+(and watermarks) from its upstream and forwards transformed output to its
+downstream nodes. User logic is supplied as plain callables or as rich
+function objects (:class:`MapFunction`, :class:`ProcessFunction`, ...) that
+mirror Flink's operator interfaces closely enough that the pollution
+operators of :mod:`repro.core` read like their PyFlink counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.streaming.record import Record
+from repro.streaming.watermarks import Watermark
+
+# ---------------------------------------------------------------------------
+# User-function interfaces
+# ---------------------------------------------------------------------------
+
+
+class MapFunction:
+    """One-in one-out transformation."""
+
+    def map(self, record: Record) -> Record:
+        raise NotImplementedError
+
+    def open(self) -> None:
+        """Called once before processing starts (resource setup)."""
+
+    def close(self) -> None:
+        """Called once after the stream is exhausted."""
+
+
+class FilterFunction:
+    """Keeps records for which :meth:`filter` returns True."""
+
+    def filter(self, record: Record) -> bool:
+        raise NotImplementedError
+
+    def open(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class FlatMapFunction:
+    """One-in many-out transformation (zero or more output records)."""
+
+    def flat_map(self, record: Record) -> Iterable[Record]:
+        raise NotImplementedError
+
+    def open(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Collector:
+    """Receives output records from a :class:`ProcessFunction`."""
+
+    def __init__(self, emit: Callable[[Record], None]) -> None:
+        self._emit = emit
+        self.emitted = 0
+
+    def collect(self, record: Record) -> None:
+        self.emitted += 1
+        self._emit(record)
+
+
+class ProcessContext:
+    """Per-record context handed to a :class:`ProcessFunction`.
+
+    Exposes the record's event time (the replicated timestamp ``tau``) and
+    the operator's current watermark — the two temporal signals Icewafl's
+    temporal conditions and native temporal errors consume.
+    """
+
+    def __init__(self) -> None:
+        self.event_time: int | None = None
+        self.current_watermark: int = Watermark.min().timestamp
+
+
+class ProcessFunction:
+    """The most general stateless operator: full control over emission."""
+
+    def process(self, record: Record, ctx: ProcessContext, out: Collector) -> None:
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark, out: Collector) -> None:
+        """Hook invoked when a watermark passes through the operator."""
+
+    def open(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Dataflow nodes
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    """A vertex of the dataflow DAG."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.downstream: list[Node] = []
+
+    def add_downstream(self, node: "Node") -> None:
+        self.downstream.append(node)
+
+    # -- record / watermark propagation ------------------------------------
+
+    def emit(self, record: Record) -> None:
+        for child in self.downstream:
+            child.on_record(record)
+
+    def emit_watermark(self, watermark: Watermark) -> None:
+        for child in self.downstream:
+            child.on_watermark(watermark)
+
+    def on_record(self, record: Record) -> None:
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        self.emit_watermark(watermark)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MapNode(Node):
+    def __init__(self, name: str, fn: MapFunction | Callable[[Record], Record]) -> None:
+        super().__init__(name)
+        self._fn = fn if isinstance(fn, MapFunction) else _CallableMap(fn)
+
+    def open(self) -> None:
+        self._fn.open()
+
+    def close(self) -> None:
+        self._fn.close()
+
+    def on_record(self, record: Record) -> None:
+        self.emit(self._fn.map(record))
+
+
+class FilterNode(Node):
+    def __init__(self, name: str, fn: FilterFunction | Callable[[Record], bool]) -> None:
+        super().__init__(name)
+        self._fn = fn if isinstance(fn, FilterFunction) else _CallableFilter(fn)
+
+    def open(self) -> None:
+        self._fn.open()
+
+    def close(self) -> None:
+        self._fn.close()
+
+    def on_record(self, record: Record) -> None:
+        if self._fn.filter(record):
+            self.emit(record)
+
+
+class FlatMapNode(Node):
+    def __init__(
+        self, name: str, fn: FlatMapFunction | Callable[[Record], Iterable[Record]]
+    ) -> None:
+        super().__init__(name)
+        self._fn = fn if isinstance(fn, FlatMapFunction) else _CallableFlatMap(fn)
+
+    def open(self) -> None:
+        self._fn.open()
+
+    def close(self) -> None:
+        self._fn.close()
+
+    def on_record(self, record: Record) -> None:
+        for out in self._fn.flat_map(record):
+            self.emit(out)
+
+
+class ProcessNode(Node):
+    def __init__(self, name: str, fn: ProcessFunction) -> None:
+        super().__init__(name)
+        self._fn = fn
+        self._ctx = ProcessContext()
+        self._collector = Collector(self.emit)
+
+    def open(self) -> None:
+        self._fn.open()
+
+    def close(self) -> None:
+        self._fn.close()
+
+    def on_record(self, record: Record) -> None:
+        self._ctx.event_time = record.event_time
+        self._fn.process(record, self._ctx, self._collector)
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        self._ctx.current_watermark = watermark.timestamp
+        self._fn.on_watermark(watermark, self._collector)
+        self.emit_watermark(watermark)
+
+
+class UnionNode(Node):
+    """Merges several upstreams; forwards records in arrival order.
+
+    Watermarks are forwarded as the *minimum* over the upstreams' latest
+    watermarks, the standard multi-input watermark rule: event time has only
+    progressed as far as the slowest input.
+    """
+
+    def __init__(self, name: str, n_inputs: int) -> None:
+        super().__init__(name)
+        self._latest: list[int] = [Watermark.min().timestamp] * n_inputs
+        self._emitted: int = Watermark.min().timestamp
+        self._input_index: dict[int, int] = {}
+        self._next_slot = 0
+
+    def register_input(self, upstream: Node) -> None:
+        self._input_index[id(upstream)] = self._next_slot
+        self._next_slot += 1
+
+    def on_record(self, record: Record) -> None:
+        self.emit(record)
+
+    def on_watermark_from(self, upstream: Node, watermark: Watermark) -> None:
+        slot = self._input_index.get(id(upstream), 0)
+        self._latest[slot] = max(self._latest[slot], watermark.timestamp)
+        combined = min(self._latest[: self._next_slot] or [watermark.timestamp])
+        if combined > self._emitted:
+            self._emitted = combined
+            self.emit_watermark(Watermark(combined))
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        # Direct watermark without upstream attribution: degrade gracefully.
+        self.on_watermark_from(self, watermark)
+
+
+class SinkNode(Node):
+    def __init__(self, name: str, sink: Any) -> None:
+        super().__init__(name)
+        self.sink = sink
+
+    def open(self) -> None:
+        self.sink.open()
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def on_record(self, record: Record) -> None:
+        self.sink.invoke(record)
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Callable adapters
+# ---------------------------------------------------------------------------
+
+
+class _CallableMap(MapFunction):
+    def __init__(self, fn: Callable[[Record], Record]) -> None:
+        self._fn = fn
+
+    def map(self, record: Record) -> Record:
+        return self._fn(record)
+
+
+class _CallableFilter(FilterFunction):
+    def __init__(self, fn: Callable[[Record], bool]) -> None:
+        self._fn = fn
+
+    def filter(self, record: Record) -> bool:
+        return bool(self._fn(record))
+
+
+class _CallableFlatMap(FlatMapFunction):
+    def __init__(self, fn: Callable[[Record], Iterable[Record]]) -> None:
+        self._fn = fn
+
+    def flat_map(self, record: Record) -> Iterable[Record]:
+        return self._fn(record)

@@ -1,0 +1,119 @@
+"""Stream sinks.
+
+Sinks terminate a dataflow. The pollution process writes two outputs
+(Fig. 2): the polluted stream and, optionally, a log of the pollution for
+reproducibility. Experiments additionally need a pass-through pipeline that
+only loads and writes data (the Experiment 3 baseline), which
+:class:`CsvSink` and :class:`NullSink` provide.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any
+
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class Sink:
+    """Base class for sinks. Subclasses implement :meth:`invoke`."""
+
+    def open(self) -> None:
+        """Called once before the first record."""
+
+    def invoke(self, record: Record) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called once after the last record."""
+
+
+class CollectSink(Sink):
+    """Accumulates records in memory; the default sink for experiments."""
+
+    def __init__(self) -> None:
+        self.records: list[Record] = []
+
+    def invoke(self, record: Record) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+class CountingSink(Sink):
+    """Counts records without retaining them (cheap throughput measurements)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def invoke(self, record: Record) -> None:
+        self.count += 1
+
+
+class NullSink(Sink):
+    """Discards all records."""
+
+    def invoke(self, record: Record) -> None:
+        pass
+
+
+class CsvSink(Sink):
+    """Writes records to a CSV file (or any text buffer).
+
+    ``None`` values are written as empty cells; floats keep full repr
+    precision so round-tripping through :class:`CsvSource` is lossless for
+    representable values.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        path: str | Path | io.TextIOBase,
+        include_metadata: bool = False,
+    ) -> None:
+        self._schema = schema
+        self._path = path
+        self._include_metadata = include_metadata
+        self._file: Any = None
+        self._writer: Any = None
+        self._owns_file = not isinstance(path, io.TextIOBase)
+
+    def open(self) -> None:
+        if self._owns_file:
+            self._file = open(self._path, "w", newline="")  # noqa: SIM115
+        else:
+            self._file = self._path
+        header = list(self._schema.names)
+        if self._include_metadata:
+            header = ["record_id", "substream", *header]
+        self._writer = csv.writer(self._file)
+        self._writer.writerow(header)
+
+    def invoke(self, record: Record) -> None:
+        if self._writer is None:
+            self.open()
+        row = [_render(record.get(n)) for n in self._schema.names]
+        if self._include_metadata:
+            row = [_render(record.record_id), _render(record.substream), *row]
+        self._writer.writerow(row)
+
+    def close(self) -> None:
+        if self._file is not None and self._owns_file:
+            self._file.close()
+        self._file = None
+        self._writer = None
+
+
+def _render(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    return str(value)

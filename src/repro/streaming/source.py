@@ -1,0 +1,153 @@
+"""Stream sources.
+
+A source yields :class:`~repro.streaming.record.Record` objects in stream
+order. Sources validate records against the stream schema eagerly, so that
+pollution operates on well-typed clean data (Fig. 2's "Prepare Data" step
+assumes a parseable input). Micro-batched input (§2.1: "a data stream split
+into small batches") is flattened back to tuple-wise order by
+:class:`MicroBatchSource`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import StreamError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class Source:
+    """Base class for stream sources."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __iter__(self) -> Iterator[Record]:
+        raise NotImplementedError
+
+    def _to_record(self, values: Mapping[str, Any], validate: bool) -> Record:
+        if validate:
+            self._schema.validate_values(values)
+        return Record(values)
+
+
+class CollectionSource(Source):
+    """Source over an in-memory sequence of value mappings or records.
+
+    The common entry point for tests and experiments: build rows as dicts,
+    wrap them in a source, pollute, inspect.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Mapping[str, Any] | Record],
+        validate: bool = True,
+    ) -> None:
+        super().__init__(schema)
+        self._rows = list(rows)
+        self._validate = validate
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Record]:
+        for row in self._rows:
+            if isinstance(row, Record):
+                if self._validate:
+                    self._schema.validate_values(row.as_dict())
+                yield row.copy()
+            else:
+                yield self._to_record(row, self._validate)
+
+
+class GeneratorSource(Source):
+    """Source driven by a factory of row iterators.
+
+    The factory is invoked per iteration, so the source is re-iterable —
+    important because the pollution runner reads the input twice conceptually
+    (clean + dirty); in practice it reads once and copies, but benchmarks
+    re-run sources many times.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        factory: Callable[[], Iterable[Mapping[str, Any]]],
+        validate: bool = False,
+    ) -> None:
+        super().__init__(schema)
+        self._factory = factory
+        self._validate = validate
+
+    def __iter__(self) -> Iterator[Record]:
+        for row in self._factory():
+            yield self._to_record(row, self._validate)
+
+
+class MicroBatchSource(Source):
+    """Flattens a sequence of micro-batches into a tuple-wise stream.
+
+    §2.1: "The pollution process can either take a real data stream or a data
+    stream split into small batches (i.e., micro-batching) as input. Within
+    our framework, each input is treated tuple-wise as a data stream."
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        batches: Iterable[Sequence[Mapping[str, Any] | Record]],
+        validate: bool = True,
+    ) -> None:
+        super().__init__(schema)
+        self._batches = [list(b) for b in batches]
+        self._validate = validate
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        return [len(b) for b in self._batches]
+
+    def __iter__(self) -> Iterator[Record]:
+        for batch in self._batches:
+            for row in batch:
+                if isinstance(row, Record):
+                    yield row.copy()
+                else:
+                    yield self._to_record(row, self._validate)
+
+
+class CsvSource(Source):
+    """Reads records from a CSV file, parsing cells via the schema.
+
+    The header row must name every schema attribute (extra columns are
+    ignored). Cell parsing follows :meth:`Attribute.parse`: empty cells and
+    NA literals become ``None``.
+    """
+
+    def __init__(self, schema: Schema, path: str | Path, validate: bool = False) -> None:
+        super().__init__(schema)
+        self._path = Path(path)
+        self._validate = validate
+
+    def __iter__(self) -> Iterator[Record]:
+        with open(self._path, newline="") as f:
+            reader = csv.DictReader(f)
+            if reader.fieldnames is None:
+                raise StreamError(f"CSV file {self._path} has no header row")
+            missing = [n for n in self._schema.names if n not in reader.fieldnames]
+            if missing:
+                raise StreamError(
+                    f"CSV file {self._path} is missing schema columns: {missing}"
+                )
+            for row in reader:
+                values = {
+                    attr.name: attr.parse(row[attr.name]) for attr in self._schema
+                }
+                yield self._to_record(values, self._validate)

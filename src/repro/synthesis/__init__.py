@@ -1,0 +1,32 @@
+"""Time-series synthesis (the paper's future-work item 4).
+
+§5: "we plan to ... explore new fields of application, such as testing
+whether existing approaches to time series synthesis are agnostic to
+different temporal error types and patterns. Such an analysis will reveal
+the suitability of synthesis approaches for different use cases: synthesis
+approaches that do not adopt errors from the real data stream are
+beneficial for applications that require clean data. On the other hand,
+approaches that preserve error patterns ... can be used to generate
+synthetic data that is suitable for error analysis tasks."
+
+This package implements that study's two synthesizer families:
+
+* :class:`~repro.synthesis.bootstrap.SeasonalBlockBootstrap` — resamples
+  whole seasonal blocks of the source stream. Whatever is *in* the blocks
+  — including injected nulls, frozen runs, and noise — reappears in the
+  synthetic stream: an **error-preserving** synthesizer.
+* :class:`~repro.synthesis.ar.ARSynthesizer` — fits a seasonal-mean +
+  AR(p) model to the source and generates fresh Gaussian innovations: an
+  **error-agnostic** (smoothing) synthesizer that produces clean data even
+  from a polluted source.
+
+:mod:`repro.experiments.exp4_synthesis` runs the study: pollute a stream
+with Icewafl, synthesize from the polluted stream with both methods,
+measure the surviving error rate with the DQ tool.
+"""
+
+from repro.synthesis.ar import ARSynthesizer
+from repro.synthesis.base import TimeSeriesSynthesizer
+from repro.synthesis.bootstrap import SeasonalBlockBootstrap
+
+__all__ = ["ARSynthesizer", "SeasonalBlockBootstrap", "TimeSeriesSynthesizer"]

@@ -1,0 +1,56 @@
+"""The synthesizer interface."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DatasetError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class TimeSeriesSynthesizer:
+    """Fits on a source stream, then generates synthetic streams.
+
+    Synthetic records follow the source schema; timestamps are a fresh
+    regular grid continuing the source's cadence (synthesis creates *new*
+    data, so new event times — only the value dynamics are learned).
+    """
+
+    def fit(
+        self, records: Sequence[Record], schema: Schema, targets: Sequence[str]
+    ) -> "TimeSeriesSynthesizer":
+        raise NotImplementedError
+
+    def synthesize(self, n: int, seed: int | None = None) -> list[Record]:
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _check_fitted_inputs(
+        self, records: Sequence[Record], schema: Schema, targets: Sequence[str]
+    ) -> None:
+        if not records:
+            raise DatasetError("cannot fit a synthesizer on an empty stream")
+        if not targets:
+            raise DatasetError("synthesizer needs at least one target attribute")
+        missing = [t for t in targets if t not in schema]
+        if missing:
+            raise DatasetError(f"targets not in schema: {missing}")
+        if schema.timestamp_attribute in targets:
+            raise DatasetError("the timestamp attribute cannot be a synthesis target")
+
+    @staticmethod
+    def _cadence(records: Sequence[Record], schema: Schema) -> int:
+        ts_attr = schema.timestamp_attribute
+        if len(records) < 2:
+            return 3600
+        deltas = [
+            records[i + 1][ts_attr] - records[i][ts_attr]
+            for i in range(min(len(records) - 1, 100))
+        ]
+        deltas = [d for d in deltas if d > 0]
+        if not deltas:
+            raise DatasetError("source stream has no increasing timestamps")
+        deltas.sort()
+        return int(deltas[len(deltas) // 2])  # median step

@@ -1,0 +1,193 @@
+"""Unit tests for the stream-cleaning algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    HampelFilter,
+    InterpolationImputer,
+    SpeedConstraintCleaner,
+    score_cleaner,
+)
+from repro.cleaning.base import CleaningError
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import OutlierSpike, SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("v", DataType.FLOAT),
+        Attribute("label", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def records(values, step=60):
+    return [
+        Record({"v": v, "label": "x", "timestamp": 1000 + i * step}, record_id=i)
+        for i, v in enumerate(values)
+    ]
+
+
+class TestHampelFilter:
+    def test_repairs_spike_to_window_median(self):
+        values = [10.0] * 5 + [500.0] + [10.0] * 5
+        result = HampelFilter(["v"], window=3).clean(records(values), SCHEMA)
+        assert result.cleaned[5]["v"] == 10.0
+        assert [r.record_id for r in result.repairs] == [5]
+        assert result.repairs[0].observed == 500.0
+
+    def test_leaves_clean_data_alone(self):
+        values = [10.0 + 0.1 * i for i in range(20)]
+        result = HampelFilter(["v"], window=3).clean(records(values), SCHEMA)
+        assert result.repairs == []
+
+    def test_tolerates_missing_values(self):
+        values = [10.0, None, 10.0, 999.0, 10.0, math.nan, 10.0]
+        result = HampelFilter(["v"], window=2).clean(records(values), SCHEMA)
+        assert result.cleaned[3]["v"] == 10.0
+        assert result.cleaned[1]["v"] is None  # nulls are not Hampel's job
+
+    def test_robust_to_adjacent_spikes(self):
+        values = [10.0] * 6 + [500.0, 510.0] + [10.0] * 6
+        result = HampelFilter(["v"], window=4).clean(records(values), SCHEMA)
+        assert result.cleaned[6]["v"] == pytest.approx(10.0)
+        assert result.cleaned[7]["v"] == pytest.approx(10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(CleaningError):
+            HampelFilter(["v"], window=0)
+        with pytest.raises(CleaningError):
+            HampelFilter(["v"], n_sigmas=0)
+        with pytest.raises(CleaningError):
+            HampelFilter([])
+
+    def test_non_numeric_attribute_rejected(self):
+        with pytest.raises(CleaningError, match="numeric"):
+            HampelFilter(["label"]).clean(records([1.0]), SCHEMA)
+
+    def test_input_records_untouched(self):
+        values = [10.0] * 5 + [500.0] + [10.0] * 5
+        originals = records(values)
+        HampelFilter(["v"], window=3).clean(originals, SCHEMA)
+        assert originals[5]["v"] == 500.0
+
+
+class TestSpeedConstraintCleaner:
+    def test_clamps_infeasible_jump(self):
+        values = [10.0, 10.5, 300.0, 11.0]
+        cleaner = SpeedConstraintCleaner(["v"], max_speed=0.05)  # 3 units/min
+        result = cleaner.clean(records(values), SCHEMA)
+        assert result.cleaned[2]["v"] == pytest.approx(13.5)  # 10.5 + 0.05*60
+        assert len(result.repairs) == 1
+
+    def test_repaired_value_anchors_the_next_check(self):
+        values = [10.0, 300.0, 300.0]
+        cleaner = SpeedConstraintCleaner(["v"], max_speed=0.05)
+        result = cleaner.clean(records(values), SCHEMA)
+        # Second 300 is judged against the *repaired* 13.0, not the spike.
+        assert result.cleaned[1]["v"] == pytest.approx(13.0)
+        assert result.cleaned[2]["v"] == pytest.approx(16.0)
+
+    def test_respects_event_time_gaps(self):
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 0}, record_id=0),
+            Record({"v": 40.0, "label": "x", "timestamp": 6000}, record_id=1),
+        ]
+        # 30 units over 6000s = 0.005/s, allowed at max_speed 0.01.
+        result = SpeedConstraintCleaner(["v"], max_speed=0.01).clean(recs, SCHEMA)
+        assert result.repairs == []
+
+    def test_missing_values_skipped(self):
+        values = [10.0, None, 10.5]
+        result = SpeedConstraintCleaner(["v"], max_speed=0.05).clean(records(values), SCHEMA)
+        assert result.repairs == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(CleaningError):
+            SpeedConstraintCleaner(["v"], max_speed=0.0)
+
+
+class TestInterpolationImputer:
+    def test_linear_interpolation(self):
+        values = [10.0, None, None, 16.0]
+        result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
+        assert result.cleaned[1]["v"] == pytest.approx(12.0)
+        assert result.cleaned[2]["v"] == pytest.approx(14.0)
+        assert {r.record_id for r in result.repairs} == {1, 2}
+
+    def test_boundary_fill(self):
+        values = [None, 10.0, None]
+        result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
+        assert result.cleaned[0]["v"] == 10.0
+        assert result.cleaned[2]["v"] == 10.0
+
+    def test_max_gap_leaves_long_outages_missing(self):
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 0}, record_id=0),
+            Record({"v": None, "label": "x", "timestamp": 50_000}, record_id=1),
+            Record({"v": 20.0, "label": "x", "timestamp": 100_000}, record_id=2),
+        ]
+        result = InterpolationImputer(["v"], max_gap_seconds=3600).clean(recs, SCHEMA)
+        assert result.cleaned[1]["v"] is None
+        assert result.repairs == []
+
+    def test_nan_treated_as_missing(self):
+        values = [10.0, math.nan, 12.0]
+        result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
+        assert result.cleaned[1]["v"] == pytest.approx(11.0)
+
+    def test_all_missing_column_untouched(self):
+        values = [None, None]
+        result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
+        assert all(r["v"] is None for r in result.cleaned)
+
+
+class TestScoreCleaner:
+    @pytest.fixture()
+    def pollution(self):
+        rng = np.random.default_rng(0)
+        rows = [
+            {"v": 20 + 5 * math.sin(2 * math.pi * i / 24) + float(rng.normal(0, 0.2)),
+             "label": "x", "timestamp": i * 3600}
+            for i in range(300)
+        ]
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(
+                    OutlierSpike(k=5.0, scale=10.0), ["v"],
+                    ProbabilityCondition(0.05), name="spikes",
+                ),
+                StandardPolluter(
+                    SetToNull(), ["v"], ProbabilityCondition(0.05), name="nulls"
+                ),
+            ],
+            name="p",
+        )
+        return pollute(rows, pipe, schema=SCHEMA, seed=3)
+
+    def test_hampel_scores_high_on_spikes(self, pollution):
+        result = HampelFilter(["v"], window=5).clean(pollution.polluted, SCHEMA)
+        score = score_cleaner(result, pollution, ["v"], polluters=["p/spikes"])
+        assert score.detection.recall > 0.9
+        assert score.detection.precision > 0.8
+        assert score.improvement > 0.5
+
+    def test_imputer_scores_high_on_nulls(self, pollution):
+        result = InterpolationImputer(["v"]).clean(pollution.polluted, SCHEMA)
+        score = score_cleaner(result, pollution, ["v"], polluters=["p/nulls"])
+        assert score.detection.recall == 1.0
+        assert score.detection.precision == 1.0
+
+    def test_wrong_cleaner_scores_poorly(self, pollution):
+        # The imputer cannot repair spikes: zero recall against them.
+        result = InterpolationImputer(["v"]).clean(pollution.polluted, SCHEMA)
+        score = score_cleaner(result, pollution, ["v"], polluters=["p/spikes"])
+        assert score.detection.recall == 0.0

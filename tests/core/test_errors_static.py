@@ -1,0 +1,202 @@
+"""Unit tests for static error functions (numeric, string, missing)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    CaseError,
+    GaussianNoise,
+    IncorrectCategory,
+    Offset,
+    OutlierSpike,
+    RoundToPrecision,
+    ScaleByFactor,
+    SetToConstant,
+    SetToDefault,
+    SetToNaN,
+    SetToNull,
+    SignFlip,
+    Truncate,
+    Typo,
+    UniformNoise,
+    UnitConversion,
+    WhitespacePadding,
+)
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+
+
+def apply(error, values, attrs, tau=0, intensity=1.0, seed=0):
+    error.bind_rng(np.random.default_rng(seed))
+    return error.apply(Record(values), attrs, tau, intensity)
+
+
+class TestGaussianNoise:
+    def test_perturbs_value(self):
+        out = apply(GaussianNoise(5.0), {"x": 10.0}, ["x"])
+        assert out["x"] != 10.0
+
+    def test_zero_intensity_is_noop_magnitude(self):
+        out = apply(GaussianNoise(5.0), {"x": 10.0}, ["x"], intensity=0.0)
+        assert out["x"] == 10.0
+
+    def test_skips_missing_values(self):
+        out = apply(GaussianNoise(5.0), {"x": None, "y": math.nan}, ["x", "y"])
+        assert out["x"] is None and math.isnan(out["y"])
+
+    def test_int_attribute_stays_int(self):
+        out = apply(GaussianNoise(5.0), {"x": 10}, ["x"])
+        assert isinstance(out["x"], int)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ErrorFunctionError):
+            GaussianNoise(0.0)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ErrorFunctionError, match="non-numeric"):
+            apply(GaussianNoise(1.0), {"x": "text"}, ["x"])
+
+
+class TestUniformNoise:
+    def test_additive_within_bounds(self):
+        out = apply(UniformNoise(1.0, 2.0), {"x": 0.0}, ["x"])
+        assert 1.0 <= out["x"] <= 2.0
+
+    def test_multiplicative(self):
+        out = apply(UniformNoise(0.5, 0.5, multiplicative=True), {"x": 10.0}, ["x"])
+        assert out["x"] == pytest.approx(15.0)
+
+    def test_signed_flips_direction_sometimes(self):
+        error = UniformNoise(0.5, 0.5, multiplicative=True, signed=True)
+        error.bind_rng(np.random.default_rng(0))
+        results = {
+            error.apply(Record({"x": 10.0}), ["x"], 0)["x"] for _ in range(50)
+        }
+        assert 15.0 in results and 5.0 in results
+
+    def test_bounds_validated(self):
+        with pytest.raises(ErrorFunctionError):
+            UniformNoise(2.0, 1.0)
+
+
+class TestScaleAndUnits:
+    def test_scale(self):
+        out = apply(ScaleByFactor(0.125), {"x": 8.0}, ["x"])
+        assert out["x"] == 1.0
+
+    def test_scale_intensity_interpolates_to_identity(self):
+        out = apply(ScaleByFactor(2.0), {"x": 10.0}, ["x"], intensity=0.5)
+        assert out["x"] == pytest.approx(15.0)  # factor 1.5
+
+    def test_km_to_cm(self):
+        out = apply(UnitConversion("km", "cm"), {"d": 0.5}, ["d"])
+        assert out["d"] == pytest.approx(50_000.0)
+
+    def test_celsius_to_fahrenheit_affine(self):
+        out = apply(UnitConversion("celsius", "fahrenheit"), {"t": 100.0}, ["t"])
+        assert out["t"] == pytest.approx(212.0)
+
+    def test_unknown_conversion_rejected(self):
+        with pytest.raises(ErrorFunctionError, match="unknown unit conversion"):
+            UnitConversion("furlong", "parsec")
+
+    def test_offset(self):
+        assert apply(Offset(-3.0), {"x": 10.0}, ["x"])["x"] == 7.0
+
+    def test_sign_flip(self):
+        assert apply(SignFlip(), {"x": 10.0}, ["x"])["x"] == -10.0
+
+
+class TestRounding:
+    def test_round_to_two_decimals(self):
+        out = apply(RoundToPrecision(2), {"x": 3.14159}, ["x"])
+        assert out["x"] == 3.14
+
+    def test_negative_digits(self):
+        assert apply(RoundToPrecision(-2), {"x": 1234.0}, ["x"])["x"] == 1200.0
+
+    def test_skips_none(self):
+        assert apply(RoundToPrecision(2), {"x": None}, ["x"])["x"] is None
+
+
+class TestOutlier:
+    def test_spike_magnitude(self):
+        out = apply(OutlierSpike(k=10.0, signed=False), {"x": 5.0}, ["x"])
+        assert out["x"] == pytest.approx(55.0)
+
+    def test_explicit_scale(self):
+        out = apply(OutlierSpike(k=2.0, scale=100.0, signed=False), {"x": 5.0}, ["x"])
+        assert out["x"] == pytest.approx(205.0)
+
+    def test_k_validated(self):
+        with pytest.raises(ErrorFunctionError):
+            OutlierSpike(k=0.0)
+
+
+class TestMissingErrors:
+    def test_set_null(self):
+        assert apply(SetToNull(), {"x": 1.0}, ["x"])["x"] is None
+
+    def test_set_nan(self):
+        assert math.isnan(apply(SetToNaN(), {"x": 1.0}, ["x"])["x"])
+
+    def test_set_constant(self):
+        assert apply(SetToConstant(0.0), {"x": 120.0}, ["x"])["x"] == 0.0
+
+    def test_set_default_per_attribute(self):
+        out = apply(SetToDefault({"x": -1.0}), {"x": 5.0, "y": 5.0}, ["x", "y"])
+        assert out["x"] == -1.0 and out["y"] == 5.0
+
+    def test_multiple_attributes(self):
+        out = apply(SetToNull(), {"x": 1.0, "y": 2.0}, ["x", "y"])
+        assert out["x"] is None and out["y"] is None
+
+
+class TestStringErrors:
+    def test_incorrect_category_always_changes(self):
+        error = IncorrectCategory(["a", "b", "c"])
+        error.bind_rng(np.random.default_rng(0))
+        for _ in range(30):
+            assert error.apply(Record({"c": "a"}), ["c"], 0)["c"] != "a"
+
+    def test_incorrect_category_stays_in_domain(self):
+        error = IncorrectCategory(["a", "b", "c"])
+        error.bind_rng(np.random.default_rng(0))
+        out = error.apply(Record({"c": "a"}), ["c"], 0)
+        assert out["c"] in ("b", "c")
+
+    def test_incorrect_category_needs_two_values(self):
+        with pytest.raises(ErrorFunctionError, match=">= 2"):
+            IncorrectCategory(["only"])
+
+    def test_typo_changes_string(self):
+        out = apply(Typo(), {"s": "hello world"}, ["s"])
+        assert out["s"] != "hello world"
+
+    def test_typo_intensity_scales_edits(self):
+        out = apply(Typo(n_errors=4), {"s": "abcdefghij"}, ["s"], intensity=1.0)
+        assert out["s"] != "abcdefghij"
+
+    def test_typo_on_none_skipped(self):
+        assert apply(Typo(), {"s": None}, ["s"])["s"] is None
+
+    def test_typo_rejects_non_string(self):
+        with pytest.raises(ErrorFunctionError, match="non-string"):
+            apply(Typo(), {"s": 5.0}, ["s"])
+
+    def test_case_upper_lower(self):
+        assert apply(CaseError("upper"), {"s": "MiXeD"}, ["s"])["s"] == "MIXED"
+        assert apply(CaseError("lower"), {"s": "MiXeD"}, ["s"])["s"] == "mixed"
+
+    def test_case_mode_validated(self):
+        with pytest.raises(ErrorFunctionError):
+            CaseError("sarcastic")
+
+    def test_truncate(self):
+        assert apply(Truncate(3), {"s": "abcdef"}, ["s"])["s"] == "abc"
+
+    def test_whitespace_padding_adds_spaces(self):
+        out = apply(WhitespacePadding(2), {"s": "x"}, ["s"])
+        assert out["s"].strip() == "x" and out["s"] != "x"

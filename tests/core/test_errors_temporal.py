@@ -1,0 +1,192 @@
+"""Unit tests for native/derived temporal and stateful error functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    CumulativeDrift,
+    DelayTuple,
+    DerivedTemporalError,
+    DropTuple,
+    DuplicateTuple,
+    FrozenValue,
+    GaussianNoise,
+    RampedMultiplicativeNoise,
+    ScaleByFactor,
+    SwapWithPrevious,
+    TimestampJitter,
+)
+from repro.core.patterns import AbruptPattern, IncrementalPattern
+from repro.errors import ErrorFunctionError
+from repro.streaming.record import Record
+from repro.streaming.time import Duration
+
+
+def rec(**values):
+    return Record(values)
+
+
+class TestDelayTuple:
+    def test_shifts_timestamp_forward(self):
+        error = DelayTuple(Duration.of_hours(1), timestamp_attribute="ts")
+        out = error.apply(rec(ts=1000), [], tau=1000)
+        assert out["ts"] == 4600
+
+    def test_event_time_argument_untouched(self):
+        error = DelayTuple(Duration.of_hours(1), timestamp_attribute="ts")
+        r = rec(ts=1000)
+        r.event_time = 1000
+        error.apply(r, [], tau=1000)
+        assert r.event_time == 1000
+
+    def test_single_target_attribute_fallback(self):
+        error = DelayTuple(Duration.of_seconds(60))
+        assert error.apply(rec(ts=100), ["ts"], 100)["ts"] == 160
+
+    def test_ambiguous_attributes_rejected(self):
+        error = DelayTuple(Duration.of_seconds(60))
+        with pytest.raises(ErrorFunctionError, match="timestamp_attribute"):
+            error.apply(rec(a=1, b=2), ["a", "b"], 0)
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ErrorFunctionError):
+            DelayTuple(Duration.of_seconds(0))
+
+    def test_intensity_scales_delay(self):
+        error = DelayTuple(Duration.of_hours(1), timestamp_attribute="ts")
+        assert error.apply(rec(ts=0), [], 0, intensity=0.5)["ts"] == 1800
+
+
+class TestFrozenValue:
+    def test_freezes_first_seen_value(self):
+        error = FrozenValue()
+        assert error.apply(rec(x=1.0), ["x"], 0)["x"] == 1.0
+        assert error.apply(rec(x=5.0), ["x"], 1)["x"] == 1.0
+        assert error.apply(rec(x=9.0), ["x"], 2)["x"] == 1.0
+
+    def test_reset_clears_memory(self):
+        error = FrozenValue()
+        error.apply(rec(x=1.0), ["x"], 0)
+        error.reset()
+        assert error.apply(rec(x=5.0), ["x"], 1)["x"] == 5.0
+
+    def test_per_attribute_memory(self):
+        error = FrozenValue()
+        error.apply(rec(x=1.0, y=10.0), ["x", "y"], 0)
+        out = error.apply(rec(x=2.0, y=20.0), ["x", "y"], 1)
+        assert out["x"] == 1.0 and out["y"] == 10.0
+
+
+class TestTimestampJitter:
+    def test_jitter_within_bounds(self):
+        error = TimestampJitter(Duration.of_seconds(10), timestamp_attribute="ts")
+        error.bind_rng(np.random.default_rng(0))
+        for _ in range(50):
+            out = error.apply(rec(ts=1000), [], 0)
+            assert 990 <= out["ts"] <= 1010
+
+    def test_jitter_can_move_backwards(self):
+        error = TimestampJitter(Duration.of_seconds(10), timestamp_attribute="ts")
+        error.bind_rng(np.random.default_rng(0))
+        values = {error.apply(rec(ts=1000), [], 0)["ts"] for _ in range(100)}
+        assert min(values) < 1000 < max(values)
+
+
+class TestDropAndDuplicate:
+    def test_drop_returns_none(self):
+        assert DropTuple().apply(rec(x=1.0), [], 0) is None
+
+    def test_duplicate_emits_copies(self):
+        out = DuplicateTuple(copies=2).apply(rec(x=1.0), [], 0)
+        assert isinstance(out, list) and len(out) == 3
+
+    def test_duplicate_spacing_advances_timestamps(self):
+        error = DuplicateTuple(copies=2, spacing=Duration.of_seconds(5), timestamp_attribute="ts")
+        out = error.apply(rec(ts=100), [], 0)
+        assert [r["ts"] for r in out] == [100, 105, 110]
+
+    def test_duplicates_share_record_id(self):
+        r = rec(ts=100)
+        r.record_id = 42
+        out = DuplicateTuple(copies=1).apply(r, [], 0)
+        assert [c.record_id for c in out] == [42, 42]
+
+    def test_copies_validated(self):
+        with pytest.raises(ErrorFunctionError):
+            DuplicateTuple(copies=0)
+
+
+class TestDerivedTemporalError:
+    def test_pattern_modulates_magnitude(self):
+        error = DerivedTemporalError(ScaleByFactor(3.0), IncrementalPattern(0, 100))
+        assert error.apply(rec(x=10.0), ["x"], 0)["x"] == 10.0  # intensity 0
+        assert error.apply(rec(x=10.0), ["x"], 100)["x"] == 30.0  # intensity 1
+        assert error.apply(rec(x=10.0), ["x"], 50)["x"] == pytest.approx(20.0)
+
+    def test_abrupt_pattern_switches_error_on(self):
+        error = DerivedTemporalError(ScaleByFactor(2.0), AbruptPattern(change_time=500))
+        assert error.apply(rec(x=10.0), ["x"], 499)["x"] == 10.0
+        assert error.apply(rec(x=10.0), ["x"], 500)["x"] == 20.0
+
+    def test_wrapping_native_temporal_rejected(self):
+        with pytest.raises(ErrorFunctionError, match="static"):
+            DerivedTemporalError(DropTuple(), AbruptPattern(0))
+
+    def test_stochastic_flag_follows_inner(self):
+        assert DerivedTemporalError(GaussianNoise(1.0), AbruptPattern(0)).stochastic
+        assert not DerivedTemporalError(ScaleByFactor(2.0), AbruptPattern(0)).stochastic
+
+    def test_bind_reaches_inner(self):
+        error = DerivedTemporalError(GaussianNoise(1.0), AbruptPattern(0))
+        error.bind_rng(np.random.default_rng(0))
+        assert error.apply(rec(x=10.0), ["x"], 1)["x"] != 10.0
+
+
+class TestRampedMultiplicativeNoise:
+    def test_no_noise_at_stream_start(self):
+        error = RampedMultiplicativeNoise(tau0=0, taun=1000, b_max=0.5)
+        error.bind_rng(np.random.default_rng(0))
+        assert error.apply(rec(x=10.0), ["x"], 0)["x"] == pytest.approx(10.0)
+
+    def test_noise_bound_grows_linearly(self):
+        error = RampedMultiplicativeNoise(tau0=0, taun=1000, b_max=0.5)
+        error.bind_rng(np.random.default_rng(0))
+        deviations = [
+            abs(error.apply(rec(x=100.0), ["x"], 500)["x"] - 100.0) for _ in range(200)
+        ]
+        assert max(deviations) <= 100.0 * 0.25 + 1e-9  # b(500) = 0.25
+
+    def test_both_directions_occur(self):
+        error = RampedMultiplicativeNoise(tau0=0, taun=100, b_max=1.0)
+        error.bind_rng(np.random.default_rng(0))
+        values = [error.apply(rec(x=100.0), ["x"], 100)["x"] for _ in range(100)]
+        assert any(v > 100 for v in values) and any(v < 100 for v in values)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ErrorFunctionError):
+            RampedMultiplicativeNoise(tau0=100, taun=100)
+        with pytest.raises(ErrorFunctionError):
+            RampedMultiplicativeNoise(tau0=0, taun=100, a_max=0.5, b_max=0.1)
+
+
+class TestStatefulErrors:
+    def test_cumulative_drift_grows_per_firing(self):
+        error = CumulativeDrift(step=1.0)
+        assert error.apply(rec(x=0.0), ["x"], 0)["x"] == 1.0
+        assert error.apply(rec(x=0.0), ["x"], 1)["x"] == 2.0
+        assert error.apply(rec(x=0.0), ["x"], 2)["x"] == 3.0
+
+    def test_cumulative_drift_reset(self):
+        error = CumulativeDrift(step=1.0)
+        error.apply(rec(x=0.0), ["x"], 0)
+        error.reset()
+        assert error.apply(rec(x=0.0), ["x"], 1)["x"] == 1.0
+
+    def test_swap_with_previous_defers_first(self):
+        error = SwapWithPrevious()
+        first = error.apply(rec(x=1.0), ["x"], 0)
+        assert first["x"] == 1.0  # no predecessor: left clean
+        second = error.apply(rec(x=2.0), ["x"], 1)
+        assert second["x"] == 1.0
+        third = error.apply(rec(x=3.0), ["x"], 2)
+        assert third["x"] == 2.0

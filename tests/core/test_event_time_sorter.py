@@ -1,0 +1,63 @@
+"""Unit tests for the streaming event-time sorter (Algorithm 1, line 11)."""
+
+from repro.core.integrate import EventTimeSorter
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CollectSink
+from repro.streaming.source import CollectionSource
+from repro.streaming.watermarks import BoundedOutOfOrdernessWatermarks
+from repro.streaming.time import Duration
+
+SCHEMA = Schema(
+    [Attribute("v", DataType.FLOAT), Attribute("timestamp", DataType.TIMESTAMP, nullable=False)]
+)
+
+
+def run_sorter(rows, bound_seconds=120):
+    env = StreamExecutionEnvironment()
+    sink = CollectSink()
+    source = CollectionSource(SCHEMA, rows)
+    env.from_source(
+        source,
+        watermarks=BoundedOutOfOrdernessWatermarks(Duration.of_seconds(bound_seconds)),
+    ).process(EventTimeSorter(SCHEMA)).add_sink(sink)
+    env.execute()
+    return [r["timestamp"] for r in sink.records]
+
+
+class TestEventTimeSorter:
+    def test_reorders_bounded_disorder(self):
+        rows = [
+            {"v": 1.0, "timestamp": 100},
+            {"v": 2.0, "timestamp": 300},
+            {"v": 3.0, "timestamp": 200},  # out of order within the bound
+            {"v": 4.0, "timestamp": 400},
+            {"v": 5.0, "timestamp": 600},
+        ]
+        assert run_sorter(rows) == [100, 200, 300, 400, 600]
+
+    def test_everything_flushes_at_end_of_stream(self):
+        rows = [{"v": float(i), "timestamp": 100 + i} for i in range(5)]
+        assert len(run_sorter(rows)) == 5
+
+    def test_emits_incrementally_not_only_at_end(self):
+        # Records far behind the watermark flush before end of stream.
+        env = StreamExecutionEnvironment()
+        emitted_before_end = []
+
+        class SpySink(CollectSink):
+            def invoke(self, record):
+                emitted_before_end.append(record["timestamp"])
+                super().invoke(record)
+
+        rows = [{"v": 1.0, "timestamp": t} for t in (0, 10_000, 20_000)]
+        source = CollectionSource(SCHEMA, rows)
+        env.from_source(
+            source, watermarks=BoundedOutOfOrdernessWatermarks(Duration.of_seconds(100))
+        ).process(EventTimeSorter(SCHEMA)).add_sink(SpySink())
+        env.execute()
+        assert emitted_before_end == [0, 10_000, 20_000]
+
+    def test_single_record(self):
+        assert run_sorter([{"v": 1.0, "timestamp": 42}]) == [42]

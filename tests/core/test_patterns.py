@@ -1,0 +1,112 @@
+"""Unit tests for change patterns (Fig. 3's abrupt/incremental/intermediate)."""
+
+import math
+
+import pytest
+
+from repro.core.patterns import (
+    AbruptPattern,
+    ConstantPattern,
+    CustomPattern,
+    IncrementalPattern,
+    IntermediatePattern,
+    SinusoidalPattern,
+)
+from repro.errors import PollutionError
+from repro.streaming.time import parse_timestamp
+
+
+class TestConstant:
+    def test_value(self):
+        assert ConstantPattern(0.3)(12345) == 0.3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PollutionError):
+            ConstantPattern(1.5)
+
+
+class TestAbrupt:
+    def test_step(self):
+        p = AbruptPattern(change_time=100)
+        assert p(99) == 0.0
+        assert p(100) == 1.0
+        assert p(200) == 1.0
+
+    def test_custom_levels(self):
+        p = AbruptPattern(change_time=100, before=0.2, after=0.8)
+        assert p(0) == 0.2 and p(150) == 0.8
+
+
+class TestIncremental:
+    def test_linear_ramp(self):
+        p = IncrementalPattern(start=0, end=100)
+        assert p(0) == 0.0
+        assert p(50) == 0.5
+        assert p(100) == 1.0
+
+    def test_clamped_outside(self):
+        p = IncrementalPattern(start=0, end=100)
+        assert p(-10) == 0.0 and p(500) == 1.0
+
+    def test_descending_ramp(self):
+        p = IncrementalPattern(start=0, end=100, start_value=1.0, end_value=0.0)
+        assert p(0) == 1.0 and p(100) == 0.0 and p(50) == 0.5
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(PollutionError, match="end > start"):
+            IncrementalPattern(start=100, end=100)
+
+
+class TestIntermediate:
+    def test_boundaries(self):
+        p = IntermediatePattern(start=0, end=36000, block_seconds=3600)
+        assert p(-1) == 0.0
+        assert p(36000) == 1.0
+
+    def test_binary_inside(self):
+        p = IntermediatePattern(start=0, end=36000, block_seconds=3600)
+        values = {p(t) for t in range(0, 36000, 600)}
+        assert values <= {0.0, 1.0}
+
+    def test_flickers_with_growing_new_fraction(self):
+        p = IntermediatePattern(start=0, end=100_000, block_seconds=1000)
+        early = sum(p(t) for t in range(0, 20_000, 1000)) / 20
+        late = sum(p(t) for t in range(80_000, 100_000, 1000)) / 20
+        assert late > early
+
+    def test_deterministic(self):
+        p = IntermediatePattern(start=0, end=36000)
+        assert [p(t) for t in range(0, 36000, 777)] == [p(t) for t in range(0, 36000, 777)]
+
+
+class TestSinusoidal:
+    def test_paper_parameters_peak_at_midnight(self):
+        p = SinusoidalPattern(amplitude=0.25, offset=0.25)
+        midnight = parse_timestamp("2016-02-27 00:00:00")
+        noon = parse_timestamp("2016-02-27 12:00:00")
+        assert p(midnight) == pytest.approx(0.5)
+        assert p(noon) == pytest.approx(0.0)
+
+    def test_range_is_zero_to_half(self):
+        p = SinusoidalPattern(amplitude=0.25, offset=0.25)
+        values = [p(t * 3600) for t in range(48)]
+        assert 0.0 <= min(values) and max(values) <= 0.5
+
+    def test_out_of_unit_interval_rejected(self):
+        with pytest.raises(PollutionError, match="within \\[0, 1\\]"):
+            SinusoidalPattern(amplitude=0.9, offset=0.3)
+
+    def test_phase_shift(self):
+        base = SinusoidalPattern(amplitude=0.25, offset=0.25)
+        shifted = SinusoidalPattern(amplitude=0.25, offset=0.25, phase=math.pi)
+        midnight = parse_timestamp("2016-02-27 00:00:00")
+        assert shifted(midnight) == pytest.approx(0.0)
+        assert base(midnight) == pytest.approx(0.5)
+
+
+class TestCustom:
+    def test_wraps_function_and_clamps(self):
+        p = CustomPattern(lambda tau: tau / 100.0)
+        assert p(50) == 0.5
+        assert p(1_000) == 1.0  # clamped
+        assert p(-5) == 0.0

@@ -1,0 +1,258 @@
+"""Unit tests for pipelines, preparation, integration, and the runner."""
+
+import pytest
+
+from repro.core.conditions import EveryNthCondition, NeverCondition, ProbabilityCondition
+from repro.core.errors import (
+    DelayTuple,
+    DropTuple,
+    DuplicateTuple,
+    FrozenValue,
+    GaussianNoise,
+    ScaleByFactor,
+    SetToNull,
+)
+from repro.core.integrate import integrate, sort_by_timestamp
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.prepare import IdGenerator, prepare_stream
+from repro.core.rng import RandomSource
+from repro.core.runner import pollute
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+from repro.streaming.source import CollectionSource
+from repro.streaming.split import Broadcast, RoundRobin
+from repro.streaming.time import Duration
+
+
+class TestPrepare:
+    def test_assigns_sequential_ids_and_event_time(self, simple_schema, simple_rows):
+        src = CollectionSource(simple_schema, simple_rows)
+        prepared = list(prepare_stream(src, simple_schema))
+        assert [r.record_id for r in prepared] == list(range(20))
+        assert prepared[0].event_time == 1_000_000
+
+    def test_missing_timestamp_raises(self, simple_schema):
+        rows = [Record({"value": 1.0, "label": "a", "timestamp": None})]
+        with pytest.raises(PollutionError, match="no timestamp"):
+            list(prepare_stream(rows, simple_schema))
+
+    def test_id_generator_monotone(self):
+        gen = IdGenerator(5)
+        assert [gen.next_id() for _ in range(3)] == [5, 6, 7]
+
+
+class TestIntegrate:
+    def test_sorts_by_polluted_timestamp(self, simple_schema):
+        records = [Record({"value": 0.0, "label": "", "timestamp": ts}) for ts in (30, 10, 20)]
+        out = sort_by_timestamp(records, simple_schema)
+        assert [r["timestamp"] for r in out] == [10, 20, 30]
+
+    def test_null_timestamps_sort_last(self, simple_schema):
+        records = [
+            Record({"value": 0.0, "label": "", "timestamp": None}),
+            Record({"value": 0.0, "label": "", "timestamp": 5}),
+        ]
+        out = sort_by_timestamp(records, simple_schema)
+        assert out[-1]["timestamp"] is None
+
+    def test_equal_timestamps_break_by_event_time(self, simple_schema):
+        late = Record({"value": 1.0, "label": "", "timestamp": 100})
+        late.event_time = 40  # delayed tuple: originally earlier
+        ontime = Record({"value": 2.0, "label": "", "timestamp": 100})
+        ontime.event_time = 100
+        out = sort_by_timestamp([ontime, late], simple_schema)
+        assert out[0].event_time == 40
+
+    def test_integrate_tags_substreams(self, simple_schema):
+        subs = [
+            [Record({"value": 1.0, "label": "", "timestamp": 10})],
+            [Record({"value": 2.0, "label": "", "timestamp": 5})],
+        ]
+        out = integrate(subs, simple_schema)
+        assert [r.substream for r in out] == [1, 0]
+
+    def test_integrate_requires_substreams(self, simple_schema):
+        with pytest.raises(PollutionError, match="at least one"):
+            integrate([], simple_schema)
+
+
+class TestPipeline:
+    def test_applies_polluters_in_sequence(self, simple_schema):
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(ScaleByFactor(2.0), ["value"], name="double"),
+                StandardPolluter(ScaleByFactor(10.0), ["value"], name="x10"),
+            ],
+            name="chain",
+        )
+        pipe.bind(RandomSource(0))
+        r = Record({"value": 1.0, "label": "", "timestamp": 0})
+        out = pipe.apply(r, tau=0)
+        assert out[0]["value"] == 20.0
+
+    def test_order_matters_for_non_commuting_errors(self, simple_schema):
+        a = StandardPolluter(ScaleByFactor(2.0), ["value"], name="scale")
+        b = StandardPolluter(SetToNull(), ["value"], name="null")
+        p1 = PollutionPipeline([a, b], name="p1")
+        p2 = PollutionPipeline(
+            [
+                StandardPolluter(SetToNull(), ["value"], name="null"),
+                StandardPolluter(ScaleByFactor(2.0), ["value"], name="scale"),
+            ],
+            name="p2",
+        )
+        p1.bind(RandomSource(0))
+        p2.bind(RandomSource(0))
+        r1 = p1.apply(Record({"value": 3.0, "label": "", "timestamp": 0}), 0)[0]
+        r2 = p2.apply(Record({"value": 3.0, "label": "", "timestamp": 0}), 0)[0]
+        assert r1["value"] is None
+        assert r2["value"] is None  # scaling skips the null — stays null
+
+    def test_unbound_stochastic_pipeline_raises(self):
+        pipe = PollutionPipeline(
+            [StandardPolluter(GaussianNoise(1.0), ["value"], name="noise")], name="p"
+        )
+        with pytest.raises(PollutionError, match="never bound"):
+            pipe.apply(Record({"value": 1.0, "timestamp": 0}), 0)
+
+    def test_unbound_deterministic_pipeline_allowed(self):
+        pipe = PollutionPipeline(
+            [StandardPolluter(ScaleByFactor(2.0), ["value"], name="scale")], name="p"
+        )
+        out = pipe.apply(Record({"value": 1.0, "timestamp": 0}), 0)
+        assert out[0]["value"] == 2.0
+
+    def test_duplicate_polluter_names_rejected(self):
+        with pytest.raises(PollutionError, match="duplicate polluter names"):
+            PollutionPipeline(
+                [
+                    StandardPolluter(SetToNull(), ["value"], name="same"),
+                    StandardPolluter(SetToNull(), ["label"], name="same"),
+                ],
+                name="p",
+            )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PollutionError, match="at least one"):
+            PollutionPipeline([], name="p")
+
+    def test_apply_all_requires_prepared_records(self):
+        pipe = PollutionPipeline(
+            [StandardPolluter(ScaleByFactor(2.0), ["value"], name="scale")], name="p"
+        )
+        with pytest.raises(PollutionError, match="preparation"):
+            pipe.apply_all([Record({"value": 1.0, "timestamp": 0})])
+
+
+class TestRunner:
+    def _noise_pipeline(self, name="p"):
+        return PollutionPipeline(
+            [StandardPolluter(GaussianNoise(1.0), ["value"], name="noise")], name=name
+        )
+
+    def test_returns_clean_and_polluted(self, simple_schema, simple_rows):
+        res = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=1)
+        assert res.n_clean == res.n_polluted == 20
+        assert all(c["value"] == float(i) for i, c in enumerate(res.clean))
+
+    def test_same_seed_reproduces_exactly(self, simple_schema, simple_rows):
+        r1 = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=9)
+        r2 = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=9)
+        assert [r.as_dict() for r in r1.polluted] == [r.as_dict() for r in r2.polluted]
+
+    def test_different_seed_differs(self, simple_schema, simple_rows):
+        r1 = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=1)
+        r2 = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=2)
+        assert [r.as_dict() for r in r1.polluted] != [r.as_dict() for r in r2.polluted]
+
+    def test_stream_engine_equals_direct(self, simple_schema, simple_rows):
+        pipes = lambda: [  # noqa: E731
+            PollutionPipeline(
+                [
+                    StandardPolluter(GaussianNoise(1.0), ["value"],
+                                     ProbabilityCondition(0.5), name="noise"),
+                    StandardPolluter(DropTuple(), condition=ProbabilityCondition(0.1), name="drop"),
+                    StandardPolluter(DuplicateTuple(copies=1),
+                                     condition=ProbabilityCondition(0.1), name="dup"),
+                ],
+                name=f"p{i}",
+            )
+            for i in range(2)
+        ]
+        direct = pollute(simple_rows, pipes(), schema=simple_schema, seed=3, engine="direct")
+        stream = pollute(simple_rows, pipes(), schema=simple_schema, seed=3, engine="stream")
+        assert [r.as_dict() for r in direct.polluted] == [r.as_dict() for r in stream.polluted]
+        assert [r.substream for r in direct.polluted] == [r.substream for r in stream.polluted]
+
+    def test_multi_pipeline_broadcast_duplicates_stream(self, simple_schema, simple_rows):
+        pipes = [self._noise_pipeline("a"), self._noise_pipeline("b")]
+        res = pollute(simple_rows, pipes, schema=simple_schema, seed=1)
+        assert res.n_polluted == 40
+        assert {r.substream for r in res.polluted} == {0, 1}
+
+    def test_round_robin_split_partitions(self, simple_schema, simple_rows):
+        pipes = [self._noise_pipeline("a"), self._noise_pipeline("b")]
+        res = pollute(simple_rows, pipes, schema=simple_schema, seed=1, split=RoundRobin(2))
+        assert res.n_polluted == 20
+
+    def test_split_arity_mismatch_rejected(self, simple_schema, simple_rows):
+        with pytest.raises(PollutionError, match="sub-streams"):
+            pollute(simple_rows, [self._noise_pipeline()], schema=simple_schema, split=Broadcast(3))
+
+    def test_duplicate_pipeline_names_rejected(self, simple_schema, simple_rows):
+        with pytest.raises(PollutionError, match="distinct names"):
+            pollute(
+                simple_rows,
+                [self._noise_pipeline("same"), self._noise_pipeline("same")],
+                schema=simple_schema,
+            )
+
+    def test_raw_rows_require_schema(self, simple_rows):
+        with pytest.raises(PollutionError, match="schema"):
+            pollute(simple_rows, self._noise_pipeline())
+
+    def test_unknown_engine_rejected(self, simple_schema, simple_rows):
+        with pytest.raises(PollutionError, match="unknown engine"):
+            pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, engine="spark")
+
+    def test_output_sorted_by_polluted_timestamp(self, simple_schema, simple_rows):
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(
+                    DelayTuple(Duration.of_minutes(5), "timestamp"),
+                    condition=EveryNthCondition(4),
+                    name="delay",
+                )
+            ],
+            name="p",
+        )
+        res = pollute(simple_rows, pipe, schema=simple_schema, seed=1)
+        ts = [r["timestamp"] for r in res.polluted]
+        assert ts == sorted(ts)
+
+    def test_stateful_error_reset_between_runs(self, simple_schema, simple_rows):
+        pipe = PollutionPipeline(
+            [StandardPolluter(FrozenValue(), ["value"], name="freeze")], name="p"
+        )
+        r1 = pollute(simple_rows, pipe, schema=simple_schema, seed=1)
+        r2 = pollute(simple_rows, pipe, schema=simple_schema, seed=1)
+        # Without the reset, run 2 would freeze everything at run 1's value.
+        assert [r["value"] for r in r1.polluted] == [r["value"] for r in r2.polluted]
+        assert r2.polluted[5]["value"] == 0.0  # frozen at the first tuple's value
+
+    def test_dirty_tuples_pairs_by_id(self, simple_schema, simple_rows):
+        pipe = PollutionPipeline(
+            [StandardPolluter(SetToNull(), ["value"], EveryNthCondition(5), name="null")],
+            name="p",
+        )
+        res = pollute(simple_rows, pipe, schema=simple_schema, seed=1)
+        pairs = res.dirty_tuples()
+        assert len(pairs) == 4
+        for clean, dirty in pairs:
+            assert clean.record_id == dirty.record_id
+            assert clean["value"] is not None and dirty["value"] is None
+
+    def test_log_disabled(self, simple_schema, simple_rows):
+        res = pollute(simple_rows, self._noise_pipeline(), schema=simple_schema, seed=1, log=False)
+        assert len(res.log) == 0

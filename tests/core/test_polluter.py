@@ -1,0 +1,236 @@
+"""Unit tests for standard and composite polluters."""
+
+import pytest
+
+from repro.core.composite import CompositeMode, CompositePolluter
+from repro.core.conditions import (
+    AlwaysCondition,
+    AttributeCondition,
+    NeverCondition,
+    ProbabilityCondition,
+)
+from repro.core.errors import (
+    DropTuple,
+    DuplicateTuple,
+    GaussianNoise,
+    ScaleByFactor,
+    SetToConstant,
+    SetToNull,
+)
+from repro.core.log import PollutionLog
+from repro.core.polluter import StandardPolluter
+from repro.core.rng import RandomSource
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+
+
+def make_record(**values):
+    r = Record(values)
+    r.record_id = 1
+    return r
+
+
+def bound(polluter, seed=0):
+    polluter.bind(RandomSource(seed))
+    return polluter
+
+
+class TestStandardPolluter:
+    def test_fires_when_condition_holds(self):
+        p = bound(StandardPolluter(SetToNull(), ["x"], AlwaysCondition(), name="p"))
+        outcome = p.apply(make_record(x=1.0), tau=0)
+        assert outcome.fired
+        assert outcome.records[0]["x"] is None
+
+    def test_passes_through_otherwise(self):
+        p = bound(StandardPolluter(SetToNull(), ["x"], NeverCondition(), name="p"))
+        r = make_record(x=1.0)
+        outcome = p.apply(r, tau=0)
+        assert not outcome.fired
+        assert outcome.records == [r]
+
+    def test_default_condition_is_always(self):
+        p = bound(StandardPolluter(SetToNull(), ["x"], name="p"))
+        assert p.apply(make_record(x=1.0), 0).fired
+
+    def test_static_error_requires_attributes(self):
+        with pytest.raises(PollutionError, match="target attribute"):
+            StandardPolluter(SetToNull(), [], name="p")
+
+    def test_native_temporal_error_allows_empty_attributes(self):
+        StandardPolluter(DropTuple(), [], name="p")  # no error
+
+    def test_drop_yields_empty_records(self):
+        p = bound(StandardPolluter(DropTuple(), name="p"))
+        outcome = p.apply(make_record(x=1.0), 0)
+        assert outcome.fired and outcome.records == []
+
+    def test_duplicate_yields_fanout(self):
+        p = bound(StandardPolluter(DuplicateTuple(copies=2), name="p"))
+        assert len(p.apply(make_record(x=1.0), 0).records) == 3
+
+    def test_logging_captures_before_and_after(self):
+        log = PollutionLog()
+        p = bound(StandardPolluter(SetToConstant(0.0), ["x"], name="p"))
+        p.apply(make_record(x=5.0), tau=42, log=log)
+        [event] = log.events
+        assert event.before == {"x": 5.0}
+        assert event.after == {"x": 0.0}
+        assert event.tau == 42
+        assert event.record_id == 1
+
+    def test_log_records_drop(self):
+        log = PollutionLog()
+        p = bound(StandardPolluter(DropTuple(), name="p"))
+        p.apply(make_record(x=1.0), 0, log=log)
+        assert log.events[0].dropped
+
+    def test_expected_probability_delegates_to_condition(self):
+        p = StandardPolluter(SetToNull(), ["x"], ProbabilityCondition(0.3), name="p")
+        assert p.expected_probability(make_record(x=1.0), 0) == 0.3
+
+    def test_name_defaults_to_error_description(self):
+        assert StandardPolluter(SetToNull(), ["x"]).name == "set_null"
+
+    def test_describe_mentions_parts(self):
+        p = StandardPolluter(SetToNull(), ["x"], AlwaysCondition(), name="nuller")
+        text = p.describe()
+        assert "nuller" in text and "set_null" in text and "always" in text
+
+
+class TestCompositePolluter:
+    def _children(self):
+        return [
+            StandardPolluter(ScaleByFactor(2.0), ["x"], name="double"),
+            StandardPolluter(SetToConstant(-1.0), ["y"], name="mark"),
+        ]
+
+    def test_all_mode_applies_every_child(self):
+        comp = bound(CompositePolluter(self._children(), name="c"))
+        out = comp.apply(make_record(x=2.0, y=0.0), 0)
+        assert out.records[0]["x"] == 4.0
+        assert out.records[0]["y"] == -1.0
+
+    def test_gate_condition_blocks_children(self):
+        comp = bound(
+            CompositePolluter(self._children(), condition=NeverCondition(), name="c")
+        )
+        out = comp.apply(make_record(x=2.0, y=0.0), 0)
+        assert not out.fired
+        assert out.records[0]["x"] == 2.0
+
+    def test_first_match_stops_after_firing_child(self):
+        children = [
+            StandardPolluter(ScaleByFactor(2.0), ["x"],
+                             AttributeCondition("x", ">", 100), name="big"),
+            StandardPolluter(SetToConstant(0.0), ["x"], name="fallback"),
+        ]
+        comp = bound(
+            CompositePolluter(children, mode=CompositeMode.FIRST_MATCH, name="c")
+        )
+        big = comp.apply(make_record(x=200.0), 0)
+        assert big.records[0]["x"] == 400.0  # first child fired, second skipped
+        small = comp.apply(make_record(x=5.0), 0)
+        assert small.records[0]["x"] == 0.0  # fallback fired
+
+    def test_choose_one_respects_weights(self):
+        children = [
+            StandardPolluter(SetToConstant("a"), ["tag"], name="a"),
+            StandardPolluter(SetToConstant("b"), ["tag"], name="b"),
+        ]
+        comp = bound(
+            CompositePolluter(
+                children, mode=CompositeMode.CHOOSE_ONE, weights=[1.0, 0.0], name="c"
+            )
+        )
+        for _ in range(20):
+            out = comp.apply(make_record(tag=""), 0)
+            assert out.records[0]["tag"] == "a"
+
+    def test_choose_one_unbound_raises(self):
+        comp = CompositePolluter(
+            self._children(), mode=CompositeMode.CHOOSE_ONE, name="c"
+        )
+        with pytest.raises(PollutionError, match="not bound"):
+            comp.apply(make_record(x=1.0, y=1.0), 0)
+
+    def test_nested_composites(self):
+        inner = CompositePolluter(
+            [StandardPolluter(SetToConstant(0.0), ["x"], name="zero")],
+            condition=AttributeCondition("x", ">", 100),
+            name="inner",
+        )
+        outer = bound(CompositePolluter([inner], name="outer"))
+        assert outer.apply(make_record(x=200.0), 0).records[0]["x"] == 0.0
+        assert outer.apply(make_record(x=5.0), 0).records[0]["x"] == 5.0
+
+    def test_drop_in_chain_short_circuits(self):
+        children = [
+            StandardPolluter(DropTuple(), name="drop"),
+            StandardPolluter(SetToConstant(0.0), ["x"], name="after"),
+        ]
+        comp = bound(CompositePolluter(children, name="c"))
+        assert comp.apply(make_record(x=1.0), 0).records == []
+
+    def test_duplicate_then_pollute_applies_to_all_copies(self):
+        children = [
+            StandardPolluter(DuplicateTuple(copies=1), name="dup"),
+            StandardPolluter(SetToConstant(0.0), ["x"], name="zero"),
+        ]
+        comp = bound(CompositePolluter(children, name="c"))
+        out = comp.apply(make_record(x=1.0), 0)
+        assert len(out.records) == 2
+        assert all(r["x"] == 0.0 for r in out.records)
+
+    def test_duplicate_child_names_rejected(self):
+        with pytest.raises(PollutionError, match="duplicate child names"):
+            CompositePolluter(
+                [
+                    StandardPolluter(SetToNull(), ["x"], name="same"),
+                    StandardPolluter(SetToNull(), ["y"], name="same"),
+                ],
+                name="c",
+            )
+
+    def test_weights_only_with_choose_one(self):
+        with pytest.raises(PollutionError, match="CHOOSE_ONE"):
+            CompositePolluter(self._children(), weights=[0.5, 0.5], name="c")
+
+    def test_weights_length_checked(self):
+        with pytest.raises(PollutionError, match="weights"):
+            CompositePolluter(
+                self._children(), mode=CompositeMode.CHOOSE_ONE, weights=[1.0], name="c"
+            )
+
+    def test_expected_probability_gate_times_children(self):
+        comp = CompositePolluter(
+            [StandardPolluter(SetToNull(), ["x"], ProbabilityCondition(0.5), name="a")],
+            condition=ProbabilityCondition(0.5),
+            name="c",
+        )
+        assert comp.expected_probability(make_record(x=1.0), 0) == pytest.approx(0.25)
+
+    def test_qualified_names_nest(self):
+        inner = StandardPolluter(SetToNull(), ["x"], name="leaf")
+        comp = CompositePolluter([inner], name="outer")
+        comp.bind(RandomSource(0), scope="pipe")
+        assert inner.qualified_name == "pipe/outer/leaf"
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(PollutionError, match="at least one"):
+            CompositePolluter([], name="c")
+
+    def test_stochastic_children_draw_from_distinct_streams(self):
+        # Two identical probability children under one composite must not
+        # produce identical firing sequences.
+        children = [
+            StandardPolluter(SetToConstant(1.0), ["x"], ProbabilityCondition(0.5), name="c1"),
+            StandardPolluter(SetToConstant(2.0), ["y"], ProbabilityCondition(0.5), name="c2"),
+        ]
+        comp = bound(CompositePolluter(children, name="c"))
+        fires1, fires2 = [], []
+        for i in range(100):
+            out = comp.apply(make_record(x=0.0, y=0.0), i)
+            fires1.append(out.records[0]["x"] == 1.0)
+            fires2.append(out.records[0]["y"] == 2.0)
+        assert fires1 != fires2

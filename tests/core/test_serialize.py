@@ -1,0 +1,216 @@
+"""Round-trip tests: pipeline objects -> config -> pipeline, identical output."""
+
+import json
+
+import pytest
+
+from repro.core.composite import CompositeMode, CompositePolluter
+from repro.core.conditions import (
+    AfterCondition,
+    AllOf,
+    AttributeCondition,
+    DailyIntervalCondition,
+    EveryNthCondition,
+    LinearRampCondition,
+    Not,
+    ProbabilityCondition,
+    SinusoidalCondition,
+)
+from repro.core.config import pipeline_from_config
+from repro.core.errors import (
+    DelayTuple,
+    DerivedTemporalError,
+    DuplicateTuple,
+    GaussianNoise,
+    RoundToPrecision,
+    SetToConstant,
+    SetToNull,
+    UnitConversion,
+)
+from repro.core.patterns import IncrementalPattern
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.core.serialize import (
+    condition_to_config,
+    error_to_config,
+    pipeline_to_config,
+    polluter_to_config,
+)
+from repro.errors import ConfigError
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.time import Duration
+
+SCHEMA = Schema(
+    [
+        Attribute("a", DataType.FLOAT),
+        Attribute("b", DataType.FLOAT),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+ROWS = [
+    {"a": float(i), "b": float(i % 7), "timestamp": 1_000_000 + i * 900}
+    for i in range(120)
+]
+
+
+def assert_round_trip(pipeline: PollutionPipeline, seed: int = 11) -> None:
+    """Config round-trip must reproduce pollution byte-for-byte."""
+    spec = pipeline_to_config(pipeline)
+    spec = json.loads(json.dumps(spec))  # must survive JSON
+    rebuilt = pipeline_from_config(spec)
+    original = pollute(ROWS, pipeline, schema=SCHEMA, seed=seed)
+    rebuilt_run = pollute(ROWS, rebuilt, schema=SCHEMA, seed=seed)
+    assert [r.as_dict() for r in original.polluted] == [
+        r.as_dict() for r in rebuilt_run.polluted
+    ]
+
+
+class TestRoundTrips:
+    def test_simple_stochastic_polluter(self):
+        assert_round_trip(
+            PollutionPipeline(
+                [StandardPolluter(GaussianNoise(2.0), ["a"], ProbabilityCondition(0.4), name="n")],
+                name="p",
+            )
+        )
+
+    def test_temporal_conditions(self):
+        assert_round_trip(
+            PollutionPipeline(
+                [
+                    StandardPolluter(
+                        SetToNull(), ["a"], SinusoidalCondition(0.25, 0.25), name="sin"
+                    ),
+                    StandardPolluter(
+                        SetToConstant(-1.0), ["b"],
+                        LinearRampCondition(1_000_000, 1_108_000, scale=0.5),
+                        name="ramp",
+                    ),
+                ],
+                name="p",
+            )
+        )
+
+    def test_composite_nested(self):
+        inner = CompositePolluter(
+            [
+                StandardPolluter(SetToConstant(0.0), ["a"], name="zero"),
+                StandardPolluter(SetToNull(), ["a"], ProbabilityCondition(0.2), name="null"),
+            ],
+            condition=AttributeCondition("a", ">", 50.0),
+            name="wrong-a",
+        )
+        outer = CompositePolluter(
+            [
+                StandardPolluter(UnitConversion("km", "cm"), ["b"], name="unit"),
+                StandardPolluter(RoundToPrecision(2), ["b"], name="round"),
+                inner,
+            ],
+            condition=AfterCondition(1_050_000),
+            name="update",
+        )
+        assert_round_trip(PollutionPipeline([outer], name="p"))
+
+    def test_choose_one_with_weights(self):
+        comp = CompositePolluter(
+            [
+                StandardPolluter(SetToNull(), ["a"], name="x"),
+                StandardPolluter(SetToConstant(9.0), ["a"], name="y"),
+            ],
+            mode=CompositeMode.CHOOSE_ONE,
+            weights=[0.7, 0.3],
+            name="pick",
+        )
+        assert_round_trip(PollutionPipeline([comp], name="p"))
+
+    def test_native_temporal_errors(self):
+        assert_round_trip(
+            PollutionPipeline(
+                [
+                    StandardPolluter(
+                        DelayTuple(Duration.of_hours(1), "timestamp"),
+                        condition=AllOf(
+                            DailyIntervalCondition(13, 15), ProbabilityCondition(0.2)
+                        ),
+                        name="delay",
+                    ),
+                    StandardPolluter(
+                        DuplicateTuple(copies=1, spacing=Duration.of_seconds(5),
+                                       timestamp_attribute="timestamp"),
+                        condition=EveryNthCondition(17),
+                        name="dup",
+                    ),
+                ],
+                name="p",
+            )
+        )
+
+    def test_derived_error_and_negation(self):
+        assert_round_trip(
+            PollutionPipeline(
+                [
+                    StandardPolluter(
+                        DerivedTemporalError(
+                            GaussianNoise(3.0),
+                            IncrementalPattern(1_000_000, 1_108_000),
+                        ),
+                        ["a"],
+                        condition=Not(AttributeCondition("b", "==", 0.0)),
+                        name="ramped-noise",
+                    )
+                ],
+                name="p",
+            )
+        )
+
+
+class TestSerializationErrors:
+    def test_unknown_condition_rejected(self):
+        class Custom(ProbabilityCondition.__mro__[1]):  # Condition
+            def evaluate(self, record, tau):
+                return True
+
+        with pytest.raises(ConfigError, match="no declarative form"):
+            condition_to_config(Custom())
+
+    def test_unknown_error_rejected(self):
+        from repro.core.errors.base import ErrorFunction
+
+        class CustomError(ErrorFunction):
+            def apply(self, record, attributes, tau, intensity=1.0):
+                return record
+
+        with pytest.raises(ConfigError, match="no declarative form"):
+            error_to_config(CustomError())
+
+    def test_unknown_polluter_rejected(self):
+        from repro.core.polluter import Polluter
+
+        class CustomPolluter(Polluter):
+            pass
+
+        with pytest.raises(ConfigError, match="no declarative form"):
+            polluter_to_config(CustomPolluter(name="c"))
+
+
+class TestSpecShape:
+    def test_config_is_json_compatible(self):
+        pipeline = PollutionPipeline(
+            [
+                StandardPolluter(
+                    SetToNull(), ["a"], SinusoidalCondition(), name="nulls"
+                )
+            ],
+            name="p",
+        )
+        spec = pipeline_to_config(pipeline)
+        text = json.dumps(spec)  # raises on non-JSON values
+        assert json.loads(text) == spec
+
+    def test_subclass_dispatch_order(self):
+        # UnitConversion subclasses ScaleByFactor; SinusoidalCondition
+        # subclasses PatternProbabilityCondition — both must keep their
+        # specialized declarative type.
+        assert error_to_config(UnitConversion("km", "m"))["type"] == "unit_conversion"
+        assert condition_to_config(SinusoidalCondition())["type"] == "sinusoidal"

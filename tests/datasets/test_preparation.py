@@ -1,0 +1,116 @@
+"""Unit tests for imputation, resampling, and dataset IO."""
+
+import math
+
+import pytest
+
+from repro.datasets.imputation import backward_fill, forward_backward_fill, forward_fill
+from repro.datasets.io import load_records, save_records
+from repro.datasets.resample import resample_mean
+from repro.errors import DatasetError
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+
+
+def recs(values):
+    return [Record({"x": v, "timestamp": i * 60}) for i, v in enumerate(values)]
+
+
+class TestForwardFill:
+    def test_fills_gaps_with_last_value(self):
+        out = forward_fill(recs([1.0, None, None, 4.0]), ["x"])
+        assert [r["x"] for r in out] == [1.0, 1.0, 1.0, 4.0]
+
+    def test_leading_gap_stays(self):
+        out = forward_fill(recs([None, 2.0]), ["x"])
+        assert out[0]["x"] is None
+
+    def test_nan_treated_as_missing(self):
+        out = forward_fill(recs([1.0, math.nan, 3.0]), ["x"])
+        assert [r["x"] for r in out] == [1.0, 1.0, 3.0]
+
+    def test_input_untouched(self):
+        original = recs([1.0, None])
+        forward_fill(original, ["x"])
+        assert original[1]["x"] is None
+
+
+class TestBackwardFill:
+    def test_fills_gaps_with_next_value(self):
+        out = backward_fill(recs([None, None, 3.0]), ["x"])
+        assert [r["x"] for r in out] == [3.0, 3.0, 3.0]
+
+    def test_trailing_gap_stays(self):
+        out = backward_fill(recs([1.0, None]), ["x"])
+        assert out[1]["x"] is None
+
+
+class TestForwardBackwardFill:
+    def test_paper_preparation_closes_all_gaps(self):
+        out = forward_backward_fill(recs([None, 2.0, None, 4.0, None]), ["x"])
+        assert [r["x"] for r in out] == [2.0, 2.0, 2.0, 4.0, 4.0]
+
+    def test_all_missing_stays_missing(self):
+        out = forward_backward_fill(recs([None, None]), ["x"])
+        assert all(r["x"] is None for r in out)
+
+
+class TestResample:
+    @pytest.fixture
+    def schema(self):
+        return Schema(
+            [
+                Attribute("x", DataType.FLOAT),
+                Attribute("tag", DataType.STRING),
+                Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+            ]
+        )
+
+    def test_mean_aggregation(self, schema):
+        records = [
+            Record({"x": float(v), "tag": "a", "timestamp": ts})
+            for v, ts in [(1, 0), (3, 60), (10, 300), (20, 330)]
+        ]
+        out = resample_mean(records, schema, bucket_seconds=300)
+        assert [(r["timestamp"], r["x"]) for r in out] == [(0, 2.0), (300, 15.0)]
+
+    def test_missing_values_excluded_from_mean(self, schema):
+        records = [
+            Record({"x": 4.0, "tag": "a", "timestamp": 0}),
+            Record({"x": None, "tag": "a", "timestamp": 10}),
+        ]
+        out = resample_mean(records, schema, bucket_seconds=300)
+        assert out[0]["x"] == 4.0
+
+    def test_all_missing_bucket_is_none(self, schema):
+        records = [Record({"x": None, "tag": None, "timestamp": 0})]
+        out = resample_mean(records, schema, bucket_seconds=300)
+        assert out[0]["x"] is None
+
+    def test_string_keeps_first_value(self, schema):
+        records = [
+            Record({"x": 1.0, "tag": "first", "timestamp": 0}),
+            Record({"x": 1.0, "tag": "second", "timestamp": 10}),
+        ]
+        out = resample_mean(records, schema, bucket_seconds=300)
+        assert out[0]["tag"] == "first"
+
+    def test_empty_buckets_skipped(self, schema):
+        records = [
+            Record({"x": 1.0, "tag": "a", "timestamp": 0}),
+            Record({"x": 2.0, "tag": "a", "timestamp": 900}),
+        ]
+        out = resample_mean(records, schema, bucket_seconds=300)
+        assert [r["timestamp"] for r in out] == [0, 900]
+
+    def test_bad_bucket_rejected(self, schema):
+        with pytest.raises(DatasetError):
+            resample_mean([], schema, bucket_seconds=0)
+
+
+class TestIO:
+    def test_save_load_round_trip(self, tmp_path, simple_schema, simple_records):
+        path = tmp_path / "data.csv"
+        save_records(simple_records, simple_schema, path)
+        back = load_records(simple_schema, path)
+        assert [r.as_dict() for r in back] == [r.as_dict() for r in simple_records]

@@ -1,0 +1,162 @@
+"""Unit tests for the time-series synthesizers (§5.4 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.synthesis import ARSynthesizer, SeasonalBlockBootstrap
+
+SCHEMA = Schema(
+    [
+        Attribute("y", DataType.FLOAT),
+        Attribute("tag", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def seasonal_records(n_days=20, nulls_at=frozenset()):
+    rng = np.random.default_rng(0)
+    out = []
+    for i in range(n_days * 24):
+        value = 50 + 10 * np.sin(2 * np.pi * (i % 24) / 24) + rng.normal(0, 1)
+        out.append(
+            Record(
+                {
+                    "y": None if i in nulls_at else float(value),
+                    "tag": "s1",
+                    "timestamp": i * 3600,
+                }
+            )
+        )
+    return out
+
+
+class TestSeasonalBlockBootstrap:
+    def test_fit_then_synthesize_length(self):
+        synth = SeasonalBlockBootstrap(season_length=24).fit(
+            seasonal_records(), SCHEMA, ["y"]
+        )
+        out = synth.synthesize(100, seed=1)
+        assert len(out) == 100
+
+    def test_timestamps_continue_the_cadence(self):
+        source = seasonal_records(5)
+        synth = SeasonalBlockBootstrap(season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(10, seed=1)
+        assert out[0]["timestamp"] == source[-1]["timestamp"] + 3600
+        assert out[1]["timestamp"] - out[0]["timestamp"] == 3600
+
+    def test_values_come_from_source_blocks(self):
+        source = seasonal_records(5)
+        source_values = {r["y"] for r in source}
+        synth = SeasonalBlockBootstrap(season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(48, seed=2)
+        assert all(r["y"] in source_values for r in out)
+
+    def test_preserves_missing_values(self):
+        nulls = frozenset(range(24, 36))  # half of day 2 missing
+        source = seasonal_records(10, nulls_at=nulls)
+        synth = SeasonalBlockBootstrap(season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(24 * 50, seed=3)
+        null_rate = sum(1 for r in out if r["y"] is None) / len(out)
+        assert null_rate > 0.0  # errors reappear in synthetic data
+
+    def test_preserves_seasonal_phase(self):
+        source = seasonal_records(20)
+        synth = SeasonalBlockBootstrap(season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(24 * 10, seed=4)
+        by_phase = {h: [] for h in range(24)}
+        for r in out:
+            by_phase[(r["timestamp"] // 3600) % 24].append(r["y"])
+        means = {h: np.mean(v) for h, v in by_phase.items() if v}
+        assert means[6] > means[18]  # sin peaks at phase 6, troughs at 18
+
+    def test_deterministic_per_seed(self):
+        synth = SeasonalBlockBootstrap(24).fit(seasonal_records(5), SCHEMA, ["y"])
+        assert [r.as_dict() for r in synth.synthesize(50, seed=7)] == [
+            r.as_dict() for r in synth.synthesize(50, seed=7)
+        ]
+
+    def test_too_short_source_rejected(self):
+        with pytest.raises(DatasetError, match="too short"):
+            SeasonalBlockBootstrap(season_length=500).fit(
+                seasonal_records(1), SCHEMA, ["y"]
+            )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(DatasetError, match="fit"):
+            SeasonalBlockBootstrap(24).synthesize(10)
+
+
+class TestARSynthesizer:
+    def test_learns_seasonal_profile(self):
+        source = seasonal_records(20)
+        synth = ARSynthesizer(order=2, season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(24 * 20, seed=1)
+        by_phase = {h: [] for h in range(24)}
+        for r in out:
+            by_phase[(r["timestamp"] // 3600) % 24].append(r["y"])
+        means = {h: float(np.mean(v)) for h, v in by_phase.items()}
+        assert means[6] == pytest.approx(60.0, abs=3.0)
+        assert means[18] == pytest.approx(40.0, abs=3.0)
+
+    def test_erases_missing_values(self):
+        nulls = frozenset(range(0, 24 * 10, 3))  # heavy missingness
+        source = seasonal_records(20, nulls_at=nulls)
+        synth = ARSynthesizer(order=2, season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(24 * 20, seed=2)
+        assert all(r["y"] is not None for r in out)
+
+    def test_output_is_fresh_not_copied(self):
+        source = seasonal_records(10)
+        source_values = {r["y"] for r in source}
+        synth = ARSynthesizer(order=2, season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(48, seed=3)
+        overlap = sum(1 for r in out if r["y"] in source_values)
+        assert overlap < 5  # continuous innovations: near-zero exact matches
+
+    def test_variance_comparable_to_source(self):
+        source = seasonal_records(30)
+        resid_std = float(np.std([r["y"] - 50 - 10 * np.sin(2 * np.pi * ((r["timestamp"] // 3600) % 24) / 24) for r in source]))
+        synth = ARSynthesizer(order=2, season_length=24).fit(source, SCHEMA, ["y"])
+        out = synth.synthesize(24 * 30, seed=4)
+        synth_resid = [
+            r["y"] - 50 - 10 * np.sin(2 * np.pi * ((r["timestamp"] // 3600) % 24) / 24)
+            for r in out
+        ]
+        assert float(np.std(synth_resid)) == pytest.approx(resid_std, rel=0.5)
+
+    def test_non_numeric_target_rejected(self):
+        with pytest.raises(DatasetError, match="numeric"):
+            ARSynthesizer().fit(seasonal_records(5), SCHEMA, ["tag"])
+
+    def test_timestamp_target_rejected(self):
+        with pytest.raises(DatasetError, match="timestamp"):
+            ARSynthesizer().fit(seasonal_records(5), SCHEMA, ["timestamp"])
+
+    def test_constants_carried_for_non_targets(self):
+        synth = ARSynthesizer(order=1, season_length=24).fit(
+            seasonal_records(5), SCHEMA, ["y"]
+        )
+        out = synth.synthesize(5, seed=1)
+        assert all(r["tag"] == "s1" for r in out)
+
+
+class TestSynthesisStudy:
+    def test_bootstrap_preserves_and_ar_erases(self):
+        from repro.experiments.exp4_synthesis import run_synthesis_study
+
+        result = run_synthesis_study(n_hours=24 * 40, n_synthetic=24 * 40)
+        assert result.source_error_rate == pytest.approx(0.25, abs=0.05)
+        assert result.bootstrap_preserves
+        assert result.ar_erases
+
+    def test_bootstrap_preserves_temporal_error_profile(self):
+        from repro.experiments.exp4_synthesis import run_synthesis_study
+
+        result = run_synthesis_study(n_hours=24 * 40, n_synthetic=24 * 40)
+        # The sinusoidal profile survives: midnight >> midday error counts.
+        assert result.bootstrap_by_hour[0] > result.bootstrap_by_hour[12]

@@ -1,0 +1,98 @@
+"""Unit tests for the calibrated wearable dataset twin."""
+
+import re
+
+import pytest
+
+from repro.datasets.wearable import (
+    UPDATE_TIMESTAMP,
+    WEARABLE_SCHEMA,
+    WearableConfig,
+    generate_wearable,
+    wearable_summary,
+)
+from repro.errors import DatasetError
+from repro.streaming.time import format_timestamp
+
+
+class TestCalibration:
+    """Each count below is load-bearing for Experiment 1's arithmetic."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return wearable_summary(generate_wearable())
+
+    def test_total_tuples(self, summary):
+        assert summary["total"] == 1060
+
+    def test_post_update_tuples(self, summary):
+        assert summary["post_update"] == 1056  # Fig. 5: 1056 tuples
+
+    def test_high_bpm_tuples(self, summary):
+        assert summary["high_bpm"] == 33  # Fig. 5: 33 tuples
+
+    def test_active_tuples(self, summary):
+        assert summary["active"] == 374  # Table 1: Distance errors
+
+    def test_calories_present(self, summary):
+        assert summary["calories_present"] == 960  # Table 1: Calories errors
+
+    def test_afternoon_window(self, summary):
+        assert summary["afternoon_window"] == 88  # §3.1.3: 88 tuples
+
+    def test_preexisting_violations(self, summary):
+        assert summary["preexisting_violations"] == 2  # §3.1.2: "+2"
+
+
+class TestStreamProperties:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return generate_wearable()
+
+    def test_span_is_264_75_hours(self, records):
+        assert (records[-1]["Time"] - records[0]["Time"]) / 3600 == 264.75
+
+    def test_schema_valid(self, records):
+        for r in records:
+            WEARABLE_SCHEMA.validate_values(r.as_dict())
+
+    def test_timestamps_strictly_increasing(self, records):
+        ts = [r["Time"] for r in records]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_steps_always_at_least_distance(self, records):
+        assert all(r["Steps"] >= r["Distance"] for r in records)
+
+    def test_calories_carry_three_decimals(self, records):
+        pattern = re.compile(r"\d+\.\d{3,}")
+        for r in records:
+            if r["CaloriesBurned"] is not None:
+                assert pattern.fullmatch(repr(r["CaloriesBurned"]))
+
+    def test_no_distance_nulls_in_clean_data(self, records):
+        assert all(r["Distance"] is not None for r in records)
+
+    def test_spans_february_to_march(self, records):
+        assert format_timestamp(records[0]["Time"], "%Y-%m-%d") == "2016-02-26"
+        assert format_timestamp(UPDATE_TIMESTAMP, "%Y-%m-%d") == "2016-02-27"
+
+    def test_deterministic(self):
+        a = [r.as_dict() for r in generate_wearable()]
+        b = [r.as_dict() for r in generate_wearable()]
+        assert a == b
+
+    def test_seed_changes_data_not_calibration(self):
+        alt = generate_wearable(WearableConfig(seed=999))
+        assert wearable_summary(alt)["active"] == 374
+        base = generate_wearable()
+        assert [r.as_dict() for r in alt] != [r.as_dict() for r in base]
+
+
+class TestConfigValidation:
+    def test_infeasible_calibration_rejected(self):
+        with pytest.raises(DatasetError, match="infeasible"):
+            WearableConfig(n_tuples=100, n_active=374)
+
+    def test_high_bpm_must_fit_in_active(self):
+        with pytest.raises(DatasetError, match="high_bpm"):
+            WearableConfig(n_high_bpm=400)

@@ -1,0 +1,105 @@
+"""Integration-level tests for the experiment drivers (reduced scale)."""
+
+import pytest
+
+from repro.experiments.exp1_dq import (
+    run_bad_network,
+    run_random_temporal,
+    run_software_update,
+)
+from repro.experiments.exp3_runtime import run_runtime_overhead
+
+
+class TestExp1RandomTemporal:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_random_temporal(repetitions=5)
+
+    def test_measured_tracks_expected_total(self, result):
+        measured = result.measured_mean("expect_column_values_to_not_be_null")
+        assert measured == pytest.approx(result.expected["distance_nulls"], rel=0.15)
+
+    def test_proportion_near_paper_value(self, result):
+        measured = result.measured_mean("expect_column_values_to_not_be_null")
+        # Paper: 24.58 % average error proportion.
+        assert measured / 1060 == pytest.approx(0.25, abs=0.03)
+
+    def test_per_hour_detection_tracks_injection(self, result):
+        measured = result.measured_by_hour("expect_column_values_to_not_be_null")
+        injected = result.injected_mean_by_hour()
+        for h in range(24):
+            assert measured[h] == pytest.approx(injected[h], abs=1e-9)
+
+    def test_hourly_shape_is_sinusoidal(self, result):
+        measured = result.measured_by_hour("expect_column_values_to_not_be_null")
+        assert measured[0] > measured[6] > measured[11]
+
+
+class TestExp1SoftwareUpdate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_software_update(repetitions=5)
+
+    def test_table1_distance_row(self, result):
+        assert result.measured_mean(
+            "expect_column_pair_values_a_to_be_greater_than_b"
+        ) == result.expected["distance"] == 374
+
+    def test_table1_calories_row(self, result):
+        assert result.measured_mean(
+            "expect_column_values_to_match_regex"
+        ) == result.expected["calories"] == 960
+
+    def test_table1_bpm_zero_row(self, result):
+        measured = result.measured_mean("expect_multicolumn_sum_to_equal")
+        expected = result.expected["bpm_zero"] + result.expected["bpm_zero_preexisting"]
+        assert measured == pytest.approx(expected, abs=4.0)  # 28.4 in the paper
+
+    def test_table1_bpm_null_row(self, result):
+        measured = result.measured_mean("expect_column_values_to_not_be_null")
+        assert measured == pytest.approx(result.expected["bpm_null"], abs=3.0)
+
+
+class TestExp1BadNetwork:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bad_network(repetitions=5)
+
+    def test_detection_close_to_expected(self, result):
+        measured = result.measured_mean("expect_column_values_to_be_increasing")
+        # Paper: 17.02 detected vs 17.6 expected — slight undercount.
+        assert measured == pytest.approx(result.expected["delayed"], abs=4.0)
+
+    def test_detection_does_not_overcount(self, result):
+        measured = result.measured_mean("expect_column_values_to_be_increasing")
+        assert measured <= result.expected["window_tuples"]
+
+
+class TestExp2Reduced:
+    def test_noise_shapes(self):
+        from repro.experiments.exp2_forecasting import load_region, run_scenario
+
+        # Two-year stream, 1 repetition: fast, still shape-revealing.
+        records = load_region(n_hours=2 * 365 * 24 + 24)
+        noise = run_scenario(records, "noise", repetitions=1)
+        clean = run_scenario(records, "eval", repetitions=1)
+        for model in ("arima", "holt_winters", "arimax"):
+            assert len(noise.curves[model]) > 10
+            # Noise degrades every model relative to its clean run.
+            assert noise.mean_mae(model) >= clean.mean_mae(model) * 0.95
+        # ARIMAX is the most robust under noise (the Fig. 6 headline).
+        assert noise.mean_mae("arimax") < noise.mean_mae("arima")
+        assert noise.mean_mae("arimax") < noise.mean_mae("holt_winters")
+
+
+class TestExp3Reduced:
+    def test_overhead_structure(self):
+        result = run_runtime_overhead(repetitions=5, warmup=1)
+        assert result.io_baseline.median_ms > 0
+        assert result.topology_baseline.median_ms >= result.io_baseline.median_ms * 0.5
+        for name in ("software-update", "bad-network", "random-temporal"):
+            sample = result.scenarios[name]
+            assert len(sample.durations_ms) == 5
+            # Pollution cost is a small per-tuple constant (well under the
+            # engine's own per-tuple cost of tens of microseconds).
+            assert result.pollution_cost_us_per_tuple(name) < 100.0

@@ -1,0 +1,78 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import (
+    render_curves,
+    render_hourly_series,
+    render_table,
+)
+from repro.forecasting.evaluation import ForecastCurve
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [["alpha", 1.0], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_formatted_to_two_decimals(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14" in text and "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestRenderHourlySeries:
+    def test_all_24_hours_present(self):
+        expected = {h: float(h) for h in range(24)}
+        measured = {h: float(h) for h in range(24)}
+        text = render_hourly_series(expected, measured)
+        for h in range(24):
+            assert f"{h:02d}" in text
+
+    def test_bars_scale_with_peak(self):
+        expected = {h: 0.0 for h in range(24)}
+        measured = {h: 0.0 for h in range(24)}
+        measured[0] = 10.0
+        measured[1] = 5.0
+        text = render_hourly_series(expected, measured)
+        lines = text.splitlines()
+        bar0 = lines[3].count("#")
+        bar1 = lines[4].count("#")
+        assert bar0 == 20 and bar1 == 10
+
+    def test_zero_series_no_crash(self):
+        text = render_hourly_series({h: 0.0 for h in range(24)}, {h: 0.0 for h in range(24)})
+        assert "#" not in text
+
+
+class TestRenderCurves:
+    def _curves(self):
+        a = ForecastCurve("arima", eval_starts=[0, 86400], maes=[1.0, 2.0])
+        b = ForecastCurve("arimax", eval_starts=[0, 86400], maes=[0.5, 0.6])
+        return {"arima": a, "arimax": b}
+
+    def test_one_column_per_model(self):
+        text = render_curves(self._curves(), title="t")
+        header = text.splitlines()[1]
+        assert "arima" in header and "arimax" in header
+
+    def test_summary_line_includes_growth(self):
+        text = render_curves(self._curves(), title="t")
+        assert "growth=" in text and "mean=" in text
+
+    def test_dates_rendered(self):
+        text = render_curves(self._curves(), title="t")
+        assert "01-01" in text  # epoch 0 -> Jan 1
+
+    def test_empty_curves(self):
+        text = render_curves({}, title="t")
+        assert "t" in text

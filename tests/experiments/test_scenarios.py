@@ -1,0 +1,85 @@
+"""Unit tests for the §3.1 scenario bundles."""
+
+import pytest
+
+from repro.core.runner import pollute
+from repro.datasets.wearable import WEARABLE_SCHEMA, generate_wearable
+from repro.experiments.scenarios import (
+    bad_network_scenario,
+    random_temporal_scenario,
+    software_update_scenario,
+)
+from repro.quality.dataset import ValidationDataset
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_wearable()
+
+
+class TestRandomTemporalScenario:
+    def test_expected_proportion_near_quarter(self, records):
+        expected = random_temporal_scenario().expected(records)
+        assert expected["proportion"] == pytest.approx(0.25, abs=0.01)
+
+    def test_expected_per_hour_follows_sinusoid(self, records):
+        expected = random_temporal_scenario().expected(records)
+        assert expected["hour_00"] > expected["hour_06"] > expected["hour_11"]
+        assert expected["hour_12"] == pytest.approx(0.0, abs=0.5)
+
+    def test_pipeline_injects_only_distance_nulls(self, records):
+        scenario = random_temporal_scenario()
+        res = pollute(records, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=5)
+        for clean, dirty in res.dirty_tuples():
+            assert dirty["Distance"] is None
+            assert dirty["BPM"] == clean["BPM"]
+
+
+class TestSoftwareUpdateScenario:
+    def test_expected_counts_match_paper(self, records):
+        expected = software_update_scenario().expected(records)
+        assert expected["post_update_tuples"] == 1056
+        assert expected["high_bpm_tuples"] == 33
+        assert expected["distance"] == 374
+        assert expected["calories"] == 960
+        assert expected["bpm_zero"] == pytest.approx(26.4)
+        assert expected["bpm_null"] == pytest.approx(6.6)
+        assert expected["bpm_zero_preexisting"] == 2
+
+    def test_pre_update_tuples_untouched(self, records):
+        scenario = software_update_scenario()
+        res = pollute(records, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=5)
+        from repro.datasets.wearable import UPDATE_TIMESTAMP
+
+        for clean, dirty in res.dirty_tuples():
+            assert dirty["Time"] >= UPDATE_TIMESTAMP
+
+    def test_bpm_errors_only_on_high_bpm_tuples(self, records):
+        scenario = software_update_scenario()
+        res = pollute(records, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=5)
+        clean_by_id = res.clean_by_id()
+        for event in res.log.by_polluter(
+            "software-update/software-update/wrong-bpm/bpm-zero"
+        ):
+            assert clean_by_id[event.record_id]["BPM"] > 100
+
+
+class TestBadNetworkScenario:
+    def test_expected_delay_count(self, records):
+        expected = bad_network_scenario().expected(records)
+        assert expected["window_tuples"] == 88
+        assert expected["delayed"] == pytest.approx(17.6)
+
+    def test_delays_only_in_window(self, records):
+        scenario = bad_network_scenario()
+        res = pollute(records, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=5)
+        from repro.streaming.time import hour_of_day
+
+        for event in res.log:
+            assert 13 <= hour_of_day(event.tau) < 15
+
+    def test_delayed_tuples_shift_one_hour(self, records):
+        scenario = bad_network_scenario()
+        res = pollute(records, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=5)
+        for clean, dirty in res.dirty_tuples():
+            assert dirty["Time"] - clean["Time"] == 3600

@@ -1,0 +1,93 @@
+"""Unit tests for the baseline forecasters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastingError, NotFittedError
+from repro.forecasting import (
+    NaiveForecaster,
+    OnlineARIMA,
+    PrequentialEvaluator,
+    SeasonalNaive,
+    mae,
+)
+
+
+class TestNaiveForecaster:
+    def test_repeats_last_value(self):
+        m = NaiveForecaster()
+        m.learn_one(3.0)
+        m.learn_one(7.0)
+        assert m.forecast(3) == [7.0, 7.0, 7.0]
+
+    def test_missing_values_do_not_move_the_anchor(self):
+        m = NaiveForecaster()
+        m.learn_one(5.0)
+        m.learn_one(None)
+        m.learn_one(math.nan)
+        assert m.forecast(1) == [5.0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NaiveForecaster().forecast(1)
+
+    def test_reset_and_clone(self):
+        m = NaiveForecaster()
+        m.learn_one(1.0)
+        m.reset()
+        assert not m.is_fitted
+        assert not m.clone().is_fitted
+
+
+class TestSeasonalNaive:
+    def test_repeats_previous_season(self):
+        m = SeasonalNaive(season_length=4)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            m.learn_one(v)
+        assert m.forecast(6) == [1.0, 2.0, 3.0, 4.0, 1.0, 2.0]
+
+    def test_needs_full_season(self):
+        m = SeasonalNaive(season_length=4)
+        m.learn_one(1.0)
+        with pytest.raises(NotFittedError):
+            m.forecast(1)
+
+    def test_missing_values_keep_phase(self):
+        m = SeasonalNaive(season_length=3)
+        for v in [1.0, 2.0, 3.0]:
+            m.learn_one(v)
+        m.learn_one(None)  # phase 0: recycled from last season
+        assert m.forecast(3) == [2.0, 3.0, 1.0]
+
+    def test_season_length_validated(self):
+        with pytest.raises(ForecastingError):
+            SeasonalNaive(season_length=0)
+
+    def test_strong_baseline_on_seasonal_data(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(24 * 30)
+        y = 50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, len(t))
+        m = SeasonalNaive(24)
+        for v in y[:-12]:
+            m.learn_one(float(v))
+        assert mae(y[-12:], m.forecast(12)) < 3.0
+
+    def test_drops_into_prequential_evaluator(self):
+        y = [50.0 + (i % 24) for i in range(1200)]
+        ts = [i * 3600 for i in range(1200)]
+        curve = PrequentialEvaluator().run(SeasonalNaive(24), y, ts)
+        assert len(curve) >= 1
+        assert curve.mean_mae() == pytest.approx(0.0, abs=1e-9)
+
+    def test_arima_beats_naive_on_trending_data(self):
+        # Sanity on the baseline's purpose: a real model must beat it on a
+        # trend, since the seasonal naive cannot extrapolate trends.
+        y = [0.5 * i + (i % 24) for i in range(24 * 40)]
+        naive = SeasonalNaive(24)
+        arima = OnlineARIMA(p=24, d=1, q=1)
+        for v in y[:-12]:
+            naive.learn_one(float(v))
+            arima.learn_one(float(v))
+        assert mae(y[-12:], arima.forecast(12)) < mae(y[-12:], naive.forecast(12))

@@ -1,0 +1,132 @@
+"""Unit tests for forecast metrics and preprocessing."""
+
+import math
+
+import pytest
+
+from repro.errors import ForecastingError
+from repro.forecasting.metrics import mae, mape, rmse, smape
+from repro.forecasting.preprocessing import (
+    Differencer,
+    OnlineStandardScaler,
+    calendar_encodings,
+)
+from repro.streaming.time import parse_timestamp
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_rmse(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(math.sqrt(12.5))
+
+    def test_mape(self):
+        assert mape([100, 200], [110, 180]) == pytest.approx(10.0)
+
+    def test_mape_skips_zero_truth(self):
+        assert mape([0, 100], [5, 110]) == pytest.approx(10.0)
+
+    def test_smape_symmetric(self):
+        assert smape([100], [110]) == pytest.approx(smape([110], [100]))
+
+    def test_missing_pairs_skipped(self):
+        assert mae([1, None, math.nan, 4], [1, 2, 3, 5]) == pytest.approx(0.5)
+
+    def test_all_missing_is_nan(self):
+        assert math.isnan(mae([None], [1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ForecastingError, match="length mismatch"):
+            mae([1, 2], [1])
+
+
+class TestCalendarEncodings:
+    def test_keys(self):
+        enc = calendar_encodings(parse_timestamp("2016-06-15 06:00:00"))
+        assert set(enc) == {"month_sin", "month_cos", "hour_sin", "hour_cos"}
+
+    def test_january_midnight(self):
+        enc = calendar_encodings(parse_timestamp("2016-01-01 00:00:00"))
+        assert enc["month_cos"] == pytest.approx(1.0)
+        assert enc["hour_cos"] == pytest.approx(1.0)
+        assert enc["hour_sin"] == pytest.approx(0.0)
+
+    def test_encodings_on_unit_circle(self):
+        enc = calendar_encodings(parse_timestamp("2016-09-20 17:30:00"))
+        assert enc["hour_sin"] ** 2 + enc["hour_cos"] ** 2 == pytest.approx(1.0)
+        assert enc["month_sin"] ** 2 + enc["month_cos"] ** 2 == pytest.approx(1.0)
+
+
+class TestOnlineStandardScaler:
+    def test_standardizes_after_learning(self):
+        scaler = OnlineStandardScaler()
+        for v in [0.0, 10.0, 0.0, 10.0]:
+            scaler.learn_one({"x": v})
+        out = scaler.transform_one({"x": 5.0})
+        assert out["x"] == pytest.approx(0.0)
+
+    def test_unseen_feature_passes_through(self):
+        out = OnlineStandardScaler().transform_one({"x": 5.0})
+        assert out["x"] == 5.0
+
+    def test_missing_becomes_neutral_zero(self):
+        scaler = OnlineStandardScaler()
+        scaler.learn_one({"x": 1.0})
+        scaler.learn_one({"x": 3.0})
+        assert scaler.transform_one({"x": None})["x"] == 0.0
+
+    def test_missing_does_not_poison_statistics(self):
+        scaler = OnlineStandardScaler()
+        for v in [1.0, None, 3.0, math.nan]:
+            scaler.learn_one({"x": v})
+        assert scaler.transform_one({"x": 2.0})["x"] == pytest.approx(0.0)
+
+    def test_reset(self):
+        scaler = OnlineStandardScaler()
+        scaler.learn_one({"x": 100.0})
+        scaler.reset()
+        assert scaler.transform_one({"x": 5.0})["x"] == 5.0
+
+
+class TestDifferencer:
+    def test_d0_is_identity(self):
+        d = Differencer(0)
+        assert d.apply(5.0) == 5.0
+        assert d.invert(3.0) == 3.0
+
+    def test_first_difference(self):
+        d = Differencer(1)
+        assert d.apply(10.0) is None  # warm-up
+        assert d.apply(12.0) == 2.0
+        assert d.apply(11.0) == -1.0
+
+    def test_second_difference(self):
+        d = Differencer(2)
+        values = [1.0, 4.0, 9.0, 16.0]  # squares: 2nd difference constant 2
+        out = [d.apply(v) for v in values]
+        assert out == [None, None, 2.0, 2.0]
+
+    def test_invert_reconstructs_level(self):
+        d = Differencer(1)
+        d.apply(10.0)
+        d.apply(12.0)
+        assert d.invert(3.0) == 15.0  # 12 + 3
+
+    def test_advance_supports_recursion(self):
+        d = Differencer(1)
+        d.apply(10.0)
+        d.apply(12.0)
+        state = d.snapshot()
+        level1 = d.invert(2.0, state)  # 14
+        state = Differencer.advance(state, 2.0)
+        level2 = d.invert(1.0, state)  # 15
+        assert (level1, level2) == (14.0, 15.0)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ForecastingError):
+            Differencer(-1)
+
+    def test_invert_before_warmup_rejected(self):
+        with pytest.raises(ForecastingError, match="warmed up"):
+            Differencer(1).invert(1.0)

@@ -1,0 +1,246 @@
+"""Unit tests for the forecasting models (ARIMA, ARIMAX, Holt-Winters)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastingError, NotFittedError
+from repro.forecasting.arima import OnlineARIMA, OnlineARIMAX
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.metrics import mae
+
+
+def seasonal_series(n, season=24, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 50 + 10 * np.sin(2 * math.pi * t / season) + rng.normal(0, noise, n)
+
+
+class TestOnlineARIMA:
+    def test_parameter_validation(self):
+        with pytest.raises(ForecastingError):
+            OnlineARIMA(p=0, q=0)
+        with pytest.raises(ForecastingError):
+            OnlineARIMA(p=-1)
+        with pytest.raises(ForecastingError):
+            OnlineARIMA(forgetting=0.5)
+        with pytest.raises(ForecastingError):
+            OnlineARIMA(optimizer="adamw")
+
+    def test_forecast_before_data_raises(self):
+        with pytest.raises(NotFittedError):
+            OnlineARIMA(p=2).forecast(1)
+
+    def test_horizon_validated(self):
+        m = OnlineARIMA(p=1)
+        for v in range(10):
+            m.learn_one(float(v))
+        with pytest.raises(ForecastingError):
+            m.forecast(0)
+
+    def test_learns_linear_trend_with_d1(self):
+        m = OnlineARIMA(p=2, d=1, q=0)
+        for v in range(100):
+            m.learn_one(float(v) * 2.0)
+        preds = m.forecast(3)
+        assert preds == pytest.approx([200.0, 202.0, 204.0], abs=1.0)
+
+    def test_learns_quadratic_trend_with_d2(self):
+        # y = t^2: the 2nd difference is the constant 2, so ARIMA(1,2,0)
+        # must extrapolate the parabola exactly through the recursive
+        # differencing chain (Differencer.advance).
+        m = OnlineARIMA(p=1, d=2, q=0)
+        for t in range(100):
+            m.learn_one(float(t * t))
+        preds = m.forecast(3)
+        assert preds == pytest.approx([10_000.0, 10_201.0, 10_404.0], abs=1.0)
+
+    def test_learns_seasonal_series(self):
+        y = seasonal_series(24 * 30, noise=1.0)
+        m = OnlineARIMA(p=24, d=0, q=1)
+        for v in y[:-12]:
+            m.learn_one(float(v))
+        preds = m.forecast(12)
+        assert mae(y[-12:], preds) < 3.0
+
+    def test_missing_values_skipped(self):
+        m = OnlineARIMA(p=2, d=0, q=1)
+        for v in [1.0, None, 2.0, math.nan, 3.0, 4.0, 5.0, 6.0]:
+            m.learn_one(v)
+        assert m.is_fitted
+
+    def test_reset_forgets(self):
+        m = OnlineARIMA(p=1, d=0, q=0)
+        for v in range(20):
+            m.learn_one(float(v))
+        m.reset()
+        assert not m.is_fitted
+
+    def test_clone_is_unfitted_with_same_params(self):
+        m = OnlineARIMA(p=3, d=1, q=2, forgetting=0.99)
+        m.learn_one(1.0)
+        c = m.clone()
+        assert (c.p, c.d, c.q, c.forgetting) == (3, 1, 2, 0.99)
+        assert not c.is_fitted
+
+    def test_deterministic(self):
+        y = seasonal_series(200, noise=1.0)
+
+        def run():
+            m = OnlineARIMA(p=4, d=0, q=1)
+            for v in y:
+                m.learn_one(float(v))
+            return m.forecast(5)
+
+        assert run() == run()
+
+    def test_nlms_optimizer_learns(self):
+        y = seasonal_series(24 * 40, noise=1.0)
+        m = OnlineARIMA(p=24, d=0, q=1, optimizer="nlms", learning_rate=0.5)
+        for v in y[:-12]:
+            m.learn_one(float(v))
+        assert mae(y[-12:], m.forecast(12)) < 6.0
+
+    def test_residual_clipping_protects_weights(self):
+        m = OnlineARIMA(p=1, d=0, q=1, clip_sigma=1.0)
+        for v in [10.0] * 30:
+            m.learn_one(v)
+        w_before = m._rls.w.copy()
+        m.learn_one(10_000.0)  # a massive outlier
+        # The clipped update leaves the weights essentially untouched; the
+        # forecast may still anchor on the outlier lag (that is the AR
+        # structure), but the *model* is not poisoned.
+        assert abs(m._rls.w - w_before).max() < 0.1
+
+    def test_clipping_recovers_after_outlier(self):
+        m = OnlineARIMA(p=1, d=0, q=1, clip_sigma=1.0)
+        for v in [10.0] * 30:
+            m.learn_one(v)
+        m.learn_one(10_000.0)
+        m.learn_one(10.0)  # regime resumes
+        assert abs(m.forecast(1)[0] - 10.0) < 5.0
+
+    def test_unclipped_model_is_poisoned_by_outlier(self):
+        # The contrast case: without the guard the weight update is huge.
+        m = OnlineARIMA(p=1, d=0, q=1, clip_sigma=None)
+        for v in [10.0] * 30:
+            m.learn_one(v)
+        w_before = m._rls.w.copy()
+        m.learn_one(10_000.0)
+        assert abs(m._rls.w - w_before).max() > 1.0
+
+
+class TestOnlineARIMAX:
+    def test_needs_exogenous_features(self):
+        with pytest.raises(ForecastingError):
+            OnlineARIMAX(exog_features=[])
+
+    def test_forecast_requires_future_exog(self):
+        m = OnlineARIMAX(exog_features=["a"], p=1, q=0)
+        for v in range(20):
+            m.learn_one(float(v), {"a": 1.0})
+        with pytest.raises(ForecastingError, match="exogenous"):
+            m.forecast(3, x_future=[{"a": 1.0}])
+
+    def test_learn_requires_exog(self):
+        m = OnlineARIMAX(exog_features=["a"], p=1, q=0)
+        with pytest.raises(ForecastingError):
+            for v in range(5):
+                m.learn_one(float(v), None)
+
+    def test_exploits_informative_exogenous(self):
+        # Target = pure function of exogenous signal + noise; ARIMAX should
+        # clearly beat the blind ARIMA at a 12-step horizon.
+        rng = np.random.default_rng(1)
+        n = 24 * 40
+        t = np.arange(n)
+        driver = np.sin(2 * math.pi * t / 24)
+        y = 50 + 20 * driver + rng.normal(0, 1.0, n)
+        x = [{"d": float(driver[i])} for i in range(n)]
+
+        ax = OnlineARIMAX(exog_features=["d"], p=2, d=0, q=1)
+        ar = OnlineARIMA(p=2, d=0, q=1)
+        for i in range(n - 12):
+            ax.learn_one(float(y[i]), x[i])
+            ar.learn_one(float(y[i]))
+        ax_mae = mae(y[-12:], ax.forecast(12, x[-12:]))
+        ar_mae = mae(y[-12:], ar.forecast(12))
+        assert ax_mae < ar_mae
+
+    def test_missing_exog_value_tolerated(self):
+        m = OnlineARIMAX(exog_features=["a"], p=1, q=0)
+        for v in range(30):
+            m.learn_one(float(v), {"a": None if v % 5 == 0 else 1.0})
+        assert m.is_fitted
+
+    def test_clone_keeps_exog(self):
+        m = OnlineARIMAX(exog_features=["a", "b"], p=2)
+        assert m.clone().exog_features == ("a", "b")
+
+
+class TestHoltWinters:
+    def test_parameter_validation(self):
+        with pytest.raises(ForecastingError):
+            HoltWinters(alpha=0.0)
+        with pytest.raises(ForecastingError):
+            HoltWinters(season_length=1)
+        with pytest.raises(ForecastingError):
+            HoltWinters(damping=1.5)
+
+    def test_needs_two_seasons_to_initialize(self):
+        m = HoltWinters(season_length=4)
+        for v in range(7):
+            m.learn_one(float(v))
+        assert not m.is_fitted
+        m.learn_one(7.0)
+        assert m.is_fitted
+
+    def test_forecast_before_init_raises(self):
+        with pytest.raises(NotFittedError, match="observations"):
+            HoltWinters(season_length=4).forecast(1)
+
+    def test_tracks_seasonal_pattern(self):
+        y = seasonal_series(24 * 30, noise=0.5)
+        m = HoltWinters(season_length=24, alpha=0.3, beta=0.05, gamma=0.2)
+        for v in y[:-12]:
+            m.learn_one(float(v))
+        assert mae(y[-12:], m.forecast(12)) < 3.0
+
+    def test_tracks_trend(self):
+        m = HoltWinters(season_length=4, alpha=0.4, beta=0.3, gamma=0.1)
+        for v in range(80):
+            m.learn_one(float(v))
+        preds = m.forecast(4)
+        assert preds == pytest.approx([80.0, 81.0, 82.0, 83.0], abs=2.0)
+
+    def test_multiplicative_mode(self):
+        t = np.arange(24 * 30)
+        y = (100 + t * 0.1) * (1 + 0.3 * np.sin(2 * math.pi * t / 24))
+        m = HoltWinters(season_length=24, multiplicative=True)
+        for v in y[:-12]:
+            m.learn_one(float(v))
+        assert mae(y[-12:], m.forecast(12)) / np.mean(y[-12:]) < 0.1
+
+    def test_missing_values_keep_phase(self):
+        y = seasonal_series(24 * 20, noise=0.1)
+        m = HoltWinters(season_length=24)
+        for i, v in enumerate(y[:-12]):
+            m.learn_one(None if i % 7 == 3 and i > 100 else float(v))
+        assert mae(y[-12:], m.forecast(12)) < 4.0
+
+    def test_damping_flattens_long_horizon(self):
+        damped = HoltWinters(season_length=4, alpha=0.4, beta=0.3, gamma=0.1, damping=0.8)
+        plain = HoltWinters(season_length=4, alpha=0.4, beta=0.3, gamma=0.1)
+        for v in range(80):
+            damped.learn_one(float(v))
+            plain.learn_one(float(v))
+        assert damped.forecast(20)[-1] < plain.forecast(20)[-1]
+
+    def test_reset_and_clone(self):
+        m = HoltWinters(season_length=4)
+        for v in range(10):
+            m.learn_one(float(v))
+        m.reset()
+        assert not m.is_fitted
+        assert m.clone().season_length == 4

@@ -1,0 +1,169 @@
+"""Unit tests for model selection and the prequential evaluation protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastingError
+from repro.forecasting.arima import OnlineARIMA
+from repro.forecasting.evaluation import (
+    ForecastCurve,
+    PrequentialEvaluator,
+    make_splits,
+    records_to_series,
+)
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.model_selection import GridSearch, TimeSeriesSplit
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.time import SECONDS_PER_HOUR
+
+
+class TestTimeSeriesSplit:
+    def test_expanding_windows(self):
+        splits = list(TimeSeriesSplit(4).split(100))
+        assert len(splits) == 4
+        train, test = splits[0]
+        assert list(train) == list(range(20))
+        assert list(test) == list(range(20, 40))
+
+    def test_last_fold_absorbs_remainder(self):
+        splits = list(TimeSeriesSplit(3).split(103))
+        assert splits[-1][1].stop == 103
+
+    def test_train_always_precedes_test(self):
+        for train, test in TimeSeriesSplit(5).split(60):
+            assert max(train) < min(test)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ForecastingError, match="cannot split"):
+            list(TimeSeriesSplit(5).split(4))
+
+    def test_min_splits(self):
+        with pytest.raises(ForecastingError):
+            TimeSeriesSplit(1)
+
+
+class TestGridSearch:
+    def _series(self, n=600):
+        t = np.arange(n)
+        rng = np.random.default_rng(0)
+        return list(30 + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, n))
+
+    def test_finds_best_configuration(self):
+        gs = GridSearch(
+            lambda **kw: OnlineARIMA(**kw),
+            {"p": [1, 24], "q": [1]},
+            splitter=TimeSeriesSplit(3),
+            horizon=12,
+        )
+        result = gs.run(self._series())
+        assert result.best_params["p"] == 24  # seasonal lags win on a sinusoid
+        assert len(result.scores) == 2
+        assert result.best_score <= result.scores[-1][1]
+
+    def test_invalid_configurations_ranked_last(self):
+        gs = GridSearch(
+            lambda **kw: HoltWinters(**kw),
+            {"alpha": [0.3, 5.0]},  # 5.0 is invalid
+            splitter=TimeSeriesSplit(3),
+        )
+        result = gs.run(self._series())
+        assert result.best_params == {"alpha": 0.3}
+        assert math.isinf(dict((tuple(p.items()), s) for p, s in result.scores)[(("alpha", 5.0),)])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ForecastingError):
+            GridSearch(lambda **kw: OnlineARIMA(**kw), {})
+
+
+class TestPrequentialEvaluator:
+    def _data(self, n=2400):
+        t = np.arange(n)
+        y = list(30 + 8 * np.sin(2 * np.pi * t / 24))
+        ts = [int(i) * SECONDS_PER_HOUR for i in range(n)]
+        return y, ts
+
+    def test_evaluation_cadence(self):
+        y, ts = self._data()
+        ev = PrequentialEvaluator(train_hours=504, horizon_hours=12)
+        curve = ev.run(OnlineARIMA(p=24, q=1), y, ts)
+        # Evaluations at 504, 1020, 1536, 2052 (next would exceed the stream).
+        assert len(curve) == 4
+        assert curve.eval_starts[0] == 504 * SECONDS_PER_HOUR
+
+    def test_forecasts_score_well_on_clean_seasonal_data(self):
+        y, ts = self._data()
+        ev = PrequentialEvaluator(train_hours=504, horizon_hours=12)
+        curve = ev.run(OnlineARIMA(p=24, q=1), y, ts)
+        assert curve.mean_mae() < 2.0
+
+    def test_clean_reference(self):
+        y, ts = self._data()
+        noisy = [v + 5.0 for v in y]
+        ev = PrequentialEvaluator(reference="clean")
+        curve = ev.run(OnlineARIMA(p=24, q=1), noisy, ts, y_clean=y)
+        # Model learned the +5 offset stream; clean-referenced MAE ~ 5.
+        assert curve.mean_mae() == pytest.approx(5.0, abs=1.5)
+
+    def test_clean_reference_requires_y_clean(self):
+        y, ts = self._data(600)
+        with pytest.raises(ForecastingError, match="y_clean"):
+            PrequentialEvaluator(reference="clean").run(OnlineARIMA(p=2), y, ts)
+
+    def test_parallel_length_checks(self):
+        with pytest.raises(ForecastingError, match="parallel"):
+            PrequentialEvaluator().run(OnlineARIMA(p=2), [1.0, 2.0], [0])
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ForecastingError):
+            PrequentialEvaluator(reference="oracle")
+
+
+class TestForecastCurve:
+    def test_growth_ratio(self):
+        c = ForecastCurve("m", eval_starts=list(range(8)), maes=[1, 1, 1, 1, 2, 2, 2, 2])
+        assert c.late_to_early_ratio() == pytest.approx(2.0)
+
+    def test_mean_skips_nan(self):
+        c = ForecastCurve("m", eval_starts=[0, 1], maes=[2.0, math.nan])
+        assert c.mean_mae() == 2.0
+
+
+class TestSplits:
+    def _stream(self, hours):
+        schema = Schema([Attribute("NO2"), Attribute("timestamp", DataType.TIMESTAMP)])
+        records = [
+            Record({"NO2": 1.0, "timestamp": i * SECONDS_PER_HOUR}) for i in range(hours)
+        ]
+        return records, schema
+
+    def test_table2_splits(self):
+        records, schema = self._stream(2 * 365 * 24)
+        splits = make_splits(records, schema)
+        assert len(splits.valid) == 12
+        assert len(splits.train) == 365 * 24 - 12
+        assert len(splits.eval) == 365 * 24
+
+    def test_eval_is_stream_tail(self):
+        records, schema = self._stream(2 * 365 * 24)
+        splits = make_splits(records, schema)
+        assert splits.eval[-1]["timestamp"] == records[-1]["timestamp"]
+
+    def test_short_stream_rejected(self):
+        records, schema = self._stream(100)
+        with pytest.raises(ForecastingError, match="degenerate|two years"):
+            make_splits(records, schema)
+
+    def test_empty_stream_rejected(self):
+        _, schema = self._stream(10)
+        with pytest.raises(ForecastingError, match="empty"):
+            make_splits([], schema)
+
+    def test_records_to_series(self):
+        records, schema = self._stream(10)
+        y, ts, x = records_to_series(records, schema, "NO2", exog=lambda r: {"c": 1.0})
+        assert y == [1.0] * 10
+        assert ts[1] == SECONDS_PER_HOUR
+        assert x[0] == {"c": 1.0}

@@ -1,0 +1,157 @@
+"""End-to-end integration tests across packages.
+
+These exercise the full workflow a user of the library would run: build or
+load a pollution configuration, pollute a generated stream on either
+execution engine, validate the output with the DQ tool, score models on the
+polluted stream, and round-trip everything through CSV.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    PollutionPipeline,
+    StandardPolluter,
+    pipeline_from_config,
+    pollute,
+)
+from repro.core.analysis import expected_counts
+from repro.core.conditions import DailyIntervalCondition, ProbabilityCondition
+from repro.core.errors import DelayTuple, GaussianNoise, SetToNull
+from repro.datasets.io import load_records, save_records
+from repro.datasets.wearable import WEARABLE_SCHEMA, generate_wearable
+from repro.quality import (
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToNotBeNull,
+    ExpectationSuite,
+    ValidationDataset,
+)
+from repro.streaming.split import Broadcast
+from repro.streaming.time import Duration
+
+
+@pytest.fixture(scope="module")
+def wearable():
+    return generate_wearable()
+
+
+class TestConfigDrivenWorkflow:
+    CONFIG = {
+        "name": "nightly-nulls",
+        "polluters": [
+            {
+                "type": "standard",
+                "name": "null-distance",
+                "attributes": ["Distance"],
+                "error": {"type": "set_null"},
+                "condition": {
+                    "type": "all_of",
+                    "children": [
+                        {"type": "daily_interval", "start_hour": 0, "end_hour": 6},
+                        {"type": "probability", "p": 0.5},
+                    ],
+                },
+            }
+        ],
+    }
+
+    def test_json_config_to_validated_output(self, wearable):
+        # Config survives a JSON round trip (it is what a user would store).
+        config = json.loads(json.dumps(self.CONFIG))
+        pipeline = pipeline_from_config(config)
+        result = pollute(wearable, pipeline, schema=WEARABLE_SCHEMA, seed=11)
+        suite = ExpectationSuite("check", [ExpectColumnValuesToNotBeNull("Distance")])
+        report = suite.validate(ValidationDataset(result.polluted, WEARABLE_SCHEMA))
+        measured = report.result_for("expect_column_values_to_not_be_null").unexpected_count
+        assert measured == len(result.log)
+
+    def test_measured_matches_analytic_expectation(self, wearable):
+        pipeline = pipeline_from_config(self.CONFIG)
+        result = pollute(wearable, pipeline, schema=WEARABLE_SCHEMA, seed=11)
+        analytic = expected_counts(result.clean, pipeline)
+        expected = analytic.for_polluter("nightly-nulls/null-distance")
+        assert len(result.log) == pytest.approx(expected, rel=0.3)
+
+
+class TestDetectionGroundTruthJoin:
+    def test_detected_ids_equal_injected_ids(self, wearable):
+        pipeline = PollutionPipeline(
+            [
+                StandardPolluter(
+                    SetToNull(), ["BPM"], ProbabilityCondition(0.1), name="bpm-null"
+                )
+            ],
+            name="p",
+        )
+        result = pollute(wearable, pipeline, schema=WEARABLE_SCHEMA, seed=3)
+        suite = ExpectationSuite("s", [ExpectColumnValuesToNotBeNull("BPM")])
+        report = suite.validate(ValidationDataset(result.polluted, WEARABLE_SCHEMA))
+        detected = set(report.results[0].unexpected_record_ids)
+        injected = result.log.polluted_record_ids()
+        assert detected == injected
+
+
+class TestDelayedTupleRoundTrip:
+    def test_delays_survive_csv_and_are_detectable(self, wearable, tmp_path):
+        pipeline = PollutionPipeline(
+            [
+                StandardPolluter(
+                    DelayTuple(Duration.of_hours(1), "Time"),
+                    condition=DailyIntervalCondition(13, 15)
+                    & ProbabilityCondition(0.2),
+                    name="delay",
+                )
+            ],
+            name="bad-network",
+        )
+        result = pollute(wearable, pipeline, schema=WEARABLE_SCHEMA, seed=7)
+        path = tmp_path / "polluted.csv"
+        save_records(result.polluted, WEARABLE_SCHEMA, path)
+        reloaded = load_records(WEARABLE_SCHEMA, path)
+        suite = ExpectationSuite("s", [ExpectColumnValuesToBeIncreasing("Time")])
+        on_disk = suite.validate(ValidationDataset(reloaded, WEARABLE_SCHEMA))
+        in_memory = suite.validate(ValidationDataset(result.polluted, WEARABLE_SCHEMA))
+        assert on_disk.results[0].unexpected_count == in_memory.results[0].unexpected_count
+        assert in_memory.results[0].unexpected_count > 0
+
+
+class TestIntegrationScenario:
+    def test_fuzzy_duplicates_from_overlapping_substreams(self, wearable):
+        # Two sub-pipelines over a broadcast split: the union holds two
+        # differently-polluted versions of every tuple (§2.2.2).
+        pipes = [
+            PollutionPipeline(
+                [StandardPolluter(GaussianNoise(5.0), ["BPM"], name="noise")],
+                name=f"sensor-{i}",
+            )
+            for i in range(2)
+        ]
+        result = pollute(
+            wearable[:200], pipes, schema=WEARABLE_SCHEMA, seed=5, split=Broadcast(2)
+        )
+        assert result.n_polluted == 400
+        by_id: dict[int, list] = {}
+        for r in result.polluted:
+            by_id.setdefault(r.record_id, []).append(r)
+        pairs = [v for v in by_id.values() if len(v) == 2]
+        assert len(pairs) == 200
+        # The two copies are fuzzy duplicates: same identity, skewed values.
+        differing = sum(1 for a, b in pairs if a["BPM"] != b["BPM"])
+        assert differing > 150
+
+
+class TestEngineEquivalenceOnRealScenario:
+    def test_software_update_identical_across_engines(self, wearable):
+        from repro.experiments.scenarios import software_update_scenario
+
+        scenario = software_update_scenario()
+        direct = pollute(
+            wearable, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=21, engine="direct"
+        )
+        stream = pollute(
+            wearable, scenario.pipeline(), schema=WEARABLE_SCHEMA, seed=21, engine="stream"
+        )
+        assert [r.as_dict() for r in direct.polluted] == [
+            r.as_dict() for r in stream.polluted
+        ]

@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the pollution core.
+
+Invariants under arbitrary inputs:
+
+* determinism — the same seed always reproduces the same pollution;
+* identity preservation — record IDs survive any pipeline;
+* conservation — without drop/duplicate errors, tuple counts are conserved;
+* sortedness — integration output is ordered by the polluted timestamp;
+* non-targeting — polluters never touch attributes outside ``A_p``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import (
+    DropTuple,
+    DuplicateTuple,
+    GaussianNoise,
+    ScaleByFactor,
+    SetToNull,
+)
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("a", DataType.FLOAT),
+        Attribute("b", DataType.FLOAT),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+@st.composite
+def streams(draw, min_size=1, max_size=40):
+    n = draw(st.integers(min_size, max_size))
+    start = draw(st.integers(0, 2**31))
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=2 * n, max_size=2 * n
+        )
+    )
+    step = draw(st.integers(1, 3600))
+    return [
+        {"a": values[2 * i], "b": values[2 * i + 1], "timestamp": start + i * step}
+        for i in range(n)
+    ]
+
+
+def noise_pipeline():
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                GaussianNoise(1.0), ["a"], ProbabilityCondition(0.5), name="noise"
+            )
+        ],
+        name="p",
+    )
+
+
+class TestDeterminism:
+    @given(rows=streams(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_output(self, rows, seed):
+        r1 = pollute(rows, noise_pipeline(), schema=SCHEMA, seed=seed)
+        r2 = pollute(rows, noise_pipeline(), schema=SCHEMA, seed=seed)
+        assert [r.as_dict() for r in r1.polluted] == [r.as_dict() for r in r2.polluted]
+
+
+class TestConservation:
+    @given(rows=streams(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_value_errors_conserve_tuples(self, rows, seed):
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(SetToNull(), ["a"], ProbabilityCondition(0.3), name="n"),
+                StandardPolluter(ScaleByFactor(2.0), ["b"], ProbabilityCondition(0.3), name="s"),
+            ],
+            name="p",
+        )
+        result = pollute(rows, pipe, schema=SCHEMA, seed=seed)
+        assert result.n_polluted == len(rows)
+        assert sorted(r.record_id for r in result.polluted) == list(range(len(rows)))
+
+    @given(rows=streams(min_size=2), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_drop_duplicate_balance(self, rows, seed):
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(
+                    DuplicateTuple(copies=1), condition=ProbabilityCondition(0.3), name="dup"
+                ),
+                StandardPolluter(
+                    DropTuple(), condition=ProbabilityCondition(0.3), name="drop"
+                ),
+            ],
+            name="p",
+        )
+        result = pollute(rows, pipe, schema=SCHEMA, seed=seed)
+        dup_events = len(result.log.by_polluter("p/dup"))
+        drop_events = len(result.log.by_polluter("p/drop"))
+        assert result.n_polluted == len(rows) + dup_events - drop_events
+
+
+class TestStructure:
+    @given(rows=streams(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_untargeted_attributes_never_change(self, rows, seed):
+        result = pollute(rows, noise_pipeline(), schema=SCHEMA, seed=seed)
+        clean = result.clean_by_id()
+        for dirty in result.polluted:
+            assert dirty["b"] == clean[dirty.record_id]["b"]
+            assert dirty["timestamp"] == clean[dirty.record_id]["timestamp"]
+
+    @given(rows=streams(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_output_sorted_by_timestamp(self, rows, seed):
+        result = pollute(rows, noise_pipeline(), schema=SCHEMA, seed=seed)
+        ts = [r["timestamp"] for r in result.polluted]
+        assert ts == sorted(ts)
+
+    @given(rows=streams(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_clean_stream_is_input_verbatim(self, rows, seed):
+        result = pollute(rows, noise_pipeline(), schema=SCHEMA, seed=seed)
+        assert [
+            {k: r[k] for k in ("a", "b", "timestamp")} for r in result.clean
+        ] == rows
+
+
+class TestEngineEquivalence:
+    @given(rows=streams(max_size=25), seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_direct_and_stream_engines_agree(self, rows, seed):
+        pipe = PollutionPipeline(
+            [
+                StandardPolluter(GaussianNoise(1.0), ["a"], ProbabilityCondition(0.5), name="n"),
+                StandardPolluter(DropTuple(), condition=ProbabilityCondition(0.2), name="d"),
+            ],
+            name="p",
+        )
+        direct = pollute(rows, pipe, schema=SCHEMA, seed=seed, engine="direct")
+        stream = pollute(rows, pipe, schema=SCHEMA, seed=seed, engine="stream")
+        assert [r.as_dict() for r in direct.polluted] == [
+            r.as_dict() for r in stream.polluted
+        ]

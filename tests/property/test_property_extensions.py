@@ -1,0 +1,172 @@
+"""Hypothesis property tests for the extension packages (cleaning,
+synthesis, dependencies, scoring)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import HampelFilter, InterpolationImputer, SpeedConstraintCleaner
+from repro.core.dependencies import ErrorHistory
+from repro.quality.dataset import is_missing
+from repro.quality.scoring import DetectionScore
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.synthesis import SeasonalBlockBootstrap
+
+SCHEMA = Schema(
+    [
+        Attribute("v", DataType.FLOAT),
+        Attribute("other", DataType.FLOAT),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+values_strategy = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False) | st.none(), min_size=2, max_size=60
+)
+
+
+def make_records(values):
+    return [
+        Record({"v": v, "other": 1.0, "timestamp": 1000 + i * 60}, record_id=i)
+        for i, v in enumerate(values)
+    ]
+
+
+class TestCleanerInvariants:
+    @given(values=values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cleaners_never_touch_other_attributes(self, values):
+        records = make_records(values)
+        for cleaner in (
+            HampelFilter(["v"], window=2),
+            SpeedConstraintCleaner(["v"], max_speed=1.0),
+            InterpolationImputer(["v"]),
+        ):
+            result = cleaner.clean(records, SCHEMA)
+            assert all(r["other"] == 1.0 for r in result.cleaned)
+            assert all(r["timestamp"] == o["timestamp"] for r, o in zip(result.cleaned, records))
+
+    @given(values=values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cleaners_preserve_cardinality_and_ids(self, values):
+        records = make_records(values)
+        for cleaner in (
+            HampelFilter(["v"], window=2),
+            SpeedConstraintCleaner(["v"], max_speed=1.0),
+            InterpolationImputer(["v"]),
+        ):
+            result = cleaner.clean(records, SCHEMA)
+            assert len(result.cleaned) == len(records)
+            assert [r.record_id for r in result.cleaned] == [r.record_id for r in records]
+
+    @given(values=values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_repairs_annotate_every_change(self, values):
+        records = make_records(values)
+        for cleaner in (
+            HampelFilter(["v"], window=2),
+            SpeedConstraintCleaner(["v"], max_speed=1.0),
+            InterpolationImputer(["v"]),
+        ):
+            result = cleaner.clean(records, SCHEMA)
+            changed = {
+                r.record_id
+                for r, o in zip(result.cleaned, records)
+                if not _same(r["v"], o["v"])
+            }
+            assert changed == result.repaired_ids("v")
+
+    @given(values=values_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_imputer_closes_all_gaps_when_possible(self, values):
+        assume(any(not is_missing(v) for v in values))
+        records = make_records(values)
+        result = InterpolationImputer(["v"]).clean(records, SCHEMA)
+        assert all(not is_missing(r["v"]) for r in result.cleaned)
+
+    @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=3, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_speed_cleaned_stream_satisfies_the_constraint(self, values):
+        records = make_records(values)
+        cleaner = SpeedConstraintCleaner(["v"], max_speed=0.5)
+        result = cleaner.clean(records, SCHEMA)
+        previous = None
+        for r in result.cleaned:
+            v, ts = r["v"], r["timestamp"]
+            if previous is not None:
+                dv = abs(v - previous[0])
+                dt = ts - previous[1]
+                assert dv <= 0.5 * dt + 1e-6
+            previous = (v, ts)
+
+
+def _same(a, b):
+    if is_missing(a) and is_missing(b):
+        return True
+    if is_missing(a) or is_missing(b):
+        return False
+    return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestBootstrapInvariants:
+    @given(
+        n_blocks=st.integers(2, 8),
+        season=st.integers(2, 12),
+        n=st.integers(1, 100),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_always_from_source(self, n_blocks, season, n, seed):
+        source = [
+            Record({"v": float(i), "other": 0.0, "timestamp": i * 60})
+            for i in range(n_blocks * season)
+        ]
+        synth = SeasonalBlockBootstrap(season_length=season, align_to_season=False).fit(
+            source, SCHEMA, ["v"]
+        )
+        out = synth.synthesize(n, seed=seed)
+        assert len(out) == n
+        source_values = {r["v"] for r in source}
+        assert all(r["v"] in source_values for r in out)
+        ts = [r["timestamp"] for r in out]
+        assert all(b - a == 60 for a, b in zip(ts, ts[1:]))
+
+
+class TestErrorHistoryInvariants:
+    @given(
+        taus=st.lists(st.integers(0, 10**6), min_size=1, max_size=50),
+        start=st.integers(0, 10**6),
+        end=st.integers(0, 10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_query_matches_naive_scan(self, taus, start, end):
+        history = ErrorHistory()
+        for t in taus:
+            history.record("p", t)
+        expected = any(start <= t <= end for t in taus)
+        assert history.fired_in_window("p", start, end) == expected
+
+
+class TestDetectionScoreInvariants:
+    @given(
+        injected=st.sets(st.integers(0, 50)),
+        detected=st.sets(st.integers(0, 50)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_confusion_arithmetic(self, injected, detected):
+        tp = len(detected & injected)
+        score = DetectionScore(
+            true_positives=tp,
+            false_positives=len(detected - injected),
+            false_negatives=len(injected - detected),
+        )
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        eps = 1e-9
+        assert (
+            min(score.precision, score.recall) - eps
+            <= score.f1
+            <= max(score.precision, score.recall) + eps
+        ) or score.f1 == 0.0

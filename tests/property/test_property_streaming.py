@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the streaming substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integrate import sort_by_timestamp
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CollectSink
+from repro.streaming.split import Broadcast, ProbabilisticOverlap, RoundRobin
+from repro.streaming.time import Duration
+from repro.streaming.watermarks import BoundedOutOfOrdernessWatermarks
+from repro.streaming.windows import TumblingEventTimeWindows, count_window_function
+
+SCHEMA = Schema(
+    [Attribute("v", DataType.FLOAT), Attribute("timestamp", DataType.TIMESTAMP, nullable=False)]
+)
+
+
+@st.composite
+def rows(draw, max_size=50):
+    n = draw(st.integers(1, max_size))
+    start = draw(st.integers(0, 2**30))
+    step = draw(st.integers(1, 100))  # one step for the whole stream: in-order input
+    return [{"v": float(i), "timestamp": start + i * step} for i in range(n)]
+
+
+class TestTopologyInvariants:
+    @given(data=rows())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_pipeline_preserves_stream(self, data):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        env.from_collection(SCHEMA, data).map(lambda r: r).add_sink(sink)
+        env.execute()
+        assert [r.as_dict() for r in sink.records] == data
+
+    @given(data=rows(), m=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_broadcast_multiplies_cardinality(self, data, m):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        branches = env.from_collection(SCHEMA, data).split(Broadcast(m))
+        merged = branches[0].union(*branches[1:]) if m > 1 else branches[0]
+        merged.add_sink(sink)
+        env.execute()
+        assert len(sink.records) == m * len(data)
+
+    @given(data=rows(), m=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_round_robin_partitions_exactly(self, data, m):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        branches = env.from_collection(SCHEMA, data).split(RoundRobin(m))
+        merged = branches[0].union(*branches[1:]) if m > 1 else branches[0]
+        merged.add_sink(sink)
+        env.execute()
+        assert sorted(r["v"] for r in sink.records) == sorted(r["v"] for r in map(Record, data))
+
+    @given(data=rows(), m=st.integers(2, 4), p=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilistic_overlap_never_loses_tuples(self, data, m, p, seed):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        branches = env.from_collection(SCHEMA, data).split(ProbabilisticOverlap(m, p, seed))
+        branches[0].union(*branches[1:]).add_sink(sink)
+        env.execute()
+        assert {r["v"] for r in sink.records} == {row["v"] for row in data}
+
+
+class TestSortInvariants:
+    @given(
+        ts=st.lists(st.integers(0, 10**6) | st.none(), min_size=1, max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sort_orders_and_preserves_multiset(self, ts):
+        records = [Record({"v": float(i), "timestamp": t}) for i, t in enumerate(ts)]
+        out = sort_by_timestamp(records, SCHEMA)
+        assert sorted(r["v"] for r in out) == sorted(float(i) for i in range(len(ts)))
+        concrete = [r["timestamp"] for r in out if r["timestamp"] is not None]
+        assert concrete == sorted(concrete)
+        nones = [r["timestamp"] for r in out if r["timestamp"] is None]
+        if nones:
+            assert out[-1]["timestamp"] is None
+
+
+class TestWindowInvariants:
+    @given(data=rows(), size_hours=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_window_counts_sum_to_stream_size(self, data, size_hours):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        env.from_collection(SCHEMA, data).key_by(lambda r: None).window(
+            TumblingEventTimeWindows(Duration.of_hours(size_hours)),
+            count_window_function,
+        ).add_sink(sink)
+        env.execute()
+        assert sum(r["count"] for r in sink.records) == len(data)
+
+
+class TestWatermarkInvariants:
+    @given(
+        events=st.lists(st.integers(0, 10**6), min_size=1, max_size=100),
+        bound=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_watermarks_never_regress(self, events, bound):
+        gen = BoundedOutOfOrdernessWatermarks(Duration.of_seconds(bound))
+        emitted = [wm for e in events if (wm := gen.on_event(e)) is not None]
+        values = [w.timestamp for w in emitted]
+        assert values == sorted(values)
+        if values:
+            assert values[-1] == max(events) - bound

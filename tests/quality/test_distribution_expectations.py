@@ -1,0 +1,123 @@
+"""Unit tests for distribution-level expectations."""
+
+import pytest
+
+from repro.errors import ExpectationError
+from repro.quality import (
+    ExpectColumnMedianToBeBetween,
+    ExpectColumnMostCommonValueToBeInSet,
+    ExpectColumnProportionOfUniqueValuesToBeBetween,
+    ExpectColumnQuantileValuesToBeBetween,
+    ExpectColumnSumToBeBetween,
+    ExpectColumnValueLengthsToBeBetween,
+    ValidationDataset,
+)
+from repro.streaming.record import Record
+
+
+def ds(values, column="x"):
+    return ValidationDataset([Record({column: v}) for v in values])
+
+
+class TestMedian:
+    def test_pass_and_fail(self):
+        data = ds([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert ExpectColumnMedianToBeBetween("x", 2.0, 4.0).validate(data).success
+        assert not ExpectColumnMedianToBeBetween("x", 10.0, 20.0).validate(data).success
+
+    def test_median_robust_to_single_outlier(self):
+        # The point of median checks: one spike does not flip the verdict.
+        data = ds([10.0] * 9 + [10_000.0])
+        assert ExpectColumnMedianToBeBetween("x", 9.0, 11.0).validate(data).success
+
+    def test_needs_bound(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnMedianToBeBetween("x")
+
+    def test_statistic_in_details(self):
+        result = ExpectColumnMedianToBeBetween("x", 0, 10).validate(ds([1.0, 3.0, 5.0]))
+        assert result.details["statistic"] == 3.0
+
+
+class TestQuantiles:
+    def test_all_quantiles_checked(self):
+        data = ds([float(v) for v in range(101)])  # 0..100
+        exp = ExpectColumnQuantileValuesToBeBetween(
+            "x", {0.5: (45.0, 55.0), 0.9: (85.0, 95.0)}
+        )
+        assert exp.validate(data).success
+
+    def test_one_drifted_quantile_fails(self):
+        data = ds([float(v) for v in range(101)])
+        exp = ExpectColumnQuantileValuesToBeBetween(
+            "x", {0.5: (45.0, 55.0), 0.9: (10.0, 20.0)}
+        )
+        assert not exp.validate(data).success
+
+    def test_scale_error_detected_via_quantiles(self):
+        clean = [50.0 + (i % 20) for i in range(200)]
+        scaled = [v * 0.125 for v in clean]
+        exp = ExpectColumnQuantileValuesToBeBetween("x", {0.5: (45.0, 75.0)})
+        assert exp.validate(ds(clean)).success
+        assert not exp.validate(ds(scaled)).success
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnQuantileValuesToBeBetween("x", {1.5: (0, 1)})
+        with pytest.raises(ExpectationError):
+            ExpectColumnQuantileValuesToBeBetween("x", {})
+
+
+class TestSum:
+    def test_bounds(self):
+        data = ds([1.0, 2.0, 3.0])
+        assert ExpectColumnSumToBeBetween("x", 5.0, 7.0).validate(data).success
+        assert not ExpectColumnSumToBeBetween("x", max_value=5.0).validate(data).success
+
+    def test_missing_excluded(self):
+        data = ds([1.0, None, 2.0])
+        result = ExpectColumnSumToBeBetween("x", 3.0, 3.0).validate(data)
+        assert result.success
+
+
+class TestUniqueProportion:
+    def test_duplicate_storm_detected(self):
+        unique = ds([float(i) for i in range(50)])
+        stormy = ds([1.0] * 40 + [float(i) for i in range(10)])
+        exp = ExpectColumnProportionOfUniqueValuesToBeBetween("x", min_value=0.8)
+        assert exp.validate(unique).success
+        assert not exp.validate(stormy).success
+
+    def test_bounds_validated(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnProportionOfUniqueValuesToBeBetween("x", min_value=0.9, max_value=0.1)
+
+
+class TestMostCommonValue:
+    def test_frozen_run_shifts_the_mode(self):
+        healthy = ds(["a", "b", "a", "c", "a"])
+        frozen = ds(["ERR"] * 10 + ["a", "b"])
+        exp = ExpectColumnMostCommonValueToBeInSet("x", {"a", "b", "c"})
+        assert exp.validate(healthy).success
+        assert not exp.validate(frozen).success
+
+
+class TestValueLengths:
+    def test_truncation_detected(self):
+        data = ds(["alpha", "beta", "x", "gamma"])
+        result = ExpectColumnValueLengthsToBeBetween("x", min_length=2).validate(data)
+        assert result.unexpected_count == 1
+        assert result.unexpected_indices == [2]
+
+    def test_padding_detected(self):
+        data = ds(["ok", "  padded  "])
+        result = ExpectColumnValueLengthsToBeBetween("x", max_length=5).validate(data)
+        assert result.unexpected_indices == [1]
+
+    def test_non_string_unexpected(self):
+        result = ExpectColumnValueLengthsToBeBetween("x", min_length=1).validate(ds([5]))
+        assert result.unexpected_count == 1
+
+    def test_needs_bound(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnValueLengthsToBeBetween("x")

@@ -1,0 +1,239 @@
+"""Unit tests for the expectation catalogue."""
+
+import math
+
+import pytest
+
+from repro.errors import ExpectationError
+from repro.quality import (
+    ExpectColumnMeanToBeBetween,
+    ExpectColumnPairValuesAToBeGreaterThanB,
+    ExpectColumnStdevToBeBetween,
+    ExpectColumnValuesToBeBetween,
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToBeInSet,
+    ExpectColumnValuesToBeOfType,
+    ExpectColumnValuesToBeUnique,
+    ExpectColumnValuesToMatchRegex,
+    ExpectColumnValuesToNotBeNull,
+    ExpectMulticolumnSumToEqual,
+    ValidationDataset,
+)
+from repro.streaming.record import Record
+
+
+def ds(rows):
+    return ValidationDataset([Record(r, record_id=i) for i, r in enumerate(rows)])
+
+
+class TestNotBeNull:
+    def test_counts_nones_and_nans(self):
+        result = ExpectColumnValuesToNotBeNull("x").validate(
+            ds([{"x": 1.0}, {"x": None}, {"x": math.nan}, {"x": 2.0}])
+        )
+        assert result.unexpected_count == 2
+        assert result.unexpected_indices == [1, 2]
+        assert not result.success
+
+    def test_success_on_clean_column(self):
+        result = ExpectColumnValuesToNotBeNull("x").validate(ds([{"x": 1.0}]))
+        assert result.success and result.unexpected_count == 0
+
+    def test_mostly_tolerance(self):
+        result = ExpectColumnValuesToNotBeNull("x", mostly=0.5).validate(
+            ds([{"x": 1.0}, {"x": None}])
+        )
+        assert result.success and result.unexpected_count == 1
+
+    def test_record_ids_reported(self):
+        result = ExpectColumnValuesToNotBeNull("x").validate(ds([{"x": None}, {"x": 1.0}]))
+        assert result.unexpected_record_ids == [0]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExpectationError, match="no column"):
+            ExpectColumnValuesToNotBeNull("zz").validate(ds([{"x": 1.0}]))
+
+
+class TestRegex:
+    def test_full_match_semantics(self):
+        result = ExpectColumnValuesToMatchRegex("x", r"\d+\.\d{3,}").validate(
+            ds([{"x": 1.2345}, {"x": 1.23}, {"x": 1.234}])
+        )
+        assert result.unexpected_count == 1
+        assert result.unexpected_indices == [1]
+
+    def test_search_mode(self):
+        result = ExpectColumnValuesToMatchRegex("x", "err", full=False).validate(
+            ds([{"x": "an error here"}, {"x": "clean"}])
+        )
+        assert result.unexpected_indices == [1]
+
+    def test_missing_values_skipped(self):
+        result = ExpectColumnValuesToMatchRegex("x", ".*").validate(ds([{"x": None}]))
+        assert result.element_count == 0 and result.success
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(ExpectationError, match="invalid regex"):
+            ExpectColumnValuesToMatchRegex("x", "(unclosed")
+
+
+class TestIncreasing:
+    def test_detects_order_violations(self):
+        result = ExpectColumnValuesToBeIncreasing("t").validate(
+            ds([{"t": 1}, {"t": 2}, {"t": 2}, {"t": 3}, {"t": 1}])
+        )
+        assert result.unexpected_indices == [2, 4]
+
+    def test_non_strict_allows_ties(self):
+        result = ExpectColumnValuesToBeIncreasing("t", strictly=False).validate(
+            ds([{"t": 1}, {"t": 2}, {"t": 2}])
+        )
+        assert result.success
+
+    def test_missing_values_bridge_order(self):
+        result = ExpectColumnValuesToBeIncreasing("t").validate(
+            ds([{"t": 1}, {"t": None}, {"t": 2}])
+        )
+        assert result.success and result.element_count == 1
+
+    def test_single_row_vacuously_succeeds(self):
+        assert ExpectColumnValuesToBeIncreasing("t").validate(ds([{"t": 1}])).success
+
+
+class TestPairGreaterThan:
+    def test_detects_violations(self):
+        result = ExpectColumnPairValuesAToBeGreaterThanB("a", "b").validate(
+            ds([{"a": 5, "b": 1}, {"a": 1, "b": 5}])
+        )
+        assert result.unexpected_indices == [1]
+
+    def test_or_equal(self):
+        strict = ExpectColumnPairValuesAToBeGreaterThanB("a", "b")
+        loose = ExpectColumnPairValuesAToBeGreaterThanB("a", "b", or_equal=True)
+        rows = ds([{"a": 1, "b": 1}])
+        assert strict.validate(rows).unexpected_count == 1
+        assert loose.validate(rows).unexpected_count == 0
+
+    def test_missing_pairs_skipped(self):
+        result = ExpectColumnPairValuesAToBeGreaterThanB("a", "b").validate(
+            ds([{"a": None, "b": 1}, {"a": 1, "b": None}])
+        )
+        assert result.element_count == 0
+
+
+class TestMulticolumnSum:
+    def test_detects_nonzero_sums(self):
+        exp = ExpectMulticolumnSumToEqual(["a", "b"], total=0.0)
+        result = exp.validate(ds([{"a": 0.0, "b": 0.0}, {"a": 1.0, "b": 0.0}]))
+        assert result.unexpected_indices == [1]
+
+    def test_row_filter_scopes_evaluation(self):
+        exp = ExpectMulticolumnSumToEqual(
+            ["a", "b"], total=0.0, when=lambda r: r.get("flag") == 1
+        )
+        result = exp.validate(
+            ds([{"a": 9.0, "b": 0.0, "flag": 0}, {"a": 9.0, "b": 0.0, "flag": 1}])
+        )
+        assert result.element_count == 1
+        assert result.unexpected_indices == [1]
+
+    def test_tolerance(self):
+        exp = ExpectMulticolumnSumToEqual(["a"], total=1.0, tolerance=0.1)
+        assert exp.validate(ds([{"a": 1.05}])).success
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ExpectationError):
+            ExpectMulticolumnSumToEqual([], total=0.0)
+
+
+class TestBetween:
+    def test_bounds(self):
+        exp = ExpectColumnValuesToBeBetween("x", 0, 10)
+        result = exp.validate(ds([{"x": 5}, {"x": -1}, {"x": 11}]))
+        assert result.unexpected_indices == [1, 2]
+
+    def test_strict_bounds(self):
+        exp = ExpectColumnValuesToBeBetween("x", 0, 10, strict_min=True)
+        assert exp.validate(ds([{"x": 0}])).unexpected_count == 1
+
+    def test_one_sided(self):
+        exp = ExpectColumnValuesToBeBetween("x", min_value=0)
+        assert exp.validate(ds([{"x": 1e9}])).success
+
+    def test_non_numeric_unexpected(self):
+        exp = ExpectColumnValuesToBeBetween("x", 0, 10)
+        assert exp.validate(ds([{"x": "five"}])).unexpected_count == 1
+
+    def test_needs_a_bound(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnValuesToBeBetween("x")
+
+
+class TestInSetUniqueType:
+    def test_in_set(self):
+        exp = ExpectColumnValuesToBeInSet("c", {"a", "b"})
+        assert exp.validate(ds([{"c": "a"}, {"c": "z"}])).unexpected_indices == [1]
+
+    def test_unique_marks_all_participants(self):
+        exp = ExpectColumnValuesToBeUnique("c")
+        result = exp.validate(ds([{"c": 1}, {"c": 2}, {"c": 1}]))
+        assert result.unexpected_indices == [0, 2]
+
+    def test_unique_ignores_missing(self):
+        exp = ExpectColumnValuesToBeUnique("c")
+        assert exp.validate(ds([{"c": None}, {"c": None}])).success
+
+    def test_of_type(self):
+        exp = ExpectColumnValuesToBeOfType("x", "float")
+        result = exp.validate(ds([{"x": 1.5}, {"x": "s"}, {"x": 3}]))
+        assert result.unexpected_indices == [1]
+
+    def test_of_type_bool_not_int(self):
+        exp = ExpectColumnValuesToBeOfType("x", "int")
+        assert exp.validate(ds([{"x": True}])).unexpected_count == 1
+
+    def test_of_type_unknown_rejected(self):
+        with pytest.raises(ExpectationError):
+            ExpectColumnValuesToBeOfType("x", "quaternion")
+
+
+class TestAggregates:
+    def test_mean_between(self):
+        exp = ExpectColumnMeanToBeBetween("x", 1.0, 3.0)
+        assert exp.validate(ds([{"x": 1.0}, {"x": 3.0}])).success
+        assert not ExpectColumnMeanToBeBetween("x", 5.0, 9.0).validate(
+            ds([{"x": 1.0}, {"x": 3.0}])
+        ).success
+
+    def test_stdev_detects_variance_inflation(self):
+        calm = ds([{"x": float(v)} for v in (10, 10.1, 9.9, 10, 10.05)])
+        noisy = ds([{"x": float(v)} for v in (10, 30, -10, 25, 0)])
+        exp = ExpectColumnStdevToBeBetween("x", max_value=1.0)
+        assert exp.validate(calm).success
+        assert not exp.validate(noisy).success
+
+    def test_statistic_reported_in_details(self):
+        result = ExpectColumnMeanToBeBetween("x", 0, 10).validate(ds([{"x": 4.0}]))
+        assert result.details["statistic"] == 4.0
+
+    def test_empty_column_vacuous(self):
+        result = ExpectColumnMeanToBeBetween("x", 0, 1).validate(ds([{"x": None}]))
+        assert result.success
+
+
+class TestNamesAndPercent:
+    def test_gx_style_names(self):
+        assert (
+            ExpectColumnValuesToNotBeNull("x").name
+            == "expect_column_values_to_not_be_null"
+        )
+        assert (
+            ExpectMulticolumnSumToEqual(["a"], 0).name
+            == "expect_multicolumn_sum_to_equal"
+        )
+
+    def test_unexpected_percent(self):
+        result = ExpectColumnValuesToNotBeNull("x").validate(
+            ds([{"x": None}, {"x": 1.0}, {"x": 1.0}, {"x": 1.0}])
+        )
+        assert result.unexpected_percent == pytest.approx(25.0)

@@ -1,0 +1,103 @@
+"""Unit tests for detection scoring against the pollution log."""
+
+import pytest
+
+from repro.core.conditions import EveryNthCondition
+from repro.core.errors import SetToNull, UnitConversion
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.quality import (
+    ExpectColumnValuesToNotBeNull,
+    ExpectationSuite,
+    ValidationDataset,
+)
+from repro.quality.scoring import DetectionScore, injected_ids, score_detection
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [Attribute("v", DataType.FLOAT), Attribute("timestamp", DataType.TIMESTAMP, nullable=False)]
+)
+
+
+def run_pollution(n=30):
+    rows = [{"v": float(i + 1), "timestamp": 1000 + i * 60} for i in range(n)]
+    pipe = PollutionPipeline(
+        [StandardPolluter(SetToNull(), ["v"], EveryNthCondition(3), name="nulls")],
+        name="p",
+    )
+    return pollute(rows, pipe, schema=SCHEMA, seed=1)
+
+
+class TestDetectionScore:
+    def test_metrics(self):
+        s = DetectionScore(true_positives=8, false_positives=2, false_negatives=2)
+        assert s.precision == pytest.approx(0.8)
+        assert s.recall == pytest.approx(0.8)
+        assert s.f1 == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        # Nothing injected, nothing detected: vacuously perfect.
+        empty = DetectionScore(0, 0, 0)
+        assert empty.precision == 1.0 and empty.recall == 1.0 and empty.f1 == 1.0
+
+    def test_summary_format(self):
+        assert "precision=" in DetectionScore(1, 0, 0).summary()
+
+
+class TestScoreDetection:
+    def test_perfect_detector(self):
+        result = run_pollution()
+        report = ExpectationSuite("s", [ExpectColumnValuesToNotBeNull("v")]).validate(
+            ValidationDataset(result.polluted, SCHEMA)
+        )
+        score = score_detection(report, result.log)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_blind_detector_scores_zero_recall(self):
+        result = run_pollution()
+        # A detector looking at the wrong thing detects nothing.
+        report = ExpectationSuite(
+            "s", [ExpectColumnValuesToNotBeNull("timestamp")]
+        ).validate(ValidationDataset(result.polluted, SCHEMA))
+        score = score_detection(report, result.log)
+        assert score.true_positives == 0
+        assert score.recall == 0.0
+
+    def test_known_clean_violations_excluded_from_fp(self):
+        result = run_pollution()
+        report = ExpectationSuite("s", [ExpectColumnValuesToNotBeNull("v")]).validate(
+            ValidationDataset(result.polluted, SCHEMA)
+        )
+        # Pretend id 0 was a pre-existing violation: excluding it never
+        # *adds* false positives.
+        score = score_detection(report, result.log, known_clean_violations=[0])
+        assert score.false_positives == 0
+
+    def test_single_result_accepted(self):
+        result = run_pollution()
+        exp_result = ExpectColumnValuesToNotBeNull("v").validate(
+            ValidationDataset(result.polluted, SCHEMA)
+        )
+        score = score_detection(exp_result, result.log)
+        assert score.recall == 1.0
+
+
+class TestInjectedIds:
+    def test_changed_only_skips_noop_firings(self):
+        # Unit-converting a zero value fires but changes nothing.
+        rows = [{"v": 0.0, "timestamp": 1000 + i * 60} for i in range(5)]
+        pipe = PollutionPipeline(
+            [StandardPolluter(UnitConversion("km", "cm"), ["v"], name="unit")],
+            name="p",
+        )
+        result = pollute(rows, pipe, schema=SCHEMA, seed=1)
+        assert len(result.log) == 5  # fired everywhere
+        assert injected_ids(result.log) == set()  # changed nothing
+        assert len(injected_ids(result.log, changed_only=False)) == 5
+
+    def test_polluter_filter(self):
+        result = run_pollution()
+        assert injected_ids(result.log, polluters=["p/nulls"]) == injected_ids(result.log)
+        assert injected_ids(result.log, polluters=["p/other"]) == set()

@@ -1,0 +1,96 @@
+"""Unit tests for validation datasets, suites, and reports."""
+
+import math
+
+import pytest
+
+from repro.errors import ExpectationError
+from repro.quality import (
+    ExpectColumnValuesToBeIncreasing,
+    ExpectColumnValuesToNotBeNull,
+    ExpectationSuite,
+    ValidationDataset,
+)
+from repro.quality.dataset import is_missing
+from repro.streaming.record import Record
+
+
+class TestIsMissing:
+    def test_none_and_nan_missing(self):
+        assert is_missing(None)
+        assert is_missing(math.nan)
+
+    def test_values_not_missing(self):
+        assert not is_missing(0.0)
+        assert not is_missing("")
+        assert not is_missing(False)
+
+
+class TestValidationDataset:
+    def test_accepts_dicts_and_records(self):
+        d = ValidationDataset([{"x": 1}, Record({"x": 2})])
+        assert len(d) == 2
+        assert d.column("x") == [1, 2]
+
+    def test_columns_from_first_row(self):
+        d = ValidationDataset([{"a": 1, "b": 2}])
+        assert d.columns == ("a", "b")
+
+    def test_column_nonmissing(self):
+        d = ValidationDataset([{"x": 1}, {"x": None}, {"x": 3}])
+        assert d.column_nonmissing("x") == [(0, 1), (2, 3)]
+
+    def test_record_ids(self):
+        d = ValidationDataset([Record({"x": 1}, record_id=10), Record({"x": 2}, record_id=20)])
+        assert d.record_ids([1]) == [20]
+
+    def test_require_column(self):
+        d = ValidationDataset([{"x": 1}])
+        with pytest.raises(ExpectationError):
+            d.require_column("zz")
+
+    def test_row_access_preserves_order(self):
+        d = ValidationDataset([{"x": i} for i in range(5)])
+        assert d.row(3)["x"] == 3
+
+
+class TestSuite:
+    def _suite(self):
+        return ExpectationSuite(
+            "s",
+            [
+                ExpectColumnValuesToNotBeNull("x"),
+                ExpectColumnValuesToBeIncreasing("t"),
+            ],
+        )
+
+    def test_validate_runs_all_expectations(self):
+        report = self._suite().validate(
+            ValidationDataset([{"x": 1, "t": 1}, {"x": None, "t": 0}])
+        )
+        assert len(report.results) == 2
+        assert not report.success
+        assert report.total_unexpected == 2
+
+    def test_result_for_lookup(self):
+        report = self._suite().validate(ValidationDataset([{"x": 1, "t": 1}]))
+        r = report.result_for("expect_column_values_to_not_be_null")
+        assert r.column == "x"
+        with pytest.raises(ExpectationError, match="no result"):
+            report.result_for("expect_nothing")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ExpectationError, match="no expectations"):
+            ExpectationSuite("empty").validate(ValidationDataset([{"x": 1}]))
+
+    def test_add_chains(self):
+        s = ExpectationSuite("s").add(ExpectColumnValuesToNotBeNull("x"))
+        assert len(s) == 1
+
+    def test_summary_mentions_status(self):
+        report = self._suite().validate(ValidationDataset([{"x": 1, "t": 1}]))
+        assert "PASS" in report.summary()
+
+    def test_mostly_parameter_validated(self):
+        with pytest.raises(ExpectationError, match="mostly"):
+            ExpectColumnValuesToNotBeNull("x", mostly=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for keyed streams, per-key state, and timers."""
+
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.keyed import (
+    KeyedProcessFunction,
+    ListState,
+    MapState,
+    StateStore,
+    TimerService,
+    ValueState,
+)
+from repro.streaming.record import Record
+from repro.streaming.sink import CollectSink
+
+
+class TestStatePrimitives:
+    def test_value_state(self):
+        s = ValueState()
+        assert s.value() is None
+        s.update(5)
+        assert s.value() == 5
+        s.clear()
+        assert s.value() is None
+
+    def test_list_state(self):
+        s = ListState()
+        s.add(1)
+        s.add(2)
+        assert s.get() == [1, 2]
+        s.clear()
+        assert s.get() == []
+
+    def test_map_state(self):
+        s = MapState()
+        s.put("k", 1)
+        assert s.get("k") == 1
+        assert s.contains("k")
+        assert s.get("zz", 0) == 0
+
+    def test_store_isolates_keys(self):
+        store = StateStore()
+        a = store.for_key("k1", "st", ValueState)
+        b = store.for_key("k2", "st", ValueState)
+        a.update(1)
+        assert b.value() is None
+        assert store.for_key("k1", "st", ValueState) is a
+
+    def test_store_drop_key(self):
+        store = StateStore()
+        store.for_key("k1", "st", ValueState).update(1)
+        store.drop_key("k1")
+        assert store.for_key("k1", "st", ValueState).value() is None
+
+
+class TestTimerService:
+    def test_timers_fire_in_order(self):
+        ts = TimerService()
+        ts.register_event_time_timer(50, "b")
+        ts.register_event_time_timer(10, "a")
+        due = ts.pop_due(100)
+        assert due == [(10, "a"), (50, "b")]
+
+    def test_duplicate_registration_ignored(self):
+        ts = TimerService()
+        ts.register_event_time_timer(10, "a")
+        ts.register_event_time_timer(10, "a")
+        assert len(ts.pop_due(100)) == 1
+
+    def test_not_due_stays(self):
+        ts = TimerService()
+        ts.register_event_time_timer(10, "a")
+        assert ts.pop_due(5) == []
+        assert ts.pop_due(10) == [(10, "a")]
+
+
+class TestKeyedProcess:
+    def test_per_key_counters(self, simple_schema):
+        rows = [
+            {"value": float(i), "label": "even" if i % 2 == 0 else "odd",
+             "timestamp": 1000 + i}
+            for i in range(10)
+        ]
+
+        class CountPerKey(KeyedProcessFunction):
+            def process(self, record, ctx, out):
+                state = ctx.state("count", ValueState)
+                state.update((state.value() or 0) + 1)
+                out.collect(record.with_values(value=float(state.value())))
+
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        env.from_collection(simple_schema, rows).key_by(
+            lambda r: r["label"]
+        ).process(CountPerKey()).add_sink(sink)
+        env.execute()
+        evens = [r["value"] for r in sink.records if r["label"] == "even"]
+        assert evens == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_event_time_timer_fires_on_watermark(self, simple_schema):
+        rows = [{"value": 1.0, "label": "a", "timestamp": 1000}]
+        fired = []
+
+        class TimerFn(KeyedProcessFunction):
+            def process(self, record, ctx, out):
+                ctx.register_event_time_timer(record["timestamp"] + 60)
+
+            def on_timer(self, timestamp, ctx, out):
+                fired.append((timestamp, ctx.current_key))
+
+        env = StreamExecutionEnvironment()
+        stream = env.from_collection(simple_schema, rows)
+        stream.key_by(lambda r: r["label"]).process(TimerFn()).add_sink(CollectSink())
+        env.execute()
+        assert fired == [(1060, "a")]

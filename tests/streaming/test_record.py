@@ -1,0 +1,94 @@
+"""Unit tests for stream records."""
+
+import math
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streaming.record import Record
+
+
+@pytest.fixture
+def record() -> Record:
+    return Record({"a": 1.0, "b": "x"}, record_id=7, event_time=100, substream=2)
+
+
+class TestRecordMapping:
+    def test_getitem(self, record):
+        assert record["a"] == 1.0
+
+    def test_getitem_unknown_raises(self, record):
+        with pytest.raises(SchemaError, match="no attribute"):
+            record["zz"]
+
+    def test_setitem_existing(self, record):
+        record["a"] = 2.0
+        assert record["a"] == 2.0
+
+    def test_setitem_unknown_raises(self, record):
+        with pytest.raises(SchemaError, match="fixed-schema"):
+            record["zz"] = 1
+
+    def test_get_with_default(self, record):
+        assert record.get("zz", 9) == 9
+
+    def test_len_iter_contains(self, record):
+        assert len(record) == 2
+        assert set(record) == {"a", "b"}
+        assert "a" in record
+
+    def test_as_dict_is_a_copy(self, record):
+        d = record.as_dict()
+        d["a"] = 99
+        assert record["a"] == 1.0
+
+
+class TestRecordIdentity:
+    def test_copy_is_independent(self, record):
+        c = record.copy()
+        c["a"] = 5.0
+        assert record["a"] == 1.0
+        assert c.record_id == 7
+        assert c.event_time == 100
+        assert c.substream == 2
+
+    def test_with_values(self, record):
+        c = record.with_values(a=3.0)
+        assert c["a"] == 3.0
+        assert record["a"] == 1.0
+
+    def test_equality_includes_metadata(self, record):
+        same = Record({"a": 1.0, "b": "x"}, record_id=7, event_time=100, substream=2)
+        other_meta = Record({"a": 1.0, "b": "x"}, record_id=8, event_time=100, substream=2)
+        assert record == same
+        assert record != other_meta
+
+    def test_repr_shows_metadata(self, record):
+        r = repr(record)
+        assert "id=7" in r and "tau=100" in r
+
+
+class TestRecordDiff:
+    def test_diff_reports_changed_values(self):
+        a = Record({"x": 1.0, "y": 2.0})
+        b = Record({"x": 1.0, "y": 3.0})
+        assert a.diff(b) == {"y": (2.0, 3.0)}
+
+    def test_diff_empty_for_identical(self):
+        a = Record({"x": 1.0})
+        assert a.diff(a.copy()) == {}
+
+    def test_diff_treats_nan_pair_as_equal(self):
+        a = Record({"x": math.nan})
+        b = Record({"x": math.nan})
+        assert a.diff(b) == {}
+
+    def test_diff_nan_vs_value_reported(self):
+        a = Record({"x": math.nan})
+        b = Record({"x": 1.0})
+        assert "x" in a.diff(b)
+
+    def test_diff_none_vs_value_reported(self):
+        a = Record({"x": None})
+        b = Record({"x": 1.0})
+        assert a.diff(b) == {"x": (None, 1.0)}

@@ -1,0 +1,162 @@
+"""Unit tests for schemas and attributes."""
+
+import math
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streaming.schema import Attribute, DataType, Schema
+
+
+class TestAttribute:
+    def test_defaults_are_nullable_floats(self):
+        a = Attribute("x")
+        assert a.dtype is DataType.FLOAT
+        assert a.nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Attribute("")
+
+    def test_validate_accepts_matching_type(self):
+        Attribute("x", DataType.FLOAT).validate(1.5)
+        Attribute("x", DataType.INT).validate(3)
+        Attribute("x", DataType.STRING).validate("hi")
+        Attribute("x", DataType.BOOL).validate(True)
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="expects float"):
+            Attribute("x", DataType.FLOAT).validate("nope")
+
+    def test_validate_rejects_bool_for_numeric(self):
+        with pytest.raises(SchemaError, match="got bool"):
+            Attribute("x", DataType.INT).validate(True)
+
+    def test_int_accepted_for_float_attribute(self):
+        Attribute("x", DataType.FLOAT).validate(2)
+
+    def test_nullability_enforced(self):
+        with pytest.raises(SchemaError, match="not nullable"):
+            Attribute("x", DataType.FLOAT, nullable=False).validate(None)
+
+    def test_nullable_accepts_none(self):
+        Attribute("x", DataType.FLOAT).validate(None)
+
+    def test_category_domain_enforced(self):
+        a = Attribute("c", DataType.CATEGORY, domain=("a", "b"))
+        a.validate("a")
+        with pytest.raises(SchemaError, match="not in domain"):
+            a.validate("z")
+
+    def test_category_domain_must_be_strings(self):
+        with pytest.raises(SchemaError, match="string domain"):
+            Attribute("c", DataType.CATEGORY, domain=(1, 2))
+
+    def test_numeric_domain_range(self):
+        a = Attribute("x", DataType.FLOAT, domain=(0.0, 10.0))
+        a.validate(5.0)
+        with pytest.raises(SchemaError, match="outside domain"):
+            a.validate(11.0)
+
+    def test_numeric_domain_needs_two_bounds(self):
+        with pytest.raises(SchemaError, match="low, high"):
+            Attribute("x", DataType.FLOAT, domain=(1.0,))
+
+    def test_nan_admissible_in_bounded_numeric_domain(self):
+        # NaN encodes a dirty value; domain checks must not reject it.
+        Attribute("x", DataType.FLOAT, domain=(0.0, 1.0)).validate(math.nan)
+
+    def test_parse_empty_and_na_to_none(self):
+        a = Attribute("x", DataType.FLOAT)
+        assert a.parse("") is None
+        assert a.parse("NA") is None
+        assert a.parse("NaN") is None
+
+    def test_parse_typed_values(self):
+        assert Attribute("x", DataType.FLOAT).parse("1.5") == 1.5
+        assert Attribute("x", DataType.INT).parse("7") == 7
+        assert Attribute("x", DataType.TIMESTAMP).parse("100") == 100
+        assert Attribute("x", DataType.BOOL).parse("true") is True
+        assert Attribute("x", DataType.BOOL).parse("0") is False
+        assert Attribute("x", DataType.STRING).parse("hi") == "hi"
+
+
+class TestSchema:
+    def test_bare_names_become_float_attributes(self):
+        s = Schema(["a", "timestamp"])
+        assert s["a"].dtype is DataType.FLOAT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Attribute("a"), Attribute("a"), Attribute("timestamp")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Schema([])
+
+    def test_timestamp_resolution_by_name(self):
+        s = Schema(["a", "timestamp"])
+        assert s.timestamp_attribute == "timestamp"
+
+    def test_timestamp_resolution_by_dtype(self):
+        s = Schema([Attribute("a"), Attribute("ts", DataType.TIMESTAMP)])
+        assert s.timestamp_attribute == "ts"
+
+    def test_explicit_timestamp_attribute(self):
+        s = Schema(
+            [Attribute("a", DataType.TIMESTAMP), Attribute("b", DataType.TIMESTAMP)],
+            timestamp_attribute="b",
+        )
+        assert s.timestamp_attribute == "b"
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(SchemaError, match="timestamp"):
+            Schema([Attribute("a")])
+
+    def test_unknown_explicit_timestamp_rejected(self):
+        with pytest.raises(SchemaError, match="not in schema"):
+            Schema(["a", "timestamp"], timestamp_attribute="zz")
+
+    def test_contains_and_getitem(self):
+        s = Schema(["a", "timestamp"])
+        assert "a" in s
+        assert "zz" not in s
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            s["zz"]
+
+    def test_numeric_attributes_excludes_timestamp_by_default(self):
+        s = Schema(
+            [Attribute("a"), Attribute("b", DataType.STRING), Attribute("timestamp", DataType.TIMESTAMP)]
+        )
+        assert s.numeric_attributes() == ("a",)
+        assert "timestamp" in s.numeric_attributes(include_timestamp=True)
+
+    def test_validate_values_full_row(self):
+        s = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        s.validate_values({"a": 1.0, "timestamp": 5})
+
+    def test_validate_values_missing_attribute(self):
+        s = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        with pytest.raises(SchemaError, match="missing attributes"):
+            s.validate_values({"a": 1.0})
+
+    def test_validate_values_unknown_attribute(self):
+        s = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            s.validate_values({"a": 1.0, "timestamp": 5, "zz": 9})
+
+    def test_project_keeps_timestamp(self):
+        s = Schema(["a", "b", Attribute("timestamp", DataType.TIMESTAMP)])
+        p = s.project(["a"])
+        assert set(p.names) == {"a", "timestamp"}
+        assert p.timestamp_attribute == "timestamp"
+
+    def test_equality_and_hash(self):
+        s1 = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        s2 = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_repr_mentions_timestamp(self):
+        s = Schema(["a", Attribute("timestamp", DataType.TIMESTAMP)])
+        assert "ts=timestamp" in repr(s)

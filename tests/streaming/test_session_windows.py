@@ -1,0 +1,73 @@
+"""Unit tests for gap-based session windows."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.sink import CollectSink
+from repro.streaming.time import Duration
+from repro.streaming.windows import (
+    SessionEventTimeWindows,
+    TimeWindow,
+    count_window_function,
+)
+
+
+def run_sessions(schema, rows, gap_minutes=10):
+    env = StreamExecutionEnvironment()
+    sink = CollectSink()
+    env.from_collection(schema, rows).key_by(lambda r: None).window(
+        SessionEventTimeWindows(Duration.of_minutes(gap_minutes)),
+        count_window_function,
+    ).add_sink(sink)
+    env.execute()
+    return [(r["window_start"], r["count"]) for r in sink.records]
+
+
+class TestMergeLogic:
+    def test_overlapping_windows_coalesce(self):
+        merged = SessionEventTimeWindows.merge(
+            [TimeWindow(0, 100), TimeWindow(50, 150), TimeWindow(300, 400)]
+        )
+        assert merged == [TimeWindow(0, 150), TimeWindow(300, 400)]
+
+    def test_touching_windows_coalesce(self):
+        merged = SessionEventTimeWindows.merge([TimeWindow(0, 100), TimeWindow(100, 200)])
+        assert merged == [TimeWindow(0, 200)]
+
+    def test_disjoint_stay_separate(self):
+        merged = SessionEventTimeWindows.merge([TimeWindow(0, 10), TimeWindow(20, 30)])
+        assert len(merged) == 2
+
+    def test_empty(self):
+        assert SessionEventTimeWindows.merge([]) == []
+
+    def test_gap_validated(self):
+        with pytest.raises(StreamError, match="positive"):
+            SessionEventTimeWindows(Duration.of_seconds(0))
+
+
+class TestSessionWindowsEndToEnd:
+    def test_bursts_form_sessions(self, hourly_schema):
+        # Two bursts of activity separated by more than the gap.
+        rows = (
+            [{"reading": 1.0, "timestamp": t} for t in (0, 120, 300)]
+            + [{"reading": 1.0, "timestamp": t} for t in (5000, 5060)]
+        )
+        sessions = run_sessions(hourly_schema, rows, gap_minutes=10)
+        assert sessions == [(0, 3), (5000, 2)]
+
+    def test_chained_records_extend_one_session(self, hourly_schema):
+        # Each record within gap of the previous: one long session.
+        rows = [{"reading": 1.0, "timestamp": t * 300} for t in range(10)]
+        sessions = run_sessions(hourly_schema, rows, gap_minutes=10)
+        assert sessions == [(0, 10)]
+
+    def test_single_record_session(self, hourly_schema):
+        sessions = run_sessions(hourly_schema, [{"reading": 1.0, "timestamp": 42}])
+        assert sessions == [(42, 1)]
+
+    def test_counts_conserved(self, hourly_schema):
+        rows = [{"reading": 1.0, "timestamp": t * 700} for t in range(30)]
+        sessions = run_sessions(hourly_schema, rows, gap_minutes=10)
+        assert sum(count for _, count in sessions) == 30

@@ -1,0 +1,93 @@
+"""Unit tests for event-time utilities."""
+
+import pytest
+
+from repro.streaming.time import (
+    Duration,
+    day_of_timestamp,
+    format_timestamp,
+    hour_of_day,
+    hour_of_day_int,
+    hours_between,
+    in_daily_interval,
+    month_of_year,
+    parse_timestamp,
+)
+
+
+class TestDuration:
+    def test_constructors(self):
+        assert Duration.of_seconds(5).seconds == 5
+        assert Duration.of_minutes(2).seconds == 120
+        assert Duration.of_hours(1).seconds == 3600
+        assert Duration.of_days(1).seconds == 86400
+
+    def test_fractional_units(self):
+        assert Duration.of_hours(0.5).seconds == 1800
+
+    def test_add_and_scale(self):
+        assert (Duration.of_hours(1) + Duration.of_minutes(30)).seconds == 5400
+        assert (Duration.of_hours(1) * 2).seconds == 7200
+
+
+class TestParseFormat:
+    def test_roundtrip(self):
+        ts = parse_timestamp("2016-02-27 13:45:00")
+        assert format_timestamp(ts) == "2016-02-27 13:45:00"
+
+    def test_date_only_is_midnight(self):
+        ts = parse_timestamp("2016-02-27")
+        assert format_timestamp(ts) == "2016-02-27 00:00:00"
+
+    def test_iso_t_separator(self):
+        assert parse_timestamp("2016-02-27T01:00:00") == parse_timestamp("2016-02-27 01:00:00")
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_timestamp("27/02/2016")
+
+    def test_known_epoch(self):
+        assert parse_timestamp("1970-01-01") == 0
+
+
+class TestHourMath:
+    def test_hour_of_day_fractional(self):
+        ts = parse_timestamp("2016-02-27 13:30:00")
+        assert hour_of_day(ts) == 13.5
+
+    def test_hour_of_day_int(self):
+        ts = parse_timestamp("2016-02-27 13:59:00")
+        assert hour_of_day_int(ts) == 13
+
+    def test_hours_between(self):
+        a = parse_timestamp("2016-02-27 00:00:00")
+        b = parse_timestamp("2016-02-28 12:00:00")
+        assert hours_between(a, b) == 36.0
+
+    def test_hours_between_negative(self):
+        assert hours_between(7200, 0) == -2.0
+
+    def test_day_of_timestamp(self):
+        ts = parse_timestamp("2016-02-27 13:30:00")
+        assert day_of_timestamp(ts) == parse_timestamp("2016-02-27")
+
+    def test_month_of_year(self):
+        assert month_of_year(parse_timestamp("2016-07-01")) == 7
+
+
+class TestDailyInterval:
+    def test_inside(self):
+        ts = parse_timestamp("2016-02-27 13:30:00")
+        assert in_daily_interval(ts, 13, 15)
+
+    def test_boundaries_half_open(self):
+        assert in_daily_interval(parse_timestamp("2016-02-27 13:00:00"), 13, 15)
+        assert not in_daily_interval(parse_timestamp("2016-02-27 15:00:00"), 13, 15)
+
+    def test_outside(self):
+        assert not in_daily_interval(parse_timestamp("2016-02-27 12:59:00"), 13, 15)
+
+    def test_wraps_midnight(self):
+        assert in_daily_interval(parse_timestamp("2016-02-27 23:30:00"), 22, 2)
+        assert in_daily_interval(parse_timestamp("2016-02-27 01:00:00"), 22, 2)
+        assert not in_daily_interval(parse_timestamp("2016-02-27 12:00:00"), 22, 2)

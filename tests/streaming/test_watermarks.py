@@ -1,0 +1,47 @@
+"""Unit tests for watermark generation."""
+
+import pytest
+
+from repro.streaming.time import Duration
+from repro.streaming.watermarks import (
+    BoundedOutOfOrdernessWatermarks,
+    MonotonousWatermarks,
+    Watermark,
+)
+
+
+class TestWatermark:
+    def test_ordering(self):
+        assert Watermark(1) < Watermark(2)
+
+    def test_min_max_sentinels(self):
+        assert Watermark.min() < Watermark(0) < Watermark.max()
+
+
+class TestBoundedOutOfOrderness:
+    def test_lags_by_bound(self):
+        gen = BoundedOutOfOrdernessWatermarks(Duration.of_seconds(10))
+        wm = gen.on_event(100)
+        assert wm == Watermark(90)
+
+    def test_non_decreasing(self):
+        gen = BoundedOutOfOrdernessWatermarks(Duration.of_seconds(10))
+        gen.on_event(100)
+        assert gen.on_event(95) is None  # late event: no regression
+        assert gen.on_event(120) == Watermark(110)
+
+    def test_no_duplicate_emission(self):
+        gen = BoundedOutOfOrdernessWatermarks(Duration.of_seconds(0))
+        assert gen.on_event(50) == Watermark(50)
+        assert gen.on_event(50) is None
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BoundedOutOfOrdernessWatermarks(Duration.of_seconds(-1))
+
+
+class TestMonotonous:
+    def test_tracks_event_time_exactly(self):
+        gen = MonotonousWatermarks()
+        assert gen.on_event(7) == Watermark(7)
+        assert gen.on_event(9) == Watermark(9)

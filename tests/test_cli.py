@@ -1,0 +1,226 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, schema_from_config, suite_from_config
+from repro.datasets.io import load_records, save_records
+from repro.errors import ConfigError
+from repro.streaming.record import Record
+
+SCHEMA_SPEC = {
+    "attributes": [
+        {"name": "v", "dtype": "float"},
+        {"name": "timestamp", "dtype": "timestamp", "nullable": False},
+    ]
+}
+
+PIPELINE_SPEC = {
+    "name": "cli-demo",
+    "polluters": [
+        {
+            "type": "standard",
+            "name": "nulls",
+            "attributes": ["v"],
+            "error": {"type": "set_null"},
+            "condition": {"type": "probability", "p": 0.3},
+        }
+    ],
+}
+
+SUITE_SPEC = {
+    "name": "cli-check",
+    "expectations": [{"type": "not_be_null", "column": "v"}],
+}
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    schema = schema_from_config(SCHEMA_SPEC)
+    records = [Record({"v": float(i), "timestamp": 1000 + i * 60}) for i in range(50)]
+    paths = {
+        "schema": tmp_path / "schema.json",
+        "config": tmp_path / "config.json",
+        "suite": tmp_path / "suite.json",
+        "clean": tmp_path / "clean.csv",
+        "dirty": tmp_path / "dirty.csv",
+        "log": tmp_path / "log.csv",
+    }
+    paths["schema"].write_text(json.dumps(SCHEMA_SPEC))
+    paths["config"].write_text(json.dumps(PIPELINE_SPEC))
+    paths["suite"].write_text(json.dumps(SUITE_SPEC))
+    save_records(records, schema, paths["clean"])
+    return paths, schema
+
+
+class TestSchemaAndSuiteConfig:
+    def test_schema_round_trip(self):
+        schema = schema_from_config(SCHEMA_SPEC)
+        assert schema.names == ("v", "timestamp")
+        assert schema.timestamp_attribute == "timestamp"
+        assert not schema["timestamp"].nullable
+
+    def test_schema_needs_attributes(self):
+        with pytest.raises(ConfigError, match="attributes"):
+            schema_from_config({})
+
+    def test_schema_unknown_dtype(self):
+        with pytest.raises(ConfigError, match="unknown dtype"):
+            schema_from_config({"attributes": [{"name": "x", "dtype": "complex"}]})
+
+    def test_suite_round_trip(self):
+        suite = suite_from_config(SUITE_SPEC)
+        assert len(suite) == 1
+
+    def test_suite_unknown_expectation(self):
+        with pytest.raises(ConfigError, match="unknown expectation"):
+            suite_from_config({"expectations": [{"type": "be_lucky"}]})
+
+    def test_suite_bad_arguments(self):
+        with pytest.raises(ConfigError, match="bad arguments"):
+            suite_from_config({"expectations": [{"type": "not_be_null"}]})
+
+
+class TestPolluteCommand:
+    def test_end_to_end(self, workspace, capsys):
+        paths, schema = workspace
+        rc = main(
+            [
+                "pollute",
+                "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]),
+                "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]),
+                "--log", str(paths["log"]),
+                "--seed", "42",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "errors injected" in out
+        dirty = load_records(schema, paths["dirty"])
+        assert len(dirty) == 50
+        assert any(r["v"] is None for r in dirty)
+        assert paths["log"].read_text().startswith("record_id")
+
+    def test_seed_reproduces(self, workspace):
+        paths, schema = workspace
+        args = [
+            "pollute", "--config", str(paths["config"]),
+            "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+            "--output", str(paths["dirty"]), "--seed", "7",
+        ]
+        main(args)
+        first = paths["dirty"].read_text()
+        main(args)
+        assert paths["dirty"].read_text() == first
+
+    def test_missing_file_exits_2(self, workspace, capsys):
+        paths, _ = workspace
+        rc = main(
+            [
+                "pollute", "--config", "/nonexistent.json",
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]),
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_clean_stream_passes(self, workspace, capsys):
+        paths, _ = workspace
+        rc = main(
+            [
+                "validate", "--suite", str(paths["suite"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+            ]
+        )
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_dirty_stream_fails(self, workspace, capsys):
+        paths, _ = workspace
+        main(
+            [
+                "pollute", "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]), "--seed", "1",
+            ]
+        )
+        rc = main(
+            [
+                "validate", "--suite", str(paths["suite"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["dirty"]),
+            ]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestCleanCommand:
+    def test_interpolate_repairs_nulls(self, workspace, capsys):
+        paths, schema = workspace
+        main(
+            [
+                "pollute", "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]), "--seed", "1",
+            ]
+        )
+        repaired = paths["dirty"].parent / "repaired.csv"
+        rc = main(
+            [
+                "clean", "--cleaner", "interpolate",
+                "--schema", str(paths["schema"]), "--input", str(paths["dirty"]),
+                "--output", str(repaired), "--attribute", "v",
+            ]
+        )
+        assert rc == 0
+        assert "repaired" in capsys.readouterr().out
+        records = load_records(schema, repaired)
+        assert all(r["v"] is not None for r in records)
+
+    def test_cleaner_options_forwarded(self, workspace, capsys):
+        paths, _ = workspace
+        out = paths["dirty"].parent / "hampel.csv"
+        rc = main(
+            [
+                "clean", "--cleaner", "hampel",
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(out), "--attribute", "v",
+                "--option", "window=3", "--option", "n_sigmas=4.0",
+            ]
+        )
+        assert rc == 0
+
+    def test_bad_option_reports_config_error(self, workspace, capsys):
+        paths, _ = workspace
+        out = paths["dirty"].parent / "x.csv"
+        rc = main(
+            [
+                "clean", "--cleaner", "speed",
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(out), "--attribute", "v",
+            ]
+        )
+        assert rc == 2  # speed cleaner requires max_speed
+
+
+class TestGenerateCommand:
+    def test_wearable(self, tmp_path, capsys):
+        out = tmp_path / "w.csv"
+        rc = main(["generate", "wearable", "--output", str(out)])
+        assert rc == 0
+        assert "1060 tuples" in capsys.readouterr().out
+
+    def test_airquality(self, tmp_path, capsys):
+        out = tmp_path / "aq.csv"
+        rc = main(
+            ["generate", "airquality", "--station", "Gucheng",
+             "--hours", "48", "--output", str(out)]
+        )
+        assert rc == 0
+        assert "48 tuples" in capsys.readouterr().out
