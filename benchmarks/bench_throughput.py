@@ -69,3 +69,51 @@ def test_throughput_scales_linearly_with_pipeline_length(benchmark):
     marginal_2 = timings[2] - timings[1]
     marginal_8 = (timings[8] - timings[1]) / 7
     assert marginal_8 < max(4 * marginal_2, 4 * timings[1] / 8 + marginal_2)
+
+
+def test_supervision_overhead_is_bounded(benchmark):
+    """Supervised dispatch (failure policies armed) costs <= ~10% throughput.
+
+    Both runs use the stream engine so the only difference is the
+    supervision wrapper on the hot emit path; the pipeline does realistic
+    per-tuple work (4 stochastic polluters) so fixed costs dominate.
+    """
+    from repro.streaming.supervision import SKIP
+
+    n = scaled(small=20_000, paper=100_000)
+    rows = [
+        {"a": float(i % 97), "b": float(i % 13), "timestamp": i} for i in range(n)
+    ]
+
+    def run(supervised: bool) -> float:
+        start = time.perf_counter()
+        pollute(
+            rows,
+            make_pipeline(4),
+            schema=SCHEMA,
+            seed=5,
+            log=False,
+            engine="stream",
+            failure_policy=SKIP if supervised else None,
+        )
+        return time.perf_counter() - start
+
+    run(False)  # warm-up
+    # Best-of-3 per variant to suppress scheduler noise.
+    unsupervised = min(run(False) for _ in range(3))
+    supervised = min(run(True) for _ in range(3))
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    overhead = supervised / unsupervised - 1.0
+    report(
+        f"Throughput — supervision overhead (n={n} tuples, stream engine, l=4)",
+        render_table(
+            ["variant", "seconds", "tuples/s"],
+            [
+                ["unsupervised", f"{unsupervised:.2f}", f"{n / unsupervised:,.0f}"],
+                ["supervised (SKIP)", f"{supervised:.2f}", f"{n / supervised:,.0f}"],
+                ["overhead", f"{overhead * 100:+.1f}%", ""],
+            ],
+        ),
+    )
+    assert overhead <= 0.10, f"supervision overhead {overhead:.1%} exceeds 10%"

@@ -137,11 +137,43 @@ def _load_json(path: str) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def _failure_policy_from_args(args: argparse.Namespace):
+    from repro.streaming.supervision import (
+        DEAD_LETTER,
+        FAIL_FAST,
+        SKIP,
+        FailurePolicy,
+    )
+
+    if args.on_error == "fail":
+        return FAIL_FAST
+    if args.on_error == "skip":
+        return SKIP
+    if args.on_error == "dead-letter":
+        return DEAD_LETTER
+    try:
+        return FailurePolicy.retry(args.retries)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
 def cmd_pollute(args: argparse.Namespace) -> int:
     schema = schema_from_config(_load_json(args.schema))
     pipeline = pipeline_from_config(_load_json(args.config))
     records = load_records(schema, args.input)
-    result = pollute(records, pipeline, schema=schema, seed=args.seed)
+    supervised = args.on_error is not None or args.checkpoint_dir is not None
+    if supervised:
+        result = pollute(
+            records,
+            pipeline,
+            schema=schema,
+            seed=args.seed,
+            failure_policy=_failure_policy_from_args(args) if args.on_error else None,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    else:
+        result = pollute(records, pipeline, schema=schema, seed=args.seed)
     save_records(result.polluted, schema, args.output)
     if args.log:
         result.log.to_csv(args.log)
@@ -150,6 +182,11 @@ def cmd_pollute(args: argparse.Namespace) -> int:
         f"{len(result.log)} errors injected "
         f"({args.output}{', log: ' + args.log if args.log else ''})"
     )
+    report = result.report
+    if report is not None and report.supervised:
+        print(report.summary())
+        if report.dead_letters:
+            print(report.dead_letters.summary())
     return 0
 
 
@@ -227,6 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True, help="polluted output CSV")
     p.add_argument("--log", help="optional pollution-log CSV (ground truth)")
     p.add_argument("--seed", type=int, default=None, help="run seed (reproducibility)")
+    p.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "retry", "dead-letter"],
+        default=None,
+        help="supervise operators with this failure policy (uses the stream engine)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=3,
+        help="max attempts for --on-error retry (default 3)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for periodic state checkpoints (uses the stream engine)",
+    )
+    p.add_argument(
+        "--checkpoint-interval", type=int, default=100,
+        help="source records between checkpoints (default 100)",
+    )
     p.set_defaults(fn=cmd_pollute)
 
     v = sub.add_parser("validate", help="validate a CSV stream with a suite")

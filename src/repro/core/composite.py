@@ -110,6 +110,33 @@ class CompositePolluter(Polluter):
         for child in self.children:
             child.reset()
 
+    def snapshot_state(self):
+        condition = self.condition.snapshot_state()
+        choice = (
+            self._choice_rng.bit_generator.state
+            if self._choice_rng is not None
+            else None
+        )
+        children = {c.name: c.snapshot_state() for c in self.children}
+        if condition is None and choice is None and not any(children.values()):
+            return None
+        return {"condition": condition, "choice_rng": choice, "children": children}
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        self.condition.restore_state(state["condition"])
+        if state["choice_rng"] is not None:
+            if self._choice_rng is None:
+                raise PollutionError(
+                    f"composite {self.name!r}: cannot restore choice RNG state "
+                    "before bind()"
+                )
+            self._choice_rng.bit_generator.state = state["choice_rng"]
+        by_name = state["children"]
+        for child in self.children:
+            child.restore_state(by_name.get(child.name))
+
     # -- application ----------------------------------------------------------
 
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:

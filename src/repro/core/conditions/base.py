@@ -70,6 +70,41 @@ class Condition:
             )
         return self.evaluate(record, tau)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> dict | None:
+        """Serializable mid-stream state for checkpoint/restore.
+
+        Mirrors :meth:`repro.core.errors.base.ErrorFunction.snapshot_state`:
+        the bound RNG's bit-generator state plus the subclass's own counters
+        or chain state from :meth:`_state_snapshot`.
+        """
+        state = self._state_snapshot()
+        rng_state = self._rng.bit_generator.state if self._rng is not None else None
+        if state is None and rng_state is None:
+            return None
+        return {"state": state, "rng": rng_state}
+
+    def restore_state(self, snapshot: dict | None) -> None:
+        if snapshot is None:
+            return
+        if snapshot.get("rng") is not None:
+            if self._rng is None:
+                raise ConditionError(
+                    f"{type(self).__name__}: cannot restore RNG state before "
+                    "bind_rng; bind the pipeline first, then restore"
+                )
+            self._rng.bit_generator.state = snapshot["rng"]
+        if snapshot.get("state") is not None:
+            self._restore_snapshot(snapshot["state"])
+
+    def _state_snapshot(self):
+        """Subclass hook: per-stream mutable state (``None`` = none)."""
+        return None
+
+    def _restore_snapshot(self, state) -> None:
+        """Subclass hook: restore what :meth:`_state_snapshot` produced."""
+
     def describe(self) -> str:
         return type(self).__name__
 

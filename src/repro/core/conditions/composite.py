@@ -39,6 +39,14 @@ class _Composite(Condition):
         for child in self.children:
             child.reset()
 
+    def _state_snapshot(self):
+        states = [c.snapshot_state() for c in self.children]
+        return states if any(s is not None for s in states) else None
+
+    def _restore_snapshot(self, state) -> None:
+        for child, child_state in zip(self.children, state):
+            child.restore_state(child_state)
+
 
 class AllOf(_Composite):
     """Logical AND: fires iff every child fires.
@@ -103,6 +111,12 @@ class Not(Condition):
 
     def reset(self) -> None:
         self.child.reset()
+
+    def _state_snapshot(self):
+        return self.child.snapshot_state()
+
+    def _restore_snapshot(self, state) -> None:
+        self.child.restore_state(state)
 
     def evaluate(self, record: Record, tau: int) -> bool:
         return not self.child.evaluate(record, tau)

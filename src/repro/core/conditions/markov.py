@@ -97,6 +97,12 @@ class BurstCondition(Condition):
     def reset(self) -> None:
         self._in_burst = False
 
+    def _state_snapshot(self):
+        return self._in_burst or None
+
+    def _restore_snapshot(self, state) -> None:
+        self._in_burst = bool(state)
+
     def describe(self) -> str:
         return (
             f"burst(enter={self.p_enter}, exit={self.p_exit}, "

@@ -197,5 +197,11 @@ class EveryNthCondition(Condition):
     def reset(self) -> None:
         self._count = 0
 
+    def _state_snapshot(self):
+        return self._count or None
+
+    def _restore_snapshot(self, state) -> None:
+        self._count = state
+
     def describe(self) -> str:
         return f"every {self.n}th (offset {self.offset})"

@@ -74,6 +74,41 @@ class ErrorFunction:
         instance can be reused across repetitions.
         """
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> dict | None:
+        """Serializable mid-stream state for checkpoint/restore.
+
+        Combines the bound RNG's bit-generator state (so stochastic errors
+        replay identically after a resume) with the subclass's own state
+        from :meth:`_state_snapshot`. ``None`` means fully stateless.
+        """
+        state = self._state_snapshot()
+        rng_state = self._rng.bit_generator.state if self._rng is not None else None
+        if state is None and rng_state is None:
+            return None
+        return {"state": state, "rng": rng_state}
+
+    def restore_state(self, snapshot: dict | None) -> None:
+        if snapshot is None:
+            return
+        if snapshot.get("rng") is not None:
+            if self._rng is None:
+                raise ErrorFunctionError(
+                    f"{type(self).__name__}: cannot restore RNG state before "
+                    "bind_rng; bind the pipeline first, then restore"
+                )
+            self._rng.bit_generator.state = snapshot["rng"]
+        if snapshot.get("state") is not None:
+            self._restore_snapshot(snapshot["state"])
+
+    def _state_snapshot(self):
+        """Subclass hook: per-stream mutable state (``None`` = none)."""
+        return None
+
+    def _restore_snapshot(self, state) -> None:
+        """Subclass hook: restore what :meth:`_state_snapshot` produced."""
+
     def describe(self) -> str:
         return type(self).__name__
 

@@ -102,6 +102,12 @@ class FrozenValue(ErrorFunction):
     def reset(self) -> None:
         self._memory = {}
 
+    def _state_snapshot(self):
+        return dict(self._memory)
+
+    def _restore_snapshot(self, state) -> None:
+        self._memory = dict(state)
+
     def describe(self) -> str:
         return "frozen_value"
 

@@ -53,6 +53,12 @@ class CumulativeDrift(ErrorFunction):
     def reset(self) -> None:
         self._accumulated = {}
 
+    def _state_snapshot(self):
+        return dict(self._accumulated)
+
+    def _restore_snapshot(self, state) -> None:
+        self._accumulated = dict(state)
+
     def describe(self) -> str:
         return f"cumulative_drift(step={self.step})"
 
@@ -81,6 +87,12 @@ class SwapWithPrevious(ErrorFunction):
 
     def reset(self) -> None:
         self._previous = {}
+
+    def _state_snapshot(self):
+        return dict(self._previous)
+
+    def _restore_snapshot(self, state) -> None:
+        self._previous = dict(state)
 
     def describe(self) -> str:
         return "swap_with_previous"

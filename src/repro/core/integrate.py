@@ -76,6 +76,20 @@ class EventTimeSorter(ProcessFunction):
     def process(self, record: Record, ctx: ProcessContext, out: Collector) -> None:
         self._buffer.append(record)
 
+    def snapshot_state(self):
+        if not self._buffer and self._emitted_up_to is None:
+            return None
+        return {
+            "buffer": [r.copy() for r in self._buffer],
+            "emitted_up_to": self._emitted_up_to,
+        }
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        self._buffer = [r.copy() for r in state["buffer"]]
+        self._emitted_up_to = state["emitted_up_to"]
+
     def on_watermark(self, watermark: Watermark, out: Collector) -> None:
         ts_attr = self._schema.timestamp_attribute
         ready = [

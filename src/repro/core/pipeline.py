@@ -52,6 +52,17 @@ class PollutionPipeline:
     def is_bound(self) -> bool:
         return self._bound
 
+    def snapshot_state(self):
+        """Mid-run state of every polluter, keyed by name (``None`` = none)."""
+        states = {p.name: p.snapshot_state() for p in self.polluters}
+        return states if any(s is not None for s in states.values()) else None
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        for polluter in self.polluters:
+            polluter.restore_state(state.get(polluter.name))
+
     def __len__(self) -> int:
         return len(self.polluters)
 

@@ -63,6 +63,14 @@ class Polluter:
         """Clear per-run state (stateful error functions, counters)."""
         raise NotImplementedError
 
+    def snapshot_state(self):
+        """Serializable mid-run state for checkpoint/restore (``None`` = none)."""
+        raise NotImplementedError
+
+    def restore_state(self, state) -> None:
+        """Restore what :meth:`snapshot_state` produced (after :meth:`bind`)."""
+        raise NotImplementedError
+
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
         raise NotImplementedError
 
@@ -124,6 +132,19 @@ class StandardPolluter(Polluter):
     def reset(self) -> None:
         self.error.reset()
         self.condition.reset()
+
+    def snapshot_state(self):
+        condition = self.condition.snapshot_state()
+        error = self.error.snapshot_state()
+        if condition is None and error is None:
+            return None
+        return {"condition": condition, "error": error}
+
+    def restore_state(self, state) -> None:
+        if state is None:
+            return
+        self.condition.restore_state(state["condition"])
+        self.error.restore_state(state["error"])
 
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
         if not self.condition.evaluate(record, tau):

@@ -9,7 +9,6 @@ temporal error functions and is *not* part of the final output — only the
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Iterator
 
 from repro.errors import PollutionError
@@ -19,13 +18,26 @@ from repro.streaming.schema import Schema
 
 
 class IdGenerator:
-    """Monotone unique tuple identifiers for one pollution run."""
+    """Monotone unique tuple identifiers for one pollution run.
+
+    A plain integer counter (not :func:`itertools.count`) so the position is
+    checkpointable: :meth:`snapshot_state` / :meth:`restore_state` let a
+    resumed run continue the ID sequence exactly where it stopped.
+    """
 
     def __init__(self, start: int = 0) -> None:
-        self._counter = itertools.count(start)
+        self._next = start
 
     def next_id(self) -> int:
-        return next(self._counter)
+        value = self._next
+        self._next += 1
+        return value
+
+    def snapshot_state(self) -> int:
+        return self._next
+
+    def restore_state(self, state: int) -> None:
+        self._next = int(state)
 
 
 def prepare_record(record: Record, schema: Schema, ids: IdGenerator) -> Record:
@@ -63,3 +75,9 @@ class PrepareFunction(MapFunction):
 
     def map(self, record: Record) -> Record:
         return prepare_record(record, self._schema, self._ids)
+
+    def snapshot_state(self):
+        return {"next_id": self._ids.snapshot_state()}
+
+    def restore_state(self, state) -> None:
+        self._ids.restore_state(state["next_id"])

@@ -23,6 +23,7 @@ in the execution substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.core.integrate import EventTimeSorter, integrate, sort_by_timestamp
@@ -31,6 +32,7 @@ from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, PrepareFunction, prepare_stream
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.streaming.checkpoint import Checkpoint, CheckpointStore
 from repro.streaming.environment import StreamExecutionEnvironment
 from repro.streaming.operators import Collector, ProcessContext, ProcessFunction
 from repro.streaming.record import Record
@@ -38,6 +40,7 @@ from repro.streaming.schema import Schema
 from repro.streaming.sink import CollectSink
 from repro.streaming.source import CollectionSource, Source
 from repro.streaming.split import Broadcast, SplitStrategy
+from repro.streaming.supervision import ExecutionReport, FailurePolicy
 
 
 @dataclass
@@ -49,6 +52,7 @@ class PollutionResult:
     log: PollutionLog
     schema: Schema
     seed: int | None = None
+    report: ExecutionReport | None = None
 
     @property
     def n_clean(self) -> int:
@@ -95,6 +99,10 @@ def pollute(
     seed: int | None = None,
     log: bool = True,
     engine: str = "direct",
+    failure_policy: FailurePolicy | None = None,
+    checkpoint_dir: str | Path | CheckpointStore | None = None,
+    checkpoint_interval: int = 100,
+    resume_from: Checkpoint | str | Path | None = None,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -118,6 +126,19 @@ def pollute(
         Whether to record a :class:`~repro.core.log.PollutionLog`.
     engine:
         ``"direct"`` or ``"stream"``; identical output, see module docs.
+        Fault-tolerance options force ``"stream"``.
+    failure_policy:
+        Default :class:`~repro.streaming.supervision.FailurePolicy` applied
+        to every operator of the stream topology (supervised execution).
+    checkpoint_dir:
+        Directory (or :class:`~repro.streaming.checkpoint.CheckpointStore`)
+        for periodic state snapshots; enables ``resume_from`` after a crash.
+    checkpoint_interval:
+        Source records between checkpoints (used with ``checkpoint_dir``).
+    resume_from:
+        A checkpoint (object or file path) from a previous run of the *same*
+        configuration; the run continues from the checkpointed offset. The
+        pollution log only covers post-resume tuples.
     """
     if isinstance(pipelines, PollutionPipeline):
         pipelines = [pipelines]
@@ -129,6 +150,13 @@ def pollute(
         raise PollutionError(f"pipelines need distinct names, got {names}")
     if engine not in ("direct", "stream"):
         raise PollutionError(f"unknown engine {engine!r}; use 'direct' or 'stream'")
+    fault_tolerant = (
+        failure_policy is not None
+        or checkpoint_dir is not None
+        or resume_from is not None
+    )
+    if fault_tolerant:
+        engine = "stream"  # supervision/checkpointing live in the stream engine
 
     source, schema = _coerce_source(data, schema)
     m = len(pipelines)
@@ -145,16 +173,28 @@ def pollute(
         pipeline.reset()
     pollution_log = PollutionLog() if log else None
 
+    report: ExecutionReport | None = None
     if engine == "direct":
         clean, polluted = _run_direct(source, schema, pipelines, strategy, pollution_log)
     else:
-        clean, polluted = _run_stream(source, schema, pipelines, strategy, pollution_log)
+        clean, polluted, report = _run_stream(
+            source,
+            schema,
+            pipelines,
+            strategy,
+            pollution_log,
+            failure_policy=failure_policy,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume_from=resume_from,
+        )
     return PollutionResult(
         clean=clean,
         polluted=polluted,
         log=pollution_log if pollution_log is not None else PollutionLog(),
         schema=schema,
         seed=seed,
+        report=report,
     )
 
 
@@ -203,6 +243,12 @@ class PollutionProcessFunction(ProcessFunction):
         for result in self._pipeline.apply(record, tau, self._log):
             out.collect(result)
 
+    def snapshot_state(self):
+        return self._pipeline.snapshot_state()
+
+    def restore_state(self, state) -> None:
+        self._pipeline.restore_state(state)
+
 
 class _TeeSink(CollectSink):
     """Collects the clean stream off a tee in the topology."""
@@ -214,8 +260,16 @@ def _run_stream(
     pipelines: Sequence[PollutionPipeline],
     strategy: SplitStrategy,
     log: PollutionLog | None,
-) -> tuple[list[Record], list[Record]]:
+    failure_policy: FailurePolicy | None = None,
+    checkpoint_dir: str | Path | CheckpointStore | None = None,
+    checkpoint_interval: int = 100,
+    resume_from: Checkpoint | str | Path | None = None,
+) -> tuple[list[Record], list[Record], ExecutionReport]:
     env = StreamExecutionEnvironment()
+    if failure_policy is not None:
+        env.set_failure_policy(failure_policy)
+    if checkpoint_dir is not None:
+        env.enable_checkpointing(checkpoint_interval, checkpoint_dir)
     prepared = env.from_source(source, name="input").map(
         PrepareFunction(schema, IdGenerator()), name="prepare"
     )
@@ -233,8 +287,8 @@ def _run_stream(
     )
     dirty_sink = CollectSink()
     merged.process(EventTimeSorter(schema), name="sort").add_sink(dirty_sink, name="dirty")
-    env.execute()
+    report = env.execute(resume_from=resume_from)
     # The streaming sorter flushes per watermark; a final global stable sort
     # makes output identical to direct mode regardless of watermark cadence.
     polluted = sort_by_timestamp(dirty_sink.records, schema)
-    return clean_sink.records, polluted
+    return clean_sink.records, polluted, report

@@ -18,7 +18,61 @@ class SchemaError(IcewaflError):
 
 
 class StreamError(IcewaflError):
-    """The streaming substrate was used incorrectly (e.g. an unbuilt topology)."""
+    """The streaming substrate was used incorrectly (e.g. an unbuilt topology).
+
+    Carries optional failure context — the node and record where the stream
+    died — so CLI users see *where* a pipeline failed, not a bare traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: str | None = None,
+        record_id: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.record_id = record_id
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = []
+        if self.node is not None:
+            context.append(f"node={self.node!r}")
+        if self.record_id is not None:
+            context.append(f"record_id={self.record_id}")
+        if context:
+            return f"{base} [{', '.join(context)}]"
+        return base
+
+
+class NodeFailure(StreamError):
+    """An operator failed while processing a record under supervision.
+
+    ``context`` is the structured
+    :class:`~repro.streaming.supervision.FailureContext`; the original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: str | None = None,
+        record_id: int | None = None,
+        context: object | None = None,
+    ) -> None:
+        super().__init__(message, node=node, record_id=record_id)
+        self.context = context
+
+
+class CheckpointError(StreamError):
+    """A checkpoint could not be taken, stored, loaded, or restored."""
+
+
+class ChaosError(StreamError):
+    """An injected fault from the chaos harness (never raised organically)."""
 
 
 class PollutionError(IcewaflError):

@@ -24,8 +24,24 @@ deterministic — given the same input order and seeds, the output is
 byte-identical, which Icewafl's reproducible pollution logs rely on.
 """
 
+from repro.streaming.chaos import ChaosConfig, FaultingNode, FaultingSource
+from repro.streaming.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    load_checkpoint,
+)
 from repro.streaming.environment import DataStream, StreamExecutionEnvironment
 from repro.streaming.record import Record
+from repro.streaming.supervision import (
+    DEAD_LETTER,
+    FAIL_FAST,
+    SKIP,
+    DeadLetterSink,
+    ExecutionReport,
+    FailureAction,
+    FailureContext,
+    FailurePolicy,
+)
 from repro.streaming.schema import Attribute, DataType, Schema
 from repro.streaming.sink import CollectSink, CountingSink, CsvSink, NullSink
 from repro.streaming.source import CollectionSource, CsvSource, GeneratorSource
@@ -41,20 +57,34 @@ from repro.streaming.watermarks import BoundedOutOfOrdernessWatermarks, Watermar
 __all__ = [
     "Attribute",
     "BoundedOutOfOrdernessWatermarks",
+    "ChaosConfig",
+    "Checkpoint",
+    "CheckpointStore",
     "CollectSink",
     "CollectionSource",
     "CountingSink",
     "CsvSink",
     "CsvSource",
+    "DEAD_LETTER",
     "DataStream",
     "DataType",
+    "DeadLetterSink",
     "Duration",
+    "ExecutionReport",
+    "FAIL_FAST",
+    "FailureAction",
+    "FailureContext",
+    "FailurePolicy",
+    "FaultingNode",
+    "FaultingSource",
     "GeneratorSource",
     "NullSink",
     "Record",
+    "SKIP",
     "Schema",
     "StreamExecutionEnvironment",
     "Watermark",
+    "load_checkpoint",
     "format_timestamp",
     "hour_of_day",
     "hours_between",

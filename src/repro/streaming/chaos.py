@@ -1,0 +1,189 @@
+"""Chaos-injection harness: dogfooding Icewafl's pollution philosophy.
+
+Icewafl pollutes *data*; this module pollutes the *runtime* that processes
+it. Seeded :class:`FaultingSource` and :class:`FaultingNode` wrappers inject
+the failure modes of the paper's §3.1.3 "bad network" scenario at the
+execution layer — thrown exceptions, stalls, and duplicate deliveries — at
+configurable rates, deterministically per seed. That determinism is the
+point: a chaos test that kills a pipeline at record 57, resumes from the
+last checkpoint, and compares byte-identical output must replay the exact
+same faults (or none) on demand.
+
+Faults are driven by a :class:`ChaosConfig` and decided per *delivery
+index*, never per record content, so the same seed produces the same fault
+schedule on any stream of equal length.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ChaosError
+from repro.streaming.operators import Node
+from repro.streaming.record import Record
+from repro.streaming.source import Source
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault plan for one wrapper.
+
+    Rates are independent per-delivery probabilities in ``[0, 1]``.
+    ``fail_at`` additionally forces an exception at exact delivery indexes
+    (0-based), which is how tests kill a pipeline at a known position.
+    ``max_failures`` bounds the number of *raised* exceptions; once spent,
+    the wrapper stops throwing (stalls and duplicates keep going), so a
+    retry policy can eventually win against a flaky operator.
+    """
+
+    seed: int
+    fail_rate: float = 0.0
+    stall_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    stall_seconds: float = 0.0
+    fail_at: frozenset[int] = field(default_factory=frozenset)
+    max_failures: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("fail_rate", "stall_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ChaosError(f"{name} must be in [0, 1], got {rate}")
+        if self.stall_seconds < 0:
+            raise ChaosError(f"stall_seconds must be >= 0, got {self.stall_seconds}")
+        # Allow any iterable of ints for convenience.
+        object.__setattr__(self, "fail_at", frozenset(self.fail_at))
+
+
+class _FaultPlan:
+    """Shared seeded decision engine for both wrappers."""
+
+    __slots__ = ("config", "_rng", "index", "failures_injected", "stalls_injected",
+                 "duplicates_injected", "_sleep")
+
+    def __init__(self, config: ChaosConfig, sleep=time.sleep) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.index = 0
+        self.failures_injected = 0
+        self.stalls_injected = 0
+        self.duplicates_injected = 0
+        self._sleep = sleep
+
+    def _may_fail(self) -> bool:
+        limit = self.config.max_failures
+        return limit is None or self.failures_injected < limit
+
+    def next_delivery(self) -> tuple[bool, bool]:
+        """Advance one delivery; returns ``(stall, duplicate)`` or raises.
+
+        Exactly three random draws happen per delivery regardless of the
+        outcome, so the fault schedule at index ``i`` never depends on
+        whether earlier faults actually fired (deterministic replays).
+        """
+        cfg = self.config
+        index = self.index
+        self.index += 1
+        fail = self._rng.random() < cfg.fail_rate or index in cfg.fail_at
+        stall = self._rng.random() < cfg.stall_rate
+        duplicate = self._rng.random() < cfg.duplicate_rate
+        if fail and self._may_fail():
+            self.failures_injected += 1
+            raise ChaosError(
+                f"injected fault at delivery {index} (seed {cfg.seed})"
+            )
+        if stall:
+            self.stalls_injected += 1
+            if cfg.stall_seconds:
+                self._sleep(cfg.stall_seconds)
+        if duplicate:
+            self.duplicates_injected += 1
+        return stall, duplicate
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "deliveries": self.index,
+            "failures": self.failures_injected,
+            "stalls": self.stalls_injected,
+            "duplicates": self.duplicates_injected,
+        }
+
+
+class FaultingNode(Node):
+    """A pass-through operator that injects faults ahead of its downstream.
+
+    Insert it anywhere in a topology via ``stream.transform(FaultingNode(...))``.
+    Exceptions are raised *before* the record is forwarded, so a retried or
+    resumed dispatch delivers the record downstream exactly once; duplicate
+    faults forward the same record twice (at-least-once delivery, the thing
+    checkpoint consumers must deduplicate or tolerate).
+    """
+
+    def __init__(self, name: str, config: ChaosConfig, sleep=time.sleep) -> None:
+        super().__init__(name)
+        self._plan = _FaultPlan(config, sleep)
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting faults (resumed runs that should stay healthy)."""
+        self._armed = False
+
+    @property
+    def injected(self) -> dict[str, int]:
+        return self._plan.stats()
+
+    def on_record(self, record: Record) -> None:
+        if not self._armed:
+            self.emit(record)
+            return
+        _, duplicate = self._plan.next_delivery()
+        self.emit(record)
+        if duplicate:
+            self.emit(record.copy())
+
+
+class FaultingSource(Source):
+    """Wraps a source and injects faults into the *delivery* of its records.
+
+    Mirrors a flaky upstream system: reads can raise (a broken connection),
+    stall (backpressure), or deliver the same record twice (retransmission).
+    Source faults are *not* subject to failure policies — a dead upstream
+    kills the job, which is exactly what checkpoint resume is for.
+
+    Caveat: checkpoint offsets count *delivered* records, so combining a
+    non-zero ``duplicate_rate`` with checkpoint resume shifts the replay
+    position; inject duplicates with a :class:`FaultingNode` instead when
+    checkpointing.
+    """
+
+    def __init__(self, inner: Source, config: ChaosConfig, sleep=time.sleep) -> None:
+        super().__init__(inner.schema)
+        self._inner = inner
+        self._config = config
+        self._sleep = sleep
+        self.last_plan: _FaultPlan | None = None
+
+    @property
+    def injected(self) -> dict[str, int]:
+        return self.last_plan.stats() if self.last_plan is not None else {}
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.iter_from(0)
+
+    def iter_from(self, offset: int) -> Iterator[Record]:
+        plan = _FaultPlan(self._config, self._sleep)
+        self.last_plan = plan
+        # Replay the plan for skipped deliveries so a resumed run sees the
+        # same schedule for the remainder of the stream.
+        plan.index = offset
+        plan._rng = random.Random(self._config.seed)
+        for _ in range(offset * 3):
+            plan._rng.random()
+        for record in self._inner.iter_from(offset):
+            _, duplicate = plan.next_delivery()
+            yield record
+            if duplicate:
+                yield record.copy()

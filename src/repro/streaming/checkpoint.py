@@ -1,0 +1,145 @@
+"""Checkpoint/restore for the stream execution environment.
+
+A checkpoint is a consistent snapshot taken between two source records: the
+push-based engine is synchronous and depth-first, so once a record has fully
+traversed the DAG every operator is quiescent and its state — keyed state,
+window buffers, stateful error-function memory, sink contents — fully
+describes the run so far. The snapshot records:
+
+* **source position** — which source is being drained and how many of its
+  records have been consumed (earlier sources are complete, including their
+  end-of-stream watermark, and live on only through operator/sink state);
+* **node state** — ``snapshot_state()`` of every node that has any, keyed by
+  node name (topologies are rebuilt deterministically, so names line up);
+* **watermark bookkeeping** — the auto-watermark high-water mark and, if the
+  source has an explicit strategy, its generator state.
+
+``StreamExecutionEnvironment.execute(resume_from=...)`` rebuilds the run
+from such a snapshot: node state is restored by name, already-drained
+sources are skipped, and the current source is re-iterated from its offset.
+Sources must therefore be re-iterable and deterministic (every built-in
+source is).
+
+Checkpoints serialize with :mod:`pickle` via :class:`CheckpointStore`; the
+on-disk format is one ``chk-<seq>.ckpt`` pickle per snapshot plus the
+in-memory :class:`Checkpoint` dataclass as the schema.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+CHECKPOINT_SUFFIX = ".ckpt"
+#: Bump when the Checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """A consistent snapshot of an executing environment."""
+
+    source_index: int
+    offset: int
+    records_seen: int
+    auto_watermark: int | None = None
+    generator_state: Any | None = None
+    node_state: dict[str, Any] = field(default_factory=dict)
+    version: int = CHECKPOINT_FORMAT_VERSION
+
+    def describe(self) -> str:
+        return (
+            f"checkpoint(source={self.source_index}, offset={self.offset}, "
+            f"records_seen={self.records_seen}, "
+            f"stateful_nodes={sorted(self.node_state)})"
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """When and where checkpoints are taken.
+
+    ``interval`` is in source records; ``store`` (optional) persists every
+    snapshot to disk. Without a store, snapshots are only kept in memory on
+    the environment (``env.last_checkpoint``).
+    """
+
+    interval: int
+    store: "CheckpointStore | None" = None
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 1 record, got {self.interval}"
+            )
+
+
+class CheckpointStore:
+    """Directory-backed checkpoint persistence.
+
+    Keeps the ``keep`` most recent snapshots (older ones are pruned), so a
+    long run cannot fill the disk with history it will never restore.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise CheckpointError(f"must keep at least 1 checkpoint, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._keep = keep
+        existing = self._paths()
+        self._seq = self._seq_of(existing[-1]) + 1 if existing else 0
+
+    def _paths(self) -> list[Path]:
+        return sorted(self.directory.glob(f"chk-*{CHECKPOINT_SUFFIX}"))
+
+    @staticmethod
+    def _seq_of(path: Path) -> int:
+        try:
+            return int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint filename {path.name!r}") from exc
+
+    def save(self, checkpoint: Checkpoint) -> Path:
+        path = self.directory / f"chk-{self._seq:06d}{CHECKPOINT_SUFFIX}"
+        self._seq += 1
+        try:
+            with open(path, "wb") as f:
+                pickle.dump(checkpoint, f, protocol=pickle.HIGHEST_PROTOCOL)
+        except (OSError, pickle.PicklingError) as exc:
+            raise CheckpointError(f"could not write checkpoint {path}: {exc}") from exc
+        for stale in self._paths()[: -self._keep]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def latest_path(self) -> Path | None:
+        paths = self._paths()
+        return paths[-1] if paths else None
+
+    def load_latest(self) -> Checkpoint | None:
+        path = self.latest_path()
+        return None if path is None else load_checkpoint(path)
+
+    def __len__(self) -> int:
+        return len(self._paths())
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Load one checkpoint file, validating its format version."""
+    try:
+        with open(path, "rb") as f:
+            checkpoint = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
+    if not isinstance(checkpoint, Checkpoint):
+        raise CheckpointError(f"{path} does not contain a Checkpoint")
+    if checkpoint.version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {checkpoint.version}, "
+            f"this runtime reads version {CHECKPOINT_FORMAT_VERSION}"
+        )
+    return checkpoint

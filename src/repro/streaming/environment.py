@@ -18,9 +18,16 @@ Example
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.errors import StreamError
+from repro.errors import CheckpointError, StreamError
+from repro.streaming.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+    load_checkpoint,
+)
 from repro.streaming.keyed import (
     KeyedProcessFunction,
     KeyedProcessNode,
@@ -44,6 +51,12 @@ from repro.streaming.schema import Schema
 from repro.streaming.sink import Sink
 from repro.streaming.source import CollectionSource, Source
 from repro.streaming.split import SplitNode, SplitStrategy
+from repro.streaming.supervision import (
+    FAIL_FAST,
+    ExecutionReport,
+    FailurePolicy,
+    Supervisor,
+)
 from repro.streaming.watermarks import Watermark, WatermarkGenerator
 from repro.streaming.windows import WindowAssigner, WindowFunction, WindowNode
 
@@ -62,9 +75,12 @@ class _UnionInput(Node):
         super().__init__(name)
         self._union = union
         union.register_input(self)
+        self.add_downstream(union)
 
     def on_record(self, record: Record) -> None:
-        self._union.on_record(record)
+        # Forward through emit so supervised runs adjudicate union failures
+        # (and count the dispatch) like any other edge of the DAG.
+        self.emit(record)
 
     def on_watermark(self, watermark: Watermark) -> None:
         self._union.on_watermark_from(self, watermark)
@@ -90,6 +106,15 @@ class DataStream:
         self._node.add_downstream(node)
         self._env._register(node)
         return DataStream(self._env, node, schema or self._schema)
+
+    def transform(self, node: Node, schema: Schema | None = None) -> "DataStream":
+        """Attach an arbitrary :class:`Node` (e.g. a chaos wrapper) downstream."""
+        return self._attach(node, schema)
+
+    def with_failure_policy(self, policy: FailurePolicy) -> "DataStream":
+        """Set the failure policy of this stream's node (enables supervision)."""
+        self._node._policy = policy
+        return self
 
     # -- stateless transformations ------------------------------------------
 
@@ -200,6 +225,45 @@ class StreamExecutionEnvironment:
         self._names: set[str] = set()
         self._auto_watermarks = auto_watermarks
         self._executed = False
+        self._default_policy: FailurePolicy | None = None
+        self._checkpoint_cfg: CheckpointConfig | None = None
+        # Seam for tests/harnesses that need a custom supervisor (fake sleep).
+        self._supervisor_factory = Supervisor
+        self.last_checkpoint: Checkpoint | None = None
+        self.last_report: ExecutionReport | None = None
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def set_failure_policy(self, policy: FailurePolicy) -> "StreamExecutionEnvironment":
+        """Set the environment-wide failure policy and enable supervision.
+
+        Per-node policies (:meth:`DataStream.with_failure_policy`) override
+        this default for their node.
+        """
+        self._default_policy = policy
+        return self
+
+    def enable_checkpointing(
+        self,
+        interval: int,
+        store: CheckpointStore | str | Path | None = None,
+    ) -> "StreamExecutionEnvironment":
+        """Take a consistent snapshot every ``interval`` source records.
+
+        With a ``store`` (or directory path), snapshots are persisted; the
+        latest snapshot is always kept on :attr:`last_checkpoint`.
+        """
+        if isinstance(store, (str, Path)):
+            store = CheckpointStore(store)
+        self._checkpoint_cfg = CheckpointConfig(interval, store)
+        return self
+
+    @property
+    def dead_letters(self):
+        """The dead-letter sink of the last execution (queryable after run)."""
+        if self.last_report is None:
+            raise StreamError("environment has not executed yet; no dead letters")
+        return self.last_report.dead_letters
 
     # -- construction ----------------------------------------------------------
 
@@ -239,48 +303,210 @@ class StreamExecutionEnvironment:
 
     # -- execution ----------------------------------------------------------------
 
-    def execute(self) -> None:
-        """Run the dataflow to completion.
+    def execute(
+        self, resume_from: Checkpoint | str | Path | None = None
+    ) -> ExecutionReport:
+        """Run the dataflow to completion and report what happened.
 
         Drains each source in registration order, interleaving watermarks,
         then sends the end-of-stream watermark through every source head so
         buffered event-time state flushes. An environment can only execute
         once; build a fresh one per run (they are cheap).
+
+        When any failure policy is set (environment-wide or per-node), every
+        record dispatch runs supervised: exceptions are captured with a
+        :class:`~repro.streaming.supervision.FailureContext` and resolved by
+        the owning node's policy. Without policies the original fast path
+        runs and exceptions propagate unchanged.
+
+        ``resume_from`` accepts a :class:`Checkpoint` (or a path to a stored
+        one) from a run over the *same topology*: node state is restored by
+        name, fully drained sources are skipped, and the interrupted source
+        is replayed from its checkpointed offset.
         """
         if self._executed:
             raise StreamError("environment already executed; build a new one")
         if not self._sources:
             raise StreamError("no sources registered")
         self._executed = True
-        for node in self._nodes:
-            node.open()
-        try:
-            for head, source, wm_gen in self._sources:
-                last_auto_wm: int | None = None
-                for record in source:
-                    if record.event_time is None:
-                        ts_attr = source.schema.timestamp_attribute
-                        ts = record.get(ts_attr)
-                        if isinstance(ts, int):
-                            record.event_time = ts
-                    head.on_record(record)
-                    wm = None
-                    if wm_gen is not None and record.event_time is not None:
-                        wm = wm_gen.on_event(record.event_time)
-                    elif (
-                        self._auto_watermarks
-                        and wm_gen is None
-                        and record.event_time is not None
-                    ):
-                        if last_auto_wm is None or record.event_time > last_auto_wm:
-                            last_auto_wm = record.event_time
-                            wm = Watermark(record.event_time)
-                    if wm is not None:
-                        head.on_watermark(wm)
-                head.on_watermark(Watermark.max())
-        finally:
+
+        if isinstance(resume_from, (str, Path)):
+            resume_from = load_checkpoint(resume_from)
+
+        supervised = self._default_policy is not None or any(
+            node._policy is not None for node in self._nodes
+        )
+        report = ExecutionReport(supervised=supervised)
+        supervisor: Supervisor | None = None
+        if supervised:
+            supervisor = self._supervisor_factory(
+                self._default_policy or FAIL_FAST, report
+            )
             for node in self._nodes:
+                supervisor.attach(node)
+        self.last_report = report
+
+        start_source, start_offset = 0, 0
+        if resume_from is not None:
+            start_source = resume_from.source_index
+            start_offset = resume_from.offset
+            report.resumed_from_offset = resume_from.records_seen
+            if start_source >= len(self._sources):
+                raise CheckpointError(
+                    f"checkpoint references source {start_source} but only "
+                    f"{len(self._sources)} source(s) are registered"
+                )
+
+        opened: list[Node] = []
+        try:
+            for node in self._nodes:
+                node.open()
+                opened.append(node)
+            if resume_from is not None:
+                self._restore(resume_from)
+            self._drain_sources(
+                report, supervisor, resume_from, start_source, start_offset
+            )
+            report.completed = True
+        except BaseException:
+            if supervised:
+                self._finalize_stats(report)
+            self._close_nodes(opened, suppress_errors=True)
+            raise
+        if supervised:
+            self._finalize_stats(report)
+        self._close_nodes(opened, suppress_errors=False)
+        return report
+
+    def _finalize_stats(self, report: ExecutionReport) -> None:
+        """Derive per-node processed counts from the DAG's emit counters.
+
+        A record *arrived* at a node once per parent emit (source heads
+        arrive straight from the source, which equals their own emit count
+        since heads only forward). Every arrival was processed unless the
+        supervisor adjudicated it away, so
+        ``processed = arrived - skipped - dead_lettered``.
+        """
+        arrived: dict[str, int] = {node.name: 0 for node in self._nodes}
+        linked: set[int] = set()
+        for node in self._nodes:
+            for child in node.downstream:
+                arrived[child.name] += node._emits
+                linked.add(id(child))
+        # Nodes with no inbound edge (source heads, split branches) are
+        # pass-through forwarders fed outside emit(); their own emit count
+        # is their arrival count.
+        for node in self._nodes:
+            if id(node) not in linked:
+                arrived[node.name] = node._emits
+        for node in self._nodes:
+            stats = report.stats_for(node.name)
+            stats.processed = (
+                arrived[node.name] - stats.skipped - stats.dead_lettered
+            )
+
+    def _drain_sources(
+        self,
+        report: ExecutionReport,
+        supervisor: Supervisor | None,
+        resume_from: Checkpoint | None,
+        start_source: int,
+        start_offset: int,
+    ) -> None:
+        cfg = self._checkpoint_cfg
+        records_seen = resume_from.records_seen if resume_from is not None else 0
+        for src_idx in range(start_source, len(self._sources)):
+            head, source, wm_gen = self._sources[src_idx]
+            resuming_here = resume_from is not None and src_idx == start_source
+            offset = start_offset if resuming_here else 0
+            last_auto_wm: int | None = None
+            if resuming_here:
+                last_auto_wm = resume_from.auto_watermark
+                if wm_gen is not None and resume_from.generator_state is not None:
+                    wm_gen.restore_state(resume_from.generator_state)
+            for record in source.iter_from(offset):
+                if record.event_time is None:
+                    ts_attr = source.schema.timestamp_attribute
+                    ts = record.get(ts_attr)
+                    if isinstance(ts, int):
+                        record.event_time = ts
+                if supervisor is not None:
+                    supervisor.offset = records_seen
+                    supervisor.dispatch(head, record)
+                else:
+                    head.on_record(record)
+                wm = None
+                if wm_gen is not None and record.event_time is not None:
+                    wm = wm_gen.on_event(record.event_time)
+                elif (
+                    self._auto_watermarks
+                    and wm_gen is None
+                    and record.event_time is not None
+                ):
+                    if last_auto_wm is None or record.event_time > last_auto_wm:
+                        last_auto_wm = record.event_time
+                        wm = Watermark(record.event_time)
+                if wm is not None:
+                    head.on_watermark(wm)
+                offset += 1
+                records_seen += 1
+                report.source_records += 1
+                if cfg is not None and records_seen % cfg.interval == 0:
+                    self.last_checkpoint = self._take_checkpoint(
+                        src_idx, offset, records_seen, last_auto_wm, wm_gen
+                    )
+                    report.checkpoints_taken += 1
+            head.on_watermark(Watermark.max())
+
+    def _take_checkpoint(
+        self,
+        source_index: int,
+        offset: int,
+        records_seen: int,
+        auto_watermark: int | None,
+        wm_gen: WatermarkGenerator | None,
+    ) -> Checkpoint:
+        node_state = {}
+        for node in self._nodes:
+            state = node.snapshot_state()
+            if state is not None:
+                node_state[node.name] = state
+        checkpoint = Checkpoint(
+            source_index=source_index,
+            offset=offset,
+            records_seen=records_seen,
+            auto_watermark=auto_watermark,
+            generator_state=wm_gen.snapshot_state() if wm_gen is not None else None,
+            node_state=node_state,
+        )
+        cfg = self._checkpoint_cfg
+        if cfg is not None and cfg.store is not None:
+            cfg.store.save(checkpoint)
+        return checkpoint
+
+    def _restore(self, checkpoint: Checkpoint) -> None:
+        by_name = {node.name: node for node in self._nodes}
+        for name, state in checkpoint.node_state.items():
+            node = by_name.get(name)
+            if node is None:
+                raise CheckpointError(
+                    f"checkpoint references unknown node {name!r}; rebuild the "
+                    "same topology before resuming"
+                )
+            node.restore_state(state)
+
+    @staticmethod
+    def _close_nodes(opened: list[Node], suppress_errors: bool) -> None:
+        """Close every opened node; raise the first close error unless unwinding."""
+        first_error: BaseException | None = None
+        for node in opened:
+            try:
                 node.close()
+            except BaseException as exc:  # noqa: BLE001 - must close the rest
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None and not suppress_errors:
+            raise first_error
 
     # -- convenience ----------------------------------------------------------
 

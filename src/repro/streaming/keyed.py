@@ -11,6 +11,7 @@ event-time timers per key. Icewafl's *frozen value* error uses per-key state
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Any, Callable, Generic, Hashable, TypeVar
 
@@ -106,6 +107,13 @@ class StateStore:
     def drop_key(self, key: Hashable) -> None:
         self._per_key.pop(key, None)
 
+    def snapshot(self) -> dict[Hashable, dict[str, Any]]:
+        """A deep copy of all per-key state (checkpointing)."""
+        return copy.deepcopy(self._per_key)
+
+    def restore(self, snapshot: dict[Hashable, dict[str, Any]]) -> None:
+        self._per_key = copy.deepcopy(snapshot)
+
 
 class TimerService:
     """Event-time timers: callbacks fired when the watermark passes them."""
@@ -129,6 +137,19 @@ class TimerService:
             self._registered.discard((ts, key))
             due.append((ts, key))
         return due
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "heap": list(self._heap),
+            "seq": self._seq,
+            "registered": set(self._registered),
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        self._heap = list(snapshot["heap"])
+        heapq.heapify(self._heap)
+        self._seq = snapshot["seq"]
+        self._registered = set(snapshot["registered"])
 
 
 class KeyedContext:
@@ -164,6 +185,13 @@ class KeyedProcessFunction:
     def close(self) -> None:
         pass
 
+    def snapshot_state(self) -> Any | None:
+        """Extra function-level state beyond the keyed store (``None`` = none)."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        pass
+
 
 class KeyedProcessNode(Node):
     """Dataflow node executing a :class:`KeyedProcessFunction`."""
@@ -196,3 +224,18 @@ class KeyedProcessNode(Node):
             self._ctx.current_key = key
             self._fn.on_timer(ts, self._ctx, self._collector)
         self.emit_watermark(watermark)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "store": self._store.snapshot(),
+            "timers": self._timers.snapshot(),
+            "watermark": self._ctx.current_watermark,
+            "fn": copy.deepcopy(self._fn.snapshot_state()),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._store.restore(state["store"])
+        self._timers.restore(state["timers"])
+        self._ctx.current_watermark = state["watermark"]
+        if state["fn"] is not None:
+            self._fn.restore_state(state["fn"])

@@ -10,8 +10,10 @@ operators of :mod:`repro.core` read like their PyFlink counterparts.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Iterable
 
+from repro.errors import NodeFailure
 from repro.streaming.record import Record
 from repro.streaming.watermarks import Watermark
 
@@ -32,6 +34,13 @@ class MapFunction:
     def close(self) -> None:
         """Called once after the stream is exhausted."""
 
+    def snapshot_state(self) -> Any | None:
+        """Serializable state for checkpointing; ``None`` if stateless."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore state produced by :meth:`snapshot_state`."""
+
 
 class FilterFunction:
     """Keeps records for which :meth:`filter` returns True."""
@@ -45,6 +54,12 @@ class FilterFunction:
     def close(self) -> None:
         pass
 
+    def snapshot_state(self) -> Any | None:
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        pass
+
 
 class FlatMapFunction:
     """One-in many-out transformation (zero or more output records)."""
@@ -56,6 +71,12 @@ class FlatMapFunction:
         pass
 
     def close(self) -> None:
+        pass
+
+    def snapshot_state(self) -> Any | None:
+        return None
+
+    def restore_state(self, state: Any) -> None:
         pass
 
 
@@ -99,6 +120,12 @@ class ProcessFunction:
     def close(self) -> None:
         pass
 
+    def snapshot_state(self) -> Any | None:
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        pass
+
 
 # ---------------------------------------------------------------------------
 # Dataflow nodes
@@ -106,7 +133,23 @@ class ProcessFunction:
 
 
 class Node:
-    """A vertex of the dataflow DAG."""
+    """A vertex of the dataflow DAG.
+
+    When the environment runs supervised, :attr:`_supervisor` is set and
+    every downstream dispatch in :meth:`emit` is wrapped: a success costs one
+    ``try`` block plus a single per-emit counter, a failure is handed to the
+    supervisor which applies the node's failure policy. Per-node processed
+    counts are derived from the emit counters after the run (see the
+    environment's stats finalization) so the hot path never touches a stats
+    object. Unsupervised execution keeps the original bare loop.
+    """
+
+    # Supervision hooks (instance attrs once attached; class-level defaults
+    # keep the unsupervised fast path to a single falsy attribute check).
+    _supervisor = None
+    _stats = None
+    _policy = None
+    _emits = 0  # supervised mode: how many records this node emitted
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -118,8 +161,19 @@ class Node:
     # -- record / watermark propagation ------------------------------------
 
     def emit(self, record: Record) -> None:
-        for child in self.downstream:
-            child.on_record(record)
+        supervisor = self._supervisor
+        if supervisor is None:
+            for child in self.downstream:
+                child.on_record(record)
+        else:
+            self._emits += 1
+            for child in self.downstream:
+                try:
+                    child.on_record(record)
+                except NodeFailure:
+                    raise  # already adjudicated by a downstream supervisor call
+                except Exception as exc:  # noqa: BLE001 - supervision boundary
+                    supervisor.handle_failure(child, record, exc)
 
     def emit_watermark(self, watermark: Watermark) -> None:
         for child in self.downstream:
@@ -139,6 +193,15 @@ class Node:
     def close(self) -> None:
         pass
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> Any | None:
+        """Serializable operator state for a checkpoint (``None`` = stateless)."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore operator state from a checkpoint snapshot."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 
@@ -157,6 +220,12 @@ class MapNode(Node):
     def on_record(self, record: Record) -> None:
         self.emit(self._fn.map(record))
 
+    def snapshot_state(self) -> Any | None:
+        return self._fn.snapshot_state()
+
+    def restore_state(self, state: Any) -> None:
+        self._fn.restore_state(state)
+
 
 class FilterNode(Node):
     def __init__(self, name: str, fn: FilterFunction | Callable[[Record], bool]) -> None:
@@ -172,6 +241,12 @@ class FilterNode(Node):
     def on_record(self, record: Record) -> None:
         if self._fn.filter(record):
             self.emit(record)
+
+    def snapshot_state(self) -> Any | None:
+        return self._fn.snapshot_state()
+
+    def restore_state(self, state: Any) -> None:
+        self._fn.restore_state(state)
 
 
 class FlatMapNode(Node):
@@ -190,6 +265,12 @@ class FlatMapNode(Node):
     def on_record(self, record: Record) -> None:
         for out in self._fn.flat_map(record):
             self.emit(out)
+
+    def snapshot_state(self) -> Any | None:
+        return self._fn.snapshot_state()
+
+    def restore_state(self, state: Any) -> None:
+        self._fn.restore_state(state)
 
 
 class ProcessNode(Node):
@@ -213,6 +294,20 @@ class ProcessNode(Node):
         self._ctx.current_watermark = watermark.timestamp
         self._fn.on_watermark(watermark, self._collector)
         self.emit_watermark(watermark)
+
+    def snapshot_state(self) -> Any | None:
+        fn_state = self._fn.snapshot_state()
+        if fn_state is None and self._ctx.current_watermark == Watermark.min().timestamp:
+            return None
+        return {
+            "fn": copy.deepcopy(fn_state),
+            "watermark": self._ctx.current_watermark,
+        }
+
+    def restore_state(self, state: Any) -> None:
+        self._ctx.current_watermark = state["watermark"]
+        if state["fn"] is not None:
+            self._fn.restore_state(state["fn"])
 
 
 class UnionNode(Node):
@@ -266,6 +361,12 @@ class SinkNode(Node):
 
     def on_watermark(self, watermark: Watermark) -> None:
         pass
+
+    def snapshot_state(self) -> Any | None:
+        return self.sink.snapshot_state()
+
+    def restore_state(self, state: Any) -> None:
+        self.sink.restore_state(state)
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,20 @@ class Sink:
     def close(self) -> None:
         """Called once after the last record."""
 
+    def snapshot_state(self) -> Any | None:
+        """Serializable sink state for a checkpoint (``None`` = not restorable).
+
+        Sinks that cannot rewind their output (e.g. a CSV file already
+        written) return ``None``; resuming from a checkpoint then replays
+        into a fresh sink and the caller is responsible for splicing output.
+        In-memory sinks snapshot their contents so a resumed run continues
+        exactly where the checkpoint left off.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore sink state produced by :meth:`snapshot_state`."""
+
 
 class CollectSink(Sink):
     """Accumulates records in memory; the default sink for experiments."""
@@ -46,6 +60,12 @@ class CollectSink(Sink):
     def __iter__(self):
         return iter(self.records)
 
+    def snapshot_state(self) -> list[Record]:
+        return [r.copy() for r in self.records]
+
+    def restore_state(self, state: list[Record]) -> None:
+        self.records = [r.copy() for r in state]
+
 
 class CountingSink(Sink):
     """Counts records without retaining them (cheap throughput measurements)."""
@@ -55,6 +75,12 @@ class CountingSink(Sink):
 
     def invoke(self, record: Record) -> None:
         self.count += 1
+
+    def snapshot_state(self) -> int:
+        return self.count
+
+    def restore_state(self, state: int) -> None:
+        self.count = state
 
 
 class NullSink(Sink):

@@ -11,6 +11,7 @@ into small batches") is flattened back to tuple-wise order by
 from __future__ import annotations
 
 import csv
+import itertools
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -31,6 +32,16 @@ class Source:
 
     def __iter__(self) -> Iterator[Record]:
         raise NotImplementedError
+
+    def iter_from(self, offset: int) -> Iterator[Record]:
+        """Iterate the stream starting at record index ``offset``.
+
+        Used by checkpoint resume: sources must be re-iterable and
+        deterministic, so skipping the first ``offset`` records replays the
+        exact remainder of the original stream. Subclasses with cheap random
+        access may override; the default skips via iteration.
+        """
+        return itertools.islice(iter(self), offset, None)
 
     def _to_record(self, values: Mapping[str, Any], validate: bool) -> Record:
         if validate:
@@ -59,7 +70,10 @@ class CollectionSource(Source):
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Record]:
-        for row in self._rows:
+        return self.iter_from(0)
+
+    def iter_from(self, offset: int) -> Iterator[Record]:
+        for row in self._rows[offset:]:
             if isinstance(row, Record):
                 if self._validate:
                     self._schema.validate_values(row.as_dict())

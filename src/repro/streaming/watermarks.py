@@ -38,6 +38,13 @@ class WatermarkGenerator:
         """Observe a record's event time; optionally emit a new watermark."""
         raise NotImplementedError
 
+    def snapshot_state(self):
+        """Serializable generator state for checkpointing (``None`` = stateless)."""
+        return None
+
+    def restore_state(self, state) -> None:
+        """Restore state produced by :meth:`snapshot_state`."""
+
 
 class BoundedOutOfOrdernessWatermarks(WatermarkGenerator):
     """Watermarks lagging the max seen event time by a fixed bound.
@@ -63,6 +70,13 @@ class BoundedOutOfOrdernessWatermarks(WatermarkGenerator):
             self._last_emitted = candidate
             return Watermark(candidate)
         return None
+
+    def snapshot_state(self):
+        return {"max_seen": self._max_seen, "last_emitted": self._last_emitted}
+
+    def restore_state(self, state) -> None:
+        self._max_seen = state["max_seen"]
+        self._last_emitted = state["last_emitted"]
 
 
 class MonotonousWatermarks(BoundedOutOfOrdernessWatermarks):

@@ -170,6 +170,22 @@ class WindowNode(Node):
                     bucket.extend(recs)
             self._buffers[(key, m)] = bucket
 
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "buffers": {
+                kw: [r.copy() for r in recs] for kw, recs in self._buffers.items()
+            },
+            "watermark": self._watermark,
+            "late": [r.copy() for r in self.late_records],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._buffers = {
+            kw: [r.copy() for r in recs] for kw, recs in state["buffers"].items()
+        }
+        self._watermark = state["watermark"]
+        self.late_records = [r.copy() for r in state["late"]]
+
     def on_watermark(self, watermark: Watermark) -> None:
         self._watermark = watermark.timestamp
         ready = sorted(

@@ -1,0 +1,281 @@
+"""Supervised execution: failure policies, dead letters, execution reports."""
+
+import pytest
+
+from repro.errors import NodeFailure
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.operators import MapFunction
+from repro.streaming.sink import CollectSink
+from repro.streaming.supervision import (
+    DEAD_LETTER,
+    FAIL_FAST,
+    SKIP,
+    FailureAction,
+    FailurePolicy,
+)
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class ExplodeOn(MapFunction):
+    """Raises on selected values, optionally only the first N times each."""
+
+    def __init__(self, values, fail_times=None):
+        self.values = set(values)
+        self.fail_times = fail_times
+        self.failures: dict[float, int] = {}
+
+    def map(self, record):
+        v = record["value"]
+        if v in self.values:
+            count = self.failures.get(v, 0)
+            if self.fail_times is None or count < self.fail_times:
+                self.failures[v] = count + 1
+                raise Boom(f"poisoned value {v}")
+        return record
+
+
+def build(schema, rows, fn, policy=None, env_policy=None):
+    env = StreamExecutionEnvironment()
+    if env_policy is not None:
+        env.set_failure_policy(env_policy)
+    sink = CollectSink()
+    stream = env.from_collection(schema, rows).map(fn, name="explode")
+    if policy is not None:
+        stream.with_failure_policy(policy)
+    stream.add_sink(sink, name="out")
+    return env, sink
+
+
+class TestSkip:
+    def test_skip_drops_poisoned_records_and_continues(self, simple_schema, simple_rows):
+        env, sink = build(simple_schema, simple_rows, ExplodeOn({5.0, 7.0}), policy=SKIP)
+        report = env.execute()
+        assert report.completed and report.supervised
+        values = [r["value"] for r in sink.records]
+        assert 5.0 not in values and 7.0 not in values
+        assert len(values) == 18
+
+    def test_skip_counts_reconcile(self, simple_schema, simple_rows):
+        env, sink = build(simple_schema, simple_rows, ExplodeOn({5.0}), policy=SKIP)
+        report = env.execute()
+        stats = report.stats_for("explode")
+        assert stats.processed == 19
+        assert stats.skipped == 1
+        assert stats.dead_lettered == 0
+        assert report.reconciles("explode", report.source_records)
+
+
+class TestRetry:
+    def test_retry_recovers_transient_failure(self, simple_schema, simple_rows):
+        fn = ExplodeOn({5.0}, fail_times=2)
+        env, sink = build(
+            simple_schema, simple_rows, fn, policy=FailurePolicy.retry(3)
+        )
+        report = env.execute()
+        assert len(sink.records) == 20  # the record made it through on retry
+        stats = report.stats_for("explode")
+        assert stats.processed == 20
+        assert stats.retried == 2
+        assert report.reconciles("explode", report.source_records)
+
+    def test_retry_exhausted_escalates_to_fail_fast(self, simple_schema, simple_rows):
+        fn = ExplodeOn({5.0})  # always fails
+        env, sink = build(
+            simple_schema, simple_rows, fn, policy=FailurePolicy.retry(2)
+        )
+        with pytest.raises(NodeFailure) as exc_info:
+            env.execute()
+        assert "3 attempt(s)" in str(exc_info.value)
+        assert exc_info.value.__cause__.__class__ is Boom
+
+    def test_retry_exhausted_can_dead_letter(self, simple_schema, simple_rows):
+        policy = FailurePolicy.retry(2, exhausted=FailureAction.DEAD_LETTER)
+        env, sink = build(simple_schema, simple_rows, ExplodeOn({5.0}), policy=policy)
+        report = env.execute()
+        assert len(sink.records) == 19
+        assert len(report.dead_letters) == 1
+        assert report.stats_for("explode").retried == 2
+
+    def test_retry_validation(self):
+        with pytest.raises(ValueError):
+            FailurePolicy.retry(0)
+        with pytest.raises(ValueError):
+            FailurePolicy.retry(1, backoff=-1.0)
+        with pytest.raises(ValueError):
+            FailurePolicy.retry(1, exhausted=FailureAction.RETRY)
+
+    def test_backoff_sleeps_exponentially(self, simple_schema, simple_rows):
+        from repro.streaming.supervision import ExecutionReport, Supervisor
+
+        sleeps = []
+        env = StreamExecutionEnvironment()
+        env._supervisor_factory = lambda policy, report: Supervisor(
+            policy, report, sleep=sleeps.append
+        )
+        sink = CollectSink()
+        env.from_collection(simple_schema, simple_rows).map(
+            ExplodeOn({5.0}, fail_times=3), name="explode"
+        ).with_failure_policy(
+            FailurePolicy.retry(3, backoff=0.1)
+        ).add_sink(sink)
+        env.execute()
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+class TestDeadLetter:
+    def test_poisoned_records_routed_with_context(self, simple_schema, simple_rows):
+        env, sink = build(
+            simple_schema, simple_rows, ExplodeOn({3.0, 11.0}), policy=DEAD_LETTER
+        )
+        report = env.execute()
+        assert len(sink.records) == 18
+        assert len(report.dead_letters) == 2
+        entry = report.dead_letters.entries[0]
+        assert entry.record["value"] == 3.0
+        assert entry.context.node == "explode"
+        assert entry.context.offset == 3
+        assert isinstance(entry.context.exception, Boom)
+        assert report.dead_letters is env.dead_letters
+        assert "explode" in report.dead_letters.summary()
+
+    def test_dead_letter_counts_reconcile(self, simple_schema, simple_rows):
+        env, _ = build(
+            simple_schema, simple_rows, ExplodeOn({3.0, 11.0}), policy=DEAD_LETTER
+        )
+        report = env.execute()
+        stats = report.stats_for("explode")
+        assert stats.processed + stats.skipped + stats.dead_lettered == 20
+        assert stats.dead_lettered == 2
+
+
+class TestFailFast:
+    def test_supervised_fail_fast_wraps_with_context(self, simple_schema, simple_rows):
+        env, sink = build(simple_schema, simple_rows, ExplodeOn({5.0}), policy=FAIL_FAST)
+        with pytest.raises(NodeFailure) as exc_info:
+            env.execute()
+        msg = str(exc_info.value)
+        assert "node='explode'" in msg
+        assert exc_info.value.context.offset == 5
+        assert [r["value"] for r in sink.records] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_env_default_policy_applies_to_all_nodes(self, simple_schema, simple_rows):
+        env, sink = build(simple_schema, simple_rows, ExplodeOn({5.0}), env_policy=SKIP)
+        report = env.execute()
+        assert len(sink.records) == 19
+        assert report.stats_for("explode").skipped == 1
+
+    def test_node_policy_overrides_env_default(self, simple_schema, simple_rows):
+        env, _ = build(
+            simple_schema, simple_rows, ExplodeOn({5.0}),
+            policy=FAIL_FAST, env_policy=SKIP,
+        )
+        with pytest.raises(NodeFailure):
+            env.execute()
+
+    def test_descendant_fail_fast_not_swallowed_by_ancestor_skip(
+        self, simple_schema, simple_rows
+    ):
+        """A FAIL_FAST decision deep in the DAG must not be re-adjudicated
+        by an ancestor's SKIP policy on the way up."""
+        env = StreamExecutionEnvironment()
+        env.set_failure_policy(SKIP)
+        sink = CollectSink()
+        stream = env.from_collection(simple_schema, simple_rows).map(
+            lambda r: r, name="upstream"
+        )
+        stream.map(ExplodeOn({5.0}), name="explode").with_failure_policy(
+            FAIL_FAST
+        ).add_sink(sink)
+        with pytest.raises(NodeFailure):
+            env.execute()
+
+
+class TestUnsupervisedFastPath:
+    def test_no_policy_means_raw_propagation(self, simple_schema, simple_rows):
+        env = StreamExecutionEnvironment()
+        sink = CollectSink()
+        env.from_collection(simple_schema, simple_rows).map(
+            ExplodeOn({5.0})
+        ).add_sink(sink)
+        with pytest.raises(Boom):
+            env.execute()
+        report = env.last_report
+        assert report is not None and not report.supervised
+        assert not report.completed
+
+    def test_unsupervised_report_on_success(self, simple_schema, simple_rows):
+        env = StreamExecutionEnvironment()
+        env.from_collection(simple_schema, simple_rows).add_sink(CollectSink())
+        report = env.execute()
+        assert report.completed and not report.supervised
+        assert report.source_records == 20
+
+
+class TestMidStreamFailureRegression:
+    """Satellite regression: a map that explodes after N records leaves the
+    sink holding exactly N records and every opened node closed."""
+
+    N = 7
+
+    def test_sink_has_exactly_n_records_and_all_nodes_closed(
+        self, simple_schema, simple_rows
+    ):
+        lifecycle = []
+
+        class Tracked(MapFunction):
+            def __init__(self, tag, explode_at=None):
+                self.tag = tag
+                self.explode_at = explode_at
+                self.seen = 0
+
+            def open(self):
+                lifecycle.append(("open", self.tag))
+
+            def map(self, record):
+                if self.explode_at is not None and self.seen == self.explode_at:
+                    raise Boom(f"dies at record {self.seen}")
+                self.seen += 1
+                return record
+
+            def close(self):
+                lifecycle.append(("close", self.tag))
+
+        class TrackedSink(CollectSink):
+            def open(self):
+                lifecycle.append(("open", "sink"))
+
+            def close(self):
+                lifecycle.append(("close", "sink"))
+
+        sink = TrackedSink()
+        env = StreamExecutionEnvironment()
+        stream = env.from_collection(simple_schema, simple_rows)
+        stream = stream.map(Tracked("before"), name="before")
+        stream = stream.map(Tracked("boom", explode_at=self.N), name="boom")
+        stream.map(Tracked("after"), name="after").add_sink(sink)
+        with pytest.raises(Boom):
+            env.execute()
+        assert len(sink.records) == self.N
+        opened = {tag for op, tag in lifecycle if op == "open"}
+        closed = {tag for op, tag in lifecycle if op == "close"}
+        assert opened == closed == {"before", "boom", "after", "sink"}
+
+    def test_close_failure_does_not_mask_processing_failure(
+        self, simple_schema, simple_rows
+    ):
+        class BadClose(MapFunction):
+            def map(self, record):
+                raise Boom("processing")
+
+            def close(self):
+                raise RuntimeError("close also failed")
+
+        env = StreamExecutionEnvironment()
+        env.from_collection(simple_schema, simple_rows).map(BadClose()).add_sink(
+            CollectSink()
+        )
+        with pytest.raises(Boom, match="processing"):
+            env.execute()

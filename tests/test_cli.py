@@ -116,6 +116,41 @@ class TestPolluteCommand:
         main(args)
         assert paths["dirty"].read_text() == first
 
+    def test_supervised_run_prints_report(self, workspace, capsys, tmp_path):
+        paths, schema = workspace
+        ckpt_dir = tmp_path / "ckpts"
+        rc = main(
+            [
+                "pollute",
+                "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]),
+                "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]),
+                "--seed", "42",
+                "--on-error", "skip",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-interval", "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "supervised: True" in out
+        assert "checkpoints taken: 2" in out
+        assert list(ckpt_dir.glob("*.ckpt"))
+        assert len(load_records(schema, paths["dirty"])) == 50
+
+    def test_supervised_output_matches_unsupervised(self, workspace):
+        paths, _ = workspace
+        base = [
+            "pollute", "--config", str(paths["config"]),
+            "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+            "--output", str(paths["dirty"]), "--seed", "7",
+        ]
+        main(base)
+        plain = paths["dirty"].read_text()
+        main(base + ["--on-error", "retry", "--retries", "2"])
+        assert paths["dirty"].read_text() == plain
+
     def test_missing_file_exits_2(self, workspace, capsys):
         paths, _ = workspace
         rc = main(
