@@ -15,12 +15,14 @@ Benches print the same rows/series the paper reports (run pytest with
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_FILE = Path(__file__).parent / "results.txt"
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_throughput.json"
 
 
 def bench_scale() -> str:
@@ -40,6 +42,45 @@ def report(title: str, body: str) -> None:
     print(block)
     with open(RESULTS_FILE, "a") as f:
         f.write(block)
+
+
+def interleaved_minima(
+    runners: dict, min_rounds: int = 4, max_rounds: int = 12, converged=None
+) -> dict:
+    """Per-variant minima over interleaved timing rounds.
+
+    Runs every variant once per round so machine-load drift hits all
+    variants alike, and keeps the per-variant minimum (the run least
+    disturbed by interference). After ``min_rounds``, stops early once
+    ``converged(minima)`` is true; otherwise keeps sampling up to
+    ``max_rounds`` — on a busy box extra rounds raise the odds that each
+    variant catches a quiet window, while a genuine regression stays slow
+    in every round and still fails.
+    """
+    samples: dict = {name: [] for name in runners}
+    for i in range(max_rounds):
+        for name, fn in runners.items():
+            samples[name].append(fn())
+        if i + 1 >= min_rounds and converged is not None:
+            if converged({name: min(v) for name, v in samples.items()}):
+                break
+    return {name: min(v) for name, v in samples.items()}
+
+
+def record_bench(name: str, data: dict) -> None:
+    """Merge one bench's machine-readable results into BENCH_throughput.json.
+
+    The file at the repo root is keyed by bench name so CI can upload it as
+    an artifact and diff runs; each entry records the scale it ran at.
+    """
+    payload: dict = {}
+    if BENCH_FILE.exists():
+        try:
+            payload = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload[name] = {"scale": bench_scale(), **data}
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

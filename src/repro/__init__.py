@@ -63,6 +63,7 @@ from repro.errors import (
     SchemaError,
     StreamError,
 )
+from repro.obs import MetricsRegistry, Tracer, render_metrics, write_metrics
 from repro.streaming import (
     Attribute,
     DataType,
@@ -87,6 +88,7 @@ __all__ = [
     "ExpectationError",
     "ForecastingError",
     "IcewaflError",
+    "MetricsRegistry",
     "NotFittedError",
     "PollutionError",
     "PollutionEvent",
@@ -99,8 +101,11 @@ __all__ = [
     "StandardPolluter",
     "StreamError",
     "StreamExecutionEnvironment",
+    "Tracer",
     "__version__",
     "pipeline_from_config",
     "pollute",
     "polluter_from_config",
+    "render_metrics",
+    "write_metrics",
 ]

@@ -40,6 +40,7 @@ from repro.core.config import pipeline_from_config
 from repro.core.runner import pollute
 from repro.datasets.io import load_records, save_records
 from repro.errors import ConfigError, IcewaflError
+from repro.obs import FORMATS, MetricsRegistry, Tracer, write_metrics
 from repro.quality import (
     ExpectColumnMeanToBeBetween,
     ExpectColumnMedianToBeBetween,
@@ -161,19 +162,16 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     schema = schema_from_config(_load_json(args.schema))
     pipeline = pipeline_from_config(_load_json(args.config))
     records = load_records(schema, args.input)
-    supervised = args.on_error is not None or args.checkpoint_dir is not None
-    if supervised:
-        result = pollute(
-            records,
-            pipeline,
-            schema=schema,
-            seed=args.seed,
+    metrics = MetricsRegistry() if args.metrics_out else None
+    tracer = Tracer() if args.trace_out else None
+    kwargs: dict[str, Any] = {"metrics": metrics, "tracer": tracer}
+    if args.on_error is not None or args.checkpoint_dir is not None:
+        kwargs.update(
             failure_policy=_failure_policy_from_args(args) if args.on_error else None,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
         )
-    else:
-        result = pollute(records, pipeline, schema=schema, seed=args.seed)
+    result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
     save_records(result.polluted, schema, args.output)
     if args.log:
         result.log.to_csv(args.log)
@@ -187,15 +185,56 @@ def cmd_pollute(args: argparse.Namespace) -> int:
         print(report.summary())
         if report.dead_letters:
             print(report.dead_letters.summary())
+    if metrics is not None:
+        write_metrics(metrics, args.metrics_out, args.metrics_format)
+    if tracer is not None:
+        tracer.to_jsonl(args.trace_out)
     return 0
+
+
+def _validation_metrics(report) -> MetricsRegistry:
+    """Fold a :class:`ValidationReport` into counters for export."""
+    registry = MetricsRegistry()
+    for res in report.results:
+        outcome = "pass" if res.success else "fail"
+        registry.counter("validation_expectations_total", outcome=outcome).value += 1
+        elements = registry.counter(
+            "validation_elements_total",
+            expectation=res.expectation,
+            column=res.column or "",
+        )
+        elements.value += res.element_count
+        unexpected = registry.counter(
+            "validation_unexpected_total",
+            expectation=res.expectation,
+            column=res.column or "",
+        )
+        unexpected.value += res.unexpected_count
+    return registry
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
     schema = schema_from_config(_load_json(args.schema))
     suite = suite_from_config(_load_json(args.suite))
     records = load_records(schema, args.input)
-    report = suite.validate(ValidationDataset(records, schema))
+    tracer = Tracer() if args.trace_out else None
+    if tracer is not None:
+        with tracer.span("validate", kind="validation", suite=suite.name):
+            report = suite.validate(ValidationDataset(records, schema))
+        for res in report.results:
+            tracer.event(
+                "validate." + res.expectation,
+                kind="validation",
+                column=res.column or "",
+                success=res.success,
+                unexpected=res.unexpected_count,
+            )
+        tracer.to_jsonl(args.trace_out)
+    else:
+        report = suite.validate(ValidationDataset(records, schema))
     print(report.summary())
+    if args.metrics_out:
+        write_metrics(_validation_metrics(report), args.metrics_out, args.metrics_format)
     return 0 if report.success else 1
 
 
@@ -251,6 +290,21 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run metrics to PATH ('-' = stdout); enables metrics collection",
+    )
+    p.add_argument(
+        "--metrics-format", choices=list(FORMATS), default="summary",
+        help="metrics output format (default summary)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write span records as JSONL to PATH; enables tracing",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Icewafl reproduction command-line interface"
@@ -282,12 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-interval", type=int, default=100,
         help="source records between checkpoints (default 100)",
     )
+    _add_observability_args(p)
     p.set_defaults(fn=cmd_pollute)
 
     v = sub.add_parser("validate", help="validate a CSV stream with a suite")
     v.add_argument("--suite", required=True, help="expectation suite JSON")
     v.add_argument("--schema", required=True, help="stream schema JSON")
     v.add_argument("--input", required=True, help="input CSV to validate")
+    _add_observability_args(v)
     v.set_defaults(fn=cmd_validate)
 
     c = sub.add_parser("clean", help="repair a CSV stream with a cleaning algorithm")

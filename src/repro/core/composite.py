@@ -30,9 +30,10 @@ import numpy as np
 from repro.core.conditions.base import Condition
 from repro.core.conditions.random import AlwaysCondition
 from repro.core.log import PollutionLog
-from repro.core.polluter import Application, Polluter
+from repro.core.polluter import Application, Polluter, _PolluterObs
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.record import Record
 
 
@@ -105,6 +106,21 @@ class CompositePolluter(Polluter):
         for child in self.children:
             child.bind(source, scope=self._qualified_name)
 
+    def bind_metrics(self, registry: MetricsRegistry | None) -> None:
+        """Meter the composite's own gate, then every child recursively."""
+        if registry is None or not registry.enabled:
+            self._obs = None
+        else:
+            self._obs = _PolluterObs(registry, self._qualified_name, None)
+        for child in self.children:
+            child.bind_metrics(registry)
+
+    def flush_metrics(self) -> None:
+        # The composite's own gate writes its counters directly; only the
+        # children buffer.
+        for child in self.children:
+            child.flush_metrics()
+
     def reset(self) -> None:
         self.condition.reset()
         for child in self.children:
@@ -140,13 +156,22 @@ class CompositePolluter(Polluter):
     # -- application ----------------------------------------------------------
 
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
+        obs = self._obs
         if not self.condition.evaluate(record, tau):
+            if obs is not None:
+                obs.misses.value += 1
             return Application([record], fired=False)
+        if obs is not None:
+            obs.hits.value += 1
         if self.mode is CompositeMode.ALL:
-            return self._apply_all(record, tau, log)
-        if self.mode is CompositeMode.FIRST_MATCH:
-            return self._apply_first_match(record, tau, log)
-        return self._apply_choose_one(record, tau, log)
+            outcome = self._apply_all(record, tau, log)
+        elif self.mode is CompositeMode.FIRST_MATCH:
+            outcome = self._apply_first_match(record, tau, log)
+        else:
+            outcome = self._apply_choose_one(record, tau, log)
+        if obs is not None and outcome.fired:
+            obs.activations.value += 1
+        return outcome
 
     def _apply_all(self, record: Record, tau: int, log: PollutionLog | None) -> Application:
         records = [record]

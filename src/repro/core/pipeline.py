@@ -44,6 +44,25 @@ class PollutionPipeline:
             polluter.bind(source, scope=self.name)
         self._bound = True
 
+    def bind_metrics(self, registry) -> None:
+        """Attach (or with ``None``, detach) per-polluter instruments.
+
+        Call after :meth:`bind` so instrument labels carry pipeline-scoped
+        qualified names. The runner rebinds on every run, so a pipeline
+        reused across runs never reports into a stale registry.
+        """
+        for polluter in self.polluters:
+            polluter.bind_metrics(registry)
+
+    def flush_metrics(self) -> None:
+        """Fold every polluter's buffered tallies into its registry counters.
+
+        The runner calls this when a run finishes; long-running readers can
+        call it mid-run to get up-to-date counts (it only moves deltas).
+        """
+        for polluter in self.polluters:
+            polluter.flush_metrics()
+
     def reset(self) -> None:
         for polluter in self.polluters:
             polluter.reset()

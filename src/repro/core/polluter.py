@@ -27,6 +27,7 @@ from repro.core.errors.base import ErrorFunction
 from repro.core.log import PollutionLog
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.record import Record
 
 
@@ -38,8 +39,93 @@ class Application:
     fired: bool
 
 
+class _PolluterObs:
+    """Pre-resolved instruments for one polluter.
+
+    Gives users the paper's "ground truth pollution rate" (Eq. 2's expected
+    vs. realized counts) as counters instead of only via the log CSV:
+    condition hit/miss rates per polluter, activation counts, and — for
+    standard polluters — per-error-type injection counters keyed by target
+    attribute. One injection increment corresponds to exactly one row of
+    :meth:`repro.core.log.PollutionLog.to_csv`.
+
+    Standard polluters buffer their tallies in the plain slotted integers
+    ``n_misses``/``n_fires`` — the hot path pays one integer attribute add
+    per tuple — and :meth:`flush` folds the deltas into the registry
+    counters. A standard polluter fires whenever its condition hits, so one
+    fire count covers the hit counter, the activation counter, and every
+    per-attribute injection counter (the target set is deterministic per
+    polluter). The runner flushes at the end of each run; periodic readers
+    (e.g. a live dashboard) may flush mid-run, it only moves the deltas.
+    """
+
+    __slots__ = (
+        "activations",
+        "hits",
+        "misses",
+        "inj_counters",
+        "n_misses",
+        "n_fires",
+        "_registry",
+        "_error_type",
+        "_injections",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        qualified_name: str,
+        error_type: str | None,
+        targets: Sequence[str] = (),
+    ) -> None:
+        self.activations = registry.counter(
+            "polluter_activations_total", polluter=qualified_name
+        )
+        self.hits = registry.counter(
+            "polluter_condition_total", polluter=qualified_name, outcome="hit"
+        )
+        self.misses = registry.counter(
+            "polluter_condition_total", polluter=qualified_name, outcome="miss"
+        )
+        self.n_misses = 0
+        self.n_fires = 0
+        self._registry = registry
+        self._error_type = error_type
+        self._injections: dict[str, object] = {}
+        # A polluter's target set is a deterministic function of its
+        # attribute configuration (target_attributes draws no RNG), so the
+        # per-fire injection counters can be resolved once up front.
+        self.inj_counters = tuple(self.injection(a) for a in targets)
+
+    def injection(self, attribute: str):
+        """The injection counter for one target attribute ('' = whole tuple)."""
+        counter = self._injections.get(attribute)
+        if counter is None:
+            counter = self._injections[attribute] = self._registry.counter(
+                "pollution_injections_total",
+                error=self._error_type or "unknown",
+                attribute=attribute,
+            )
+        return counter
+
+    def flush(self) -> None:
+        """Fold the buffered miss/fire deltas into the registry counters."""
+        if self.n_misses:
+            self.misses.value += self.n_misses
+            self.n_misses = 0
+        if self.n_fires:
+            self.hits.value += self.n_fires
+            self.activations.value += self.n_fires
+            for counter in self.inj_counters:
+                counter.value += self.n_fires
+            self.n_fires = 0
+
+
 class Polluter:
     """Base class for standard and composite polluters."""
+
+    #: Instruments attached by :meth:`bind_metrics`; ``None`` = unmetered.
+    _obs: _PolluterObs | None = None
 
     def __init__(self, name: str | None = None) -> None:
         self.name = name or type(self).__name__
@@ -58,6 +144,17 @@ class Polluter:
         from its own reproducible stream (see :mod:`repro.core.rng`).
         """
         raise NotImplementedError
+
+    def bind_metrics(self, registry: MetricsRegistry | None) -> None:
+        """Attach per-polluter instruments (``None`` or disabled detaches).
+
+        Call after :meth:`bind` — instrument labels use the pipeline-scoped
+        :attr:`qualified_name`. The runner does both in order.
+        """
+        self._obs = None
+
+    def flush_metrics(self) -> None:
+        """Fold buffered tallies into the registry (no-op when unmetered)."""
 
     def reset(self) -> None:
         """Clear per-run state (stateful error functions, counters)."""
@@ -129,6 +226,19 @@ class StandardPolluter(Polluter):
         self.condition.bind_rng(source.child(self._qualified_name, stream=0))
         self.error.bind_rng(source.child(self._qualified_name, stream=1))
 
+    def bind_metrics(self, registry: MetricsRegistry | None) -> None:
+        if registry is None or not registry.enabled:
+            self._obs = None
+            return
+        targets = self.error.target_attributes(self.attributes) or ("",)
+        self._obs = _PolluterObs(
+            registry, self._qualified_name, type(self.error).__name__, targets
+        )
+
+    def flush_metrics(self) -> None:
+        if self._obs is not None:
+            self._obs.flush()
+
     def reset(self) -> None:
         self.error.reset()
         self.condition.reset()
@@ -147,10 +257,16 @@ class StandardPolluter(Polluter):
         self.error.restore_state(state["error"])
 
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
+        obs = self._obs
         if not self.condition.evaluate(record, tau):
+            if obs is not None:
+                obs.n_misses += 1
             return Application([record], fired=False)
-        targets = self.error.target_attributes(self.attributes) if log is not None else ()
-        before = {a: record.get(a) for a in targets} if log is not None else None
+        if log is not None:
+            targets = self.error.target_attributes(self.attributes)
+            before = {a: record.get(a) for a in targets}
+        else:
+            targets, before = (), None
         out = self.error.apply(record, self.attributes, tau)
         if out is None:
             records: list[Record] = []
@@ -158,6 +274,12 @@ class StandardPolluter(Polluter):
             records = out
         else:
             records = [out]
+        if obs is not None:
+            # One buffered integer add; flush() fans the fire count out to
+            # the hit/activation counters and — one increment per (event,
+            # attribute) pair, the same accounting as a pollution-log CSV
+            # row — the pre-resolved injection counters.
+            obs.n_fires += 1
         if log is not None:
             after = records[0].as_dict() if records else None
             log.record_event(

@@ -32,6 +32,8 @@ from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, PrepareFunction, prepare_stream
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore
 from repro.streaming.environment import StreamExecutionEnvironment
 from repro.streaming.operators import Collector, ProcessContext, ProcessFunction
@@ -53,6 +55,7 @@ class PollutionResult:
     schema: Schema
     seed: int | None = None
     report: ExecutionReport | None = None
+    metrics: MetricsRegistry | None = None
 
     @property
     def n_clean(self) -> int:
@@ -103,6 +106,8 @@ def pollute(
     checkpoint_dir: str | Path | CheckpointStore | None = None,
     checkpoint_interval: int = 100,
     resume_from: Checkpoint | str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -139,6 +144,15 @@ def pollute(
         A checkpoint (object or file path) from a previous run of the *same*
         configuration; the run continues from the checkpointed offset. The
         pollution log only covers post-resume tuples.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to collect run
+        telemetry into: per-polluter activation/condition/injection counters
+        plus the stream engine's node metrics. An enabled registry forces
+        ``engine="stream"`` so node-level metrics exist. Pollution output is
+        byte-identical with and without metrics.
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer` receiving span records for node
+        lifecycle, checkpoint, and supervision events (stream engine only).
     """
     if isinstance(pipelines, PollutionPipeline):
         pipelines = [pipelines]
@@ -157,6 +171,9 @@ def pollute(
     )
     if fault_tolerant:
         engine = "stream"  # supervision/checkpointing live in the stream engine
+    metered = metrics is not None and metrics.enabled
+    if metered or tracer is not None:
+        engine = "stream"  # node metrics/spans only exist in the stream engine
 
     source, schema = _coerce_source(data, schema)
     m = len(pipelines)
@@ -171,23 +188,33 @@ def pollute(
     for pipeline in pipelines:
         pipeline.bind(random_source)
         pipeline.reset()
+        pipeline.bind_metrics(metrics if metered else None)
     pollution_log = PollutionLog() if log else None
 
     report: ExecutionReport | None = None
-    if engine == "direct":
-        clean, polluted = _run_direct(source, schema, pipelines, strategy, pollution_log)
-    else:
-        clean, polluted, report = _run_stream(
-            source,
-            schema,
-            pipelines,
-            strategy,
-            pollution_log,
-            failure_policy=failure_policy,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval,
-            resume_from=resume_from,
-        )
+    try:
+        if engine == "direct":
+            clean, polluted = _run_direct(
+                source, schema, pipelines, strategy, pollution_log
+            )
+        else:
+            clean, polluted, report = _run_stream(
+                source,
+                schema,
+                pipelines,
+                strategy,
+                pollution_log,
+                failure_policy=failure_policy,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_interval=checkpoint_interval,
+                resume_from=resume_from,
+                metrics=metrics if metered else None,
+                tracer=tracer,
+            )
+    finally:
+        if metered:
+            for pipeline in pipelines:
+                pipeline.flush_metrics()
     return PollutionResult(
         clean=clean,
         polluted=polluted,
@@ -195,6 +222,7 @@ def pollute(
         schema=schema,
         seed=seed,
         report=report,
+        metrics=metrics if metered else None,
     )
 
 
@@ -264,8 +292,10 @@ def _run_stream(
     checkpoint_dir: str | Path | CheckpointStore | None = None,
     checkpoint_interval: int = 100,
     resume_from: Checkpoint | str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[list[Record], list[Record], ExecutionReport]:
-    env = StreamExecutionEnvironment()
+    env = StreamExecutionEnvironment(metrics=metrics, tracer=tracer)
     if failure_policy is not None:
         env.set_failure_policy(failure_policy)
     if checkpoint_dir is not None:

@@ -1,0 +1,55 @@
+"""repro.obs — the observability layer: metrics, tracing, exporters.
+
+A zero-dependency subsystem threaded through every layer of the runtime:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket histograms; disabled registries hand out shared
+  no-ops so instrumentation costs nothing when off;
+* :mod:`repro.obs.tracing` — :class:`Tracer` emitting span records (node
+  open/close, checkpoint write/restore, retry attempts, sampled record
+  dispatches) to a bounded ring buffer or a JSONL sink;
+* :mod:`repro.obs.export` — summary-table, JSONL, and Prometheus text
+  renderers.
+
+The streaming engine (:mod:`repro.streaming.environment`), the supervisor
+(:mod:`repro.streaming.supervision`), and the pollution layer
+(:mod:`repro.core.polluter`, :mod:`repro.core.runner`) all record into one
+registry per run, so the paper's measured quantities — injection counts per
+error type, per-node throughput and latency, runtime overhead — are live
+outputs instead of post-hoc reconstructions.
+"""
+
+from repro.obs.export import (
+    FORMATS,
+    render_jsonl,
+    render_metrics,
+    render_prometheus,
+    render_summary,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "FORMATS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "Span",
+    "Tracer",
+    "render_jsonl",
+    "render_metrics",
+    "render_prometheus",
+    "render_summary",
+    "write_metrics",
+]

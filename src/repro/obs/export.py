@@ -1,0 +1,141 @@
+"""Exporters: render a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Three formats cover the consumption paths the benchmarks and CLI need:
+
+* :func:`render_summary` — a human-readable table, the default for
+  ``--metrics-out -``;
+* :func:`render_jsonl` — one JSON object per instrument, for downstream
+  tooling and the per-PR ``BENCH_*.json`` trajectory files;
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``name{labels} value`` plus ``_bucket``/``_sum``/``_count`` series for
+  histograms), so a run can be scraped or diffed with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+FORMATS = ("summary", "jsonl", "prom")
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float | int) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.9g}"
+
+
+def render_summary(registry: MetricsRegistry) -> str:
+    """A sectioned, aligned, human-readable dump of every instrument."""
+    sections: list[tuple[str, list[tuple[str, str]]]] = []
+    counters = [
+        (f"{i.name}{_label_str(i.labels)}", _fmt(i.value))
+        for i in registry.instruments("counter")
+    ]
+    gauges = [
+        (f"{i.name}{_label_str(i.labels)}", _fmt(i.value))
+        for i in registry.instruments("gauge")
+    ]
+    histograms = []
+    for h in registry.instruments("histogram"):
+        assert isinstance(h, Histogram)
+        histograms.append(
+            (
+                f"{h.name}{_label_str(h.labels)}",
+                f"count={h.count} mean={h.mean:.3g} "
+                f"p50={h.percentile(50):.3g} p90={h.percentile(90):.3g} "
+                f"p99={h.percentile(99):.3g}",
+            )
+        )
+    sections.append(("counters", counters))
+    sections.append(("gauges", gauges))
+    sections.append(("histograms", histograms))
+    lines: list[str] = []
+    for title, rows in sections:
+        if not rows:
+            continue
+        lines.append(f"{title}:")
+        width = max(len(name) for name, _ in rows)
+        lines.extend(f"  {name:<{width}}  {value}" for name, value in rows)
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument, stable ordering."""
+    return "".join(json.dumps(d) + "\n" for d in registry.as_dicts())
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            name = instrument.name
+            if not name.endswith("_total"):
+                name += "_total"
+            type_line(name, "counter")
+            lines.append(f"{name}{_label_str(instrument.labels)} {_fmt(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            type_line(instrument.name, "gauge")
+            lines.append(
+                f"{instrument.name}{_label_str(instrument.labels)} {_fmt(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            type_line(instrument.name, "histogram")
+            cumulative = 0
+            for bound, count in zip(instrument.buckets, instrument.counts):
+                cumulative += count
+                labels = instrument.labels + (("le", _fmt(bound)),)
+                lines.append(f"{instrument.name}_bucket{_label_str(labels)} {cumulative}")
+            labels = instrument.labels + (("le", "+Inf"),)
+            lines.append(
+                f"{instrument.name}_bucket{_label_str(labels)} {instrument.count}"
+            )
+            lines.append(
+                f"{instrument.name}_sum{_label_str(instrument.labels)} {_fmt(instrument.sum)}"
+            )
+            lines.append(
+                f"{instrument.name}_count{_label_str(instrument.labels)} {instrument.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics(registry: MetricsRegistry, fmt: str) -> str:
+    """Dispatch on one of :data:`FORMATS`."""
+    if fmt == "summary":
+        return render_summary(registry) + "\n"
+    if fmt == "jsonl":
+        return render_jsonl(registry)
+    if fmt == "prom":
+        return render_prometheus(registry)
+    raise ValueError(f"unknown metrics format {fmt!r}; use one of {FORMATS}")
+
+
+def write_metrics(registry: MetricsRegistry, out: str | Path, fmt: str) -> str:
+    """Render and write to ``out`` (``"-"`` = stdout); returns the text."""
+    text = render_metrics(registry, fmt)
+    if str(out) == "-":
+        print(text, end="")
+    else:
+        Path(out).write_text(text)
+    return text

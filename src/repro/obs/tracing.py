@@ -1,0 +1,138 @@
+"""Span tracing for the stream runtime.
+
+A :class:`Tracer` records :class:`Span` objects — named, timed, attributed
+events — into a bounded in-memory ring buffer and, optionally, straight to a
+JSONL sink. The engine emits spans for the structural moments of a run
+(node open/close, checkpoint write/restore, supervised retry attempts) and
+for *sampled* record dispatches, so a trace stays proportional to topology
+size plus the sampling rate, never to stream length.
+
+Timestamps are ``time.perf_counter()`` readings relative to the tracer's
+creation: monotonic, high-resolution, and free of wall-clock jumps. Traces
+are observational — nothing in the deterministic pollution path reads them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass(slots=True)
+class Span:
+    """One traced event: instantaneous (``duration == 0``) or timed."""
+
+    name: str
+    kind: str
+    start: float  # seconds since tracer creation
+    duration: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects spans into a ring buffer, optionally teeing to JSONL.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest spans are evicted first. The JSONL
+        sink, when set, receives *every* span regardless of eviction.
+    sink:
+        A path or open text stream that gets one JSON line per finished
+        span. Call :meth:`close` (or use the tracer as a context manager)
+        to flush a path-opened sink.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, sink: str | Path | io.TextIOBase | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._origin = time.perf_counter()
+        self._owns_sink = isinstance(sink, (str, Path))
+        self._sink = open(sink, "w") if self._owns_sink else sink
+        self.dropped = 0  # spans evicted from the ring buffer
+
+    # -- recording -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def _record(self, span: Span) -> None:
+        if len(self._spans) == self._spans.maxlen:
+            self.dropped += 1
+        self._spans.append(span)
+        if self._sink is not None:
+            self._sink.write(json.dumps(span.as_dict()) + "\n")
+
+    def event(self, name: str, kind: str = "event", **attrs: Any) -> Span:
+        """Record an instantaneous span."""
+        span = Span(name, kind, self._now(), 0.0, attrs)
+        self._record(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs: Any) -> Iterator[Span]:
+        """Time a block; the span is recorded when the block exits.
+
+        The span is recorded even if the block raises, with an ``error``
+        attribute naming the exception type — failed checkpoints and
+        crashing operators stay visible in the trace.
+        """
+        span = Span(name, kind, self._now(), 0.0, attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs["error"] = type(exc).__name__
+            raise
+        finally:
+            span.duration = self._now() - span.start
+            self._record(span)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self._spans if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def to_jsonl(self, path: str | Path | None = None) -> str:
+        """Serialize the buffered spans as JSON lines (returns the text)."""
+        text = "".join(json.dumps(s.as_dict()) + "\n" for s in self._spans)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -18,10 +18,14 @@ Example
 
 from __future__ import annotations
 
+import pickle
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import CheckpointError, StreamError
+from repro.obs.metrics import SIZE_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.streaming.checkpoint import (
     Checkpoint,
     CheckpointConfig,
@@ -66,6 +70,36 @@ class _SourceHead(Node):
 
     def on_record(self, record: Record) -> None:
         self.emit(record)
+
+
+class _NodeObs:
+    """Per-node instruments attached to ``Node._obs`` by a metered run.
+
+    Two samplers implement the registry's sampling knob, both picking one in
+    ~``sample_every`` dispatches for timing (two clock reads into
+    ``latency``): ``tick()``, a countdown used by the environment's source
+    loop for end-to-end head latencies, and ``mask``, which ``Node.emit``
+    ANDs against its existing ``_emits`` counter so child sampling costs no
+    extra state updates on the hot path (``sample_every`` is rounded up to a
+    power of two there). Everything else about a metered node — emit counts,
+    records in/out — is folded from the integer ``_emits`` counters after
+    the run, so the hot path never touches a registry object.
+    """
+
+    __slots__ = ("latency", "sample_every", "mask", "_countdown")
+
+    def __init__(self, latency: Histogram, sample_every: int) -> None:
+        self.latency = latency
+        self.sample_every = sample_every
+        self.mask = (1 << max(sample_every - 1, 0).bit_length()) - 1
+        self._countdown = 1  # always sample the first head dispatch
+
+    def tick(self) -> bool:
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.sample_every
+            return True
+        return False
 
 
 class _UnionInput(Node):
@@ -217,9 +251,22 @@ class StreamExecutionEnvironment:
         When True (default), each record whose ``event_time`` is set advances
         a per-source monotonous watermark automatically, so event-time
         operators work without an explicit strategy.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`. When enabled, the run
+        records per-node records-in/out counters, sampled processing-latency
+        histograms, watermark-lag gauges, and checkpoint size/duration; a
+        disabled (or absent) registry leaves the fast path untouched.
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer` receiving span records for node
+        open/close, checkpoint write/restore, and supervision decisions.
     """
 
-    def __init__(self, auto_watermarks: bool = True) -> None:
+    def __init__(
+        self,
+        auto_watermarks: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._sources: list[tuple[_SourceHead, Source, WatermarkGenerator | None]] = []
         self._nodes: list[Node] = []
         self._names: set[str] = set()
@@ -227,10 +274,21 @@ class StreamExecutionEnvironment:
         self._executed = False
         self._default_policy: FailurePolicy | None = None
         self._checkpoint_cfg: CheckpointConfig | None = None
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
+        self._tracer = tracer
         # Seam for tests/harnesses that need a custom supervisor (fake sleep).
         self._supervisor_factory = Supervisor
         self.last_checkpoint: Checkpoint | None = None
         self.last_report: ExecutionReport | None = None
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The enabled metrics registry of this environment, if any."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer | None:
+        return self._tracer
 
     # -- fault tolerance -------------------------------------------------------
 
@@ -324,6 +382,8 @@ class StreamExecutionEnvironment:
         name, fully drained sources are skipped, and the interrupted source
         is replayed from its checkpointed offset.
         """
+        # A failed run must not leave a previous run's report visible.
+        self.last_report = None
         if self._executed:
             raise StreamError("environment already executed; build a new one")
         if not self._sources:
@@ -336,14 +396,27 @@ class StreamExecutionEnvironment:
         supervised = self._default_policy is not None or any(
             node._policy is not None for node in self._nodes
         )
-        report = ExecutionReport(supervised=supervised)
+        metrics = self._metrics
+        if metrics is not None:
+            # Fold supervision stats and engine metrics into one registry.
+            report = ExecutionReport(supervised=supervised, metrics=metrics)
+        else:
+            report = ExecutionReport(supervised=supervised)
         supervisor: Supervisor | None = None
         if supervised:
             supervisor = self._supervisor_factory(
                 self._default_policy or FAIL_FAST, report
             )
+            supervisor.tracer = self._tracer
             for node in self._nodes:
                 supervisor.attach(node)
+        if metrics is not None:
+            sample_every = metrics.sample_every
+            for node in self._nodes:
+                node._obs = _NodeObs(
+                    metrics.histogram("node_process_seconds", node=node.name),
+                    sample_every,
+                )
         self.last_report = report
 
         start_source, start_offset = 0, 0
@@ -357,10 +430,15 @@ class StreamExecutionEnvironment:
                     f"{len(self._sources)} source(s) are registered"
                 )
 
+        tracer = self._tracer
         opened: list[Node] = []
         try:
             for node in self._nodes:
-                node.open()
+                if tracer is not None:
+                    with tracer.span("node.open", kind="lifecycle", node=node.name):
+                        node.open()
+                else:
+                    node.open()
                 opened.append(node)
             if resume_from is not None:
                 self._restore(resume_from)
@@ -369,23 +447,19 @@ class StreamExecutionEnvironment:
             )
             report.completed = True
         except BaseException:
-            if supervised:
-                self._finalize_stats(report)
+            self._finalize_stats(report, supervised)
             self._close_nodes(opened, suppress_errors=True)
             raise
-        if supervised:
-            self._finalize_stats(report)
+        self._finalize_stats(report, supervised)
         self._close_nodes(opened, suppress_errors=False)
         return report
 
-    def _finalize_stats(self, report: ExecutionReport) -> None:
-        """Derive per-node processed counts from the DAG's emit counters.
+    def _arrivals(self) -> dict[str, int]:
+        """Per-node arrival counts derived from the DAG's emit counters.
 
         A record *arrived* at a node once per parent emit (source heads
         arrive straight from the source, which equals their own emit count
-        since heads only forward). Every arrival was processed unless the
-        supervisor adjudicated it away, so
-        ``processed = arrived - skipped - dead_lettered``.
+        since heads only forward).
         """
         arrived: dict[str, int] = {node.name: 0 for node in self._nodes}
         linked: set[int] = set()
@@ -399,11 +473,33 @@ class StreamExecutionEnvironment:
         for node in self._nodes:
             if id(node) not in linked:
                 arrived[node.name] = node._emits
-        for node in self._nodes:
-            stats = report.stats_for(node.name)
-            stats.processed = (
-                arrived[node.name] - stats.skipped - stats.dead_lettered
-            )
+        return arrived
+
+    def _finalize_stats(self, report: ExecutionReport, supervised: bool) -> None:
+        """Fold the DAG's emit counters into the report and the registry.
+
+        Every arrival was processed unless the supervisor adjudicated it
+        away, so ``processed = arrived - skipped - dead_lettered``. Metered
+        runs additionally publish per-node records-in/out counters.
+        """
+        metrics = self._metrics
+        if not supervised and metrics is None:
+            return
+        arrived = self._arrivals()
+        if supervised:
+            for node in self._nodes:
+                stats = report.stats_for(node.name)
+                stats.processed = (
+                    arrived[node.name] - stats.skipped - stats.dead_lettered
+                )
+        if metrics is not None:
+            for node in self._nodes:
+                metrics.counter("node_records_in_total", node=node.name).value = (
+                    arrived[node.name]
+                )
+                metrics.counter("node_records_out_total", node=node.name).value = (
+                    node._emits
+                )
 
     def _drain_sources(
         self,
@@ -414,9 +510,17 @@ class StreamExecutionEnvironment:
         start_offset: int,
     ) -> None:
         cfg = self._checkpoint_cfg
+        metrics = self._metrics
         records_seen = resume_from.records_seen if resume_from is not None else 0
         for src_idx in range(start_source, len(self._sources)):
             head, source, wm_gen = self._sources[src_idx]
+            if metrics is not None:
+                src_counter = metrics.counter("source_records_total", source=head.name)
+                wm_lag = metrics.gauge("watermark_lag_seconds", source=head.name)
+            else:
+                src_counter = None
+                wm_lag = None
+            head_obs = head._obs
             resuming_here = resume_from is not None and src_idx == start_source
             offset = start_offset if resuming_here else 0
             last_auto_wm: int | None = None
@@ -424,38 +528,63 @@ class StreamExecutionEnvironment:
                 last_auto_wm = resume_from.auto_watermark
                 if wm_gen is not None and resume_from.generator_state is not None:
                     wm_gen.restore_state(resume_from.generator_state)
-            for record in source.iter_from(offset):
-                if record.event_time is None:
-                    ts_attr = source.schema.timestamp_attribute
-                    ts = record.get(ts_attr)
-                    if isinstance(ts, int):
-                        record.event_time = ts
-                if supervisor is not None:
-                    supervisor.offset = records_seen
-                    supervisor.dispatch(head, record)
-                else:
-                    head.on_record(record)
-                wm = None
-                if wm_gen is not None and record.event_time is not None:
-                    wm = wm_gen.on_event(record.event_time)
-                elif (
-                    self._auto_watermarks
-                    and wm_gen is None
-                    and record.event_time is not None
-                ):
-                    if last_auto_wm is None or record.event_time > last_auto_wm:
-                        last_auto_wm = record.event_time
-                        wm = Watermark(record.event_time)
-                if wm is not None:
-                    head.on_watermark(wm)
-                offset += 1
-                records_seen += 1
-                report.source_records += 1
-                if cfg is not None and records_seen % cfg.interval == 0:
-                    self.last_checkpoint = self._take_checkpoint(
-                        src_idx, offset, records_seen, last_auto_wm, wm_gen
-                    )
-                    report.checkpoints_taken += 1
+            # The source counter is folded from report.source_records after
+            # the loop (a per-record registry increment is measurable here);
+            # the finally keeps it truthful when a FAIL_FAST failure aborts
+            # the drain mid-stream.
+            records_before = report.source_records
+            try:
+                for record in source.iter_from(offset):
+                    if record.event_time is None:
+                        ts_attr = source.schema.timestamp_attribute
+                        ts = record.get(ts_attr)
+                        if isinstance(ts, int):
+                            record.event_time = ts
+                    # Dispatching into the head runs the whole synchronous
+                    # DAG, so a sampled head latency is the record's
+                    # end-to-end pipeline latency. The countdown is inlined —
+                    # a method call per source record is measurable at this
+                    # loop's frequency.
+                    timed = False
+                    if head_obs is not None:
+                        head_obs._countdown -= 1
+                        if head_obs._countdown <= 0:
+                            head_obs._countdown = head_obs.sample_every
+                            timed = True
+                    start = perf_counter() if timed else 0.0
+                    if supervisor is not None:
+                        supervisor.offset = records_seen
+                        supervisor.dispatch(head, record)
+                    else:
+                        head.on_record(record)
+                    if timed:
+                        head_obs.latency.observe(perf_counter() - start)
+                    wm = None
+                    if wm_gen is not None and record.event_time is not None:
+                        wm = wm_gen.on_event(record.event_time)
+                    elif (
+                        self._auto_watermarks
+                        and wm_gen is None
+                        and record.event_time is not None
+                    ):
+                        if last_auto_wm is None or record.event_time > last_auto_wm:
+                            last_auto_wm = record.event_time
+                            wm = Watermark(record.event_time)
+                    if wm is not None:
+                        head.on_watermark(wm)
+                        if wm_lag is not None and record.event_time is not None:
+                            wm_lag.value = record.event_time - wm.timestamp
+                    offset += 1
+                    records_seen += 1
+                    report.source_records += 1
+                    if cfg is not None and records_seen % cfg.interval == 0:
+                        self.last_checkpoint = self._take_checkpoint(
+                            src_idx, offset, records_seen, last_auto_wm, wm_gen
+                        )
+                        report.checkpoints_taken += 1
+            finally:
+                if src_counter is not None:
+                    src_counter.value += report.source_records - records_before
             head.on_watermark(Watermark.max())
 
     def _take_checkpoint(
@@ -466,6 +595,7 @@ class StreamExecutionEnvironment:
         auto_watermark: int | None,
         wm_gen: WatermarkGenerator | None,
     ) -> Checkpoint:
+        start = perf_counter()
         node_state = {}
         for node in self._nodes:
             state = node.snapshot_state()
@@ -482,9 +612,29 @@ class StreamExecutionEnvironment:
         cfg = self._checkpoint_cfg
         if cfg is not None and cfg.store is not None:
             cfg.store.save(checkpoint)
+        metrics, tracer = self._metrics, self._tracer
+        if metrics is not None or tracer is not None:
+            duration = perf_counter() - start
+            size = len(pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL))
+            if metrics is not None:
+                metrics.counter("checkpoints_written_total").inc()
+                metrics.histogram("checkpoint_write_seconds").observe(duration)
+                metrics.histogram(
+                    "checkpoint_size_bytes", buckets=SIZE_BUCKETS
+                ).observe(size)
+            if tracer is not None:
+                span = tracer.event(
+                    "checkpoint.write",
+                    kind="checkpoint",
+                    records_seen=records_seen,
+                    offset=offset,
+                    size_bytes=size,
+                )
+                span.duration = duration
         return checkpoint
 
     def _restore(self, checkpoint: Checkpoint) -> None:
+        start = perf_counter()
         by_name = {node.name: node for node in self._nodes}
         for name, state in checkpoint.node_state.items():
             node = by_name.get(name)
@@ -494,14 +644,28 @@ class StreamExecutionEnvironment:
                     "same topology before resuming"
                 )
             node.restore_state(state)
+        if self._metrics is not None:
+            self._metrics.counter("checkpoints_restored_total").inc()
+        if self._tracer is not None:
+            span = self._tracer.event(
+                "checkpoint.restore",
+                kind="checkpoint",
+                records_seen=checkpoint.records_seen,
+                stateful_nodes=len(checkpoint.node_state),
+            )
+            span.duration = perf_counter() - start
 
-    @staticmethod
-    def _close_nodes(opened: list[Node], suppress_errors: bool) -> None:
+    def _close_nodes(self, opened: list[Node], suppress_errors: bool) -> None:
         """Close every opened node; raise the first close error unless unwinding."""
+        tracer = self._tracer
         first_error: BaseException | None = None
         for node in opened:
             try:
-                node.close()
+                if tracer is not None:
+                    with tracer.span("node.close", kind="lifecycle", node=node.name):
+                        node.close()
+                else:
+                    node.close()
             except BaseException as exc:  # noqa: BLE001 - must close the rest
                 if first_error is None:
                     first_error = exc

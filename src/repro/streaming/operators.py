@@ -11,6 +11,7 @@ operators of :mod:`repro.core` read like their PyFlink counterparts.
 from __future__ import annotations
 
 import copy
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 from repro.errors import NodeFailure
@@ -144,12 +145,13 @@ class Node:
     object. Unsupervised execution keeps the original bare loop.
     """
 
-    # Supervision hooks (instance attrs once attached; class-level defaults
-    # keep the unsupervised fast path to a single falsy attribute check).
+    # Supervision/observability hooks (instance attrs once attached;
+    # class-level defaults keep the plain fast path to two falsy checks).
     _supervisor = None
     _stats = None
     _policy = None
-    _emits = 0  # supervised mode: how many records this node emitted
+    _obs = None  # per-node instruments attached by an instrumented environment
+    _emits = 0  # instrumented mode: how many records this node emitted
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -161,19 +163,50 @@ class Node:
     # -- record / watermark propagation ------------------------------------
 
     def emit(self, record: Record) -> None:
+        # Plain execution: two falsy class-attribute checks and the bare
+        # loop. Supervised and/or metered dispatch shares this function so
+        # the common instrumented case stays one frame deep: emit counts are
+        # folded into per-node counters after the run (see the environment's
+        # stats finalization), so a metered emit pays one integer add plus
+        # one AND against the sampling mask; only one in ~``sample_every``
+        # emits clocks its children's latencies. An instrumented environment
+        # attaches ``_obs`` to every node, so ``_obs is None`` with a
+        # supervisor means supervised-but-unmetered — the bare supervised
+        # loop with no timing bookkeeping.
         supervisor = self._supervisor
-        if supervisor is None:
+        obs = self._obs
+        if supervisor is None and obs is None:
             for child in self.downstream:
                 child.on_record(record)
-        else:
-            self._emits += 1
-            for child in self.downstream:
+            return
+        self._emits = emits = self._emits + 1
+        if obs is None or emits & obs.mask:
+            if supervisor is None:
+                for child in self.downstream:
+                    child.on_record(record)
+            else:
+                for child in self.downstream:
+                    try:
+                        child.on_record(record)
+                    except NodeFailure:
+                        raise  # already adjudicated downstream
+                    except Exception as exc:  # noqa: BLE001 - supervision boundary
+                        supervisor.handle_failure(child, record, exc)
+            return
+        for child in self.downstream:
+            child_obs = child._obs
+            start = perf_counter()
+            if supervisor is None:
+                child.on_record(record)
+            else:
                 try:
                     child.on_record(record)
                 except NodeFailure:
                     raise  # already adjudicated by a downstream supervisor call
                 except Exception as exc:  # noqa: BLE001 - supervision boundary
                     supervisor.handle_failure(child, record, exc)
+            if child_obs is not None:
+                child_obs.latency.observe(perf_counter() - start)
 
     def emit_watermark(self, watermark: Watermark) -> None:
         for child in self.downstream:

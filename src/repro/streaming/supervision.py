@@ -27,9 +27,11 @@ from enum import Enum
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import NodeFailure
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.record import Record
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracing import Tracer
     from repro.streaming.operators import Node
 
 
@@ -159,21 +161,57 @@ class DeadLetterSink:
 
 
 class NodeStats:
-    """Per-node dispatch counters.
+    """Per-node dispatch counters, backed by the run's metrics registry.
 
-    ``skipped``/``retried``/``dead_lettered`` are incremented by the
-    supervisor on the (rare) failure path; ``processed`` is derived after the
-    run from the DAG's per-node emit counters, keeping the per-record hot
-    path free of stats bookkeeping.
+    Each stat is a *view* over a counter in the report's
+    :class:`~repro.obs.metrics.MetricsRegistry` — supervision bookkeeping
+    and exported metrics are the same numbers by construction, not two
+    parallel tallies that could drift. ``skipped``/``retried``/
+    ``dead_lettered`` are incremented by the supervisor on the (rare)
+    failure path; ``processed`` is derived after the run from the DAG's
+    per-node emit counters, keeping the per-record hot path free of stats
+    bookkeeping.
     """
 
-    __slots__ = ("processed", "skipped", "retried", "dead_lettered")
+    __slots__ = ("_processed", "_skipped", "_retried", "_dead_lettered")
 
-    def __init__(self) -> None:
-        self.processed = 0
-        self.skipped = 0
-        self.retried = 0
-        self.dead_lettered = 0
+    def __init__(self, registry: MetricsRegistry, node: str) -> None:
+        self._processed = registry.counter("node_records_processed_total", node=node)
+        self._skipped = registry.counter("node_records_skipped_total", node=node)
+        self._retried = registry.counter("node_retries_total", node=node)
+        self._dead_lettered = registry.counter("node_dead_letters_total", node=node)
+
+    @property
+    def processed(self) -> int:
+        return self._processed.value
+
+    @processed.setter
+    def processed(self, value: int) -> None:
+        self._processed.value = value
+
+    @property
+    def skipped(self) -> int:
+        return self._skipped.value
+
+    @skipped.setter
+    def skipped(self, value: int) -> None:
+        self._skipped.value = value
+
+    @property
+    def retried(self) -> int:
+        return self._retried.value
+
+    @retried.setter
+    def retried(self, value: int) -> None:
+        self._retried.value = value
+
+    @property
+    def dead_lettered(self) -> int:
+        return self._dead_lettered.value
+
+    @dead_lettered.setter
+    def dead_lettered(self, value: int) -> None:
+        self._dead_lettered.value = value
 
     @property
     def dispatched(self) -> int:
@@ -193,20 +231,28 @@ class NodeStats:
 class ExecutionReport:
     """What one ``execute()`` run did, per node and overall.
 
-    ``node_stats`` is only populated for supervised runs; unsupervised fast
-    path runs still report ``source_records`` and completion.
+    ``node_stats`` is only populated for instrumented (supervised or
+    metered) runs; plain fast-path runs still report ``source_records`` and
+    completion. The report is a *view* over ``metrics``: every per-node
+    count lives in the registry, so exporting the registry and reading the
+    report can never disagree. ``metrics`` must be an enabled registry —
+    the environment substitutes a private one when the user's is disabled.
     """
 
     source_records: int = 0
     supervised: bool = False
     completed: bool = False
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     node_stats: dict[str, NodeStats] = field(default_factory=dict)
     dead_letters: DeadLetterSink = field(default_factory=DeadLetterSink)
     checkpoints_taken: int = 0
     resumed_from_offset: int = 0
 
     def stats_for(self, node_name: str) -> NodeStats:
-        return self.node_stats.setdefault(node_name, NodeStats())
+        stats = self.node_stats.get(node_name)
+        if stats is None:
+            stats = self.node_stats[node_name] = NodeStats(self.metrics, node_name)
+        return stats
 
     def total(self, counter: str) -> int:
         return sum(getattr(s, counter) for s in self.node_stats.values())
@@ -247,6 +293,7 @@ class Supervisor:
         default_policy: FailurePolicy = FAIL_FAST,
         report: ExecutionReport | None = None,
         sleep=time.sleep,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.default_policy = default_policy
         self.report = report if report is not None else ExecutionReport(supervised=True)
@@ -254,6 +301,7 @@ class Supervisor:
         self.dead_letters = self.report.dead_letters
         self.offset = 0  # current source offset, maintained by the environment
         self._sleep = sleep
+        self.tracer = tracer
 
     def attach(self, node: "Node") -> None:
         """Wire a node into this supervisor (stats slot + hot-path flag)."""
@@ -272,6 +320,7 @@ class Supervisor:
     def handle_failure(self, node: "Node", record: Record, exc: BaseException) -> None:
         policy = node._policy or self.default_policy
         stats = node._stats
+        tracer = self.tracer
         attempts = 1
         action = policy.action
         if action is FailureAction.RETRY:
@@ -280,6 +329,16 @@ class Supervisor:
                     self._sleep(policy.backoff * (2**attempt))
                 stats.retried += 1
                 attempts += 1
+                if tracer is not None:
+                    tracer.event(
+                        "supervision.retry",
+                        kind="supervision",
+                        node=node.name,
+                        record_id=record.record_id,
+                        offset=self.offset,
+                        attempt=attempt + 1,
+                        error=type(exc).__name__,
+                    )
                 try:
                     node.on_record(record)
                 except NodeFailure:
@@ -297,6 +356,16 @@ class Supervisor:
             attempts=attempts,
             values=record.as_dict(),
         )
+        if tracer is not None:
+            tracer.event(
+                "supervision." + action.value,
+                kind="supervision",
+                node=node.name,
+                record_id=record.record_id,
+                offset=self.offset,
+                attempts=attempts,
+                error=type(exc).__name__,
+            )
         if action is FailureAction.SKIP:
             stats.skipped += 1
         elif action is FailureAction.DEAD_LETTER:

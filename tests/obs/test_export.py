@@ -1,0 +1,109 @@
+"""Exporter tests: summary table, JSONL, and Prometheus text format."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import (
+    FORMATS,
+    render_jsonl,
+    render_metrics,
+    render_prometheus,
+    render_summary,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+# One sample line of the Prometheus text exposition format:
+# metric_name{label="value",...} <number>  (labels optional).
+PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [0-9eE.+-]+$"
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("node_records_in_total", node="map").inc(10)
+    registry.gauge("watermark_lag_seconds", source="input").set(2.5)
+    h = registry.histogram("node_process_seconds", buckets=(0.001, 0.01, 0.1), node="map")
+    for v in (0.0005, 0.005, 0.05, 5.0):
+        h.observe(v)
+    return registry
+
+
+class TestSummary:
+    def test_sections_and_percentiles(self):
+        text = render_summary(sample_registry())
+        assert "counters:" in text and "gauges:" in text and "histograms:" in text
+        assert 'node_records_in_total{node="map"}  10' in text
+        assert "watermark_lag_seconds" in text
+        assert "p50=" in text and "p90=" in text and "p99=" in text
+
+    def test_empty_registry(self):
+        assert render_summary(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestJsonl:
+    def test_one_parseable_object_per_instrument(self):
+        lines = render_jsonl(sample_registry()).strip().splitlines()
+        objs = [json.loads(line) for line in lines]
+        assert len(objs) == 3
+        assert {o["type"] for o in objs} == {"counter", "gauge", "histogram"}
+        hist = next(o for o in objs if o["type"] == "histogram")
+        assert hist["count"] == 4
+
+
+class TestPrometheus:
+    def test_every_sample_line_matches_the_exposition_format(self):
+        text = render_prometheus(sample_registry())
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE \S+ (counter|gauge|histogram)$", line), line
+            else:
+                assert PROM_LINE.match(line), line
+
+    def test_counter_gets_total_suffix_once(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(1)
+        registry.counter("records_total").inc(2)
+        text = render_prometheus(registry)
+        assert "events_total 1" in text
+        assert "records_total 2" in text
+        assert "records_total_total" not in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(sample_registry())
+        buckets = re.findall(r'node_process_seconds_bucket\{.*?le="(.*?)"\} (\d+)', text)
+        assert [int(v) for _, v in buckets] == [1, 2, 3, 4]
+        assert buckets[-1][0] == "+Inf"
+        assert 'node_process_seconds_count{node="map"} 4' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='quo"te\nnl').inc()
+        text = render_prometheus(registry)
+        assert '\\"' in text and "\\n" in text
+
+
+class TestDispatch:
+    def test_render_metrics_covers_all_formats(self):
+        registry = sample_registry()
+        for fmt in FORMATS:
+            assert render_metrics(registry, fmt)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            render_metrics(MetricsRegistry(), "xml")
+
+    def test_write_metrics_to_file_and_stdout(self, tmp_path, capsys):
+        registry = sample_registry()
+        path = tmp_path / "metrics.prom"
+        text = write_metrics(registry, path, "prom")
+        assert path.read_text() == text
+        write_metrics(registry, "-", "summary")
+        assert "counters:" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("records_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_same_name_and_labels_memoize(self):
+        registry = MetricsRegistry()
+        a = registry.counter("records_total", node="map")
+        b = registry.counter("records_total", node="map")
+        assert a is b
+        assert registry.counter("records_total", node="filter") is not a
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", node="map", outcome="hit")
+        b = registry.counter("x", outcome="hit", node="map")
+        assert a is b
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_goes_up_and_down(self):
+        g = MetricsRegistry().gauge("lag_seconds")
+        g.set(10)
+        assert g.value == 10
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]  # last slot is +Inf
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.5)
+        assert h.mean == pytest.approx(21.3)
+
+    def test_boundary_value_is_inclusive_upper_bound(self):
+        h = Histogram("h", (), buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_percentiles_interpolate(self):
+        h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        p50 = h.percentile(50)
+        assert 1.0 <= p50 <= 2.0
+        assert h.percentile(0) <= h.percentile(50) <= h.percentile(100)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        h = Histogram("h", (), buckets=(1.0,))
+        assert h.percentile(99) == 0.0
+        assert h.mean == 0.0
+
+    def test_percentile_range_validated(self):
+        h = Histogram("h", (), buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_buckets_must_be_ascending(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", (), buckets=(2.0, 1.0))
+
+    def test_default_latency_buckets_cover_microseconds_to_seconds(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.buckets == LATENCY_BUCKETS
+        h.observe(3e-6)
+        h.observe(0.3)
+        assert h.count == 2
+
+    def test_as_dict_carries_percentiles(self):
+        h = Histogram("h", (("node", "map"),), buckets=(1.0, 2.0))
+        h.observe(0.5)
+        d = h.as_dict()
+        assert d["type"] == "histogram"
+        assert d["labels"] == {"node": "map"}
+        assert set(d) >= {"buckets", "counts", "sum", "count", "p50", "p90", "p99"}
+
+
+class TestDisabledRegistry:
+    def test_factories_hand_out_the_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_INSTRUMENT
+        assert registry.gauge("b") is NULL_INSTRUMENT
+        assert registry.histogram("c") is NULL_INSTRUMENT
+        assert len(registry) == 0
+
+    def test_null_instrument_absorbs_everything(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.set(5)
+        NULL_INSTRUMENT.observe(1.0)
+        assert NULL_INSTRUMENT.value == 0
+        assert NULL_INSTRUMENT.percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(sample_every=0)
+        assert MetricsRegistry(sample_every=1).sample_every == 1
+
+    def test_instruments_filter_and_sort(self):
+        registry = MetricsRegistry()
+        registry.gauge("z")
+        registry.counter("b", node="2")
+        registry.counter("b", node="1")
+        registry.counter("a")
+        names = [(i.name, i.labels) for i in registry.instruments("counter")]
+        assert names == [("a", ()), ("b", (("node", "1"),)), ("b", (("node", "2"),))]
+        assert all(isinstance(i, Gauge) for i in registry.instruments("gauge"))
+
+    def test_get_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.get("missing") is None
+        registry.counter("present", node="x")
+        assert isinstance(registry.get("present", node="x"), Counter)
+        assert len(registry) == 1
+
+    def test_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", node="a").inc(3)
+        registry.counter("hits", node="b").inc(4)
+        registry.histogram("hits_latency").observe(1.0)  # not a counter/gauge
+        assert registry.total("hits") == 7
+        assert registry.total("missing") == 0
+
+    def test_as_dicts_round_trips_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(2)
+        (d,) = registry.as_dicts()
+        assert d == {"type": "counter", "name": "c", "labels": {"k": "v"}, "value": 2}

@@ -1,0 +1,81 @@
+"""Unit tests for the span tracer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+class TestRecording:
+    def test_event_is_instantaneous(self):
+        tracer = Tracer()
+        span = tracer.event("checkpoint.write", kind="checkpoint", offset=10)
+        assert span.duration == 0.0
+        assert span.attrs == {"offset": 10}
+        assert tracer.spans == [span]
+
+    def test_span_times_the_block(self):
+        tracer = Tracer()
+        with tracer.span("node.open", kind="lifecycle", node="map") as span:
+            pass
+        assert span.duration >= 0.0
+        assert tracer.find("node.open") == [span]
+
+    def test_span_records_errors_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_starts_are_monotonic(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        a, b = tracer.spans
+        assert b.start >= a.start >= 0.0
+
+
+class TestRingBuffer:
+    def test_oldest_spans_are_evicted(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert [s.name for s in tracer.spans] == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+        assert len(tracer) == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSerialization:
+    def test_to_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("a", kind="k", node="n")
+        path = tmp_path / "trace.jsonl"
+        text = tracer.to_jsonl(path)
+        assert path.read_text() == text
+        (line,) = text.strip().splitlines()
+        record = json.loads(line)
+        assert record["name"] == "a"
+        assert record["kind"] == "k"
+        assert record["attrs"] == {"node": "n"}
+
+    def test_stream_sink_receives_every_span_despite_eviction(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=2, sink=sink)
+        for i in range(4):
+            tracer.event(f"e{i}")
+        lines = sink.getvalue().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["e0", "e1", "e2", "e3"]
+
+    def test_path_sink_is_closed_by_context_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(sink=path) as tracer:
+            tracer.event("a")
+        assert json.loads(path.read_text().strip())["name"] == "a"

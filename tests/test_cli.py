@@ -195,6 +195,112 @@ class TestValidateCommand:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def pollute_with_metrics(self, paths, tmp_path, fmt, extra=()):
+        out = tmp_path / f"metrics.{fmt}"
+        rc = main(
+            [
+                "pollute", "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]), "--seed", "42",
+                "--metrics-out", str(out), "--metrics-format", fmt,
+                *extra,
+            ]
+        )
+        assert rc == 0
+        return out.read_text()
+
+    def test_summary_covers_latency_activations_and_lag(self, workspace, tmp_path):
+        paths, _ = workspace
+        text = self.pollute_with_metrics(paths, tmp_path, "summary")
+        # Per-node latency percentiles, per-polluter activations, watermark
+        # lag: the summary's acceptance surface.
+        assert "node_process_seconds" in text and "p99=" in text
+        assert 'polluter_activations_total{polluter="cli-demo/nulls"}' in text
+        assert "watermark_lag_seconds" in text
+
+    def test_jsonl_metrics_parse(self, workspace, tmp_path):
+        paths, _ = workspace
+        text = self.pollute_with_metrics(paths, tmp_path, "jsonl")
+        objs = [json.loads(line) for line in text.strip().splitlines()]
+        names = {o["name"] for o in objs}
+        assert "source_records_total" in names
+        assert "pollution_injections_total" in names
+
+    def test_prometheus_metrics_parse(self, workspace, tmp_path):
+        import re
+
+        paths, _ = workspace
+        text = self.pollute_with_metrics(paths, tmp_path, "prom")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+$"
+        )
+        lines = text.strip().splitlines()
+        assert any(line.startswith("# TYPE") for line in lines)
+        for line in lines:
+            if not line.startswith("#"):
+                assert sample.match(line), line
+
+    def test_metrics_do_not_change_pollution_output(self, workspace, tmp_path):
+        paths, _ = workspace
+        base = [
+            "pollute", "--config", str(paths["config"]),
+            "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+            "--output", str(paths["dirty"]), "--seed", "7",
+        ]
+        main(base)
+        plain = paths["dirty"].read_text()
+        self.pollute_with_metrics(paths, tmp_path, "summary")
+        main(base + ["--metrics-out", str(tmp_path / "m.txt")])
+        assert paths["dirty"].read_text() == plain
+
+    def test_trace_out_writes_spans(self, workspace, tmp_path):
+        paths, _ = workspace
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "pollute", "--config", str(paths["config"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--output", str(paths["dirty"]), "--seed", "42",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        spans = [json.loads(line) for line in trace.read_text().strip().splitlines()]
+        assert any(s["name"] == "node.open" for s in spans)
+        assert any(s["name"] == "node.close" for s in spans)
+
+    def test_validate_metrics_to_stdout(self, workspace, capsys):
+        paths, _ = workspace
+        rc = main(
+            [
+                "validate", "--suite", str(paths["suite"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--metrics-out", "-",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert 'validation_expectations_total{outcome="pass"}' in out
+        assert "validation_elements_total" in out
+
+    def test_validate_trace_records_expectations(self, workspace, tmp_path):
+        paths, _ = workspace
+        trace = tmp_path / "vtrace.jsonl"
+        rc = main(
+            [
+                "validate", "--suite", str(paths["suite"]),
+                "--schema", str(paths["schema"]), "--input", str(paths["clean"]),
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        spans = [json.loads(line) for line in trace.read_text().strip().splitlines()]
+        names = {s["name"] for s in spans}
+        assert "validate" in names
+        assert "validate.expect_column_values_to_not_be_null" in names
+
+
 class TestCleanCommand:
     def test_interpolate_repairs_nulls(self, workspace, capsys):
         paths, schema = workspace
