@@ -63,7 +63,9 @@ from repro.errors import (
     SchemaError,
     StreamError,
 )
+from repro.core.keyed_pollution import FreshPipelineFactory
 from repro.obs import MetricsRegistry, Tracer, render_metrics, write_metrics
+from repro.parallel import ShardedEnvironment, pollute_parallel
 from repro.streaming import (
     Attribute,
     DataType,
@@ -87,6 +89,7 @@ __all__ = [
     "ErrorFunctionError",
     "ExpectationError",
     "ForecastingError",
+    "FreshPipelineFactory",
     "IcewaflError",
     "MetricsRegistry",
     "NotFittedError",
@@ -98,6 +101,7 @@ __all__ = [
     "Record",
     "Schema",
     "SchemaError",
+    "ShardedEnvironment",
     "StandardPolluter",
     "StreamError",
     "StreamExecutionEnvironment",
@@ -105,6 +109,7 @@ __all__ = [
     "__version__",
     "pipeline_from_config",
     "pollute",
+    "pollute_parallel",
     "polluter_from_config",
     "render_metrics",
     "write_metrics",

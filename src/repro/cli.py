@@ -158,7 +158,34 @@ def _failure_policy_from_args(args: argparse.Namespace):
         raise ConfigError(str(exc)) from exc
 
 
+def _check_parallel_args(args: argparse.Namespace) -> None:
+    """Reject option combinations the runtimes cannot honour, with the
+    explanation up front instead of a deep traceback."""
+    if args.parallel is not None and args.parallel < 1:
+        raise ConfigError(f"--parallel must be >= 1, got {args.parallel}")
+    if args.parallel is not None and args.trace_out is not None:
+        raise ConfigError(
+            "--trace-out is not supported with --parallel: span context does "
+            "not cross the worker process boundary; drop one of the two"
+        )
+    if args.resume_from is not None:
+        resume = Path(args.resume_from)
+        if args.parallel is not None and resume.is_file():
+            raise ConfigError(
+                f"--resume-from {args.resume_from} is a sequential checkpoint "
+                "file but --parallel was given; resume it without --parallel, "
+                "or point --resume-from at a parallel checkpoint directory"
+            )
+        if args.parallel is None and resume.is_dir():
+            raise ConfigError(
+                f"--resume-from {args.resume_from} is a parallel checkpoint "
+                "directory; pass --parallel N (matching the original run) to "
+                "resume it"
+            )
+
+
 def cmd_pollute(args: argparse.Namespace) -> int:
+    _check_parallel_args(args)
     schema = schema_from_config(_load_json(args.schema))
     pipeline = pipeline_from_config(_load_json(args.config))
     records = load_records(schema, args.input)
@@ -171,6 +198,13 @@ def cmd_pollute(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
         )
+    if args.parallel is not None:
+        kwargs["parallelism"] = args.parallel
+        kwargs["checkpoint_interval"] = args.checkpoint_interval
+    if args.key_by is not None:
+        kwargs["key_by"] = args.key_by
+    if args.resume_from is not None:
+        kwargs["resume_from"] = args.resume_from
     result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
     save_records(result.polluted, schema, args.output)
     if args.log:
@@ -335,6 +369,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--checkpoint-interval", type=int, default=100,
         help="source records between checkpoints (default 100)",
+    )
+    p.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="shard the run across N worker processes (deterministic merge; "
+        "byte-identical to sequential output for --key-by plans)",
+    )
+    p.add_argument(
+        "--key-by", default=None, metavar="ATTR",
+        help="partition the stream by this attribute; each key gets a fresh "
+        "instance of the configured pipeline",
+    )
+    p.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="resume a checkpointed run: a .ckpt file for sequential runs, "
+        "a parallel checkpoint directory for --parallel runs",
     )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_pollute)

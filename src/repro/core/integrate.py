@@ -23,12 +23,14 @@ from repro.streaming.schema import Schema
 from repro.streaming.watermarks import Watermark
 
 
-def sort_by_timestamp(records: Iterable[Record], schema: Schema) -> list[Record]:
-    """Order records by their (possibly polluted) timestamp attribute.
+def timestamp_sort_key(schema: Schema):
+    """The integration sort key for one schema, as a reusable callable.
 
-    Tuples whose timestamp was polluted to ``None`` sort to the stream's
-    end — they have no defined position, and placing them last keeps them
-    discoverable rather than silently interleaved.
+    Shared between :func:`sort_by_timestamp` and the k-way shard merge in
+    :mod:`repro.parallel` — both orderings must agree exactly for sharded
+    output to be byte-identical to a sequential run. The key is total over
+    distinct records (``record_id`` disambiguates ties), so a per-shard sort
+    followed by a stable k-way merge equals one global stable sort.
     """
     ts_attr = schema.timestamp_attribute
 
@@ -42,7 +44,17 @@ def sort_by_timestamp(records: Iterable[Record], schema: Schema) -> list[Record]
             r.substream if r.substream is not None else 0,
         )
 
-    return sorted(records, key=key)
+    return key
+
+
+def sort_by_timestamp(records: Iterable[Record], schema: Schema) -> list[Record]:
+    """Order records by their (possibly polluted) timestamp attribute.
+
+    Tuples whose timestamp was polluted to ``None`` sort to the stream's
+    end — they have no defined position, and placing them last keeps them
+    discoverable rather than silently interleaved.
+    """
+    return sorted(records, key=timestamp_sort_key(schema))
 
 
 def integrate(substreams: Sequence[list[Record]], schema: Schema) -> list[Record]:

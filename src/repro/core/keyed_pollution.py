@@ -23,7 +23,8 @@ design decision in :mod:`repro.core.rng`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Mapping, Sequence
+import copy
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.core.integrate import sort_by_timestamp
 from repro.core.log import PollutionLog
@@ -31,6 +32,7 @@ from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, prepare_stream
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.obs.metrics import MetricsRegistry
 from repro.streaming.keyed import (
     KeyedContext,
     KeyedProcessFunction,
@@ -43,6 +45,26 @@ from repro.streaming.schema import Schema
 
 PipelineFactory = Callable[[Hashable], PollutionPipeline]
 KeySelector = Callable[[Record], Hashable]
+
+
+class FreshPipelineFactory:
+    """A picklable pipeline factory cloning one template pipeline per key.
+
+    Wraps the common case — "run *this* pipeline independently for every
+    key" — as a serializable object that can ship to worker processes
+    (lambda factories cannot). Each call deep-copies the unbound template,
+    so stateful error functions get per-key memory, and the caller (keyed
+    runner or shard worker) binds/scopes the clone afterwards.
+    """
+
+    def __init__(self, template: PollutionPipeline) -> None:
+        self._template = template
+
+    def __call__(self, key: Hashable) -> PollutionPipeline:
+        return copy.deepcopy(self._template)
+
+    def __repr__(self) -> str:
+        return f"FreshPipelineFactory({self._template.name!r})"
 
 
 class KeyedPollutionProcessFunction(KeyedProcessFunction):
@@ -67,11 +89,14 @@ class KeyedPollutionProcessFunction(KeyedProcessFunction):
         pipeline_factory: PipelineFactory,
         random_source: RandomSource,
         log: PollutionLog | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._factory = pipeline_factory
         self._source = random_source
         self._log = log
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
         self._pipelines: dict[Hashable, PollutionPipeline] = {}
+        self._pending_state: dict[str, Any] = {}
 
     def _pipeline_for(self, key: Hashable) -> PollutionPipeline:
         if key not in self._pipelines:
@@ -81,6 +106,11 @@ class KeyedPollutionProcessFunction(KeyedProcessFunction):
             pipeline.name = f"{pipeline.name}/key={key!r}"
             pipeline.bind(self._source)
             pipeline.reset()
+            if self._metrics is not None:
+                pipeline.bind_metrics(self._metrics)
+            stored = self._pending_state.pop(repr(key), None)
+            if stored is not None:
+                pipeline.restore_state(stored)
             self._pipelines[key] = pipeline
         return self._pipelines[key]
 
@@ -92,9 +122,68 @@ class KeyedPollutionProcessFunction(KeyedProcessFunction):
         for result in pipeline.apply(record, tau, self._log):
             out.collect(result)
 
+    def flush_metrics(self) -> None:
+        """Fold every per-key pipeline's buffered tallies into the registry."""
+        for pipeline in self._pipelines.values():
+            pipeline.flush_metrics()
+
+    def snapshot_state(self) -> dict[str, Any] | None:
+        """Per-key pipeline state, keyed by ``repr(key)`` for serializability.
+
+        Keys are lazily re-materialized on restore: state is stashed until
+        the key's first post-restore record rebuilds its pipeline, so the
+        factory never runs for keys the resumed stream no longer contains.
+        """
+        states = {
+            repr(key): pipeline.snapshot_state()
+            for key, pipeline in self._pipelines.items()
+        }
+        states = {k: s for k, s in states.items() if s is not None}
+        pending = dict(self._pending_state)
+        if not states and not pending:
+            return None
+        return {"pipelines": {**pending, **states}}
+
+    def restore_state(self, state: Mapping[str, Any] | None) -> None:
+        if state is None:
+            return
+        self._pending_state = dict(state.get("pipelines", {}))
+
     @property
     def keys_seen(self) -> list[Hashable]:
         return list(self._pipelines)
+
+
+def run_keyed_direct(
+    prepared: Iterable[Record],
+    key_selector: KeySelector,
+    pipeline_factory: PipelineFactory,
+    random_source: RandomSource,
+    pollution_log: PollutionLog | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> list[Record]:
+    """Apply per-key pollution to an already-prepared record stream.
+
+    The shared sequential keyed loop: ``pollute_keyed`` drives it over the
+    whole stream; each :mod:`repro.parallel` shard worker drives it over its
+    key partition (correct because a key's records never straddle shards,
+    so every per-key pipeline sees the exact sequential draw order).
+    Records in ``prepared`` are consumed as-is — callers own copying if the
+    originals must survive. Returns the unsorted polluted records.
+    """
+    operator = KeyedPollutionProcessFunction(
+        pipeline_factory, random_source, pollution_log, metrics
+    )
+    polluted: list[Record] = []
+    collector = Collector(polluted.append)
+    ctx = KeyedContext(StateStore(), TimerService())
+    for record in prepared:
+        ctx.current_key = key_selector(record)
+        ctx.event_time = record.event_time
+        operator.process(record, ctx, collector)
+    if metrics is not None and metrics.enabled:
+        operator.flush_metrics()
+    return polluted
 
 
 def pollute_keyed(
@@ -104,6 +193,7 @@ def pollute_keyed(
     schema: Schema,
     seed: int | None = None,
     log: bool = True,
+    metrics: MetricsRegistry | None = None,
 ):
     """Algorithm 1 with key-partitioned pollution.
 
@@ -117,24 +207,22 @@ def pollute_keyed(
     source = CollectionSource(schema, data, validate=False)
     random_source = RandomSource(seed)
     pollution_log = PollutionLog() if log else None
+    metered = metrics is not None and metrics.enabled
 
-    operator = KeyedPollutionProcessFunction(
-        pipeline_factory, random_source, pollution_log
+    clean = list(prepare_stream(source, schema, IdGenerator()))
+    polluted = run_keyed_direct(
+        (record.copy() for record in clean),
+        key_selector,
+        pipeline_factory,
+        random_source,
+        pollution_log,
+        metrics if metered else None,
     )
-    clean: list[Record] = []
-    polluted: list[Record] = []
-    collector = Collector(polluted.append)
-    ctx = KeyedContext(StateStore(), TimerService())
-    for record in prepare_stream(source, schema, IdGenerator()):
-        clean.append(record)
-        work = record.copy()
-        ctx.current_key = key_selector(work)
-        ctx.event_time = work.event_time
-        operator.process(work, ctx, collector)
     return PollutionResult(
         clean=clean,
         polluted=sort_by_timestamp(polluted, schema),
         log=pollution_log if pollution_log is not None else PollutionLog(),
         schema=schema,
         seed=seed,
+        metrics=metrics if metered else None,
     )

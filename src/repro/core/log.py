@@ -21,7 +21,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.streaming.record import Record
 from repro.streaming.time import hour_of_day_int
@@ -95,6 +95,31 @@ class PollutionLog:
                 emitted=emitted,
             )
         )
+
+    def extend(self, events: Iterable[PollutionEvent]) -> None:
+        """Append already-built events (used when folding shard logs)."""
+        self.events.extend(events)
+
+    @classmethod
+    def merged(cls, logs: "Iterable[PollutionLog | Iterable[PollutionEvent]]") -> "PollutionLog":
+        """Deterministically merge per-shard logs back into one run log.
+
+        A parallel run (:mod:`repro.parallel`) routes every record — and all
+        of its split copies — to exactly one shard, so each record's events
+        live contiguously, in chain order, inside a single shard log. The
+        sequential log orders events by record arrival, which equals record
+        ID order (IDs are assigned at arrival). A *stable* sort of the
+        concatenation by record ID therefore reproduces the sequential log
+        byte-for-byte: between records it restores arrival order, and within
+        a record it preserves the shard's (correct) chain order.
+        """
+        out = cls()
+        for log in logs:
+            out.extend(log.events if isinstance(log, PollutionLog) else log)
+        out.events.sort(
+            key=lambda e: (e.record_id is None, e.record_id if e.record_id is not None else 0)
+        )
+        return out
 
     # -- queries -----------------------------------------------------------
 

@@ -31,6 +31,34 @@ def stable_hash(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
+#: Spawn-key namespace separating shard-seed derivation from polluter
+#: streams (polluter spawn keys are 2-tuples, shard keys are 3-tuples, so
+#: the two families can never collide; the constant keeps the derivation
+#: self-describing in checkpoint/debug dumps).
+SHARD_DOMAIN = 0x5AD
+
+
+def derive_shard_seed(seed: int | None, shard_index: int, n_shards: int) -> int:
+    """The run seed of shard ``shard_index`` in a ``n_shards``-way run.
+
+    Derivation is a pure function of ``(seed, n_shards, shard_index)`` via
+    :class:`numpy.random.SeedSequence`, so a sharded run is reproducible for
+    a fixed worker count, and the shard seeds are pairwise independent — no
+    shard's stream is a prefix or offset of another's. ``None`` seeds derive
+    from entropy 0, mirroring :class:`RandomSource`'s own convention.
+    """
+    if shard_index < 0 or shard_index >= n_shards:
+        raise ValueError(
+            f"shard_index must be in [0, {n_shards}), got {shard_index}"
+        )
+    seq = np.random.SeedSequence(
+        entropy=0 if seed is None else int(seed),
+        spawn_key=(SHARD_DOMAIN, int(n_shards), int(shard_index)),
+    )
+    words = seq.generate_state(2, dtype=np.uint32)
+    return (int(words[0]) << 32 | int(words[1])) % (2**63)
+
+
 class RandomSource:
     """Factory of named, independent child generators for one pollution run."""
 
@@ -57,6 +85,18 @@ class RandomSource:
             )
             self._issued[key] = np.random.default_rng(seq)
         return self._issued[key]
+
+    def for_shard(self, shard_index: int, n_shards: int) -> "RandomSource":
+        """An independent source for one shard of a parallel pollution run.
+
+        Used by :mod:`repro.parallel` for *unkeyed* plans, where each worker
+        pollutes an arbitrary record subset: every shard gets its own seed
+        (see :func:`derive_shard_seed`) so the run is reproducible for a
+        fixed ``(seed, n_shards)`` pair. Keyed plans do **not** derive — they
+        share the base seed, because their per-key named streams already make
+        random draws independent of which shard a key lands on.
+        """
+        return RandomSource(derive_shard_seed(self._seed, shard_index, n_shards))
 
     def fork(self, run_index: int) -> "RandomSource":
         """An independent source for repetition ``run_index`` of an experiment.

@@ -96,7 +96,7 @@ def _coerce_source(
 
 def pollute(
     data: Source | Sequence[Mapping[str, Any] | Record],
-    pipelines: PollutionPipeline | Sequence[PollutionPipeline],
+    pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None = None,
     schema: Schema | None = None,
     split: SplitStrategy | None = None,
     seed: int | None = None,
@@ -108,6 +108,10 @@ def pollute(
     resume_from: Checkpoint | str | Path | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    parallelism: int | None = None,
+    key_by: str | Any | None = None,
+    pipeline_factory: Any | None = None,
+    mp_context: str | Any | None = None,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -153,7 +157,89 @@ def pollute(
     tracer:
         A :class:`~repro.obs.tracing.Tracer` receiving span records for node
         lifecycle, checkpoint, and supervision events (stream engine only).
+    parallelism:
+        When set, runs the sharded multi-process runtime
+        (:func:`repro.parallel.pollute_parallel`): prepared records are
+        partitioned across ``parallelism`` worker processes and the outputs
+        deterministically merged. Keyed plans (``key_by``) are byte-identical
+        to the sequential run; unkeyed plans are reproducible per
+        ``(seed, parallelism)``. Incompatible with ``tracer`` (spans cannot
+        cross process boundaries) and with ``engine="stream"``-only options
+        no worse than the sequential path.
+    key_by:
+        Pollution key — an attribute name or a picklable key selector. Runs
+        one pipeline instance per key (isolated stateful error functions);
+        combine with ``parallelism`` for hash-partitioned parallel keyed
+        pollution. Mutually exclusive with ``split``.
+    pipeline_factory:
+        Picklable per-key pipeline factory for keyed runs; defaults to
+        cloning the single template pipeline per key.
+    mp_context:
+        Multiprocessing start method (name or context) for parallel runs.
     """
+    if parallelism is not None:
+        if parallelism < 1:
+            raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
+        if tracer is not None:
+            raise PollutionError(
+                "tracing is not supported for parallel runs: spans cannot "
+                "cross worker process boundaries; drop tracer or parallelism"
+            )
+        if isinstance(resume_from, Checkpoint):
+            raise PollutionError(
+                "resume_from is an in-memory sequential checkpoint; a "
+                "parallel run resumes from a parallel checkpoint directory "
+                "(the checkpoint_dir of a previous parallel run)"
+            )
+        if isinstance(checkpoint_dir, CheckpointStore):
+            raise PollutionError(
+                "parallel runs manage per-shard checkpoint stores themselves; "
+                "pass checkpoint_dir as a directory path, not a CheckpointStore"
+            )
+        from repro.parallel import pollute_parallel
+
+        return pollute_parallel(
+            data,
+            pipelines,
+            schema,
+            parallelism=parallelism,
+            key_by=key_by,
+            pipeline_factory=pipeline_factory,
+            split=split,
+            seed=seed,
+            log=log,
+            failure_policy=failure_policy,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume_from=resume_from,
+            metrics=metrics,
+            mp_context=mp_context,
+        )
+    if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
+        raise PollutionError(
+            f"{resume_from} is a parallel checkpoint directory; pass "
+            "parallelism=N (matching the original run) to resume it"
+        )
+    if key_by is not None:
+        return _pollute_keyed_sequential(
+            data,
+            pipelines,
+            schema,
+            key_by=key_by,
+            pipeline_factory=pipeline_factory,
+            split=split,
+            seed=seed,
+            log=log,
+            failure_policy=failure_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    if pipeline_factory is not None:
+        raise PollutionError("pipeline_factory requires key_by")
+    if pipelines is None:
+        raise PollutionError("need at least one pollution pipeline")
     if isinstance(pipelines, PollutionPipeline):
         pipelines = [pipelines]
     pipelines = list(pipelines)
@@ -222,6 +308,90 @@ def pollute(
         schema=schema,
         seed=seed,
         report=report,
+        metrics=metrics if metered else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sequential keyed mode
+# ---------------------------------------------------------------------------
+
+
+def _pollute_keyed_sequential(
+    data: Source | Sequence[Mapping[str, Any] | Record],
+    pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None,
+    schema: Schema | None,
+    *,
+    key_by: str | Any,
+    pipeline_factory: Any | None,
+    split: SplitStrategy | None,
+    seed: int | None,
+    log: bool,
+    failure_policy: FailurePolicy | None,
+    checkpoint_dir: str | Path | CheckpointStore | None,
+    resume_from: Checkpoint | str | Path | None,
+    metrics: MetricsRegistry | None,
+    tracer: Tracer | None,
+) -> PollutionResult:
+    """``pollute(key_by=...)`` without parallelism: the reference keyed loop.
+
+    This is the sequential baseline the parallel keyed run is byte-compared
+    against, so it must use the exact same pipeline factory semantics the
+    shard workers do.
+    """
+    from repro.core.keyed_pollution import FreshPipelineFactory, run_keyed_direct
+    from repro.streaming.partition import AttributeKeySelector
+
+    if split is not None:
+        raise PollutionError(
+            "key_by and split are mutually exclusive: keyed pollution "
+            "partitions by key, not by sub-stream routing"
+        )
+    if (
+        failure_policy is not None
+        or checkpoint_dir is not None
+        or resume_from is not None
+        or tracer is not None
+    ):
+        raise PollutionError(
+            "sequential keyed runs do not support supervision, checkpointing, "
+            "or tracing; use parallelism=1 to run the keyed plan on the "
+            "supervised sharded runtime"
+        )
+    key_selector = AttributeKeySelector(key_by) if isinstance(key_by, str) else key_by
+    if pipeline_factory is None:
+        if isinstance(pipelines, PollutionPipeline):
+            pipeline_factory = FreshPipelineFactory(pipelines)
+        elif pipelines is not None and len(list(pipelines)) == 1:
+            pipeline_factory = FreshPipelineFactory(list(pipelines)[0])
+        else:
+            raise PollutionError(
+                "keyed pollution needs a pipeline_factory or exactly one "
+                "template pipeline"
+            )
+    elif pipelines is not None:
+        raise PollutionError(
+            "pass either pipelines or pipeline_factory for a keyed run, not both"
+        )
+
+    source, schema = _coerce_source(data, schema)
+    metered = metrics is not None and metrics.enabled
+    pollution_log = PollutionLog() if log else None
+    clean = list(prepare_stream(source, schema, IdGenerator()))
+    polluted = run_keyed_direct(
+        (record.copy() for record in clean),
+        key_selector,
+        pipeline_factory,
+        RandomSource(seed),
+        pollution_log,
+        metrics if metered else None,
+    )
+    return PollutionResult(
+        clean=clean,
+        polluted=sort_by_timestamp(polluted, schema),
+        log=pollution_log if pollution_log is not None else PollutionLog(),
+        schema=schema,
+        seed=seed,
         metrics=metrics if metered else None,
     )
 

@@ -75,6 +75,28 @@ class ChaosError(StreamError):
     """An injected fault from the chaos harness (never raised organically)."""
 
 
+class ShardError(StreamError):
+    """A worker shard of a parallel pollution run failed or crashed.
+
+    ``shard`` is the failing shard index; ``exitcode`` is the worker
+    process's exit code when it died without reporting (a hard crash), and
+    ``None`` when the worker reported a structured failure before exiting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        exitcode: int | None = None,
+        node: str | None = None,
+        record_id: int | None = None,
+    ) -> None:
+        super().__init__(message, node=node, record_id=record_id)
+        self.shard = shard
+        self.exitcode = exitcode
+
+
 class PollutionError(IcewaflError):
     """A polluter, condition, or pipeline is misconfigured or failed to apply."""
 

@@ -256,6 +256,62 @@ class MetricsRegistry:
             return NULL_INSTRUMENT  # type: ignore[return-value]
         return self._get(Histogram, name, labels, buckets)
 
+    # -- cross-shard aggregation ---------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one and return self.
+
+        The cross-shard aggregation path of :mod:`repro.parallel`: every
+        worker records into its own registry, and the coordinator merges
+        them so exported metrics describe the whole run and reconcile with
+        the merged pollution log. Semantics per kind:
+
+        * **counters** — summed (shard counts are disjoint events);
+        * **gauges** — the maximum is kept (shard gauges are point-in-time
+          high-water marks, e.g. watermark lag; summing them would invent a
+          value no shard ever observed);
+        * **histograms** — bucket-wise sum plus sum/count (requires matching
+          bucket bounds, which same-named engine histograms always have).
+
+        Merging a metric whose kind (or histogram buckets) differs from the
+        existing registration raises ``ValueError``. A disabled source
+        registry contributes nothing; merging into a disabled registry is a
+        no-op.
+        """
+        if not self.enabled or not other.enabled:
+            return self
+        for key, theirs in other._instruments.items():
+            mine = self._instruments.get(key)
+            if mine is None:
+                # Create a same-kind instrument, then fall through to fold.
+                if theirs.kind == "counter":
+                    mine = self._get(Counter, theirs.name, dict(theirs.labels))
+                elif theirs.kind == "gauge":
+                    mine = self._get(Gauge, theirs.name, dict(theirs.labels))
+                else:
+                    mine = self._get(
+                        Histogram, theirs.name, dict(theirs.labels), theirs.buckets
+                    )
+            if mine.kind != theirs.kind:
+                raise ValueError(
+                    f"cannot merge metric {theirs.name!r}: registered as "
+                    f"{mine.kind}, incoming is {theirs.kind}"
+                )
+            if theirs.kind == "counter":
+                mine.value += theirs.value
+            elif theirs.kind == "gauge":
+                mine.value = max(mine.value, theirs.value)
+            else:
+                if mine.buckets != theirs.buckets:
+                    raise ValueError(
+                        f"cannot merge histogram {theirs.name!r}: bucket bounds differ"
+                    )
+                for i, n in enumerate(theirs.counts):
+                    mine.counts[i] += n
+                mine.sum += theirs.sum
+                mine.count += theirs.count
+        return self
+
     # -- enumeration ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[Instrument]:

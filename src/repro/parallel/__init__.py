@@ -1,0 +1,52 @@
+"""Sharded multi-process pollution: Algorithm 1 across worker processes.
+
+The paper runs its pollution process on Flink precisely because a single
+sequential polluter cannot keep up with production stream rates; this
+package is the reproduction's equivalent of Flink's operator parallelism.
+A :class:`~repro.parallel.environment.ShardedEnvironment` hash-partitions
+the prepared stream by pollution key (round-robin for unkeyed plans) across
+N worker processes, each running an independent
+:class:`~repro.streaming.environment.StreamExecutionEnvironment`, and a
+deterministic event-time-ordered merge re-integrates the shard outputs —
+for keyed plans, byte-identically to the sequential run (§2.3's
+reproducibility requirement survives parallelization).
+
+Layout:
+
+* :mod:`repro.parallel.shard` — the worker side: the picklable
+  :class:`~repro.parallel.shard.ShardTask` plan, the queue-backed source
+  and sink, and the process entry point;
+* :mod:`repro.parallel.merge` — per-shard watermark reconciliation and the
+  stable k-way output merge;
+* :mod:`repro.parallel.environment` — the coordinator: process lifecycle,
+  bounded-queue backpressure, crash detection, abort propagation;
+* :mod:`repro.parallel.runner` — :func:`pollute_parallel`, the user-facing
+  entry point mirroring :func:`repro.core.runner.pollute`, including the
+  per-shard checkpoint layout and resume of partially failed runs.
+"""
+
+from repro.parallel.environment import ShardedEnvironment, ShardOutcome
+from repro.parallel.merge import ShardMerger
+from repro.parallel.runner import (
+    PARALLEL_MANIFEST,
+    pollute_parallel,
+    read_manifest,
+    shard_store_dir,
+    write_manifest,
+)
+from repro.parallel.shard import QueueSource, ShardOutputSink, ShardTask, run_shard
+
+__all__ = [
+    "PARALLEL_MANIFEST",
+    "QueueSource",
+    "ShardMerger",
+    "ShardOutcome",
+    "ShardOutputSink",
+    "ShardTask",
+    "ShardedEnvironment",
+    "pollute_parallel",
+    "read_manifest",
+    "run_shard",
+    "shard_store_dir",
+    "write_manifest",
+]

@@ -1,0 +1,333 @@
+"""The sharded execution coordinator.
+
+:class:`ShardedEnvironment` owns the full lifecycle of a parallel pollution
+run: it pre-flight-pickles every shard plan (so unpicklable plans fail with
+a coordinator-side :class:`~repro.errors.ShardError`, not a multiprocessing
+traceback), spawns one worker process per shard, streams prepared records to
+them through bounded queues (the bound *is* the backpressure: a slow worker
+stalls the feeder on its queue instead of letting the coordinator buffer
+unboundedly), drains output/terminal messages, detects crashed workers via
+their exit codes, and hands the collected per-shard outcomes plus the
+record merger back to the caller.
+
+Failure model
+-------------
+A worker has exactly two legitimate ends: a ``done`` message or an
+``error`` message. Anything else — a process found dead without a terminal
+message — is a hard crash (OOM kill, segfault in an extension, ``kill -9``)
+and surfaces as a :class:`~repro.errors.ShardError` carrying the exit code.
+Either way the coordinator sets the abort flag (unblocking the feeder
+thread from any full queue), terminates the remaining workers, and raises;
+per-shard checkpoints taken before the failure remain on disk for a
+``resume_from`` run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ShardError
+from repro.parallel.merge import ShardMerger
+from repro.parallel.shard import ShardTask, run_shard
+from repro.streaming.partition import Partitioner
+from repro.streaming.record import Record
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker shard reported in its terminal ``done`` message."""
+
+    shard: int
+    log_events: list = field(default_factory=list)
+    metrics: Any | None = None
+    watermark: int | None = None
+    records_out: int = 0
+    source_records: int = 0
+    checkpoints_taken: int = 0
+    resumed_from_offset: int = 0
+    dead_letters: list[dict[str, Any]] = field(default_factory=list)
+    completed: bool = False
+    degraded: bool = False
+
+
+class ShardedEnvironment:
+    """Runs N worker shards over a partitioned record stream.
+
+    Parameters
+    ----------
+    parallelism:
+        Number of worker processes (>= 1; one worker still exercises the
+        whole sharded path, which is what the determinism property tests
+        rely on).
+    mp_context:
+        A :mod:`multiprocessing` start-method name (``"fork"``, ``"spawn"``)
+        or context object; default is the platform context. Everything a
+        worker needs ships as explicit pickled bytes, so both start methods
+        behave identically.
+    queue_depth:
+        Chunks in flight per worker input queue — the backpressure window.
+    chunk_size:
+        Records per queue chunk (amortizes pickling overhead).
+    """
+
+    def __init__(
+        self,
+        parallelism: int,
+        mp_context: str | Any | None = None,
+        queue_depth: int = 8,
+        chunk_size: int = 256,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if parallelism < 1:
+            raise ShardError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        if mp_context is None or isinstance(mp_context, str):
+            self._ctx = multiprocessing.get_context(mp_context)
+        else:
+            self._ctx = mp_context
+        self.queue_depth = max(1, queue_depth)
+        self.chunk_size = max(1, chunk_size)
+        self.poll_interval = poll_interval
+
+    # -- feeding -------------------------------------------------------------
+
+    def _put(self, q: Any, item: Any, abort: threading.Event) -> bool:
+        """Put with backpressure: block on a full queue, but heed the abort."""
+        while not abort.is_set():
+            try:
+                q.put(item, timeout=0.1)
+                return True
+            except queue_mod.Full:
+                continue
+        return False
+
+    def _feed(
+        self,
+        records: Iterable[Record],
+        partitioner: Partitioner,
+        in_queues: list[Any],
+        abort: threading.Event,
+        errors: list[BaseException],
+    ) -> None:
+        n = len(in_queues)
+        buffers: list[list[Record]] = [[] for _ in range(n)]
+        try:
+            for index, record in enumerate(records):
+                shard = partitioner.shard_of(record, index)
+                buffers[shard].append(record)
+                if len(buffers[shard]) >= self.chunk_size:
+                    if not self._put(in_queues[shard], ("records", buffers[shard]), abort):
+                        return
+                    buffers[shard] = []
+            for shard in range(n):
+                if buffers[shard]:
+                    if not self._put(in_queues[shard], ("records", buffers[shard]), abort):
+                        return
+                if not self._put(in_queues[shard], ("eof", None), abort):
+                    return
+        except BaseException as exc:  # noqa: BLE001 - reported by the drain loop
+            errors.append(exc)
+
+    # -- draining ------------------------------------------------------------
+
+    @staticmethod
+    def _decode_payload(blob: bytes) -> dict[str, Any]:
+        return pickle.loads(blob)
+
+    def _decode_done(self, shard: int, blob: bytes) -> ShardOutcome:
+        payload = self._decode_payload(blob)
+        if payload.get("degraded"):
+            # The worker finished but its result payload would not pickle;
+            # treat as a failure — a silent partial result is worse.
+            raise ShardError(
+                f"shard {shard} result payload was not serializable: "
+                f"{payload.get('metrics') or payload.get('log_events')!r}",
+                shard=shard,
+            )
+        return ShardOutcome(
+            shard=payload["shard"],
+            log_events=payload["log_events"],
+            metrics=payload["metrics"],
+            watermark=payload["watermark"],
+            records_out=payload["records_out"],
+            source_records=payload["source_records"],
+            checkpoints_taken=payload["checkpoints_taken"],
+            resumed_from_offset=payload.get("resumed_from_offset", 0),
+            dead_letters=payload["dead_letters"],
+            completed=payload["completed"],
+        )
+
+    def _decode_error(self, shard: int, blob: bytes) -> ShardError:
+        payload = self._decode_payload(blob)
+        error = ShardError(
+            f"shard {shard} failed: {payload.get('error_type')}: {payload.get('error')}",
+            shard=shard,
+            node=payload.get("node"),
+            record_id=payload.get("record_id"),
+        )
+        error.worker_traceback = payload.get("traceback")
+        return error
+
+    def _grace_drain(
+        self, out_queue: Any, merger: ShardMerger, outcomes: dict[int, ShardOutcome]
+    ) -> ShardError | None:
+        """Drain straggler messages after seeing a dead worker.
+
+        A process can be dead while its final message still sits in the
+        queue's pipe buffer; give delivery a moment before declaring a hard
+        crash.
+        """
+        deadline = time.monotonic() + 1.0
+        failure: ShardError | None = None
+        while time.monotonic() < deadline:
+            try:
+                msg = out_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+            failure = self._dispatch(msg, merger, outcomes) or failure
+            if failure is not None:
+                break
+        return failure
+
+    def _dispatch(
+        self, msg: tuple, merger: ShardMerger, outcomes: dict[int, ShardOutcome]
+    ) -> ShardError | None:
+        kind = msg[0]
+        if kind == "chunk":
+            _, shard, records, watermark = msg
+            merger.add_chunk(shard, records, watermark)
+            return None
+        if kind == "done":
+            _, shard, blob = msg
+            outcomes[shard] = self._decode_done(shard, blob)
+            return None
+        _, shard, blob = msg
+        return self._decode_error(shard, blob)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        records: Sequence[Record],
+        partitioner: Partitioner,
+        tasks: Sequence[ShardTask],
+    ) -> tuple[list[ShardOutcome], ShardMerger]:
+        """Run every shard to completion; return outcomes (by shard) + merger.
+
+        ``records`` must already be prepared (IDs and event times assigned):
+        identity assignment is the coordinator's job precisely so that shard
+        output and the merged pollution log reference globally consistent
+        record IDs.
+        """
+        if len(tasks) != self.parallelism:
+            raise ShardError(
+                f"{len(tasks)} shard tasks for parallelism {self.parallelism}"
+            )
+        if partitioner.n_shards != self.parallelism:
+            raise ShardError(
+                f"partitioner routes to {partitioner.n_shards} shards but "
+                f"parallelism is {self.parallelism}"
+            )
+        blobs = []
+        for task in tasks:
+            try:
+                blobs.append(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception as exc:
+                raise ShardError(
+                    f"shard {task.shard} plan is not picklable (sources, sinks, "
+                    f"key selectors, and pipelines must serialize to cross the "
+                    f"process boundary): {exc}",
+                    shard=task.shard,
+                ) from exc
+
+        n = self.parallelism
+        in_queues = [self._ctx.Queue(maxsize=self.queue_depth) for _ in range(n)]
+        out_queue = self._ctx.Queue()
+        workers = [
+            self._ctx.Process(
+                target=run_shard,
+                args=(blobs[i], in_queues[i], out_queue),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            for i in range(n)
+        ]
+        merger = ShardMerger(tasks[0].schema, n)
+        outcomes: dict[int, ShardOutcome] = {}
+        abort = threading.Event()
+        feed_errors: list[BaseException] = []
+        feeder = threading.Thread(
+            target=self._feed,
+            args=(records, partitioner, in_queues, abort, feed_errors),
+            name="repro-shard-feeder",
+            daemon=True,
+        )
+        failure: ShardError | None = None
+        try:
+            for worker in workers:
+                worker.start()
+            feeder.start()
+            while len(outcomes) < n and failure is None:
+                if feed_errors:
+                    exc = feed_errors[0]
+                    failure = ShardError(
+                        f"record partitioning failed: {type(exc).__name__}: {exc}"
+                    )
+                    failure.__cause__ = exc
+                    break
+                try:
+                    msg = out_queue.get(timeout=self.poll_interval)
+                except queue_mod.Empty:
+                    failure = self._check_liveness(workers, out_queue, merger, outcomes)
+                    continue
+                failure = self._dispatch(msg, merger, outcomes)
+        finally:
+            abort.set()
+            if failure is not None or len(outcomes) < n:
+                for worker in workers:
+                    if worker.is_alive():
+                        worker.terminate()
+            feeder.join(timeout=5.0)
+            for worker in workers:
+                worker.join(timeout=5.0)
+                if worker.is_alive():
+                    worker.kill()
+                    worker.join(timeout=5.0)
+            for q in in_queues:
+                q.cancel_join_thread()
+                q.close()
+            out_queue.cancel_join_thread()
+            out_queue.close()
+        if failure is not None:
+            raise failure
+        return [outcomes[i] for i in range(n)], merger
+
+    def _check_liveness(
+        self,
+        workers: list[Any],
+        out_queue: Any,
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        for shard, worker in enumerate(workers):
+            if shard in outcomes or worker.is_alive():
+                continue
+            failure = self._grace_drain(out_queue, merger, outcomes)
+            if failure is not None:
+                return failure
+            if shard in outcomes:
+                continue
+            return ShardError(
+                f"shard {shard} worker died without reporting "
+                f"(exit code {worker.exitcode}); partial checkpoints, if "
+                f"enabled, remain on disk for resume",
+                shard=shard,
+                exitcode=worker.exitcode,
+            )
+        return None

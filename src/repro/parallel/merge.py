@@ -1,0 +1,87 @@
+"""Deterministic, watermark-aware merge of per-shard output streams.
+
+The integration step of a sharded run (Algorithm 1, lines 10-11, distributed
+edition). Each worker emits its polluted records in processing order with a
+piggybacked watermark (its largest emitted event time); the
+:class:`ShardMerger` collects those chunks, tracks per-shard event-time
+progress, and — once every shard has finished — produces the globally
+ordered output.
+
+Why this reproduces the sequential ordering byte-for-byte: the sequential
+runner ends with one *stable* sort under the total-enough integration key
+(:func:`repro.core.integrate.timestamp_sort_key` — timestamp, event time,
+record id, sub-stream). Ties under that key can only occur between records
+sharing a ``record_id`` (duplicate-polluter copies), and a record's copies
+always live on a single shard in production order. So sorting each shard's
+output stably and running a stable k-way :func:`heapq.merge` yields exactly
+the sequence one global stable sort would — per-shard sorts restore
+within-shard order, the merge never has to adjudicate a cross-shard tie.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.core.integrate import timestamp_sort_key
+from repro.errors import ShardError
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+
+
+class ShardMerger:
+    """Accumulates shard output chunks and merges them deterministically."""
+
+    def __init__(self, schema: Schema, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ShardError(f"merger needs >= 1 shard, got {n_shards}")
+        self._schema = schema
+        self.n_shards = n_shards
+        self._chunks: list[list[Record]] = [[] for _ in range(n_shards)]
+        #: Largest event time each shard has reported so far (None = nothing).
+        self.watermarks: list[int | None] = [None] * n_shards
+
+    def add_chunk(
+        self, shard: int, records: Iterable[Record], watermark: int | None
+    ) -> None:
+        if shard < 0 or shard >= self.n_shards:
+            raise ShardError(
+                f"chunk from unknown shard {shard} (run has {self.n_shards})",
+                shard=shard,
+            )
+        self._chunks[shard].extend(records)
+        if watermark is not None:
+            current = self.watermarks[shard]
+            if current is None or watermark > current:
+                self.watermarks[shard] = watermark
+
+    @property
+    def records_received(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks)
+
+    @property
+    def low_watermark(self) -> int | None:
+        """The reconciled global watermark: the minimum over all shards.
+
+        Event time has only progressed past ``t`` once *every* shard has
+        passed ``t`` — the same rule a multi-input union applies to its
+        inputs' watermarks. ``None`` until every shard has reported one.
+        """
+        if any(w is None for w in self.watermarks):
+            return None
+        return min(self.watermarks)  # type: ignore[arg-type]
+
+    def shard_records(self, shard: int) -> list[Record]:
+        """The raw (unsorted) records received from one shard."""
+        return list(self._chunks[shard])
+
+    def merge(self) -> list[Record]:
+        """Event-time-ordered union of all shard outputs.
+
+        Per-shard stable sort + stable k-way merge under the sequential
+        integration key; see the module docstring for why this is
+        byte-identical to the sequential sort.
+        """
+        key = timestamp_sort_key(self._schema)
+        runs = [sorted(chunk, key=key) for chunk in self._chunks]
+        return list(heapq.merge(*runs, key=key))

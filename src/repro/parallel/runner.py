@@ -1,0 +1,376 @@
+"""``pollute_parallel``: Algorithm 1 sharded across worker processes.
+
+The parallel counterpart of :func:`repro.core.runner.pollute`. The
+coordinator runs the *preparation* step (global record IDs + the replicated
+event time ``tau``) exactly as the sequential runner would, hash- or
+round-robin-partitions the prepared stream across ``parallelism`` worker
+processes, lets each worker run Algorithm 1's pollution step over its
+partition on a private stream engine, and then deterministically
+re-integrates output, pollution log, and metrics.
+
+Determinism contract
+--------------------
+* **Keyed plans** (``key_by=...``): output records, order, and pollution-log
+  CSV are **byte-identical** to the sequential keyed run with the same seed,
+  for every worker count. All records of a key live on one shard in arrival
+  order, per-key named random streams are drawn in sequential order, and
+  the shard merge reproduces the sequential stable sort exactly.
+* **Unkeyed plans**: reproducible per ``(seed, parallelism)`` — the same
+  invocation always produces the same bytes — but not invariant across
+  worker counts, because each shard pollutes an arbitrary record subset
+  under a shard-derived seed.
+
+Checkpointing
+-------------
+With ``checkpoint_dir``, the run writes a ``parallel.json`` manifest (the
+sharding geometry) plus one ``shard-NN/`` checkpoint store per worker.
+``resume_from`` pointing at that directory restarts only from each shard's
+latest snapshot: finished shards fast-forward through their (deterministic)
+re-fed input, and a shard that crashed before its first checkpoint simply
+reruns. A sequential ``.ckpt`` file is rejected with a clear error, as is a
+manifest whose geometry or seed disagrees with the requested run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.core.keyed_pollution import FreshPipelineFactory
+from repro.core.log import PollutionLog
+from repro.core.pipeline import PollutionPipeline
+from repro.core.prepare import IdGenerator, prepare_stream
+from repro.errors import CheckpointError, PollutionError, ShardError
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.environment import ShardedEnvironment, ShardOutcome
+from repro.parallel.shard import ShardTask
+from repro.streaming.partition import (
+    AttributeKeySelector,
+    KeyPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.source import Source
+from repro.streaming.split import Broadcast, SplitStrategy
+from repro.streaming.supervision import (
+    DeadLetter,
+    ExecutionReport,
+    FailureContext,
+    FailurePolicy,
+)
+
+#: Manifest filename marking a checkpoint directory as a *parallel* run's.
+PARALLEL_MANIFEST = "parallel.json"
+#: Bump when the manifest layout changes incompatibly.
+PARALLEL_FORMAT_VERSION = 1
+
+
+def shard_store_dir(checkpoint_dir: str | Path, shard: int) -> Path:
+    """The per-shard checkpoint store directory inside a parallel run's dir."""
+    return Path(checkpoint_dir) / f"shard-{shard:02d}"
+
+
+def write_manifest(
+    checkpoint_dir: str | Path,
+    parallelism: int,
+    keyed: bool,
+    seed: int | None,
+    checkpoint_interval: int,
+) -> Path:
+    """Record the sharding geometry a resume must reproduce."""
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / PARALLEL_MANIFEST
+    path.write_text(
+        json.dumps(
+            {
+                "version": PARALLEL_FORMAT_VERSION,
+                "parallelism": parallelism,
+                "keyed": keyed,
+                "seed": seed,
+                "checkpoint_interval": checkpoint_interval,
+            },
+            indent=2,
+        )
+    )
+    return path
+
+
+def read_manifest(checkpoint_dir: str | Path) -> dict[str, Any]:
+    """Load and validate a parallel run's manifest.
+
+    Raises :class:`~repro.errors.CheckpointError` when the path is a
+    sequential checkpoint file, lacks a manifest, or has an incompatible
+    format version — the three ways a resume target can be the wrong kind.
+    """
+    directory = Path(checkpoint_dir)
+    if directory.is_file():
+        raise CheckpointError(
+            f"{directory} is a sequential checkpoint file; a parallel run "
+            "resumes from a parallel checkpoint *directory* (one containing "
+            f"{PARALLEL_MANIFEST}). Re-run without parallelism to resume it."
+        )
+    path = directory / PARALLEL_MANIFEST
+    if not path.is_file():
+        raise CheckpointError(
+            f"{directory} has no {PARALLEL_MANIFEST}; it is not a parallel "
+            "run's checkpoint directory"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"could not read {path}: {exc}") from exc
+    if manifest.get("version") != PARALLEL_FORMAT_VERSION:
+        raise CheckpointError(
+            f"parallel checkpoint {directory} has format version "
+            f"{manifest.get('version')}, this runtime reads version "
+            f"{PARALLEL_FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def _resolve_resume(
+    resume_from: str | Path,
+    parallelism: int,
+    keyed: bool,
+    seed: int | None,
+) -> list[str | None]:
+    """Per-shard checkpoint paths for a resume, validated against the manifest."""
+    manifest = read_manifest(resume_from)
+    if manifest["parallelism"] != parallelism:
+        raise CheckpointError(
+            f"checkpoint {resume_from} was taken with parallelism "
+            f"{manifest['parallelism']}; resuming requires the same worker "
+            f"count, got {parallelism}"
+        )
+    if bool(manifest["keyed"]) != keyed:
+        raise CheckpointError(
+            f"checkpoint {resume_from} is a "
+            f"{'keyed' if manifest['keyed'] else 'unkeyed'} run; the resuming "
+            f"plan is {'keyed' if keyed else 'unkeyed'}"
+        )
+    if manifest["seed"] != seed:
+        raise CheckpointError(
+            f"checkpoint {resume_from} was taken with seed {manifest['seed']}; "
+            f"resuming with seed {seed} would break reproducibility"
+        )
+    from repro.streaming.checkpoint import CHECKPOINT_SUFFIX
+
+    paths: list[str | None] = []
+    for shard in range(parallelism):
+        store = shard_store_dir(resume_from, shard)
+        latest = (
+            sorted(store.glob(f"chk-*{CHECKPOINT_SUFFIX}"))[-1]
+            if store.is_dir() and sorted(store.glob(f"chk-*{CHECKPOINT_SUFFIX}"))
+            else None
+        )
+        paths.append(str(latest) if latest is not None else None)
+    return paths
+
+
+def _coerce_source(
+    data: Source | Sequence[Mapping[str, Any] | Record],
+    schema: Schema | None,
+) -> tuple[Source, Schema]:
+    from repro.streaming.source import CollectionSource
+
+    if isinstance(data, Source):
+        return data, data.schema
+    if schema is None:
+        raise PollutionError("a schema is required when passing raw rows")
+    return CollectionSource(schema, data, validate=False), schema
+
+
+def _rebuild_dead_letters(report: ExecutionReport, outcomes: list[ShardOutcome]) -> None:
+    for outcome in outcomes:
+        for summary in outcome.dead_letters:
+            context = FailureContext(
+                node=summary["node"],
+                record_id=summary["record_id"],
+                offset=summary["offset"],
+                exception=ShardError(
+                    f"{summary['error_type']}: {summary['error']}",
+                    shard=outcome.shard,
+                    node=summary["node"],
+                    record_id=summary["record_id"],
+                ),
+                attempts=summary["attempts"],
+                values=summary["values"],
+            )
+            report.dead_letters.entries.append(
+                DeadLetter(summary["record"], context)
+            )
+
+
+def pollute_parallel(
+    data: Source | Sequence[Mapping[str, Any] | Record],
+    pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None = None,
+    schema: Schema | None = None,
+    *,
+    parallelism: int = 2,
+    key_by: str | Callable[[Record], Hashable] | None = None,
+    pipeline_factory: Callable[[Hashable], PollutionPipeline] | None = None,
+    split: SplitStrategy | None = None,
+    seed: int | None = None,
+    log: bool = True,
+    failure_policy: FailurePolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_interval: int = 100,
+    resume_from: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    mp_context: str | Any | None = None,
+    chunk_size: int = 256,
+    queue_depth: int = 8,
+):
+    """Run Algorithm 1 sharded across ``parallelism`` worker processes.
+
+    Mirrors :func:`repro.core.runner.pollute` (same inputs, same
+    :class:`~repro.core.runner.PollutionResult` output); see the module
+    docstring for the determinism contract and checkpoint layout. Keyed
+    plans take either ``pipeline_factory`` (a picklable per-key factory) or
+    a single template pipeline, which is cloned per key.
+    """
+    from repro.core.runner import PollutionResult
+
+    if parallelism < 1:
+        raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
+
+    keyed = key_by is not None
+    source, schema = _coerce_source(data, schema)
+
+    if keyed:
+        if split is not None:
+            raise PollutionError(
+                "key_by and split are mutually exclusive: keyed pollution "
+                "partitions by key, not by sub-stream routing"
+            )
+        key_selector = AttributeKeySelector(key_by) if isinstance(key_by, str) else key_by
+        if pipeline_factory is None:
+            if isinstance(pipelines, PollutionPipeline):
+                pipeline_factory = FreshPipelineFactory(pipelines)
+            elif pipelines is not None and len(list(pipelines)) == 1:
+                pipeline_factory = FreshPipelineFactory(list(pipelines)[0])
+            else:
+                raise PollutionError(
+                    "keyed pollution needs a pipeline_factory or exactly one "
+                    "template pipeline"
+                )
+        elif pipelines is not None:
+            raise PollutionError(
+                "pass either pipelines or pipeline_factory for a keyed run, "
+                "not both"
+            )
+        plan_pipelines: list[PollutionPipeline] | None = None
+        strategy: SplitStrategy | None = None
+    else:
+        if pipeline_factory is not None:
+            raise PollutionError("pipeline_factory requires key_by")
+        if pipelines is None:
+            raise PollutionError("need at least one pollution pipeline")
+        if isinstance(pipelines, PollutionPipeline):
+            pipelines = [pipelines]
+        plan_pipelines = list(pipelines)
+        if not plan_pipelines:
+            raise PollutionError("need at least one pollution pipeline")
+        names = [p.name for p in plan_pipelines]
+        if len(set(names)) != len(names):
+            raise PollutionError(f"pipelines need distinct names, got {names}")
+        strategy = split or Broadcast(len(plan_pipelines))
+        if strategy.m != len(plan_pipelines):
+            raise PollutionError(
+                f"split strategy routes to {strategy.m} sub-streams but "
+                f"{len(plan_pipelines)} pipelines were given"
+            )
+        key_selector = None
+
+    metered = metrics is not None and metrics.enabled
+
+    resume_paths: list[str | None] = [None] * parallelism
+    if resume_from is not None:
+        resume_paths = _resolve_resume(resume_from, parallelism, keyed, seed)
+        if checkpoint_dir is None:
+            checkpoint_dir = resume_from
+    if checkpoint_dir is not None:
+        write_manifest(checkpoint_dir, parallelism, keyed, seed, checkpoint_interval)
+
+    # Preparation (Algorithm 1, lines 1-3) happens *before* sharding so
+    # record identities are global and shard-count-independent.
+    clean = list(prepare_stream(source, schema, IdGenerator()))
+
+    partitioner: Partitioner = (
+        KeyPartitioner(parallelism, key_selector)
+        if keyed
+        else RoundRobinPartitioner(parallelism)
+    )
+    tasks = [
+        ShardTask(
+            shard=shard,
+            n_shards=parallelism,
+            schema=schema,
+            seed=seed,
+            keyed=keyed,
+            log=log,
+            metered=metered,
+            sample_every=metrics.sample_every if metered else 16,
+            key_selector=key_selector,
+            pipeline_factory=pipeline_factory if keyed else None,
+            pipelines=plan_pipelines,
+            split=strategy,
+            failure_policy=failure_policy,
+            checkpoint_dir=(
+                str(shard_store_dir(checkpoint_dir, shard))
+                if checkpoint_dir is not None
+                else None
+            ),
+            checkpoint_interval=checkpoint_interval,
+            resume_path=resume_paths[shard],
+            chunk_size=chunk_size,
+        )
+        for shard in range(parallelism)
+    ]
+
+    env = ShardedEnvironment(
+        parallelism,
+        mp_context=mp_context,
+        queue_depth=queue_depth,
+        chunk_size=chunk_size,
+    )
+    outcomes, merger = env.execute(clean, partitioner, tasks)
+
+    polluted = merger.merge()
+    pollution_log = (
+        PollutionLog.merged(outcome.log_events for outcome in outcomes)
+        if log
+        else PollutionLog()
+    )
+
+    report = ExecutionReport(supervised=failure_policy is not None)
+    report.completed = all(outcome.completed for outcome in outcomes)
+    report.source_records = sum(outcome.source_records for outcome in outcomes)
+    report.checkpoints_taken = sum(outcome.checkpoints_taken for outcome in outcomes)
+    report.resumed_from_offset = sum(
+        outcome.resumed_from_offset for outcome in outcomes
+    )
+    _rebuild_dead_letters(report, outcomes)
+
+    if metered:
+        for outcome in outcomes:
+            if outcome.metrics is not None:
+                metrics.merge(outcome.metrics)
+        metrics.counter("parallel_shards_total").value = parallelism
+        low = merger.low_watermark
+        if low is not None:
+            metrics.gauge("merged_watermark").set(low)
+
+    return PollutionResult(
+        clean=clean,
+        polluted=polluted,
+        log=pollution_log,
+        schema=schema,
+        seed=seed,
+        report=report,
+        metrics=metrics if metered else None,
+    )

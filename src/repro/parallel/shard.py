@@ -1,0 +1,314 @@
+"""Worker-side pieces of a sharded pollution run.
+
+One shard is one worker process running a full, independent
+:class:`~repro.streaming.environment.StreamExecutionEnvironment` over its
+record partition. The coordinator (see
+:class:`~repro.parallel.environment.ShardedEnvironment`) prepares records —
+global IDs and the event time ``tau`` are assigned *before* sharding, so
+worker output carries coordinator-consistent identities — and streams them
+over a bounded queue; the worker streams polluted output back.
+
+Everything a worker needs travels in one :class:`ShardTask`, which the
+coordinator pickles explicitly before spawning anything: an unpicklable
+plan (a lambda key selector, an open file handle in a sink) fails at the
+coordinator with a clear :class:`~repro.errors.ShardError` instead of a
+cryptic traceback from the multiprocessing machinery.
+
+The queue protocol is tiny and one-directional per queue:
+
+* coordinator -> worker (``in_queue``): ``("records", [Record, ...])``
+  chunks, then one ``("eof", None)``;
+* worker -> coordinator (``out_queue``): ``("chunk", shard, [Record, ...],
+  watermark)`` output chunks, then exactly one terminal message — either
+  ``("done", shard, payload_bytes)`` or ``("error", shard, payload_bytes)``.
+  Terminal payloads are pre-pickled *by the worker* so a result the
+  multiprocessing pickler would choke on (an exotic exception, say)
+  degrades to its ``repr`` instead of killing the queue feeder thread.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.core.keyed_pollution import KeyedPollutionProcessFunction
+from repro.core.log import PollutionLog
+from repro.core.pipeline import PollutionPipeline
+from repro.core.rng import RandomSource
+from repro.obs.metrics import MetricsRegistry
+from repro.streaming.environment import StreamExecutionEnvironment
+from repro.streaming.record import Record
+from repro.streaming.schema import Schema
+from repro.streaming.sink import Sink
+from repro.streaming.source import Source
+from repro.streaming.split import SplitStrategy
+from repro.streaming.supervision import FailurePolicy
+
+
+@dataclass
+class ShardTask:
+    """The complete, picklable execution plan of one worker shard.
+
+    Exactly one of the two plan shapes is populated: keyed tasks carry
+    ``key_selector`` + ``pipeline_factory`` (and run with the *base* seed —
+    per-key named streams make keyed randomness shard-invariant), unkeyed
+    tasks carry ``pipelines`` + ``split`` (and run with a seed derived per
+    ``(seed, n_shards, shard)``, see :func:`repro.core.rng.derive_shard_seed`).
+    """
+
+    shard: int
+    n_shards: int
+    schema: Schema
+    seed: int | None
+    keyed: bool
+    log: bool
+    metered: bool
+    sample_every: int = 16
+    key_selector: Callable[[Record], Hashable] | None = None
+    pipeline_factory: Callable[[Hashable], PollutionPipeline] | None = None
+    pipelines: list[PollutionPipeline] | None = None
+    split: SplitStrategy | None = None
+    failure_policy: FailurePolicy | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_interval: int = 100
+    resume_path: str | None = None
+    chunk_size: int = 256
+
+
+class QueueSource(Source):
+    """A stream source draining prepared record chunks from a process queue.
+
+    Yields until the ``("eof", None)`` sentinel. The default
+    :meth:`~repro.streaming.source.Source.iter_from` (skip via iteration)
+    gives checkpoint resume for free: on restore the coordinator re-feeds
+    the shard's full partition and the environment skips the first
+    ``offset`` records of this source.
+    """
+
+    def __init__(self, schema: Schema, queue: Any) -> None:
+        super().__init__(schema)
+        self._queue = queue
+
+    def __iter__(self) -> Iterator[Record]:
+        while True:
+            kind, payload = self._queue.get()
+            if kind == "eof":
+                return
+            yield from payload
+
+
+class ShardOutputSink(Sink):
+    """Streams polluted records (plus a piggybacked watermark) back out.
+
+    Two modes:
+
+    * **streaming** (no checkpointing) — records leave in ``chunk_size``
+      batches as they are produced, so worker memory stays bounded;
+    * **retaining** (checkpointing or resume enabled) — records are held
+      until :meth:`close` and snapshotted into checkpoints. A resumed worker
+      restores the retained prefix and re-emits it along with post-resume
+      output, so the *new* coordinator (which never saw the crashed run's
+      chunks) receives the shard's complete output.
+
+    The watermark is the largest event time emitted so far; every outbound
+    chunk carries it so the coordinator can track per-shard event-time
+    progress while workers run.
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        shard: int,
+        chunk_size: int = 256,
+        retain: bool = False,
+        log: PollutionLog | None = None,
+    ) -> None:
+        self._queue = queue
+        self._shard = shard
+        self._chunk_size = max(1, chunk_size)
+        self._retain = retain
+        # In retain mode the sink also carries the shard's pollution log
+        # through checkpoints: by the time a snapshot barrier reaches the
+        # sink, every processed record's log events have been appended, so
+        # the log prefix and the retained output prefix stay consistent.
+        self._log = log
+        self._buffer: list[Record] = []
+        self.watermark: int | None = None
+        self.emitted = 0
+
+    def invoke(self, record: Record) -> None:
+        et = record.event_time
+        if et is not None and (self.watermark is None or et > self.watermark):
+            self.watermark = et
+        self._buffer.append(record)
+        self.emitted += 1
+        if not self._retain and len(self._buffer) >= self._chunk_size:
+            self._send(self._buffer)
+            self._buffer = []
+
+    def _send(self, records: list[Record]) -> None:
+        self._queue.put(("chunk", self._shard, records, self.watermark))
+
+    def close(self) -> None:
+        buffer, self._buffer = self._buffer, []
+        for start in range(0, len(buffer), self._chunk_size):
+            self._send(buffer[start : start + self._chunk_size])
+
+    def snapshot_state(self) -> dict[str, Any] | None:
+        if not self._retain:
+            return None
+        return {
+            "records": [r.copy() for r in self._buffer],
+            "watermark": self.watermark,
+            "emitted": self.emitted,
+            "log_events": list(self._log.events) if self._log is not None else None,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._buffer = [r.copy() for r in state["records"]]
+        self.watermark = state["watermark"]
+        self.emitted = state["emitted"]
+        if state.get("log_events") is not None and self._log is not None:
+            self._log.events[:] = state["log_events"]
+
+
+def _safe_dumps(payload: Any) -> bytes:
+    """Pickle a terminal payload, degrading rather than failing.
+
+    A worker's last message must always reach the coordinator; if the full
+    payload cannot pickle (e.g. a user exception holding a socket), retry
+    with everything but the primitive fields stringified.
+    """
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        degraded = {
+            key: value if isinstance(value, (int, float, str, bool, type(None))) else repr(value)
+            for key, value in payload.items()
+        }
+        degraded["degraded"] = True
+        return pickle.dumps(degraded, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _dead_letter_summaries(report) -> list[dict[str, Any]]:
+    """Flatten dead letters into plain-data dicts that always pickle."""
+    out = []
+    for entry in report.dead_letters:
+        ctx = entry.context
+        out.append(
+            {
+                "record": entry.record.copy(),
+                "node": ctx.node,
+                "record_id": ctx.record_id,
+                "offset": ctx.offset,
+                "attempts": ctx.attempts,
+                "error_type": type(ctx.exception).__name__,
+                "error": str(ctx.exception),
+                "values": dict(ctx.values) if ctx.values is not None else None,
+            }
+        )
+    return out
+
+
+def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, Any]:
+    metrics = MetricsRegistry(enabled=task.metered, sample_every=task.sample_every)
+    env = StreamExecutionEnvironment(metrics=metrics if task.metered else None)
+    if task.failure_policy is not None:
+        env.set_failure_policy(task.failure_policy)
+    if task.checkpoint_dir is not None:
+        env.enable_checkpointing(task.checkpoint_interval, task.checkpoint_dir)
+
+    source = QueueSource(task.schema, in_queue)
+    retain = task.checkpoint_dir is not None or task.resume_path is not None
+    log = PollutionLog() if task.log else None
+    sink = ShardOutputSink(
+        out_queue, task.shard, task.chunk_size, retain=retain, log=log
+    )
+    stream = env.from_source(source, name="shard-input")
+
+    operator: KeyedPollutionProcessFunction | None = None
+    if task.keyed:
+        # Base seed, not a derived one: each key's named streams are drawn
+        # only on the one shard that owns the key, in sequential order, so
+        # sharing the seed is exactly what makes keyed output shard-invariant.
+        rng = RandomSource(task.seed)
+        operator = KeyedPollutionProcessFunction(
+            task.pipeline_factory,
+            rng,
+            log,
+            metrics if task.metered else None,
+        )
+        stream.key_by(task.key_selector).process(operator, name="pollute-keyed").add_sink(
+            sink, name="shard-output"
+        )
+    else:
+        from repro.core.runner import PollutionProcessFunction
+
+        rng = RandomSource(task.seed).for_shard(task.shard, task.n_shards)
+        pipelines = task.pipelines or []
+        for pipeline in pipelines:
+            pipeline.bind(rng)
+            pipeline.reset()
+            pipeline.bind_metrics(metrics if task.metered else None)
+        branches = stream.split(task.split, name="substreams")
+        polluted = [
+            branch.process(PollutionProcessFunction(pipeline, log), name=f"pollute[{i}]")
+            for i, (branch, pipeline) in enumerate(zip(branches, pipelines))
+        ]
+        merged = (
+            polluted[0].union(*polluted[1:], name="integrate")
+            if len(polluted) > 1
+            else polluted[0]
+        )
+        merged.add_sink(sink, name="shard-output")
+
+    report = env.execute(resume_from=task.resume_path)
+    if task.metered:
+        if operator is not None:
+            operator.flush_metrics()
+        else:
+            for pipeline in task.pipelines or []:
+                pipeline.flush_metrics()
+        metrics.counter("shard_records_out_total", shard=task.shard).value = sink.emitted
+        if sink.watermark is not None:
+            metrics.gauge("shard_watermark", shard=task.shard).set(sink.watermark)
+    return {
+        "shard": task.shard,
+        "log_events": list(log.events) if log is not None else [],
+        "metrics": metrics if task.metered else None,
+        "watermark": sink.watermark,
+        "records_out": sink.emitted,
+        "source_records": report.source_records,
+        "checkpoints_taken": report.checkpoints_taken,
+        "resumed_from_offset": report.resumed_from_offset,
+        "dead_letters": _dead_letter_summaries(report),
+        "completed": report.completed,
+    }
+
+
+def run_shard(task_bytes: bytes, in_queue: Any, out_queue: Any) -> None:
+    """Worker process entry point: run one shard to its terminal message.
+
+    ``task_bytes`` is the coordinator-pickled :class:`ShardTask` — passing
+    bytes (rather than the object) keeps fork and spawn start methods
+    byte-identical and guarantees the worker operates on a private deep
+    copy of every pipeline, never on memory shared with the coordinator.
+    """
+    shard = -1
+    try:
+        task = pickle.loads(task_bytes)
+        shard = task.shard
+        payload = _execute_shard(task, in_queue, out_queue)
+        out_queue.put(("done", shard, _safe_dumps(payload)))
+    except BaseException as exc:  # noqa: BLE001 - must report before dying
+        payload = {
+            "shard": shard,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+            "node": getattr(exc, "node", None),
+            "record_id": getattr(exc, "record_id", None),
+            "traceback": traceback.format_exc(limit=20),
+        }
+        out_queue.put(("error", shard, _safe_dumps(payload)))

@@ -31,6 +31,12 @@ from repro.streaming.checkpoint import (
     load_checkpoint,
 )
 from repro.streaming.environment import DataStream, StreamExecutionEnvironment
+from repro.streaming.partition import (
+    AttributeKeySelector,
+    KeyPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
 from repro.streaming.record import Record
 from repro.streaming.supervision import (
     DEAD_LETTER,
@@ -77,9 +83,13 @@ __all__ = [
     "FailurePolicy",
     "FaultingNode",
     "FaultingSource",
+    "AttributeKeySelector",
     "GeneratorSource",
+    "KeyPartitioner",
     "NullSink",
+    "Partitioner",
     "Record",
+    "RoundRobinPartitioner",
     "SKIP",
     "Schema",
     "StreamExecutionEnvironment",

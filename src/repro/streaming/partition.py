@@ -1,0 +1,104 @@
+"""Record-to-shard partitioners for parallel execution.
+
+A :class:`Partitioner` deterministically assigns every prepared record to
+one of ``n_shards`` worker shards. Two assignment families exist, matching
+the two pollution-plan shapes :mod:`repro.parallel` runs:
+
+* :class:`KeyPartitioner` — hash-partition by the *pollution key* (the same
+  key that scopes per-key pipelines in keyed pollution). All records of a
+  key land on one shard, in arrival order, which is the locality property
+  that makes (a) stateful per-key error functions correct under sharding
+  and (b) keyed parallel output byte-identical to the sequential run: each
+  key's named random streams are drawn in exactly the sequential order.
+* :class:`RoundRobinPartitioner` — the fallback for unkeyed plans: record
+  ``i`` goes to shard ``i mod n``. Balanced and deterministic, but polluters
+  then see an arbitrary record subset, so unkeyed parallel runs are
+  reproducible per ``(seed, n_shards)`` rather than shard-count-invariant.
+
+Hashing uses the process-independent CRC-32 of the key's ``repr`` (see
+:func:`repro.core.rng.stable_hash`): Python's builtin ``hash`` is salted
+per process, which would scatter keys differently on every run — and across
+the coordinator/worker process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.rng import stable_hash
+from repro.errors import StreamError
+from repro.streaming.record import Record
+
+KeySelector = Callable[[Record], Hashable]
+
+
+class AttributeKeySelector:
+    """A picklable key selector reading one attribute's value.
+
+    The CLI (``--key-by station``) and config-driven runs name the pollution
+    key as an attribute; lambdas cannot ship to worker processes, so this
+    tiny callable class is the serializable equivalent of
+    ``lambda r: r.get(name)``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, record: Record) -> Hashable:
+        return record.get(self.name)
+
+    def __repr__(self) -> str:
+        return f"AttributeKeySelector({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttributeKeySelector) and other.name == self.name
+
+    def __getstate__(self):
+        return self.name
+
+    def __setstate__(self, state) -> None:
+        self.name = state
+
+
+class Partitioner:
+    """Base class: deterministic record-to-shard assignment."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise StreamError(f"number of shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, record: Record, index: int) -> int:
+        """The shard for ``record``, the ``index``-th record of the stream."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(n={self.n_shards})"
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Record ``i`` goes to shard ``i mod n`` (unkeyed fallback)."""
+
+    def shard_of(self, record: Record, index: int) -> int:
+        return index % self.n_shards
+
+
+class KeyPartitioner(Partitioner):
+    """Hash-partition by pollution key: ``crc32(repr(key)) mod n``.
+
+    ``repr`` (rather than ``str``) keeps distinct keys distinct across
+    types (``1`` vs ``"1"``), matching how keyed pollution scopes its
+    per-key random streams (``key={key!r}``).
+    """
+
+    def __init__(self, n_shards: int, key_selector: KeySelector) -> None:
+        super().__init__(n_shards)
+        self.key_selector = key_selector
+
+    def shard_of(self, record: Record, index: int) -> int:
+        return stable_hash(repr(self.key_selector(record))) % self.n_shards
+
+    def describe(self) -> str:
+        return f"KeyPartitioner(n={self.n_shards}, key={self.key_selector!r})"

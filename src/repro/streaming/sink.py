@@ -136,6 +136,21 @@ class CsvSink(Sink):
         self._file = None
         self._writer = None
 
+    def __getstate__(self) -> dict[str, Any]:
+        # The open file handle and csv writer cannot cross a process
+        # boundary; a pickled sink arrives closed and re-opens on first use.
+        # Only a path-backed sink can be shipped at all — an injected text
+        # buffer lives in the sending process.
+        if not self._owns_file:
+            raise TypeError(
+                "CsvSink wrapping an in-memory buffer cannot be pickled; "
+                "construct it with a file path to use it in a worker process"
+            )
+        state = dict(self.__dict__)
+        state["_file"] = None
+        state["_writer"] = None
+        return state
+
 
 def _render(value: Any) -> str:
     if value is None:

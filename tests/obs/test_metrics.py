@@ -155,3 +155,69 @@ class TestRegistry:
         registry.counter("c", k="v").inc(2)
         (d,) = registry.as_dicts()
         assert d == {"type": "counter", "name": "c", "labels": {"k": "v"}, "value": 2}
+
+
+class TestRegistryMerge:
+    def test_counters_sum(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("records_total", shard=0).inc(3)
+        theirs.counter("records_total", shard=0).inc(4)
+        theirs.counter("records_total", shard=1).inc(5)
+        mine.merge(theirs)
+        assert mine.counter("records_total", shard=0).value == 7
+        assert mine.counter("records_total", shard=1).value == 5
+
+    def test_gauges_keep_maximum(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.gauge("watermark").set(50)
+        theirs.gauge("watermark").set(30)
+        mine.merge(theirs)
+        assert mine.gauge("watermark").value == 50
+        theirs.gauge("watermark").set(90)
+        mine.merge(theirs)
+        assert mine.gauge("watermark").value == 90
+
+    def test_histograms_merge_bucketwise(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        for value in (0.5, 1.5):
+            mine.histogram("lat", buckets=(1.0, 2.0)).observe(value)
+        theirs.histogram("lat", buckets=(1.0, 2.0)).observe(0.25)
+        mine.merge(theirs)
+        merged = mine.histogram("lat", buckets=(1.0, 2.0))
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(2.25)
+        assert merged.counts == [2, 1, 0]
+
+    def test_merge_creates_missing_instruments(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        theirs.counter("only_theirs").inc(2)
+        theirs.gauge("their_gauge").set(7)
+        mine.merge(theirs)
+        assert mine.counter("only_theirs").value == 2
+        assert mine.gauge("their_gauge").value == 7
+
+    def test_merge_returns_self_for_chaining(self):
+        mine = MetricsRegistry()
+        assert mine.merge(MetricsRegistry()) is mine
+
+    def test_kind_conflict_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("x")
+        theirs.gauge("x")
+        with pytest.raises(ValueError):
+            mine.merge(theirs)
+
+    def test_bucket_conflict_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.histogram("lat", buckets=(1.0,))
+        theirs.histogram("lat", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            mine.merge(theirs)
+
+    def test_disabled_registries_are_no_ops(self):
+        enabled, disabled = MetricsRegistry(), MetricsRegistry(enabled=False)
+        enabled.counter("c").inc(1)
+        enabled.merge(disabled)
+        assert enabled.counter("c").value == 1
+        disabled.merge(enabled)
+        assert len(disabled) == 0

@@ -1,0 +1,62 @@
+"""Shared fixtures for the sharded-runtime tests.
+
+Everything here must be picklable: fixtures cross the worker process
+boundary inside :class:`~repro.parallel.shard.ShardTask` plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import DropTuple, DuplicateTuple, GaussianNoise
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.streaming.schema import Attribute, DataType, Schema
+
+
+@pytest.fixture
+def station_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("value", DataType.FLOAT),
+            Attribute("station", DataType.STRING),
+            Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+        ]
+    )
+
+
+@pytest.fixture
+def station_rows() -> list[dict]:
+    """120 tuples cycling through five stations, one per minute."""
+    return [
+        {"value": float(i), "station": f"s{i % 5}", "timestamp": 1_000_000 + i * 60}
+        for i in range(120)
+    ]
+
+
+@pytest.fixture
+def template_pipeline() -> PollutionPipeline:
+    """A stochastic template touching values, cardinality, and ordering."""
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                GaussianNoise(1.0), ["value"], ProbabilityCondition(0.4), name="noise"
+            ),
+            StandardPolluter(
+                DuplicateTuple(copies=1), [], ProbabilityCondition(0.1), name="dup"
+            ),
+            StandardPolluter(
+                DropTuple(), [], ProbabilityCondition(0.05), name="drop"
+            ),
+        ],
+        name="template",
+    )
+
+
+def record_fingerprints(result) -> list[tuple]:
+    """Everything observable about the polluted output, in order."""
+    return [
+        (r.record_id, r.event_time, r.substream, tuple(sorted(r.as_dict().items())))
+        for r in result.polluted
+    ]

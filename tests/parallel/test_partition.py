@@ -1,0 +1,87 @@
+"""Unit tests for record-to-shard partitioning."""
+
+import pickle
+
+import pytest
+
+from repro.core.rng import stable_hash
+from repro.errors import StreamError
+from repro.streaming.partition import (
+    AttributeKeySelector,
+    KeyPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.streaming.record import Record
+
+
+def _rec(station: str) -> Record:
+    return Record({"station": station, "value": 1.0, "timestamp": 1})
+
+
+class TestAttributeKeySelector:
+    def test_reads_attribute(self):
+        assert AttributeKeySelector("station")(_rec("s3")) == "s3"
+
+    def test_missing_attribute_is_none(self):
+        assert AttributeKeySelector("absent")(_rec("s0")) is None
+
+    def test_equality_and_repr(self):
+        assert AttributeKeySelector("a") == AttributeKeySelector("a")
+        assert AttributeKeySelector("a") != AttributeKeySelector("b")
+        assert "station" in repr(AttributeKeySelector("station"))
+
+    def test_pickle_round_trip(self):
+        selector = pickle.loads(pickle.dumps(AttributeKeySelector("station")))
+        assert selector == AttributeKeySelector("station")
+        assert selector(_rec("s1")) == "s1"
+
+
+class TestPartitionerValidation:
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_rejects_nonpositive_shards(self, n):
+        with pytest.raises(StreamError, match="must be >= 1"):
+            Partitioner(n)
+
+    def test_base_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Partitioner(2).shard_of(_rec("s0"), 0)
+
+
+class TestRoundRobinPartitioner:
+    def test_cycles_by_index(self):
+        part = RoundRobinPartitioner(3)
+        assert [part.shard_of(_rec("x"), i) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_single_shard_takes_all(self):
+        part = RoundRobinPartitioner(1)
+        assert {part.shard_of(_rec("x"), i) for i in range(10)} == {0}
+
+
+class TestKeyPartitioner:
+    def test_same_key_same_shard(self):
+        part = KeyPartitioner(4, AttributeKeySelector("station"))
+        shards = {part.shard_of(_rec(f"s{i % 5}"), i) for i in range(50) if i % 5 == 2}
+        assert len(shards) == 1
+
+    def test_assignment_is_stable_hash_of_repr(self):
+        part = KeyPartitioner(4, AttributeKeySelector("station"))
+        assert part.shard_of(_rec("s1"), 99) == stable_hash(repr("s1")) % 4
+
+    def test_distinct_types_are_distinct_keys(self):
+        # 1 and "1" must not be conflated: keyed pollution scopes its
+        # random streams by repr(key), and partitioning must agree.
+        part = KeyPartitioner(1024, lambda r: r.get("k"))
+        a = Record({"k": 1})
+        b = Record({"k": "1"})
+        assert stable_hash(repr(1)) != stable_hash(repr("1"))
+        assert part.shard_of(a, 0) == stable_hash(repr(1)) % 1024
+        assert part.shard_of(b, 0) == stable_hash(repr("1")) % 1024
+
+    def test_all_keys_covered_at_n1(self):
+        part = KeyPartitioner(1, AttributeKeySelector("station"))
+        assert {part.shard_of(_rec(f"s{i}"), i) for i in range(20)} == {0}
+
+    def test_describe_mentions_selector(self):
+        part = KeyPartitioner(2, AttributeKeySelector("station"))
+        assert "station" in part.describe()

@@ -1,0 +1,109 @@
+"""Hypothesis property test for the sharded runtime's determinism contract.
+
+The tentpole invariant of :mod:`repro.parallel`: for *keyed* plans, a
+parallel run is **byte-identical** to the sequential run — same seed, any
+worker count. Identity is checked at the serialization boundary (output CSV
+bytes and pollution-log CSV bytes), which is exactly what a downstream
+consumer of a polluted stream would compare.
+
+Worker processes are real, so examples are few and streams small; the
+deterministic e2e tests in ``tests/parallel`` cover breadth, this covers
+input shape.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import DropTuple, DuplicateTuple, GaussianNoise, SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CsvSink
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("station", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def _template() -> PollutionPipeline:
+    # Value, missingness, cardinality, and ordering errors all in one chain
+    # so the invariant covers every output-shape-changing error family.
+    return PollutionPipeline(
+        [
+            StandardPolluter(GaussianNoise(2.0), ["value"], ProbabilityCondition(0.5), name="noise"),
+            StandardPolluter(SetToNull(), ["value"], ProbabilityCondition(0.1), name="null"),
+            StandardPolluter(DuplicateTuple(copies=1), [], ProbabilityCondition(0.1), name="dup"),
+            StandardPolluter(DropTuple(), [], ProbabilityCondition(0.1), name="drop"),
+        ],
+        name="prop",
+    )
+
+
+@st.composite
+def keyed_streams(draw):
+    n = draw(st.integers(5, 60))
+    n_keys = draw(st.integers(1, 6))
+    start = draw(st.integers(0, 2**30))
+    step = draw(st.integers(1, 3600))
+    keys = draw(
+        st.lists(st.integers(0, n_keys - 1), min_size=n, max_size=n)
+    )
+    values = draw(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n)
+    )
+    return [
+        {"value": values[i], "station": f"k{keys[i]}", "timestamp": start + i * step}
+        for i in range(n)
+    ]
+
+
+def _csv_bytes(result) -> tuple[str, str]:
+    out = io.StringIO()
+    sink = CsvSink(SCHEMA, out, include_metadata=True)
+    for record in result.polluted:
+        sink.invoke(record)
+    sink.close()
+    log = io.StringIO()
+    result.log.to_csv(log)
+    return out.getvalue(), log.getvalue()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(rows=keyed_streams(), seed=st.integers(0, 2**32 - 1))
+def test_keyed_parallel_output_is_byte_identical(rows, seed):
+    sequential = pollute(rows, _template(), schema=SCHEMA, key_by="station", seed=seed)
+    expected = _csv_bytes(sequential)
+    for parallelism in (1, 2, 4):
+        parallel = pollute(
+            rows, _template(), schema=SCHEMA,
+            key_by="station", seed=seed, parallelism=parallelism,
+        )
+        assert _csv_bytes(parallel) == expected, f"divergence at parallelism={parallelism}"
+
+
+@settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=keyed_streams(), seed=st.integers(0, 2**32 - 1))
+def test_unkeyed_parallel_is_reproducible(rows, seed):
+    pipeline = PollutionPipeline(
+        [StandardPolluter(GaussianNoise(1.0), ["value"], ProbabilityCondition(0.5), name="noise")],
+        name="unkeyed-prop",
+    )
+    runs = [
+        pollute(rows, pipeline, schema=SCHEMA, seed=seed, parallelism=2)
+        for _ in range(2)
+    ]
+    assert _csv_bytes(runs[0]) == _csv_bytes(runs[1])

@@ -1,0 +1,252 @@
+"""Picklability sweep over every plan component that can reach a worker.
+
+The sharded runtime (:mod:`repro.parallel`) ships sources, sinks, key
+selectors, pipelines, polluters, error functions, conditions, and failure
+policies across a process boundary inside a pickled
+:class:`~repro.parallel.shard.ShardTask`. Anything here that stops pickling
+breaks ``pollute(..., parallelism=N)``, so each catalogue entry gets a
+round-trip check. Stateful components must also round-trip *after* use —
+mid-stream state is plain data by design.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+import pytest
+
+from repro.core.conditions import (
+    AfterCondition,
+    AllOf,
+    AlwaysCondition,
+    AnyOf,
+    AttributeCondition,
+    BeforeCondition,
+    BurstCondition,
+    DailyIntervalCondition,
+    EveryNthCondition,
+    InSetCondition,
+    LinearRampCondition,
+    NeverCondition,
+    Not,
+    NullValueCondition,
+    ProbabilityCondition,
+    RangeCondition,
+    SinusoidalCondition,
+    TimeIntervalCondition,
+)
+from repro.core.errors import (
+    CaseError,
+    CumulativeDrift,
+    DelayTuple,
+    DerivedTemporalError,
+    DropTuple,
+    DuplicateTuple,
+    FrozenValue,
+    GaussianNoise,
+    IncorrectCategory,
+    Offset,
+    OutlierSpike,
+    RoundToPrecision,
+    ScaleByFactor,
+    SetToConstant,
+    SetToDefault,
+    SetToNaN,
+    SetToNull,
+    SignFlip,
+    SwapAttributes,
+    SwapWithPrevious,
+    TimestampJitter,
+    Truncate,
+    Typo,
+    UniformNoise,
+    UnitConversion,
+    WhitespacePadding,
+)
+from repro.core.keyed_pollution import FreshPipelineFactory
+from repro.core.patterns import IncrementalPattern
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.rng import RandomSource
+from repro.streaming.partition import AttributeKeySelector
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CollectSink, CountingSink, CsvSink, NullSink
+from repro.streaming.source import (
+    CollectionSource,
+    CsvSource,
+    GeneratorSource,
+    MicroBatchSource,
+)
+from repro.streaming.supervision import DEAD_LETTER, FAIL_FAST, SKIP, FailurePolicy
+from repro.streaming.time import Duration
+
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("label", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+ROWS = [{"value": 1.0, "label": "a", "timestamp": 1000}]
+
+
+def _row_factory():
+    """Module-level so GeneratorSource stays picklable."""
+    return iter(ROWS)
+
+
+def round_trip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+ERROR_FUNCTIONS = [
+    GaussianNoise(1.0),
+    UniformNoise(-1.0, 1.0),
+    ScaleByFactor(2.0),
+    UnitConversion("celsius", "fahrenheit"),
+    Offset(3.0),
+    RoundToPrecision(1),
+    OutlierSpike(),
+    SignFlip(),
+    SwapAttributes(),
+    IncorrectCategory(["a", "b"]),
+    Typo(),
+    CaseError(),
+    Truncate(2),
+    WhitespacePadding(),
+    SetToNull(),
+    SetToNaN(),
+    SetToConstant(0),
+    SetToDefault({"value": 0.0}),
+    DelayTuple(Duration(60)),
+    FrozenValue(),
+    TimestampJitter(Duration(30)),
+    DropTuple(),
+    DuplicateTuple(copies=2),
+    DerivedTemporalError(GaussianNoise(1.0), IncrementalPattern(0, 100)),
+    CumulativeDrift(0.5),
+    SwapWithPrevious(),
+]
+
+CONDITIONS = [
+    AlwaysCondition(),
+    NeverCondition(),
+    ProbabilityCondition(0.5),
+    AfterCondition(100),
+    BeforeCondition(100),
+    TimeIntervalCondition(0, 100),
+    DailyIntervalCondition(8, 17),
+    EveryNthCondition(3),
+    SinusoidalCondition(),
+    LinearRampCondition(0, 360_000),
+    BurstCondition(),
+    AttributeCondition("value", ">", 0.0),
+    NullValueCondition("value"),
+    InSetCondition("label", ["a"]),
+    RangeCondition("value", low=0.0, high=10.0),
+    AllOf(AlwaysCondition(), ProbabilityCondition(0.5)),
+    AnyOf(NeverCondition(), EveryNthCondition(2)),
+    Not(NeverCondition()),
+]
+
+
+@pytest.mark.parametrize("error", ERROR_FUNCTIONS, ids=lambda e: type(e).__name__)
+def test_error_functions_pickle(error):
+    clone = round_trip(error)
+    assert type(clone) is type(error)
+
+
+@pytest.mark.parametrize("condition", CONDITIONS, ids=lambda c: type(c).__name__)
+def test_conditions_pickle(condition):
+    clone = round_trip(condition)
+    assert type(clone) is type(condition)
+
+
+@pytest.mark.parametrize(
+    "error",
+    [FrozenValue(), CumulativeDrift(0.5), SwapWithPrevious(), DuplicateTuple()],
+    ids=lambda e: type(e).__name__,
+)
+def test_stateful_errors_pickle_after_use(error):
+    record = Record({"value": 2.0, "label": "x", "timestamp": 10})
+    record.record_id = 0
+    error.bind_rng(RandomSource(1).child(type(error).__name__))
+    error.apply(record.copy(), ["value"], 10)
+    error.apply(record.copy(), ["value"], 20)
+    clone = round_trip(error)
+    assert type(clone) is type(error)
+
+
+def test_sources_pickle(tmp_path):
+    csv_path = tmp_path / "in.csv"
+    csv_path.write_text("value,label,timestamp\n1.0,a,1000\n")
+    sources = [
+        CollectionSource(SCHEMA, ROWS),
+        MicroBatchSource(SCHEMA, [ROWS]),
+        CsvSource(SCHEMA, csv_path),
+        GeneratorSource(SCHEMA, _row_factory),
+    ]
+    for source in sources:
+        clone = round_trip(source)
+        assert [r.as_dict() for r in clone] == [r.as_dict() for r in source]
+
+
+def test_sinks_pickle(tmp_path):
+    for sink in [CollectSink(), CountingSink(), NullSink(), CsvSink(SCHEMA, tmp_path / "out.csv")]:
+        assert type(round_trip(sink)) is type(sink)
+
+
+def test_csv_sink_pickles_even_when_open(tmp_path):
+    sink = CsvSink(SCHEMA, tmp_path / "out.csv")
+    record = Record({"value": 1.0, "label": "a", "timestamp": 1})
+    sink.invoke(record)  # opens the underlying file
+    clone = round_trip(sink)  # handle is dropped, sink arrives closed
+    sink.close()
+    clone._path = tmp_path / "clone.csv"
+    clone.invoke(record)
+    clone.close()
+    assert (tmp_path / "clone.csv").read_text().count("\n") == 2
+
+
+def test_csv_sink_buffer_backed_refuses_pickle():
+    sink = CsvSink(SCHEMA, io.StringIO())
+    with pytest.raises(TypeError, match="in-memory buffer"):
+        pickle.dumps(sink)
+
+
+def test_failure_policies_pickle():
+    for policy in [FAIL_FAST, SKIP, DEAD_LETTER, FailurePolicy.retry(3)]:
+        clone = round_trip(policy)
+        assert clone.action == policy.action
+        assert clone.max_retries == policy.max_retries
+
+
+def test_pipeline_and_factory_pickle():
+    pipeline = PollutionPipeline(
+        [
+            StandardPolluter(GaussianNoise(1.0), ["value"], ProbabilityCondition(0.4), name="noise"),
+            StandardPolluter(FrozenValue(), ["value"], EveryNthCondition(5), name="freeze"),
+        ],
+        name="sweep",
+    )
+    clone = round_trip(pipeline)
+    assert [p.name for p in clone.polluters] == ["noise", "freeze"]
+
+    factory = round_trip(FreshPipelineFactory(pipeline))
+    built = factory("some-key")
+    assert built.name == pipeline.name
+    assert built is not factory("some-key")  # fresh instance per call
+
+
+def test_key_selector_and_schema_and_record_pickle():
+    assert round_trip(AttributeKeySelector("label")) == AttributeKeySelector("label")
+    assert round_trip(SCHEMA).names == SCHEMA.names
+    record = Record({"value": 1.0, "label": "a", "timestamp": 5})
+    record.record_id = 3
+    record.event_time = 5
+    clone = round_trip(record)
+    assert clone.as_dict() == record.as_dict() and clone.record_id == 3

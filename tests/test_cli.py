@@ -365,3 +365,105 @@ class TestGenerateCommand:
         )
         assert rc == 0
         assert "48 tuples" in capsys.readouterr().out
+
+
+KEYED_SCHEMA_SPEC = {
+    "attributes": [
+        {"name": "v", "dtype": "float"},
+        {"name": "station", "dtype": "string"},
+        {"name": "timestamp", "dtype": "timestamp", "nullable": False},
+    ]
+}
+
+
+@pytest.fixture
+def keyed_workspace(tmp_path):
+    schema = schema_from_config(KEYED_SCHEMA_SPEC)
+    records = [
+        Record({"v": float(i), "station": f"s{i % 3}", "timestamp": 1000 + i * 60})
+        for i in range(60)
+    ]
+    paths = {
+        "schema": tmp_path / "schema.json",
+        "config": tmp_path / "config.json",
+        "clean": tmp_path / "clean.csv",
+        "dirty": tmp_path / "dirty.csv",
+        "log": tmp_path / "log.csv",
+        "tmp": tmp_path,
+    }
+    paths["schema"].write_text(json.dumps(KEYED_SCHEMA_SPEC))
+    paths["config"].write_text(json.dumps(PIPELINE_SPEC))
+    save_records(records, schema, paths["clean"])
+    return paths, schema
+
+
+class TestParallelCli:
+    @staticmethod
+    def _args(paths, *extra):
+        return [
+            "pollute",
+            "--config", str(paths["config"]),
+            "--schema", str(paths["schema"]),
+            "--input", str(paths["clean"]),
+            "--output", str(paths["dirty"]),
+            "--log", str(paths["log"]),
+            *extra,
+        ]
+
+    def test_parallel_keyed_matches_sequential(self, keyed_workspace):
+        paths, _ = keyed_workspace
+        assert main(self._args(paths, "--seed", "5", "--key-by", "station")) == 0
+        sequential = (paths["dirty"].read_text(), paths["log"].read_text())
+        rc = main(
+            self._args(paths, "--seed", "5", "--key-by", "station", "--parallel", "2")
+        )
+        assert rc == 0
+        assert (paths["dirty"].read_text(), paths["log"].read_text()) == sequential
+
+    def test_parallel_unkeyed_runs(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        assert main(self._args(paths, "--seed", "5", "--parallel", "2")) == 0
+        assert "errors injected" in capsys.readouterr().out
+
+    def test_parallel_rejects_zero_workers(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        assert main(self._args(paths, "--parallel", "0")) == 2
+        assert "--parallel must be >= 1" in capsys.readouterr().err
+
+    def test_parallel_rejects_tracing(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        trace = paths["tmp"] / "trace.jsonl"
+        rc = main(self._args(paths, "--parallel", "2", "--trace-out", str(trace)))
+        assert rc == 2
+        assert "--trace-out is not supported with --parallel" in capsys.readouterr().err
+
+    def test_parallel_rejects_sequential_checkpoint_file(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        ckpt = paths["tmp"] / "chk-000001.ckpt"
+        ckpt.write_bytes(b"\x80")
+        rc = main(
+            self._args(paths, "--parallel", "2", "--resume-from", str(ckpt))
+        )
+        assert rc == 2
+        assert "sequential checkpoint" in capsys.readouterr().err
+
+    def test_sequential_rejects_parallel_checkpoint_dir(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        ck = paths["tmp"] / "parck"
+        ck.mkdir()
+        (ck / "parallel.json").write_text("{}")
+        rc = main(self._args(paths, "--resume-from", str(ck)))
+        assert rc == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_parallel_checkpoint_and_resume(self, keyed_workspace):
+        paths, _ = keyed_workspace
+        ck = paths["tmp"] / "ck"
+        base_args = self._args(
+            paths, "--seed", "3", "--key-by", "station", "--parallel", "2"
+        )
+        assert main([*base_args, "--checkpoint-dir", str(ck), "--checkpoint-interval", "10"]) == 0
+        first = (paths["dirty"].read_text(), paths["log"].read_text())
+        assert (ck / "parallel.json").is_file()
+        assert main([*base_args, "--resume-from", str(ck)]) == 0
+        assert (paths["dirty"].read_text(), paths["log"].read_text()) == first

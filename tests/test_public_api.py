@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.core.conditions",
     "repro.core.errors",
     "repro.streaming",
+    "repro.parallel",
     "repro.quality",
     "repro.quality.expectations",
     "repro.forecasting",
