@@ -1,0 +1,102 @@
+"""Plan linting: catch broken pollution plans before running them.
+
+Builds one deliberately broken plan — a numeric error aimed at a category
+column, a condition whose range can never overlap the attribute's domain,
+and a lambda-based condition that cannot be shipped to worker processes —
+and walks it through the three layers of the static checker:
+
+1. the library API (``repro.check.analyze`` -> ``CheckReport``),
+2. the pre-flight hook in ``pollute(check=...)``,
+3. the declarative surface (``analyze_config`` with JSON-path locations).
+
+Run:  python examples/plan_linting.py
+"""
+
+from repro import (
+    Attribute,
+    CheckOptions,
+    DataType,
+    PollutionPipeline,
+    Schema,
+    StandardPolluter,
+    analyze,
+    analyze_config,
+    pollute,
+)
+from repro.core.conditions import PredicateCondition, RangeCondition
+from repro.core.errors import GaussianNoise, SetToNull
+from repro.errors import PollutionError
+
+
+def main() -> None:
+    schema = Schema(
+        [
+            Attribute("speed", DataType.FLOAT, domain=(0.0, 100.0)),
+            Attribute("station", DataType.CATEGORY, domain=("north", "south")),
+            Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+        ]
+    )
+
+    broken = PollutionPipeline(
+        [
+            # ICE201: Gaussian noise cannot apply to a category column.
+            StandardPolluter(GaussianNoise(5.0), ["station"], name="noisy-station"),
+            # ICE301: speed is declared in [0, 100]; this range is dead.
+            StandardPolluter(
+                SetToNull(),
+                ["speed"],
+                RangeCondition("speed", 200, 300),
+                name="dead-range",
+            ),
+            # ICE501: the lambda closure cannot be pickled for workers.
+            StandardPolluter(
+                SetToNull(),
+                ["speed"],
+                PredicateCondition(lambda record, tau: True),
+                name="custom-guard",
+            ),
+        ],
+        name="broken-demo",
+    )
+
+    # 1. Library API: analyze without executing anything.
+    report = analyze(broken, schema, CheckOptions(seed=7, parallelism=4))
+    print("== analyze() ==")
+    print(report.render_text())
+    print(f"ok={report.ok}  exit_code={report.exit_code()}")
+
+    # 2. Pre-flight: pollute(check='error') refuses to run a broken plan.
+    rows = [
+        {"speed": float(i % 90), "station": "north", "timestamp": 1000 + i * 60}
+        for i in range(10)
+    ]
+    print("\n== pollute(check='error') ==")
+    try:
+        pollute(rows, broken, schema=schema, seed=7, check="error")
+    except PollutionError as exc:
+        print(f"refused: {str(exc).splitlines()[0]}")
+
+    # 3. Declarative surface: build failures become ICE001 with a JSON path.
+    spec = {
+        "polluters": [
+            {
+                "type": "standard",
+                "attributes": ["speed"],
+                "error": {"type": "set_null"},
+                "condition": {
+                    "type": "all_of",
+                    "children": [
+                        {"type": "probability", "p": 0.5},
+                        {"type": "no_such_condition"},
+                    ],
+                },
+            }
+        ]
+    }
+    print("\n== analyze_config() ==")
+    for diag in analyze_config(spec, schema):
+        print(diag.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,15 @@ from repro.errors import (
     SchemaError,
     StreamError,
 )
+from repro.check import (
+    CheckOptions,
+    CheckReport,
+    Diagnostic,
+    PlanCheckWarning,
+    Severity,
+    analyze,
+    analyze_config,
+)
 from repro.core.keyed_pollution import FreshPipelineFactory
 from repro.obs import MetricsRegistry, Tracer, render_metrics, write_metrics
 from repro.parallel import ShardedEnvironment, pollute_parallel
@@ -79,12 +88,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "CheckOptions",
+    "CheckReport",
     "CompositeMode",
     "CompositePolluter",
     "ConditionError",
     "ConfigError",
     "DataType",
     "DatasetError",
+    "Diagnostic",
     "Duration",
     "ErrorFunctionError",
     "ExpectationError",
@@ -93,6 +105,7 @@ __all__ = [
     "IcewaflError",
     "MetricsRegistry",
     "NotFittedError",
+    "PlanCheckWarning",
     "PollutionError",
     "PollutionEvent",
     "PollutionLog",
@@ -101,12 +114,15 @@ __all__ = [
     "Record",
     "Schema",
     "SchemaError",
+    "Severity",
     "ShardedEnvironment",
     "StandardPolluter",
     "StreamError",
     "StreamExecutionEnvironment",
     "Tracer",
     "__version__",
+    "analyze",
+    "analyze_config",
     "pipeline_from_config",
     "pollute",
     "pollute_parallel",

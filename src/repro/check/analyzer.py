@@ -1,0 +1,66 @@
+"""Entry points of the static plan analyzer.
+
+:func:`analyze` inspects in-memory :class:`PollutionPipeline` objects;
+:func:`analyze_config` builds a pipeline from a declarative spec first and
+turns any :class:`ConfigError` into an ``ICE001`` diagnostic (with the
+JSON-path location the config builders attach), so a broken config file
+still produces a structured report instead of a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.check.facts import plan_facts
+from repro.check.options import CheckOptions
+from repro.check.report import CheckReport, Diagnostic, Severity
+from repro.check.rules import run_rules
+from repro.core.config import pipeline_from_config
+from repro.core.pipeline import PollutionPipeline
+from repro.errors import ConfigError
+from repro.streaming.schema import Schema
+
+
+def analyze(
+    pipelines: PollutionPipeline | Sequence[PollutionPipeline],
+    schema: Schema,
+    options: CheckOptions | None = None,
+) -> CheckReport:
+    """Statically analyze one or more pipelines against a schema.
+
+    Never executes the plan, never consumes RNG state, never mutates the
+    pipeline — safe to call as a pre-flight on a bound pipeline.
+    """
+    if isinstance(pipelines, PollutionPipeline):
+        pipelines = [pipelines]
+    opts = options or CheckOptions()
+    diagnostics: list[Diagnostic] = []
+    for pipeline in pipelines:
+        diagnostics.extend(run_rules(plan_facts(pipeline), schema, opts))
+    return CheckReport(diagnostics)
+
+
+def analyze_config(
+    spec: Mapping[str, Any],
+    schema: Schema,
+    options: CheckOptions | None = None,
+) -> CheckReport:
+    """Build a pipeline from a declarative spec and analyze it.
+
+    A spec that fails to build yields a single ``ICE001`` error diagnostic
+    whose location is the JSON path of the offending key.
+    """
+    try:
+        pipeline = pipeline_from_config(spec)
+    except ConfigError as exc:
+        return CheckReport(
+            [
+                Diagnostic(
+                    rule="ICE001",
+                    severity=Severity.ERROR,
+                    message=f"config cannot be built: {exc.args[0]}",
+                    location=exc.path or "",
+                )
+            ]
+        )
+    return analyze(pipeline, schema, options)

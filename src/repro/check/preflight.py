@@ -1,0 +1,76 @@
+"""Pre-flight hook wiring the analyzer into ``pollute()`` and the parallel
+runtime.
+
+The runner calls :func:`preflight` once per run, before any record flows.
+``mode`` is the user-facing ``check=`` argument:
+
+* ``"error"`` — raise :class:`PollutionError` when the report has
+  error-severity diagnostics (warnings are still emitted as warnings);
+* ``"warn"`` (default) — emit one :class:`PlanCheckWarning` summarizing all
+  warning-or-worse diagnostics and carry on;
+* ``"off"`` — skip analysis entirely.
+
+The analysis is pure (no RNG draws, no pipeline mutation), so enabling it
+cannot change the polluted output.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+from repro.check.analyzer import analyze
+from repro.check.options import CheckOptions
+from repro.check.report import CheckReport, Severity
+from repro.core.pipeline import PollutionPipeline
+from repro.errors import PollutionError
+from repro.streaming.schema import Schema
+
+CHECK_MODES = ("error", "warn", "off")
+
+
+class PlanCheckWarning(UserWarning):
+    """A pre-flight plan check found warning-or-worse diagnostics."""
+
+
+def preflight(
+    pipelines: Sequence[PollutionPipeline],
+    schema: Schema | None,
+    mode: str,
+    *,
+    seed: int | None = None,
+    parallelism: int | None = None,
+    key_by: str | None = None,
+) -> CheckReport | None:
+    """Run the static analyzer as a pre-flight; returns the report (or
+    ``None`` when skipped)."""
+    if mode not in CHECK_MODES:
+        raise PollutionError(
+            f"check must be one of {CHECK_MODES}, got {mode!r}"
+        )
+    if mode == "off" or schema is None or not pipelines:
+        return None
+    options = CheckOptions(
+        seed=seed,
+        parallelism=parallelism,
+        key_by=key_by if isinstance(key_by, str) else None,
+    )
+    report = analyze(list(pipelines), schema, options)
+    if mode == "error" and not report.ok:
+        details = "\n".join(f"  {d.render()}" for d in report.errors)
+        raise PollutionError(
+            f"pre-flight plan check failed with {len(report.errors)} "
+            f"error(s):\n{details}\n(run repro.check.analyze() for the full "
+            "report, or pass check='off' to skip)"
+        )
+    flagged = [d for d in report.diagnostics if d.severity >= Severity.WARNING]
+    if flagged:
+        summary = "; ".join(f"{d.rule} {d.message}" for d in flagged[:5])
+        more = f" (+{len(flagged) - 5} more)" if len(flagged) > 5 else ""
+        warnings.warn(
+            f"plan check found {len(flagged)} issue(s): {summary}{more} — "
+            "pass check='off' to silence or check='error' to fail fast",
+            PlanCheckWarning,
+            stacklevel=3,
+        )
+    return report

@@ -1,0 +1,155 @@
+"""Diagnostics and reports produced by the static plan analyzer.
+
+A :class:`Diagnostic` is one finding — a stable rule ID, a severity, a
+human-readable message, and a JSON-path-style location inside the plan
+(e.g. ``polluters[1].children[0]``). A :class:`CheckReport` is the ordered
+collection of diagnostics for one analysis run, with text and JSON
+renderings shared by the CLI, the pre-flight hook, and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+class Severity(enum.IntEnum):
+    """Severity of a diagnostic; ordering is meaningful (ERROR > WARNING)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in reports (``"error"``, ``"warning"``...)."""
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {label!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding against a pollution plan."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: str = ""
+    polluter: str | None = None
+    pipeline: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location,
+        }
+        if self.polluter is not None:
+            out["polluter"] = self.polluter
+        if self.pipeline is not None:
+            out["pipeline"] = self.pipeline
+        return out
+
+    def render(self) -> str:
+        where = self.location or "<plan>"
+        return f"{self.rule} {self.severity.label:<7} {where}: {self.message}"
+
+
+class CheckReport:
+    """The result of statically analyzing one plan (or one config file)."""
+
+    def __init__(self, diagnostics: tuple[Diagnostic, ...] | list[Diagnostic]) -> None:
+        ordered = sorted(
+            diagnostics,
+            key=lambda d: (-int(d.severity), d.rule, d.location, d.message),
+        )
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(ordered)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckReport(errors={len(self.errors)}, warnings={len(self.warnings)}, "
+            f"infos={len(self.infos)})"
+        )
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        """True when the plan has no error-severity diagnostics."""
+        return not self.errors
+
+    def rules(self) -> frozenset[str]:
+        return frozenset(d.rule for d in self.diagnostics)
+
+    def by_rule(self, rule: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        worst = self.max_severity
+        if worst is not None and worst >= fail_on:
+            return 1
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "max_severity": None if self.max_severity is None else self.max_severity.label,
+                "ok": self.ok,
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics — plan looks clean"
+        head = (
+            f"{len(self.diagnostics)} diagnostic(s): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        lines = [head] + [f"  {d.render()}" for d in self.diagnostics]
+        return "\n".join(lines)
+
+    @staticmethod
+    def merge(reports: "list[CheckReport]") -> "CheckReport":
+        diags: list[Diagnostic] = []
+        for report in reports:
+            diags.extend(report.diagnostics)
+        return CheckReport(diags)

@@ -8,6 +8,15 @@ Commands
         python -m repro pollute --config scenario.json --schema schema.json \\
             --input clean.csv --output dirty.csv --log log.csv --seed 42
 
+``check``
+    Statically analyze a pollution plan against a schema — no records flow::
+
+        python -m repro check --config scenario.json --schema schema.json \\
+            --format json --parallel 4 --seed 42
+
+    Exit code is 1 when any diagnostic at or above ``--fail-on`` (default
+    ``error``) is found; ``--list-rules`` prints the ``ICE...`` catalogue.
+
 ``validate``
     Validate a CSV stream against a JSON expectation-suite spec::
 
@@ -205,6 +214,7 @@ def cmd_pollute(args: argparse.Namespace) -> int:
         kwargs["key_by"] = args.key_by
     if args.resume_from is not None:
         kwargs["resume_from"] = args.resume_from
+    kwargs["check"] = args.check
     result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
     save_records(result.polluted, schema, args.output)
     if args.log:
@@ -224,6 +234,69 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.to_jsonl(args.trace_out)
     return 0
+
+
+def _parse_time_bound(text: str) -> int:
+    """An epoch-seconds integer or a timestamp string like ``2016-03-01``."""
+    try:
+        return int(text)
+    except ValueError:
+        from repro.streaming.time import parse_timestamp
+
+        return parse_timestamp(text)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import RULES, CheckOptions, Severity, analyze_config
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(
+                f"{rule.rule_id}  {rule.severity.label:<7} "
+                f"{rule.slug:<44} {rule.summary}"
+            )
+        return 0
+    if not args.config or not args.schema:
+        raise ConfigError("repro check needs --config and --schema (or --list-rules)")
+    schema = schema_from_config(_load_json(args.schema))
+    time_range = None
+    if args.time_range:
+        start, end = (_parse_time_bound(t) for t in args.time_range)
+        time_range = (start, end)
+    options = CheckOptions(
+        seed=args.seed,
+        parallelism=args.parallel,
+        key_by=args.key_by,
+        time_range=time_range,
+    )
+    fail_on = Severity.from_label(args.fail_on)
+    entries = []
+    exit_code = 0
+    for config_path in args.config:
+        report = analyze_config(_load_json(config_path), schema, options)
+        entries.append((config_path, report))
+        exit_code = max(exit_code, report.exit_code(fail_on))
+    if args.format == "json":
+        payload = {
+            "fail_on": fail_on.label,
+            "reports": [
+                {"config": str(path), **report.to_dict()} for path, report in entries
+            ],
+        }
+        rendered = json.dumps(payload, indent=2)
+    else:
+        blocks = []
+        for path, report in entries:
+            body = "\n".join(f"  {line}" for line in report.render_text().splitlines())
+            blocks.append(f"{path}:\n{body}")
+        rendered = "\n".join(blocks)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        total = sum(len(report) for _, report in entries)
+        print(f"wrote {total} diagnostic(s) for {len(entries)} config(s) to {args.output}")
+    else:
+        print(rendered)
+    return exit_code
 
 
 def _validation_metrics(report) -> MetricsRegistry:
@@ -385,8 +458,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed run: a .ckpt file for sequential runs, "
         "a parallel checkpoint directory for --parallel runs",
     )
+    p.add_argument(
+        "--check", choices=["error", "warn", "off"], default="warn",
+        help="pre-flight static plan analysis before running (default warn)",
+    )
     _add_observability_args(p)
     p.set_defaults(fn=cmd_pollute)
+
+    k = sub.add_parser(
+        "check", help="statically analyze a pollution plan without running it"
+    )
+    k.add_argument(
+        "--config", action="append", default=[], metavar="PATH",
+        help="pollution pipeline JSON (repeatable)",
+    )
+    k.add_argument("--schema", default=None, help="stream schema JSON")
+    k.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    k.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    k.add_argument("--seed", type=int, default=None, help="intended run seed")
+    k.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="intended worker count (enables parallel-safety rules)",
+    )
+    k.add_argument(
+        "--key-by", default=None, metavar="ATTR",
+        help="intended partitioning attribute",
+    )
+    k.add_argument(
+        "--time-range", nargs=2, default=None, metavar=("START", "END"),
+        help="stream event-time bounds (epoch seconds or 'YYYY-MM-DD'); "
+        "enables dead-window detection",
+    )
+    k.add_argument(
+        "--fail-on", choices=["error", "warning", "info"], default="error",
+        help="exit 1 when a diagnostic at or above this severity exists "
+        "(default error)",
+    )
+    k.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    k.set_defaults(fn=cmd_check)
 
     v = sub.add_parser("validate", help="validate a CSV stream with a suite")
     v.add_argument("--suite", required=True, help="expectation suite JSON")

@@ -66,7 +66,7 @@ from repro.core.errors import (
 from repro.core.errors.base import ErrorFunction
 from repro.core.pipeline import PollutionPipeline
 from repro.core.polluter import Polluter, StandardPolluter
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IcewaflError
 from repro.streaming.time import Duration, parse_timestamp
 
 
@@ -75,6 +75,19 @@ def _ts(value: Any) -> int:
     if isinstance(value, str):
         return parse_timestamp(value)
     return int(value)
+
+
+def _sub(path: str, key: str) -> str:
+    """Extend a JSON-path-style location (``polluters[2].condition``)."""
+    return f"{path}.{key}" if path else key
+
+
+def _located(exc: ConfigError, path: str) -> ConfigError:
+    """Attach a location to a ConfigError raised below us, keeping the
+    innermost (most specific) path when one is already set."""
+    if exc.path is None and path:
+        return ConfigError(exc.args[0], path=path)
+    return exc
 
 
 def _duration(value: Any) -> Duration:
@@ -117,14 +130,22 @@ _PATTERNS: dict[str, Callable[..., P.ChangePattern]] = {
 }
 
 
-def pattern_from_config(spec: Mapping[str, Any]) -> P.ChangePattern:
+def pattern_from_config(spec: Mapping[str, Any], _path: str = "") -> P.ChangePattern:
     kind = spec.get("type")
     if kind not in _PATTERNS:
         raise ConfigError(
-            f"unknown pattern type {kind!r}; known: {sorted(_PATTERNS)}"
+            f"unknown pattern type {kind!r}; known: {sorted(_PATTERNS)}",
+            path=_path or None,
         )
     kwargs = {k: v for k, v in spec.items() if k != "type"}
-    return _PATTERNS[kind](**kwargs)
+    try:
+        return _PATTERNS[kind](**kwargs)
+    except ConfigError as exc:
+        raise _located(exc, _path) from exc
+    except (TypeError, ValueError, IcewaflError) as exc:
+        raise ConfigError(
+            f"bad arguments for pattern {kind!r}: {exc}", path=_path or None
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -152,29 +173,56 @@ _CONDITIONS: dict[str, Callable[..., C.Condition]] = {
         _ts(tau0), _ts(taun), scale
     ),
     "every_nth": lambda n, offset=0: C.EveryNthCondition(n, offset),
+    "burst": lambda p_enter=0.01, p_exit=0.2, p_error_good=0.0, p_error_bad=0.9: C.BurstCondition(
+        p_enter, p_exit, p_error_good, p_error_bad
+    ),
 }
 
 
-def condition_from_config(spec: Mapping[str, Any]) -> C.Condition:
+def condition_from_config(spec: Mapping[str, Any], _path: str = "") -> C.Condition:
     kind = spec.get("type")
-    if kind in ("all_of", "and"):
-        return C.AllOf(*(condition_from_config(c) for c in spec["children"]))
-    if kind in ("any_of", "or"):
-        return C.AnyOf(*(condition_from_config(c) for c in spec["children"]))
+    if kind in ("all_of", "and", "any_of", "or"):
+        children = spec.get("children")
+        if not children:
+            raise ConfigError(
+                f"composite condition {kind!r} needs a non-empty 'children' list",
+                path=_path or None,
+            )
+        built = [
+            condition_from_config(c, _sub(_path, f"children[{i}]"))
+            for i, c in enumerate(children)
+        ]
+        return C.AllOf(*built) if kind in ("all_of", "and") else C.AnyOf(*built)
     if kind == "not":
-        return C.Not(condition_from_config(spec["child"]))
+        if "child" not in spec:
+            raise ConfigError(
+                "'not' condition needs a 'child' entry", path=_path or None
+            )
+        return C.Not(condition_from_config(spec["child"], _sub(_path, "child")))
     if kind == "pattern_probability":
+        if "pattern" not in spec:
+            raise ConfigError(
+                "'pattern_probability' condition needs a 'pattern' entry",
+                path=_path or None,
+            )
         return C.PatternProbabilityCondition(
-            pattern_from_config(spec["pattern"]), scale=spec.get("scale", 1.0)
+            pattern_from_config(spec["pattern"], _sub(_path, "pattern")),
+            scale=spec.get("scale", 1.0),
         )
     if kind not in _CONDITIONS:
         known = sorted(_CONDITIONS) + ["all_of", "any_of", "not", "pattern_probability"]
-        raise ConfigError(f"unknown condition type {kind!r}; known: {known}")
+        raise ConfigError(
+            f"unknown condition type {kind!r}; known: {known}", path=_path or None
+        )
     kwargs = {k: v for k, v in spec.items() if k != "type"}
     try:
         return _CONDITIONS[kind](**kwargs)
-    except TypeError as exc:
-        raise ConfigError(f"bad arguments for condition {kind!r}: {exc}") from exc
+    except ConfigError as exc:
+        raise _located(exc, _path) from exc
+    except (TypeError, ValueError, IcewaflError) as exc:
+        raise ConfigError(
+            f"bad arguments for condition {kind!r}: {exc}", path=_path or None
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -223,20 +271,32 @@ _ERRORS: dict[str, Callable[..., ErrorFunction]] = {
 }
 
 
-def error_from_config(spec: Mapping[str, Any]) -> ErrorFunction:
+def error_from_config(spec: Mapping[str, Any], _path: str = "") -> ErrorFunction:
     kind = spec.get("type")
     if kind == "derived":
+        for needed in ("error", "pattern"):
+            if needed not in spec:
+                raise ConfigError(
+                    f"'derived' error needs an {needed!r} entry", path=_path or None
+                )
         return DerivedTemporalError(
-            error_from_config(spec["error"]), pattern_from_config(spec["pattern"])
+            error_from_config(spec["error"], _sub(_path, "error")),
+            pattern_from_config(spec["pattern"], _sub(_path, "pattern")),
         )
     if kind not in _ERRORS:
         known = sorted(_ERRORS) + ["derived"]
-        raise ConfigError(f"unknown error type {kind!r}; known: {known}")
+        raise ConfigError(
+            f"unknown error type {kind!r}; known: {known}", path=_path or None
+        )
     kwargs = {k: v for k, v in spec.items() if k != "type"}
     try:
         return _ERRORS[kind](**kwargs)
-    except TypeError as exc:
-        raise ConfigError(f"bad arguments for error {kind!r}: {exc}") from exc
+    except ConfigError as exc:
+        raise _located(exc, _path) from exc
+    except (TypeError, ValueError, IcewaflError) as exc:
+        raise ConfigError(
+            f"bad arguments for error {kind!r}: {exc}", path=_path or None
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -244,17 +304,21 @@ def error_from_config(spec: Mapping[str, Any]) -> ErrorFunction:
 # ---------------------------------------------------------------------------
 
 
-def polluter_from_config(spec: Mapping[str, Any]) -> Polluter:
+def polluter_from_config(spec: Mapping[str, Any], _path: str = "") -> Polluter:
     """Build a standard or composite polluter from its JSON-compatible spec."""
     kind = spec.get("type", "standard")
     if kind == "standard":
         if "error" not in spec:
-            raise ConfigError("standard polluter spec needs an 'error' entry")
+            raise ConfigError(
+                "standard polluter spec needs an 'error' entry", path=_path or None
+            )
         condition = (
-            condition_from_config(spec["condition"]) if "condition" in spec else None
+            condition_from_config(spec["condition"], _sub(_path, "condition"))
+            if "condition" in spec
+            else None
         )
         return StandardPolluter(
-            error=error_from_config(spec["error"]),
+            error=error_from_config(spec["error"], _sub(_path, "error")),
             attributes=spec.get("attributes", ()),
             condition=condition,
             name=spec.get("name"),
@@ -262,19 +326,37 @@ def polluter_from_config(spec: Mapping[str, Any]) -> Polluter:
     if kind == "composite":
         children_spec = spec.get("children")
         if not children_spec:
-            raise ConfigError("composite polluter spec needs non-empty 'children'")
+            raise ConfigError(
+                "composite polluter spec needs non-empty 'children'",
+                path=_path or None,
+            )
         condition = (
-            condition_from_config(spec["condition"]) if "condition" in spec else None
+            condition_from_config(spec["condition"], _sub(_path, "condition"))
+            if "condition" in spec
+            else None
         )
-        mode = CompositeMode(spec.get("mode", "all"))
+        try:
+            mode = CompositeMode(spec.get("mode", "all"))
+        except ValueError as exc:
+            raise ConfigError(
+                f"unknown composite mode {spec.get('mode')!r}; known: "
+                f"{[m.value for m in CompositeMode]}",
+                path=_sub(_path, "mode") or None,
+            ) from exc
         return CompositePolluter(
-            children=[polluter_from_config(c) for c in children_spec],
+            children=[
+                polluter_from_config(c, _sub(_path, f"children[{i}]"))
+                for i, c in enumerate(children_spec)
+            ],
             condition=condition,
             mode=mode,
             weights=spec.get("weights"),
             name=spec.get("name"),
         )
-    raise ConfigError(f"unknown polluter type {kind!r}; known: ['standard', 'composite']")
+    raise ConfigError(
+        f"unknown polluter type {kind!r}; known: ['standard', 'composite']",
+        path=_path or None,
+    )
 
 
 def pipeline_from_config(spec: Mapping[str, Any]) -> PollutionPipeline:
@@ -282,5 +364,8 @@ def pipeline_from_config(spec: Mapping[str, Any]) -> PollutionPipeline:
     polluter_specs = spec.get("polluters")
     if not polluter_specs:
         raise ConfigError("pipeline spec needs a non-empty 'polluters' list")
-    polluters = [polluter_from_config(p) for p in polluter_specs]
+    polluters = [
+        polluter_from_config(p, f"polluters[{i}]")
+        for i, p in enumerate(polluter_specs)
+    ]
     return PollutionPipeline(polluters, name=spec.get("name", "pipeline"))

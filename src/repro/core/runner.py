@@ -94,6 +94,41 @@ def _coerce_source(
     return CollectionSource(schema, data, validate=False), schema
 
 
+def _run_preflight(
+    check: str,
+    pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None,
+    data: Source | Sequence[Mapping[str, Any] | Record],
+    schema: Schema | None,
+    *,
+    seed: int | None,
+    parallelism: int | None,
+    key_by: Any | None,
+    pipeline_factory: Any | None,
+) -> None:
+    """Static plan check before any record flows (``check="error"|"warn"|"off"``).
+
+    Analysis is pure — no RNG draws, no pipeline mutation — so it cannot
+    change the polluted output. Missing schema or pipelines are left for the
+    run's own validation to report.
+    """
+    from repro.check.preflight import preflight
+
+    if isinstance(data, Source):
+        schema = data.schema
+    if pipelines is None and pipeline_factory is not None:
+        pipelines = getattr(pipeline_factory, "_template", None)
+    if isinstance(pipelines, PollutionPipeline):
+        pipelines = [pipelines]
+    preflight(
+        list(pipelines) if pipelines else [],
+        schema,
+        check,
+        seed=seed,
+        parallelism=parallelism,
+        key_by=key_by,
+    )
+
+
 def pollute(
     data: Source | Sequence[Mapping[str, Any] | Record],
     pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None = None,
@@ -112,6 +147,7 @@ def pollute(
     key_by: str | Any | None = None,
     pipeline_factory: Any | None = None,
     mp_context: str | Any | None = None,
+    check: str = "warn",
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -176,7 +212,23 @@ def pollute(
         cloning the single template pipeline per key.
     mp_context:
         Multiprocessing start method (name or context) for parallel runs.
+    check:
+        Pre-flight static plan analysis (:mod:`repro.check`): ``"error"``
+        raises on error-severity diagnostics, ``"warn"`` (default) emits one
+        :class:`~repro.check.PlanCheckWarning` for warning-or-worse findings,
+        ``"off"`` skips the check. Runs once before execution; the analysis
+        is pure, so output is byte-identical for every mode.
     """
+    _run_preflight(
+        check,
+        pipelines,
+        data,
+        schema,
+        seed=seed,
+        parallelism=parallelism,
+        key_by=key_by,
+        pipeline_factory=pipeline_factory,
+    )
     if parallelism is not None:
         if parallelism < 1:
             raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
@@ -214,6 +266,7 @@ def pollute(
             resume_from=resume_from,
             metrics=metrics,
             mp_context=mp_context,
+            check="off",  # the pre-flight above already covered this plan
         )
     if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
         raise PollutionError(

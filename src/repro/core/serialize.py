@@ -47,6 +47,7 @@ from repro.core.errors import (
     Typo,
     UniformNoise,
     UnitConversion,
+    WhitespacePadding,
 )
 from repro.core.errors.base import ErrorFunction
 from repro.core.pipeline import PollutionPipeline
@@ -154,6 +155,14 @@ def condition_to_config(condition: C.Condition) -> dict[str, Any]:
         }
     if isinstance(condition, C.EveryNthCondition):
         return {"type": "every_nth", "n": condition.n, "offset": condition.offset}
+    if isinstance(condition, C.BurstCondition):
+        return {
+            "type": "burst",
+            "p_enter": condition.p_enter,
+            "p_exit": condition.p_exit,
+            "p_error_good": condition.p_error_good,
+            "p_error_bad": condition.p_error_bad,
+        }
     if isinstance(condition, C.AllOf):
         return {
             "type": "all_of",
@@ -222,6 +231,8 @@ def error_to_config(error: ErrorFunction) -> dict[str, Any]:
         return {"type": "case", "mode": error.mode}
     if isinstance(error, Truncate):
         return {"type": "truncate", "keep": error.keep}
+    if isinstance(error, WhitespacePadding):
+        return {"type": "whitespace", "max_spaces": error.max_spaces}
     if isinstance(error, DelayTuple):
         return {
             "type": "delay",

@@ -110,7 +110,22 @@ class ErrorFunctionError(PollutionError):
 
 
 class ConfigError(PollutionError):
-    """A declarative pollution configuration could not be parsed or validated."""
+    """A declarative pollution configuration could not be parsed or validated.
+
+    ``path`` is a JSON-path-style location inside the spec that failed
+    (e.g. ``polluters[2].condition.children[0]``), filled in by the config
+    builders so nested errors point at the offending key.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.path:
+            return f"{base} (at {self.path})"
+        return base
 
 
 class ExpectationError(IcewaflError):

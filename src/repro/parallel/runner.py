@@ -224,6 +224,7 @@ def pollute_parallel(
     mp_context: str | Any | None = None,
     chunk_size: int = 256,
     queue_depth: int = 8,
+    check: str = "warn",
 ):
     """Run Algorithm 1 sharded across ``parallelism`` worker processes.
 
@@ -231,10 +232,22 @@ def pollute_parallel(
     :class:`~repro.core.runner.PollutionResult` output); see the module
     docstring for the determinism contract and checkpoint layout. Keyed
     plans take either ``pipeline_factory`` (a picklable per-key factory) or
-    a single template pipeline, which is cloned per key.
+    a single template pipeline, which is cloned per key. ``check`` runs the
+    :mod:`repro.check` pre-flight before any worker starts (``"error"`` |
+    ``"warn"`` | ``"off"``).
     """
-    from repro.core.runner import PollutionResult
+    from repro.core.runner import PollutionResult, _run_preflight
 
+    _run_preflight(
+        check,
+        pipelines,
+        data,
+        schema,
+        seed=seed,
+        parallelism=parallelism,
+        key_by=key_by,
+        pipeline_factory=pipeline_factory,
+    )
     if parallelism < 1:
         raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
 

@@ -1,0 +1,135 @@
+"""Tests for the analyze()/analyze_config() entry points, including the
+acceptance scenario: one deliberately broken plan yields a type mismatch, a
+dead condition and an unpicklable component in a single JSON report."""
+
+import json
+
+from repro.check import CheckOptions, Severity, analyze, analyze_config
+from repro.core import conditions as C
+from repro.core.errors import GaussianNoise, SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("v", DataType.FLOAT, domain=(0.0, 100.0)),
+        Attribute("station", DataType.CATEGORY, domain=("a", "b")),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def broken_pipeline() -> PollutionPipeline:
+    return PollutionPipeline(
+        [
+            StandardPolluter(  # numeric noise on a category attribute
+                error=GaussianNoise(5.0), attributes=["station"], name="type-clash"
+            ),
+            StandardPolluter(  # range entirely outside the declared domain
+                error=SetToNull(),
+                attributes=["v"],
+                condition=C.RangeCondition("v", 200, 300),
+                name="dead-range",
+            ),
+            StandardPolluter(  # lambda closure fails the picklability sweep
+                error=SetToNull(),
+                attributes=["v"],
+                condition=C.PredicateCondition(lambda r, ts: True),
+                name="opaque",
+            ),
+        ],
+        name="broken",
+    )
+
+
+class TestBrokenPlanAcceptance:
+    def test_all_three_defects_in_one_report(self):
+        report = analyze(broken_pipeline(), SCHEMA, CheckOptions(seed=7, parallelism=4))
+        assert {"ICE201", "ICE301", "ICE501"} <= report.rules()
+        assert report.exit_code() == 1
+        assert not report.ok
+
+    def test_json_payload_carries_all_three(self):
+        report = analyze(broken_pipeline(), SCHEMA, CheckOptions(seed=7, parallelism=4))
+        payload = json.loads(report.to_json())
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert {"ICE201", "ICE301", "ICE501"} <= rules
+        assert payload["summary"]["ok"] is False
+        assert payload["summary"]["errors"] >= 3
+
+    def test_diagnostics_name_the_offending_polluters(self):
+        report = analyze(broken_pipeline(), SCHEMA, CheckOptions(seed=7, parallelism=4))
+        named = {d.polluter for d in report.diagnostics}
+        assert {"type-clash", "dead-range", "opaque"} <= named
+
+
+class TestAnalyze:
+    def test_accepts_a_sequence_of_pipelines(self):
+        one = PollutionPipeline(
+            [StandardPolluter(error=SetToNull(), attributes=["nope"])], name="p1"
+        )
+        two = PollutionPipeline(
+            [StandardPolluter(error=SetToNull(), attributes=["v"])], name="p2"
+        )
+        report = analyze([one, two], SCHEMA, CheckOptions(seed=7))
+        assert len(report.by_rule("ICE101")) == 1
+        assert report.by_rule("ICE101")[0].pipeline == "p1"
+
+    def test_analysis_does_not_mutate_the_pipeline(self):
+        pipeline = broken_pipeline()
+        before = [p.name for p in pipeline.polluters]
+        analyze(pipeline, SCHEMA, CheckOptions(seed=7))
+        assert [p.name for p in pipeline.polluters] == before
+
+
+class TestAnalyzeConfig:
+    def test_clean_spec(self):
+        spec = {
+            "polluters": [
+                {
+                    "type": "standard",
+                    "attributes": ["v"],
+                    "error": {"type": "set_null"},
+                    "condition": {"type": "probability", "p": 0.3},
+                }
+            ]
+        }
+        report = analyze_config(spec, SCHEMA, CheckOptions(seed=7))
+        assert report.ok
+
+    def test_unbuildable_spec_becomes_ice001_with_path(self):
+        spec = {
+            "polluters": [
+                {
+                    "type": "standard",
+                    "attributes": ["v"],
+                    "error": {"type": "set_null"},
+                    "condition": {"type": "wat"},
+                }
+            ]
+        }
+        report = analyze_config(spec, SCHEMA)
+        assert report.rules() == frozenset({"ICE001"})
+        diag = report.by_rule("ICE001")[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.location == "polluters[0].condition"
+        assert report.exit_code() == 1
+
+    def test_bad_constructor_arguments_become_ice001(self):
+        spec = {
+            "polluters": [
+                {
+                    "type": "standard",
+                    "attributes": ["v"],
+                    "error": {
+                        "type": "unit_conversion",
+                        "from_unit": "km",
+                        "to_unit": "lightyears",
+                    },
+                }
+            ]
+        }
+        report = analyze_config(spec, SCHEMA)
+        assert report.rules() == frozenset({"ICE001"})
+        assert report.by_rule("ICE001")[0].location == "polluters[0].error"

@@ -1,0 +1,41 @@
+"""Every golden config in examples/configs/ must pass the analyzer with zero
+error-severity diagnostics against its paired schema (per manifest.json)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import CheckOptions, analyze_config
+from repro.cli import schema_from_config
+from repro.core.config import pipeline_from_config
+
+CONFIG_DIR = Path(__file__).resolve().parents[2] / "examples" / "configs"
+MANIFEST = json.loads((CONFIG_DIR / "manifest.json").read_text())
+PAIRS = [(p["config"], p["schema"]) for p in MANIFEST["pairs"]]
+
+
+@pytest.mark.parametrize("config_name,schema_name", PAIRS, ids=[p[0] for p in PAIRS])
+def test_golden_config_has_no_errors(config_name, schema_name):
+    spec = json.loads((CONFIG_DIR / config_name).read_text())
+    schema = schema_from_config(json.loads((CONFIG_DIR / schema_name).read_text()))
+    report = analyze_config(spec, schema, CheckOptions(seed=7))
+    assert report.ok, report.render_text()
+
+
+@pytest.mark.parametrize("config_name,schema_name", PAIRS, ids=[p[0] for p in PAIRS])
+def test_golden_config_builds_and_targets_schema(config_name, schema_name):
+    spec = json.loads((CONFIG_DIR / config_name).read_text())
+    schema = schema_from_config(json.loads((CONFIG_DIR / schema_name).read_text()))
+    pipeline = pipeline_from_config(spec)
+    assert pipeline.polluters
+    assert schema.names  # the paired schema parses
+
+
+def test_manifest_covers_every_config():
+    on_disk = {
+        p.name
+        for p in CONFIG_DIR.glob("*.json")
+        if not p.name.endswith(".schema.json") and p.name != "manifest.json"
+    }
+    assert on_disk == {c for c, _ in PAIRS}

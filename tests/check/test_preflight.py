@@ -1,0 +1,98 @@
+"""The pre-flight hook in pollute(): warn/error/off modes, and the guarantee
+that enabling the check never changes the polluted output."""
+
+import warnings
+
+import pytest
+
+from repro.check import CHECK_MODES, PlanCheckWarning
+from repro.check.preflight import preflight
+from repro.core import conditions as C
+from repro.core.errors import SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.errors import PollutionError
+from repro.streaming.schema import Attribute, DataType, Schema
+
+SCHEMA = Schema(
+    [
+        Attribute("v", DataType.FLOAT, domain=(0.0, 100.0)),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+ROWS = [{"v": float(i % 50), "timestamp": 1000 + i * 60} for i in range(40)]
+
+
+def clean_pipeline():
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                error=SetToNull(),
+                attributes=["v"],
+                condition=C.ProbabilityCondition(0.3),
+            )
+        ],
+        name="clean",
+    )
+
+
+def flawed_pipeline():
+    return PollutionPipeline(
+        [
+            StandardPolluter(  # dead range: domain is [0, 100]
+                error=SetToNull(),
+                attributes=["v"],
+                condition=C.RangeCondition("v", 200, 300),
+                name="dead",
+            )
+        ],
+        name="flawed",
+    )
+
+
+class TestPreflightFunction:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(PollutionError, match="check must be one of"):
+            preflight([clean_pipeline()], SCHEMA, "loud")
+
+    def test_off_skips_analysis(self):
+        assert preflight([flawed_pipeline()], SCHEMA, "off") is None
+
+    def test_no_schema_skips_analysis(self):
+        assert preflight([flawed_pipeline()], None, "warn") is None
+
+    def test_modes_tuple_is_public(self):
+        assert CHECK_MODES == ("error", "warn", "off")
+
+
+class TestPolluteIntegration:
+    def test_clean_plan_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanCheckWarning)
+            pollute(ROWS, clean_pipeline(), schema=SCHEMA, seed=7)
+
+    def test_warn_mode_emits_plan_check_warning(self):
+        with pytest.warns(PlanCheckWarning, match="ICE301"):
+            pollute(ROWS, flawed_pipeline(), schema=SCHEMA, seed=7)
+
+    def test_error_mode_raises(self):
+        with pytest.raises(PollutionError, match="pre-flight plan check failed"):
+            pollute(ROWS, flawed_pipeline(), schema=SCHEMA, seed=7, check="error")
+
+    def test_off_mode_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanCheckWarning)
+            pollute(ROWS, flawed_pipeline(), schema=SCHEMA, seed=7, check="off")
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(PollutionError, match="check must be one of"):
+            pollute(ROWS, clean_pipeline(), schema=SCHEMA, seed=7, check="loud")
+
+    def test_check_does_not_change_output(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PlanCheckWarning)
+            off = pollute(ROWS, clean_pipeline(), schema=SCHEMA, seed=7, check="off")
+            warn = pollute(ROWS, clean_pipeline(), schema=SCHEMA, seed=7, check="warn")
+        assert [repr(r) for r in off.polluted] == [repr(r) for r in warn.polluted]

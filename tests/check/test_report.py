@@ -1,0 +1,112 @@
+"""Unit tests for Severity, Diagnostic and CheckReport."""
+
+import json
+
+import pytest
+
+from repro.check import CheckReport, Diagnostic, Severity
+
+
+def d(rule, severity, message="m", location=""):
+    return Diagnostic(rule=rule, severity=severity, message=message, location=location)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels_round_trip(self):
+        for sev in Severity:
+            assert Severity.from_label(sev.label) is sev
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_label("fatal")
+
+
+class TestDiagnostic:
+    def test_render_includes_rule_and_location(self):
+        diag = d("ICE101", Severity.ERROR, "boom", "polluters[0]")
+        text = diag.render()
+        assert "ICE101" in text
+        assert "error" in text
+        assert "polluters[0]" in text
+        assert "boom" in text
+
+    def test_render_without_location_uses_placeholder(self):
+        assert "<plan>" in d("ICE401", Severity.WARNING).render()
+
+    def test_to_dict_omits_unset_optionals(self):
+        out = d("ICE101", Severity.ERROR).to_dict()
+        assert "polluter" not in out
+        assert out["severity"] == "error"
+
+
+class TestCheckReport:
+    def test_sorted_most_severe_first(self):
+        report = CheckReport(
+            [
+                d("ICE402", Severity.INFO),
+                d("ICE101", Severity.ERROR),
+                d("ICE601", Severity.WARNING),
+            ]
+        )
+        assert [x.severity for x in report] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_buckets_and_counts(self):
+        report = CheckReport(
+            [d("ICE101", Severity.ERROR), d("ICE601", Severity.WARNING)]
+        )
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 0
+        assert len(report) == 2
+        assert report.max_severity is Severity.ERROR
+        assert not report.ok
+
+    def test_empty_report_is_ok(self):
+        report = CheckReport([])
+        assert report.ok
+        assert report.max_severity is None
+        assert report.exit_code() == 0
+        assert "clean" in report.render_text()
+
+    def test_exit_code_respects_fail_on(self):
+        report = CheckReport([d("ICE601", Severity.WARNING)])
+        assert report.exit_code() == 0  # default fail_on=ERROR
+        assert report.exit_code(Severity.WARNING) == 1
+        assert report.exit_code(Severity.INFO) == 1
+
+    def test_rules_and_by_rule(self):
+        report = CheckReport(
+            [d("ICE101", Severity.ERROR), d("ICE101", Severity.ERROR, "other")]
+        )
+        assert report.rules() == frozenset({"ICE101"})
+        assert len(report.by_rule("ICE101")) == 2
+        assert report.by_rule("ICE999") == ()
+
+    def test_to_json_summary_block(self):
+        report = CheckReport([d("ICE101", Severity.ERROR)])
+        payload = json.loads(report.to_json())
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "infos": 0,
+            "max_severity": "error",
+            "ok": False,
+        }
+        assert payload["diagnostics"][0]["rule"] == "ICE101"
+
+    def test_merge(self):
+        merged = CheckReport.merge(
+            [
+                CheckReport([d("ICE101", Severity.ERROR)]),
+                CheckReport([d("ICE601", Severity.WARNING)]),
+            ]
+        )
+        assert len(merged) == 2
+        assert merged.max_severity is Severity.ERROR

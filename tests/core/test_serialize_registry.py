@@ -1,0 +1,205 @@
+"""Registry-wide serialize round-trips.
+
+For EVERY type registered in the config registries (_PATTERNS, _CONDITIONS,
+_ERRORS) we keep one canonical spec here, build the object, serialize it back
+with repro.core.serialize, and rebuild it from the serialized form. Coverage
+assertions fail the suite when a new type is registered without a spec, so
+the two surfaces cannot drift apart silently.
+"""
+
+import pytest
+
+from repro.core.config import (
+    _CONDITIONS,
+    _ERRORS,
+    _PATTERNS,
+    condition_from_config,
+    error_from_config,
+    pattern_from_config,
+)
+from repro.core.serialize import (
+    condition_to_config,
+    error_to_config,
+    pattern_to_config,
+)
+
+PATTERN_SPECS = {
+    "constant": {"type": "constant", "value": 0.8},
+    "abrupt": {"type": "abrupt", "change_time": 1000, "before": 0.0, "after": 1.0},
+    "incremental": {
+        "type": "incremental",
+        "start": 1000,
+        "end": 2000,
+        "start_value": 0.0,
+        "end_value": 1.0,
+    },
+    "intermediate": {
+        "type": "intermediate",
+        "start": 1000,
+        "end": 2000,
+        "block_seconds": 600,
+    },
+    "sinusoidal": {
+        "type": "sinusoidal",
+        "amplitude": 0.3,
+        "offset": 0.4,
+        "period_hours": 12.0,
+        "phase": 0.5,
+    },
+}
+
+CONDITION_SPECS = {
+    "always": {"type": "always"},
+    "never": {"type": "never"},
+    "probability": {"type": "probability", "p": 0.25},
+    "attribute": {"type": "attribute", "attribute": "v", "op": ">", "value": 3},
+    "null_value": {"type": "null_value", "attribute": "v"},
+    "in_set": {"type": "in_set", "attribute": "v", "values": [1, 2, 3]},
+    "range": {"type": "range", "attribute": "v", "low": 0, "high": 10},
+    "after": {"type": "after", "timestamp": 1000},
+    "before": {"type": "before", "timestamp": 2000},
+    "time_interval": {"type": "time_interval", "start": 1000, "end": 2000},
+    "daily_interval": {"type": "daily_interval", "start_hour": 9, "end_hour": 17},
+    "sinusoidal": {
+        "type": "sinusoidal",
+        "amplitude": 0.3,
+        "offset": 0.4,
+        "period_hours": 12.0,
+        "phase": 0.5,
+    },
+    "linear_ramp": {"type": "linear_ramp", "tau0": 1000, "taun": 2000, "scale": 0.7},
+    "every_nth": {"type": "every_nth", "n": 5, "offset": 2},
+    "burst": {
+        "type": "burst",
+        "p_enter": 0.05,
+        "p_exit": 0.3,
+        "p_error_good": 0.01,
+        "p_error_bad": 0.8,
+    },
+}
+
+ERROR_SPECS = {
+    "gaussian_noise": {"type": "gaussian_noise", "sigma": 2.5},
+    "uniform_noise": {
+        "type": "uniform_noise",
+        "low": -1.0,
+        "high": 1.0,
+        "multiplicative": False,
+        "signed": False,
+    },
+    "scale": {"type": "scale", "factor": 1.6},
+    "unit_conversion": {"type": "unit_conversion", "from_unit": "km", "to_unit": "m"},
+    "offset": {"type": "offset", "delta": 3.0},
+    "round": {"type": "round", "digits": 1},
+    "outlier": {"type": "outlier", "k": 8.0, "signed": True},
+    "sign_flip": {"type": "sign_flip"},
+    "swap_attributes": {"type": "swap_attributes"},
+    "set_null": {"type": "set_null"},
+    "set_nan": {"type": "set_nan"},
+    "set_constant": {"type": "set_constant", "value": 42},
+    "set_default": {"type": "set_default", "defaults": {"v": 0}},
+    "incorrect_category": {"type": "incorrect_category", "domain": ["a", "b"]},
+    "typo": {"type": "typo", "n_errors": 2},
+    "case": {"type": "case", "mode": "upper"},
+    "truncate": {"type": "truncate", "keep": 3},
+    "whitespace": {"type": "whitespace", "max_spaces": 2},
+    "delay": {"type": "delay", "delay": 300, "timestamp_attribute": "timestamp"},
+    "frozen_value": {"type": "frozen_value"},
+    "timestamp_jitter": {
+        "type": "timestamp_jitter",
+        "max_jitter": 60,
+        "timestamp_attribute": "timestamp",
+    },
+    "drop": {"type": "drop"},
+    "duplicate": {
+        "type": "duplicate",
+        "copies": 2,
+        "spacing": 5,
+        "timestamp_attribute": "timestamp",
+    },
+    "cumulative_drift": {"type": "cumulative_drift", "step": 0.1},
+    "swap_with_previous": {"type": "swap_with_previous"},
+    "ramped_mult_noise": {
+        "type": "ramped_mult_noise",
+        "tau0": 1000,
+        "taun": 2000,
+        "a_max": 0.1,
+        "b_max": 0.4,
+    },
+}
+
+
+def test_pattern_specs_cover_registry():
+    assert set(PATTERN_SPECS) == set(_PATTERNS)
+
+
+def test_condition_specs_cover_registry():
+    assert set(CONDITION_SPECS) == set(_CONDITIONS)
+
+
+def test_error_specs_cover_registry():
+    assert set(ERROR_SPECS) == set(_ERRORS)
+
+
+@pytest.mark.parametrize("kind", sorted(PATTERN_SPECS), ids=str)
+def test_pattern_round_trip(kind):
+    spec = PATTERN_SPECS[kind]
+    pattern = pattern_from_config(spec)
+    serialized = pattern_to_config(pattern)
+    assert serialized["type"] == kind
+    rebuilt = pattern_from_config(serialized)
+    assert pattern_to_config(rebuilt) == serialized
+
+
+@pytest.mark.parametrize("kind", sorted(CONDITION_SPECS), ids=str)
+def test_condition_round_trip(kind):
+    spec = CONDITION_SPECS[kind]
+    condition = condition_from_config(spec)
+    serialized = condition_to_config(condition)
+    assert serialized["type"] == kind
+    rebuilt = condition_from_config(serialized)
+    assert condition_to_config(rebuilt) == serialized
+
+
+@pytest.mark.parametrize("kind", sorted(ERROR_SPECS), ids=str)
+def test_error_round_trip(kind):
+    spec = ERROR_SPECS[kind]
+    error = error_from_config(spec)
+    serialized = error_to_config(error)
+    assert serialized["type"] == kind
+    rebuilt = error_from_config(serialized)
+    assert error_to_config(rebuilt) == serialized
+
+
+def test_composite_condition_round_trip():
+    spec = {
+        "type": "all_of",
+        "children": [
+            {"type": "probability", "p": 0.5},
+            {"type": "not", "child": {"type": "never"}},
+            {
+                "type": "any_of",
+                "children": [
+                    {"type": "after", "timestamp": 1000},
+                    {"type": "attribute", "attribute": "v", "op": "<", "value": 2},
+                ],
+            },
+        ],
+    }
+    condition = condition_from_config(spec)
+    serialized = condition_to_config(condition)
+    rebuilt = condition_from_config(serialized)
+    assert condition_to_config(rebuilt) == serialized
+
+
+def test_derived_error_round_trip():
+    spec = {
+        "type": "derived",
+        "error": {"type": "gaussian_noise", "sigma": 2.0},
+        "pattern": {"type": "incremental", "start": 1000, "end": 2000},
+    }
+    error = error_from_config(spec)
+    serialized = error_to_config(error)
+    assert serialized["type"] == "derived"
+    rebuilt = error_from_config(serialized)
+    assert error_to_config(rebuilt) == serialized
