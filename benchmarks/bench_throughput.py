@@ -80,6 +80,75 @@ def test_throughput_scales_linearly_with_pipeline_length(benchmark):
     assert marginal_8 < max(4 * marginal_2, 4 * timings[1] / 8 + marginal_2)
 
 
+def test_batched_execution_speedup(benchmark):
+    """The micro-batching fast path (repro.batch) reaches >= 2x the
+    per-record engine's throughput at batch 256 on the Fig. 8 workload
+    (l=4 stochastic Gaussian polluters).
+
+    Both modes run the direct engine on identical inputs; the batched run
+    differs only in ``batch_size``, which compiles the pipeline into fused
+    batch kernels (vectorized condition masks, bulk RNG draws). Output
+    byte-identity between the modes is asserted separately in
+    ``tests/property/test_property_batch_diff.py`` and ``tests/golden``,
+    so this bench measures pure speed.
+    """
+    n = scaled(small=20_000, paper=100_000)
+    rows = [
+        {"a": float(i % 97), "b": float(i % 13), "timestamp": i} for i in range(n)
+    ]
+
+    def run(batch_size: int | None) -> float:
+        gc.collect()
+        start = time.perf_counter()
+        pollute(
+            rows,
+            make_pipeline(4),
+            schema=SCHEMA,
+            seed=5,
+            log=False,
+            check="off",
+            batch_size=batch_size,
+        )
+        return time.perf_counter() - start
+
+    run(256)  # warm-up
+    benchmark.pedantic(lambda: run(256), rounds=1, iterations=1)
+    minima = interleaved_minima(
+        {
+            "record": lambda: run(None),
+            "batched[64]": lambda: run(64),
+            "batched[256]": lambda: run(256),
+            "batched[1024]": lambda: run(1024),
+        },
+        converged=lambda m: m["record"] / m["batched[256]"] >= 2.0,
+    )
+    speedups = {mode: minima["record"] / t for mode, t in minima.items()}
+
+    report(
+        f"Throughput — batched execution speedup (n={n} tuples, direct engine, l=4)",
+        render_table(
+            ["mode", "seconds", "tuples/s", "speedup"],
+            [
+                [mode, f"{t:.3f}", f"{n / t:,.0f}", f"{speedups[mode]:.2f}x"]
+                for mode, t in minima.items()
+            ],
+        ),
+    )
+    record_bench(
+        "batched_speedup",
+        {
+            "n_tuples": n,
+            "seconds_by_mode": dict(minima),
+            "tuples_per_second_by_mode": {m: n / t for m, t in minima.items()},
+            "speedup_by_mode": speedups,
+            "target_speedup_at_256": 2.0,
+        },
+    )
+    assert speedups["batched[256]"] >= 2.0, (
+        f"batch-256 speedup {speedups['batched[256]']:.2f}x is below the 2x target"
+    )
+
+
 def test_supervision_overhead_is_bounded(benchmark):
     """Supervised dispatch (failure policies armed) costs <= ~10% throughput.
 

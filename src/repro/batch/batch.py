@@ -1,0 +1,71 @@
+"""The batch data model: a slab of records moving through the engine at once.
+
+A :class:`RecordBatch` pairs the record objects with a parallel array of
+their event times (the replicated timestamp ``tau`` each record entered the
+pipeline with). Keeping ``taus`` separate matters for correctness: the
+pollution chain evaluates every polluter against the *original* ``tau`` of
+a tuple even after a native temporal error rewrote its timestamp attribute,
+exactly like :meth:`repro.core.pipeline.PollutionPipeline.apply` does.
+
+Columnar access (one Python list per attribute, plus id/timestamp arrays)
+is derived lazily — kernels that want to vectorize pull the columns they
+need; everything else keeps operating on the row objects, so falling back
+to per-record iteration is free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import PollutionError
+from repro.streaming.record import Record
+
+
+class RecordBatch:
+    """An ordered slab of prepared records plus their pipeline event times."""
+
+    __slots__ = ("records", "taus")
+
+    def __init__(self, records: list[Record], taus: list[int] | None = None) -> None:
+        if taus is None:
+            taus = []
+            for record in records:
+                if record.event_time is None:
+                    raise PollutionError(
+                        "cannot batch an unprepared record (no event time); "
+                        "run the preparation step first"
+                    )
+                taus.append(record.event_time)
+        elif len(taus) != len(records):
+            raise PollutionError(
+                f"batch shape mismatch: {len(records)} records, {len(taus)} taus"
+            )
+        self.records = records
+        self.taus = taus
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "RecordBatch":
+        return cls(list(records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    # -- columnar views -----------------------------------------------------
+
+    def column(self, attribute: str) -> list[Any]:
+        """The values of one attribute across the batch (arrival order)."""
+        return [record.get(attribute) for record in self.records]
+
+    def ids(self) -> list[int | None]:
+        """Record IDs in arrival order."""
+        return [record.record_id for record in self.records]
+
+    def timestamps(self) -> list[int]:
+        """The event times (``tau``) in arrival order."""
+        return list(self.taus)
+
+    def __repr__(self) -> str:
+        return f"RecordBatch(n={len(self.records)})"

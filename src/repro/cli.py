@@ -214,6 +214,8 @@ def cmd_pollute(args: argparse.Namespace) -> int:
         kwargs["key_by"] = args.key_by
     if args.resume_from is not None:
         kwargs["resume_from"] = args.resume_from
+    if args.batch_size is not None:
+        kwargs["batch_size"] = args.batch_size
     kwargs["check"] = args.check
     result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
     save_records(result.polluted, schema, args.output)
@@ -452,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--key-by", default=None, metavar="ATTR",
         help="partition the stream by this attribute; each key gets a fresh "
         "instance of the configured pipeline",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="micro-batching fast path: process records in slabs of N with "
+        "fused batch kernels (byte-identical output; combines with --parallel)",
     )
     p.add_argument(
         "--resume-from", default=None, metavar="PATH",

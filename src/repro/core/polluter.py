@@ -257,11 +257,24 @@ class StandardPolluter(Polluter):
         self.error.restore_state(state["error"])
 
     def apply(self, record: Record, tau: int, log: PollutionLog | None = None) -> Application:
-        obs = self._obs
         if not self.condition.evaluate(record, tau):
+            obs = self._obs
             if obs is not None:
                 obs.n_misses += 1
             return Application([record], fired=False)
+        return self.apply_fired(record, tau, log)
+
+    def apply_fired(
+        self, record: Record, tau: int, log: PollutionLog | None = None
+    ) -> Application:
+        """The fired half of :meth:`apply`: error application plus bookkeeping.
+
+        Separated so batch kernels (:mod:`repro.batch`) can evaluate the
+        condition over a whole batch and delegate exactly this path per fired
+        record — log events, observability tallies, and multiplicity semantics
+        stay byte-identical to record-at-a-time execution.
+        """
+        obs = self._obs
         if log is not None:
             targets = self.error.target_attributes(self.attributes)
             before = {a: record.get(a) for a in targets}

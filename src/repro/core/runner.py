@@ -148,6 +148,7 @@ def pollute(
     pipeline_factory: Any | None = None,
     mp_context: str | Any | None = None,
     check: str = "warn",
+    batch_size: int | None = None,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -218,6 +219,15 @@ def pollute(
         :class:`~repro.check.PlanCheckWarning` for warning-or-worse findings,
         ``"off"`` skips the check. Runs once before execution; the analysis
         is pure, so output is byte-identical for every mode.
+    batch_size:
+        When > 1, run the micro-batching fast path (:mod:`repro.batch`):
+        records move through the engine in slabs of this many tuples and
+        the polluter chains execute as compiled batch kernels with bulk RNG
+        draws. Output — records, metadata, pollution-log CSV, checkpoints —
+        is byte-identical to the per-record path for every plan (the
+        differential-equivalence suite enforces this). Applies to both
+        engines and to parallel shard workers; supervised (failure-policy)
+        and keyed runs transparently fall back to per-record execution.
     """
     _run_preflight(
         check,
@@ -229,6 +239,8 @@ def pollute(
         key_by=key_by,
         pipeline_factory=pipeline_factory,
     )
+    if batch_size is not None and batch_size < 1:
+        raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
     if parallelism is not None:
         if parallelism < 1:
             raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
@@ -266,6 +278,7 @@ def pollute(
             resume_from=resume_from,
             metrics=metrics,
             mp_context=mp_context,
+            batch_size=batch_size,
             check="off",  # the pre-flight above already covered this plan
         )
     if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
@@ -330,12 +343,20 @@ def pollute(
         pipeline.bind_metrics(metrics if metered else None)
     pollution_log = PollutionLog() if log else None
 
+    batched = batch_size is not None and batch_size > 1
     report: ExecutionReport | None = None
     try:
         if engine == "direct":
-            clean, polluted = _run_direct(
-                source, schema, pipelines, strategy, pollution_log
-            )
+            if batched:
+                from repro.batch.engine import run_batched
+
+                clean, polluted = run_batched(
+                    source, schema, list(pipelines), strategy, pollution_log, batch_size
+                )
+            else:
+                clean, polluted = _run_direct(
+                    source, schema, pipelines, strategy, pollution_log
+                )
         else:
             clean, polluted, report = _run_stream(
                 source,
@@ -349,11 +370,18 @@ def pollute(
                 resume_from=resume_from,
                 metrics=metrics if metered else None,
                 tracer=tracer,
+                batch_size=batch_size,
             )
     finally:
         if metered:
             for pipeline in pipelines:
                 pipeline.flush_metrics()
+    if batched and pollution_log is not None:
+        # Batch kernels append log events polluter-major; the stable
+        # record-ID sort restores the sequential record-major order exactly
+        # (IDs are assigned in arrival order, within-record chain order is
+        # append order).
+        pollution_log.events[:] = PollutionLog.merged([pollution_log]).events
     return PollutionResult(
         clean=clean,
         polluted=polluted,
@@ -486,6 +514,7 @@ class PollutionProcessFunction(ProcessFunction):
     def __init__(self, pipeline: PollutionPipeline, log: PollutionLog | None) -> None:
         self._pipeline = pipeline
         self._log = log
+        self._compiled = None
 
     def process(self, record: Record, ctx: ProcessContext, out: Collector) -> None:
         tau = record.event_time
@@ -493,6 +522,28 @@ class PollutionProcessFunction(ProcessFunction):
             raise PollutionError("pollution operator received unprepared record")
         for result in self._pipeline.apply(record, tau, self._log):
             out.collect(result)
+
+    def process_batch(self, records: list[Record], ctx: ProcessContext, out: Collector) -> None:
+        """Batch-mode entry point: the chain compiled into fused kernels.
+
+        Compiled lazily on the first slab so the operator is constructed
+        before the environment decides the execution mode; kernels hold
+        references to the live polluter objects, so checkpoint restore
+        (which rewrites polluter state in place) needs no recompilation.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            from repro.batch.kernels import compile_pipeline
+
+            compiled = self._compiled = compile_pipeline(self._pipeline)
+        taus: list[int] = []
+        for record in records:
+            tau = record.event_time
+            if tau is None:
+                raise PollutionError("pollution operator received unprepared record")
+            taus.append(tau)
+        out_records, _ = compiled.apply_batch(list(records), taus, self._log)
+        out.collect_batch(out_records)
 
     def snapshot_state(self):
         return self._pipeline.snapshot_state()
@@ -517,8 +568,9 @@ def _run_stream(
     resume_from: Checkpoint | str | Path | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    batch_size: int | None = None,
 ) -> tuple[list[Record], list[Record], ExecutionReport]:
-    env = StreamExecutionEnvironment(metrics=metrics, tracer=tracer)
+    env = StreamExecutionEnvironment(metrics=metrics, tracer=tracer, batch_size=batch_size)
     if failure_policy is not None:
         env.set_failure_policy(failure_policy)
     if checkpoint_dir is not None:

@@ -225,6 +225,7 @@ def pollute_parallel(
     chunk_size: int = 256,
     queue_depth: int = 8,
     check: str = "warn",
+    batch_size: int | None = None,
 ):
     """Run Algorithm 1 sharded across ``parallelism`` worker processes.
 
@@ -234,7 +235,9 @@ def pollute_parallel(
     plans take either ``pipeline_factory`` (a picklable per-key factory) or
     a single template pipeline, which is cloned per key. ``check`` runs the
     :mod:`repro.check` pre-flight before any worker starts (``"error"`` |
-    ``"warn"`` | ``"off"``).
+    ``"warn"`` | ``"off"``). ``batch_size`` (> 1) turns on the
+    micro-batching fast path inside every shard worker (:mod:`repro.batch`);
+    shard output is byte-identical with or without it.
     """
     from repro.core.runner import PollutionResult, _run_preflight
 
@@ -250,6 +253,8 @@ def pollute_parallel(
     )
     if parallelism < 1:
         raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
+    if batch_size is not None and batch_size < 1:
+        raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
 
     keyed = key_by is not None
     source, schema = _coerce_source(data, schema)
@@ -341,6 +346,7 @@ def pollute_parallel(
             checkpoint_interval=checkpoint_interval,
             resume_path=resume_paths[shard],
             chunk_size=chunk_size,
+            batch_size=batch_size,
         )
         for shard in range(parallelism)
     ]

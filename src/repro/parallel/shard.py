@@ -75,6 +75,7 @@ class ShardTask:
     checkpoint_interval: int = 100
     resume_path: str | None = None
     chunk_size: int = 256
+    batch_size: int | None = None
 
 
 class QueueSource(Source):
@@ -214,7 +215,9 @@ def _dead_letter_summaries(report) -> list[dict[str, Any]]:
 
 def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, Any]:
     metrics = MetricsRegistry(enabled=task.metered, sample_every=task.sample_every)
-    env = StreamExecutionEnvironment(metrics=metrics if task.metered else None)
+    env = StreamExecutionEnvironment(
+        metrics=metrics if task.metered else None, batch_size=task.batch_size
+    )
     if task.failure_policy is not None:
         env.set_failure_policy(task.failure_policy)
     if task.checkpoint_dir is not None:

@@ -71,6 +71,9 @@ class _SourceHead(Node):
     def on_record(self, record: Record) -> None:
         self.emit(record)
 
+    def on_batch(self, records: list[Record]) -> None:
+        self.emit_batch(records)
+
 
 class _NodeObs:
     """Per-node instruments attached to ``Node._obs`` by a metered run.
@@ -115,6 +118,9 @@ class _UnionInput(Node):
         # Forward through emit so supervised runs adjudicate union failures
         # (and count the dispatch) like any other edge of the DAG.
         self.emit(record)
+
+    def on_batch(self, records: list[Record]) -> None:
+        self.emit_batch(records)
 
     def on_watermark(self, watermark: Watermark) -> None:
         self._union.on_watermark_from(self, watermark)
@@ -259,6 +265,15 @@ class StreamExecutionEnvironment:
     tracer:
         A :class:`~repro.obs.tracing.Tracer` receiving span records for node
         open/close, checkpoint write/restore, and supervision decisions.
+    batch_size:
+        When > 1, the source drain cuts the stream into slabs of this many
+        records and dispatches them through the nodes' batch path
+        (``on_batch``); operators without a batch implementation iterate
+        transparently. Batch cuts are aligned to the checkpoint interval and
+        watermarks are coalesced per slab, so checkpoint/restore semantics
+        and per-node counters are preserved. Supervised runs (a failure
+        policy anywhere in the DAG) fall back to per-record dispatch to keep
+        the one-record failure blast radius.
     """
 
     def __init__(
@@ -266,11 +281,15 @@ class StreamExecutionEnvironment:
         auto_watermarks: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        batch_size: int | None = None,
     ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise StreamError(f"batch_size must be >= 1, got {batch_size}")
         self._sources: list[tuple[_SourceHead, Source, WatermarkGenerator | None]] = []
         self._nodes: list[Node] = []
         self._names: set[str] = set()
         self._auto_watermarks = auto_watermarks
+        self._batch_size = batch_size
         self._executed = False
         self._default_policy: FailurePolicy | None = None
         self._checkpoint_cfg: CheckpointConfig | None = None
@@ -509,6 +528,16 @@ class StreamExecutionEnvironment:
         start_source: int,
         start_offset: int,
     ) -> None:
+        if (
+            supervisor is None
+            and self._batch_size is not None
+            and self._batch_size > 1
+        ):
+            # Supervised runs stay per-record: dispatching one record at a
+            # time is what gives failure handling its one-record blast
+            # radius, and chaos/restart semantics are defined against it.
+            self._drain_sources_batched(report, resume_from, start_source, start_offset)
+            return
         cfg = self._checkpoint_cfg
         metrics = self._metrics
         records_seen = resume_from.records_seen if resume_from is not None else 0
@@ -586,6 +615,124 @@ class StreamExecutionEnvironment:
                 if src_counter is not None:
                     src_counter.value += report.source_records - records_before
             head.on_watermark(Watermark.max())
+
+    def _drain_sources_batched(
+        self,
+        report: ExecutionReport,
+        resume_from: Checkpoint | None,
+        start_source: int,
+        start_offset: int,
+    ) -> None:
+        """Batch-mode source drain: slabs of ``batch_size`` through the DAG.
+
+        Cuts are aligned to the checkpoint interval — a slab never straddles
+        a checkpoint boundary, so at every checkpoint the nodes have seen
+        exactly the records the per-record drain would have fed them, in the
+        same order, and snapshots are interchangeable between the two modes.
+        Watermarks are coalesced to one emission per slab; the emitted value
+        equals the last watermark the per-record path would have emitted at
+        the cut, so downstream event-time state agrees at every boundary.
+        """
+        cfg = self._checkpoint_cfg
+        metrics = self._metrics
+        batch_size = self._batch_size
+        records_seen = resume_from.records_seen if resume_from is not None else 0
+        for src_idx in range(start_source, len(self._sources)):
+            head, source, wm_gen = self._sources[src_idx]
+            if metrics is not None:
+                src_counter = metrics.counter("source_records_total", source=head.name)
+                wm_lag = metrics.gauge("watermark_lag_seconds", source=head.name)
+            else:
+                src_counter = None
+                wm_lag = None
+            head_obs = head._obs
+            resuming_here = resume_from is not None and src_idx == start_source
+            offset = start_offset if resuming_here else 0
+            last_auto_wm: int | None = None
+            if resuming_here:
+                last_auto_wm = resume_from.auto_watermark
+                if wm_gen is not None and resume_from.generator_state is not None:
+                    wm_gen.restore_state(resume_from.generator_state)
+            records_before = report.source_records
+            ts_attr = source.schema.timestamp_attribute
+            buffer: list[Record] = []
+            try:
+                for record in source.iter_from(offset):
+                    if record.event_time is None:
+                        ts = record.get(ts_attr)
+                        if isinstance(ts, int):
+                            record.event_time = ts
+                    buffer.append(record)
+                    offset += 1
+                    records_seen += 1
+                    report.source_records += 1
+                    boundary = cfg is not None and records_seen % cfg.interval == 0
+                    if boundary or len(buffer) >= batch_size:
+                        last_auto_wm = self._dispatch_batch(
+                            head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag
+                        )
+                        buffer = []
+                    if boundary:
+                        self.last_checkpoint = self._take_checkpoint(
+                            src_idx, offset, records_seen, last_auto_wm, wm_gen
+                        )
+                        report.checkpoints_taken += 1
+                if buffer:
+                    last_auto_wm = self._dispatch_batch(
+                        head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag
+                    )
+            finally:
+                if src_counter is not None:
+                    src_counter.value += report.source_records - records_before
+            head.on_watermark(Watermark.max())
+
+    def _dispatch_batch(
+        self,
+        head: Node,
+        batch: list[Record],
+        wm_gen: WatermarkGenerator | None,
+        last_auto_wm: int | None,
+        head_obs,
+        wm_lag,
+    ) -> int | None:
+        """Push one slab into a source head and emit its coalesced watermark."""
+        timed = False
+        if head_obs is not None:
+            head_obs._countdown -= len(batch)
+            if head_obs._countdown <= 0:
+                head_obs._countdown = head_obs.sample_every
+                timed = True
+        start = perf_counter() if timed else 0.0
+        head.on_batch(batch)
+        if timed:
+            head_obs.latency.observe(perf_counter() - start)
+        wm: Watermark | None = None
+        trigger_et: int | None = None
+        if wm_gen is not None:
+            # Feed the generator every event in order (identical generator
+            # state to per-record mode); emit only the last produced mark.
+            for record in batch:
+                et = record.event_time
+                if et is not None:
+                    out = wm_gen.on_event(et)
+                    if out is not None:
+                        wm = out
+                        trigger_et = et
+        elif self._auto_watermarks:
+            advanced = False
+            for record in batch:
+                et = record.event_time
+                if et is not None and (last_auto_wm is None or et > last_auto_wm):
+                    last_auto_wm = et
+                    advanced = True
+            if advanced:
+                wm = Watermark(last_auto_wm)
+                trigger_et = last_auto_wm
+        if wm is not None:
+            head.on_watermark(wm)
+            if wm_lag is not None and trigger_et is not None:
+                wm_lag.value = trigger_et - wm.timestamp
+        return last_auto_wm
 
     def _take_checkpoint(
         self,

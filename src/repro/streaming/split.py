@@ -123,6 +123,22 @@ class SplitNode(Node):
             copy.substream = idx
             self.branches[idx].on_record(copy)
 
+    def on_batch(self, records: list[Record]) -> None:
+        # Route record by record in arrival order — stateful strategies
+        # (round-robin counters, overlap draws) must consume state exactly
+        # as the per-record path does — then hand each branch its slice of
+        # the arrival window as one slab, in branch index order.
+        routed: list[list[Record]] = [[] for _ in self.branches]
+        route = self._strategy.route
+        for record in records:
+            for idx in route(record):
+                copy = record.copy()
+                copy.substream = idx
+                routed[idx].append(copy)
+        for branch, batch in zip(self.branches, routed):
+            if batch:
+                branch.on_batch(batch)
+
     def on_watermark(self, watermark) -> None:
         for branch in self.branches:
             branch.on_watermark(watermark)
@@ -137,3 +153,6 @@ class _BranchNode(Node):
 
     def on_record(self, record: Record) -> None:
         self.emit(record)
+
+    def on_batch(self, records: list[Record]) -> None:
+        self.emit_batch(records)

@@ -79,6 +79,41 @@ class TestHampelFilter:
         HampelFilter(["v"], window=3).clean(originals, SCHEMA)
         assert originals[5]["v"] == 500.0
 
+    def test_empty_stream(self):
+        result = HampelFilter(["v"], window=3).clean([], SCHEMA)
+        assert result.cleaned == []
+        assert result.repairs == []
+
+    def test_tiny_streams_left_alone(self):
+        # With fewer than two usable neighbours there is no robust window,
+        # so even an obvious spike must pass through unrepaired.
+        for values in ([500.0], [10.0, 500.0]):
+            result = HampelFilter(["v"], window=5).clean(records(values), SCHEMA)
+            assert result.repairs == []
+            assert result.cleaned[-1]["v"] == values[-1]
+
+    def test_all_nan_run_untouched(self):
+        values = [math.nan] * 6
+        result = HampelFilter(["v"], window=2).clean(records(values), SCHEMA)
+        assert result.repairs == []
+        assert all(math.isnan(r["v"]) for r in result.cleaned)
+
+    def test_spike_isolated_by_missing_neighbours_untouched(self):
+        # The window around the spike is entirely NaN/None: neighbourhood
+        # is empty, so the spike cannot be judged and must survive.
+        values = [None, math.nan, 500.0, math.nan, None, 10.0, 10.0]
+        result = HampelFilter(["v"], window=2).clean(records(values), SCHEMA)
+        assert result.cleaned[2]["v"] == 500.0
+        assert all(r.record_id != 2 for r in result.repairs)
+
+    def test_constant_window_uses_mad_floor(self):
+        # MAD of a constant window is 0; the 1e-9 floor still lets a
+        # deviating value be caught instead of dividing by zero.
+        values = [10.0] * 4 + [10.001] + [10.0] * 4
+        result = HampelFilter(["v"], window=3).clean(records(values), SCHEMA)
+        assert [r.record_id for r in result.repairs] == [4]
+        assert result.cleaned[4]["v"] == 10.0
+
 
 class TestSpeedConstraintCleaner:
     def test_clamps_infeasible_jump(self):
@@ -113,6 +148,65 @@ class TestSpeedConstraintCleaner:
     def test_parameter_validation(self):
         with pytest.raises(CleaningError):
             SpeedConstraintCleaner(["v"], max_speed=0.0)
+        with pytest.raises(CleaningError):
+            SpeedConstraintCleaner(["v"], max_speed=-1.0)
+
+    def test_empty_stream(self):
+        result = SpeedConstraintCleaner(["v"], max_speed=1.0).clean([], SCHEMA)
+        assert result.cleaned == []
+        assert result.repairs == []
+
+    def test_envelope_edge_not_flagged_by_float_rounding(self):
+        # 5e-06 sits exactly on the feasible envelope around -59.999995
+        # (the anchor after two real repairs); the float excess of ~1e-14
+        # must not produce a repair that changes nothing.
+        values = [5e-06, None, None, -180.0, None, 0.0, 5e-06]
+        result = SpeedConstraintCleaner(["v"], max_speed=1.0).clean(
+            records(values), SCHEMA
+        )
+        assert {r.record_id for r in result.repairs} == {3, 5}
+        assert result.cleaned[6]["v"] == 5e-06
+
+    def test_all_missing_column_untouched(self):
+        values = [None, math.nan, None]
+        result = SpeedConstraintCleaner(["v"], max_speed=0.05).clean(
+            records(values), SCHEMA
+        )
+        assert result.repairs == []
+        assert result.cleaned[0]["v"] is None
+        assert math.isnan(result.cleaned[1]["v"])
+
+    def test_equal_timestamps_not_compared(self):
+        # dt == 0 gives no feasible envelope; the pair is skipped rather
+        # than repaired to an (undefined) zero-width bound.
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 1000}, record_id=0),
+            Record({"v": 900.0, "label": "x", "timestamp": 1000}, record_id=1),
+        ]
+        result = SpeedConstraintCleaner(["v"], max_speed=0.01).clean(recs, SCHEMA)
+        assert result.repairs == []
+        assert result.cleaned[1]["v"] == 900.0
+
+    def test_out_of_order_timestamp_resets_anchor(self):
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 2000}, record_id=0),
+            Record({"v": 900.0, "label": "x", "timestamp": 1000}, record_id=1),
+            Record({"v": 900.5, "label": "x", "timestamp": 1060}, record_id=2),
+        ]
+        result = SpeedConstraintCleaner(["v"], max_speed=0.05).clean(recs, SCHEMA)
+        # The backwards tuple is not judged, but becomes the new anchor;
+        # the following in-order reading is feasible against it.
+        assert result.repairs == []
+
+    def test_missing_timestamp_skipped(self):
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 1000}, record_id=0),
+            Record({"v": 900.0, "label": "x", "timestamp": None}, record_id=1),
+            Record({"v": 10.5, "label": "x", "timestamp": 1060}, record_id=2),
+        ]
+        result = SpeedConstraintCleaner(["v"], max_speed=0.05).clean(recs, SCHEMA)
+        assert result.repairs == []
+        assert result.cleaned[1]["v"] == 900.0
 
 
 class TestInterpolationImputer:
@@ -148,6 +242,61 @@ class TestInterpolationImputer:
         values = [None, None]
         result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
         assert all(r["v"] is None for r in result.cleaned)
+
+    def test_all_nan_column_untouched(self):
+        values = [math.nan, math.nan, math.nan]
+        result = InterpolationImputer(["v"]).clean(records(values), SCHEMA)
+        assert result.repairs == []
+        assert all(math.isnan(r["v"]) for r in result.cleaned)
+
+    def test_empty_stream(self):
+        result = InterpolationImputer(["v"]).clean([], SCHEMA)
+        assert result.cleaned == []
+        assert result.repairs == []
+
+    def test_duplicate_timestamps_fall_back_to_previous_value(self):
+        # t1 <= t0 gives no usable time axis: repair with the previous
+        # observed value instead of dividing by a zero interval.
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 1000}, record_id=0),
+            Record({"v": None, "label": "x", "timestamp": 1000}, record_id=1),
+            Record({"v": 16.0, "label": "x", "timestamp": 1000}, record_id=2),
+        ]
+        result = InterpolationImputer(["v"]).clean(recs, SCHEMA)
+        assert result.cleaned[1]["v"] == 10.0
+
+    def test_max_gap_applies_to_boundary_fill(self):
+        recs = [
+            Record({"v": None, "label": "x", "timestamp": 0}, record_id=0),
+            Record({"v": 10.0, "label": "x", "timestamp": 50_000}, record_id=1),
+        ]
+        result = InterpolationImputer(["v"], max_gap_seconds=3600).clean(recs, SCHEMA)
+        assert result.cleaned[0]["v"] is None
+        assert result.repairs == []
+
+    def test_boundary_fill_within_max_gap(self):
+        recs = [
+            Record({"v": None, "label": "x", "timestamp": 0}, record_id=0),
+            Record({"v": 10.0, "label": "x", "timestamp": 600}, record_id=1),
+        ]
+        result = InterpolationImputer(["v"], max_gap_seconds=3600).clean(recs, SCHEMA)
+        assert result.cleaned[0]["v"] == 10.0
+
+    def test_missing_timestamp_left_missing(self):
+        recs = [
+            Record({"v": 10.0, "label": "x", "timestamp": 1000}, record_id=0),
+            Record({"v": None, "label": "x", "timestamp": None}, record_id=1),
+            Record({"v": 16.0, "label": "x", "timestamp": 1120}, record_id=2),
+        ]
+        result = InterpolationImputer(["v"]).clean(recs, SCHEMA)
+        assert result.cleaned[1]["v"] is None
+        assert result.repairs == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(CleaningError):
+            InterpolationImputer(["v"], max_gap_seconds=0)
+        with pytest.raises(CleaningError):
+            InterpolationImputer([])
 
 
 class TestScoreCleaner:

@@ -1,0 +1,391 @@
+"""Differential-equivalence property suite: batched ≡ record-at-a-time.
+
+The hard contract of :mod:`repro.batch` (ISSUE 5): for **every** plan, the
+micro-batching fast path produces byte-identical output — records CSV with
+metadata, pollution-log CSV, and the pipelines' post-run RNG/state
+snapshots — at every batch size, on both engines. Hypothesis draws plans
+from the same component space the serialize registry covers (stochastic /
+pattern / stateful / composite conditions × numeric / string / temporal /
+cardinality errors) and the suite compares batch sizes 1, 7, 64, and 1024
+against the sequential engine.
+
+Checkpoint alignment is covered deterministically below: batch cuts align
+to the checkpoint interval, so checkpoint *files* are byte-identical for
+forward-time plans, and resuming a checkpoint in either mode continues to
+the same final output (cross-mode resume).
+"""
+
+from __future__ import annotations
+
+import glob
+import io
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import pipeline_from_config
+from repro.core.runner import pollute
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CsvSink
+from repro.streaming.split import ProbabilisticOverlap, RoundRobin
+
+BATCH_SIZES = (1, 7, 64, 1024)
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("station", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def _rows(n: int):
+    # A fixed, slightly irregular stream: varying values, a few nulls, three
+    # stations, strictly increasing timestamps (one per minute).
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "value": None if i % 23 == 11 else float(i % 17) + 0.25,
+                "station": f"station-{i % 3}",
+                "timestamp": 1_600_000_000 + 60 * i,
+            }
+        )
+    return rows
+
+
+# -- plan generation from the registry's component space ---------------------
+
+_VALUE_ERRORS = st.sampled_from(
+    [
+        {"type": "gaussian_noise", "sigma": 2.0},
+        {"type": "gaussian_noise", "sigma": 0.5},
+        {"type": "uniform_noise", "low": -1.0, "high": 3.0},
+        {"type": "scale", "factor": 1.8},
+        {"type": "offset", "delta": -4.0},
+        {"type": "round", "digits": 0},
+        {"type": "outlier", "k": 6.0, "scale": 2.0, "signed": True},
+        {"type": "sign_flip"},
+        {"type": "set_nan"},
+        {"type": "set_null"},
+        {"type": "set_constant", "value": 99.5},
+        {"type": "cumulative_drift", "step": 0.25},
+        {"type": "swap_with_previous"},
+        {"type": "frozen_value"},
+    ]
+)
+
+_STRING_ERRORS = st.sampled_from(
+    [
+        {"type": "typo", "n_errors": 1},
+        {"type": "case", "mode": "upper"},
+        {"type": "truncate", "keep": 4},
+        {"type": "whitespace", "max_spaces": 2},
+        {"type": "set_null"},
+        {"type": "incorrect_category", "domain": ["station-0", "station-1", "station-9"]},
+    ]
+)
+
+_TUPLE_ERRORS = st.sampled_from(
+    [
+        {"type": "drop"},
+        {"type": "duplicate", "copies": 1},
+        {"type": "duplicate", "copies": 2},
+    ]
+)
+
+
+@st.composite
+def _condition_spec(draw, allow_composite: bool = True):
+    kinds = [
+        "always",
+        "probability",
+        "sinusoidal",
+        "linear_ramp",
+        "pattern_probability",
+        "every_nth",
+        "burst",
+        "null_value",
+        "range",
+    ]
+    if allow_composite:
+        kinds += ["all_of", "any_of", "not"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "always":
+        return {"type": "always"}
+    if kind == "probability":
+        return {"type": "probability", "p": draw(st.sampled_from([0.1, 0.4, 0.85]))}
+    if kind == "sinusoidal":
+        return {
+            "type": "sinusoidal",
+            "amplitude": draw(st.sampled_from([0.25, 0.45])),
+            "offset": 0.45,
+            "period_hours": draw(st.sampled_from([1.0, 24.0])),
+        }
+    if kind == "linear_ramp":
+        return {
+            "type": "linear_ramp",
+            "tau0": 1_600_000_000,
+            "taun": 1_600_006_000,
+            "scale": draw(st.sampled_from([0.5, 1.0])),
+        }
+    if kind == "pattern_probability":
+        return {
+            "type": "pattern_probability",
+            "pattern": {"type": "abrupt", "change_time": 1_600_002_000},
+            "scale": draw(st.sampled_from([0.3, 0.9])),
+        }
+    if kind == "every_nth":
+        return {"type": "every_nth", "n": draw(st.sampled_from([3, 7])), "offset": 1}
+    if kind == "burst":
+        return {
+            "type": "burst",
+            "p_enter": 0.1,
+            "p_exit": draw(st.sampled_from([0.2, 0.5])),
+            "p_error_good": 0.05,
+            "p_error_bad": 0.9,
+        }
+    if kind == "null_value":
+        return {"type": "null_value", "attribute": "value"}
+    if kind == "range":
+        return {"type": "range", "attribute": "value", "low": 3.0, "high": 12.0}
+    children = draw(
+        st.lists(_condition_spec(allow_composite=False), min_size=1, max_size=2)
+    )
+    if kind == "not":
+        return {"type": "not", "child": children[0]}
+    return {"type": kind, "children": children}
+
+
+@st.composite
+def _polluter_spec(draw, index: int):
+    family = draw(st.sampled_from(["value", "string", "tuple"]))
+    if family == "value":
+        error = draw(_VALUE_ERRORS)
+        attributes = ["value"]
+    elif family == "string":
+        error = draw(_STRING_ERRORS)
+        attributes = ["station"]
+    else:
+        error = draw(_TUPLE_ERRORS)
+        attributes = []
+    return {
+        "name": f"p{index}",
+        "error": error,
+        "condition": draw(_condition_spec()),
+        "attributes": attributes,
+    }
+
+
+@st.composite
+def plan_spec(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    return {
+        "name": "diff",
+        "polluters": [draw(_polluter_spec(index=i)) for i in range(n)],
+    }
+
+
+# -- the differential runner -------------------------------------------------
+
+
+def _csv_bytes(result) -> tuple[str, str]:
+    out = io.StringIO()
+    sink = CsvSink(SCHEMA, out, include_metadata=True)
+    sink.open()
+    for record in result.polluted:
+        sink.invoke(record)
+    sink.close()
+    log = io.StringIO()
+    result.log.to_csv(log)
+    return out.getvalue(), log.getvalue()
+
+
+def _run(spec, seed, *, batch_size=None, engine="direct", n=150, split=None):
+    m = 2 if split is not None else None
+    pipelines = (
+        [pipeline_from_config({**spec, "name": "diff-a"}),
+         pipeline_from_config({**spec, "name": "diff-b"})]
+        if m
+        else pipeline_from_config(spec)
+    )
+    kwargs = {}
+    if batch_size is not None:
+        kwargs["batch_size"] = batch_size
+    result = pollute(
+        _rows(n),
+        pipelines,
+        schema=SCHEMA,
+        split=split,
+        seed=seed,
+        engine=engine,
+        check="off",
+        **kwargs,
+    )
+    snapshots = (
+        [p.snapshot_state() for p in pipelines]
+        if m
+        else [pipelines.snapshot_state()]
+    )
+    return _csv_bytes(result), snapshots
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(spec=plan_spec(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_batched_direct_is_byte_identical(spec, seed):
+    """Records CSV, log CSV, and RNG/state snapshots match at every size."""
+    base, base_snap = _run(spec, seed)
+    for batch_size in BATCH_SIZES:
+        got, got_snap = _run(spec, seed, batch_size=batch_size)
+        assert got == base, f"batch_size={batch_size} diverged from sequential"
+        assert got_snap == base_snap, (
+            f"batch_size={batch_size}: post-run RNG/state snapshots diverged"
+        )
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(spec=plan_spec(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_batched_stream_engine_is_byte_identical(spec, seed):
+    """The batched stream engine matches the sequential direct engine."""
+    base, base_snap = _run(spec, seed)
+    for batch_size in (7, 64):
+        got, got_snap = _run(spec, seed, batch_size=batch_size, engine="stream")
+        assert got == base, f"stream batch_size={batch_size} diverged"
+        assert got_snap == base_snap
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    spec=plan_spec(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    overlap=st.booleans(),
+)
+def test_batched_split_routing_is_byte_identical(spec, seed, overlap):
+    """Stateful routing (round-robin / overlap draws) survives batch cuts."""
+    def strat():
+        return ProbabilisticOverlap(2, 0.6, seed=11) if overlap else RoundRobin(2)
+
+    base, _ = _run(spec, seed, split=strat())
+    for batch_size in (1, 7, 64):
+        got, _ = _run(spec, seed, batch_size=batch_size, split=strat())
+        assert got == base, f"split batch_size={batch_size} diverged"
+
+
+# -- checkpoint alignment (deterministic, covers the resume criterion) -------
+
+_CKPT_PLAN = {
+    "name": "ckpt",
+    "polluters": [
+        {
+            "name": "noise",
+            "error": {"type": "gaussian_noise", "sigma": 2.0},
+            "condition": {"type": "probability", "p": 0.5},
+            "attributes": ["value"],
+        },
+        {
+            "name": "dup",
+            "error": {"type": "duplicate", "copies": 1},
+            "condition": {"type": "every_nth", "n": 13},
+            "attributes": [],
+        },
+    ],
+}
+
+
+def _ckpt_run(tmp_path, batch_size, subdir, **kwargs):
+    return pollute(
+        _rows(250),
+        pipeline_from_config(_CKPT_PLAN),
+        schema=SCHEMA,
+        seed=3,
+        check="off",
+        checkpoint_dir=tmp_path / subdir,
+        checkpoint_interval=50,
+        **({"batch_size": batch_size} if batch_size else {}),
+        **kwargs,
+    )
+
+
+def test_checkpoint_files_byte_identical(tmp_path):
+    """Batch cuts align to the interval: snapshot files match byte for byte."""
+    _ckpt_run(tmp_path, None, "seq")
+    _ckpt_run(tmp_path, 64, "bat")
+    seq = sorted((tmp_path / "seq").iterdir())
+    bat = sorted((tmp_path / "bat").iterdir())
+    assert [p.name for p in seq] == [p.name for p in bat]
+    assert seq, "no checkpoints were written"
+    for a, b in zip(seq, bat):
+        assert a.read_bytes() == b.read_bytes(), f"checkpoint {a.name} differs"
+
+
+def test_cross_mode_checkpoint_resume(tmp_path):
+    """A checkpoint taken in either mode resumes to identical final output."""
+    base = _csv_bytes(_ckpt_run(tmp_path, None, "full"))
+    checkpoints = sorted(glob.glob(str(tmp_path / "full" / "chk-*")))
+    assert len(checkpoints) >= 2
+    middle = checkpoints[1]
+    resumed = {
+        batch_size: pollute(
+            _rows(250),
+            pipeline_from_config(_CKPT_PLAN),
+            schema=SCHEMA,
+            seed=3,
+            check="off",
+            resume_from=middle,
+            **({"batch_size": batch_size} if batch_size else {}),
+        )
+        for batch_size in (None, 7, 64)
+    }
+    # Identical polluted records regardless of the resuming mode (the log
+    # only covers post-resume tuples, identically in every mode).
+    record_bytes = {k: _csv_bytes(v)[0] for k, v in resumed.items()}
+    log_bytes = {k: _csv_bytes(v)[1] for k, v in resumed.items()}
+    assert record_bytes[None] == base[0]
+    assert record_bytes[7] == record_bytes[None]
+    assert record_bytes[64] == record_bytes[None]
+    assert log_bytes[7] == log_bytes[None]
+    assert log_bytes[64] == log_bytes[None]
+
+
+def test_batched_checkpoint_resumes_in_sequential_mode(tmp_path):
+    """The symmetric direction: checkpoint under batching, resume without."""
+    base = _csv_bytes(_ckpt_run(tmp_path, 64, "bfull"))
+    checkpoints = sorted(glob.glob(str(tmp_path / "bfull" / "chk-*")))
+    assert len(checkpoints) >= 2
+    middle = checkpoints[0]
+    outs = [
+        _csv_bytes(
+            pollute(
+                _rows(250),
+                pipeline_from_config(_CKPT_PLAN),
+                schema=SCHEMA,
+                seed=3,
+                check="off",
+                resume_from=middle,
+                **({"batch_size": batch_size} if batch_size else {}),
+            )
+        )[0]
+        for batch_size in (None, 64)
+    ]
+    assert outs[0] == outs[1] == base[0]
+
+
+def test_batch_size_one_matches_sequential():
+    """batch_size=1 is the per-record path — a pure pass-through knob."""
+    base, _ = _run(_CKPT_PLAN, 3)
+    got, _ = _run(_CKPT_PLAN, 3, batch_size=1)
+    assert got == base
