@@ -1,0 +1,114 @@
+"""Overhead bench for the self-healing parallel runtime.
+
+The watchdog (per-worker heartbeats, hang detection, restart bookkeeping)
+rides along on every parallel run, faulted or not. This bench times the
+same fault-free keyed plan with the watchdog armed (heartbeats flowing,
+restart budget available) and disarmed (``heartbeat_timeout=None``,
+``max_shard_restarts=0``) and asserts the armed run costs at most 5% more
+wall clock — the self-healing machinery must be effectively free when
+nothing fails.
+
+Timings use interleaved minima (see ``benchmarks/conftest.py``) so
+machine-load drift hits both variants alike. Results land in
+``BENCH_recovery.json`` at the repo root so CI can upload and diff them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale, interleaved_minima, report, scaled
+from benchmarks.bench_parallel_scaling import SCHEMA, make_pipeline, make_rows
+from repro.core.runner import pollute
+from repro.experiments.reporting import render_table
+
+RECOVERY_BENCH_FILE = Path(__file__).parent.parent / "BENCH_recovery.json"
+
+# Fault-free overhead must stay within 5% — the watchdog's steady-state
+# cost is one timestamp read per coordinator poll plus one heartbeat
+# message per worker per interval.
+OVERHEAD_CEILING = 0.05
+
+
+def record_recovery_bench(data: dict) -> None:
+    payload: dict = {}
+    if RECOVERY_BENCH_FILE.exists():
+        try:
+            payload = json.loads(RECOVERY_BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["recovery_overhead"] = {"scale": bench_scale(), **data}
+    RECOVERY_BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_watchdog_overhead_within_five_percent(benchmark):
+    n = scaled(small=4_000, paper=25_000)
+    terms = scaled(small=120, paper=200)
+    rows = make_rows(n)
+    cores = os.cpu_count() or 1
+
+    def run(**kwargs) -> float:
+        start = time.perf_counter()
+        result = pollute(
+            rows,
+            make_pipeline(terms),
+            schema=SCHEMA,
+            key_by="station",
+            seed=7,
+            parallelism=2,
+            check="off",
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - start
+        assert result.report.shard_restarts == 0, "bench plan must be fault-free"
+        return elapsed
+
+    runners = {
+        # Watchdog armed: the shipped defaults plus a short heartbeat
+        # interval so the bench pays the *maximum* steady-state cost.
+        "armed": lambda: run(max_shard_restarts=2, heartbeat_timeout=4.0),
+        # Disarmed: no hang detection, no restart budget — the pre-recovery
+        # runtime's cost profile.
+        "disarmed": lambda: run(max_shard_restarts=0, heartbeat_timeout=None),
+    }
+
+    run(max_shard_restarts=2, heartbeat_timeout=4.0)  # warm-up
+    minima = interleaved_minima(
+        runners,
+        min_rounds=4,
+        max_rounds=12,
+        converged=lambda m: m["armed"] / m["disarmed"] <= 1.0 + OVERHEAD_CEILING,
+    )
+    benchmark.pedantic(runners["armed"], rounds=1, iterations=1)
+
+    overhead = minima["armed"] / minima["disarmed"] - 1.0
+    report(
+        f"Self-healing watchdog overhead — fault-free keyed plan, "
+        f"{n} records, {cores} cores",
+        render_table(
+            ["variant", "seconds", "records/s"],
+            [
+                [name, f"{t:.3f}", f"{n / t:,.0f}"]
+                for name, t in minima.items()
+            ],
+        )
+        + f"\noverhead: {overhead * 100:+.2f}% (ceiling {OVERHEAD_CEILING * 100:.0f}%)",
+    )
+    record_recovery_bench(
+        {
+            "n_records": n,
+            "cpu_cores": cores,
+            "seconds_armed": minima["armed"],
+            "seconds_disarmed": minima["disarmed"],
+            "overhead_fraction": overhead,
+            "ceiling": OVERHEAD_CEILING,
+        }
+    )
+
+    assert overhead <= OVERHEAD_CEILING, (
+        f"watchdog overhead {overhead * 100:.1f}% exceeds the "
+        f"{OVERHEAD_CEILING * 100:.0f}% ceiling on a fault-free run"
+    )

@@ -51,16 +51,22 @@ def interleaved_minima(
 
     Runs every variant once per round so machine-load drift hits all
     variants alike, and keeps the per-variant minimum (the run least
-    disturbed by interference). After ``min_rounds``, stops early once
+    disturbed by interference). The within-round order rotates every round:
+    on loaded single-core boxes the variant that runs *later* in a round
+    systematically pays for the earlier one's cache/GC wake (measured at
+    20%+ on process-spawning benches), so a fixed order would bias the
+    comparison. After ``min_rounds``, stops early once
     ``converged(minima)`` is true; otherwise keeps sampling up to
     ``max_rounds`` — on a busy box extra rounds raise the odds that each
     variant catches a quiet window, while a genuine regression stays slow
     in every round and still fails.
     """
     samples: dict = {name: [] for name in runners}
+    names = list(runners)
     for i in range(max_rounds):
-        for name, fn in runners.items():
-            samples[name].append(fn())
+        offset = i % len(names)
+        for name in names[offset:] + names[:offset]:
+            samples[name].append(runners[name]())
         if i + 1 >= min_rounds and converged is not None:
             if converged({name: min(v) for name, v in samples.items()}):
                 break

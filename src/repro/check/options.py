@@ -27,12 +27,18 @@ class CheckOptions:
         Inclusive ``(start, end)`` event-time bounds of the stream, in epoch
         seconds. When set, temporal windows entirely outside this range are
         flagged as dead.
+    ``failure_policy``
+        The intended failure-policy *action* (``"fail_fast"``, ``"skip"``,
+        ``"retry"``, ``"dead_letter"``, or ``None`` for unsupervised
+        execution). Enables the supervision-composition rules — e.g. a
+        RETRY policy re-dispatching into stateful polluters (ICE506).
     """
 
     seed: int | None = None
     parallelism: int | None = None
     key_by: str | None = None
     time_range: tuple[int, int] | None = None
+    failure_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.time_range is not None:

@@ -41,19 +41,28 @@ def preflight(
     seed: int | None = None,
     parallelism: int | None = None,
     key_by: str | None = None,
+    failure_policy: object | None = None,
 ) -> CheckReport | None:
     """Run the static analyzer as a pre-flight; returns the report (or
-    ``None`` when skipped)."""
+    ``None`` when skipped).
+
+    ``failure_policy`` accepts the runner's
+    :class:`~repro.streaming.supervision.FailurePolicy` (or an action-name
+    string) and is reduced to its action for the supervision-composition
+    rules.
+    """
     if mode not in CHECK_MODES:
         raise PollutionError(
             f"check must be one of {CHECK_MODES}, got {mode!r}"
         )
     if mode == "off" or schema is None or not pipelines:
         return None
+    action = getattr(failure_policy, "action", failure_policy)
     options = CheckOptions(
         seed=seed,
         parallelism=parallelism,
         key_by=key_by if isinstance(key_by, str) else None,
+        failure_policy=getattr(action, "value", action),
     )
     report = analyze(list(pipelines), schema, options)
     if mode == "error" and not report.ok:

@@ -7,7 +7,9 @@ Rule IDs are stable and grouped in families of one hundred:
 * ``ICE2xx`` — error-function vs. attribute type and domain compatibility;
 * ``ICE3xx`` — condition satisfiability (dead, tautological, mistimed);
 * ``ICE4xx`` — determinism and analyzability audit;
-* ``ICE5xx`` — parallel-safety (picklability, state, keyed-merge guarantees);
+* ``ICE5xx`` — runtime-safety: parallel execution (picklability, state,
+  keyed-merge guarantees) and supervision composition (failure-policy vs.
+  plan statefulness);
 * ``ICE6xx`` — ordering-sensitive write conflicts between polluters.
 
 New rules must be appended with fresh IDs; IDs are never reused, so reports
@@ -101,6 +103,9 @@ RULES: dict[str, Rule] = {
              "an error-history dependency cannot cross shard boundaries"),
         Rule("ICE505", "multiplicity-under-parallelism", Severity.WARNING, "parallel",
              "drop/duplicate/timestamp-rewriting errors interact with parallel merge"),
+        Rule("ICE506", "retry-with-stateful-polluter", Severity.WARNING, "supervision",
+             "a RETRY failure policy re-dispatches into stateful or "
+             "history-linked polluters"),
         Rule("ICE601", "write-write-overlap", Severity.WARNING, "conflicts",
              "two polluters mutate the same attribute under overlapping conditions"),
         Rule("ICE602", "condition-reads-polluted-attribute", Severity.WARNING, "conflicts",
@@ -117,6 +122,7 @@ def run_rules(plan: PlanFacts, schema: Schema, options: CheckOptions) -> list[Di
     ctx.condition_rules()
     ctx.determinism_rules()
     ctx.parallel_rules()
+    ctx.supervision_rules()
     ctx.conflict_rules()
     return ctx.diagnostics
 
@@ -521,6 +527,46 @@ class _Context:
                         location=leaf.path,
                         polluter=leaf.name,
                     )
+
+    # -- ICE5xx (cont.): supervision composition ---------------------------
+
+    def supervision_rules(self) -> None:
+        """Failure-policy vs. plan-statefulness composition (ICE506).
+
+        A RETRY policy re-dispatches the failed record into the same
+        operator instance. For a stateless polluter that is idempotent:
+        every attempt draws from the record-seeded stream and sees the same
+        world. A *stateful* condition or error (counters, frozen values,
+        markov chains) or a *history-linked* one (track/fired_recently) has
+        already advanced its state during the failed attempt, so the retry
+        — and every record after it — sees different state than an
+        unfaulted run. Fires regardless of parallelism: the hazard lives in
+        the supervisor, not the coordinator.
+        """
+        if self.options.failure_policy != "retry":
+            return
+        for leaf in self.plan.leaves:
+            reasons = []
+            if leaf.condition.stateful:
+                reasons.append("a stateful condition")
+            if leaf.error.stateful:
+                reasons.append("a stateful error function")
+            if leaf.condition.depends_on:
+                reasons.append("a fired-recently dependency")
+            if leaf.tracked_as is not None:
+                reasons.append("tracked error history")
+            if not reasons:
+                continue
+            self.emit(
+                "ICE506",
+                f"RETRY failure policy with {', '.join(reasons)}: a failed "
+                "attempt has already advanced internal state, so the retried "
+                "record (and all records after it) diverge from an unfaulted "
+                "run; prefer skip/dead-letter, or make the polluter "
+                "stateless",
+                location=leaf.path,
+                polluter=leaf.name,
+            )
 
     # -- ICE6xx: ordering-sensitive conflicts ------------------------------
 

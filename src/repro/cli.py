@@ -191,6 +191,19 @@ def _check_parallel_args(args: argparse.Namespace) -> None:
                 "directory; pass --parallel N (matching the original run) to "
                 "resume it"
             )
+    if args.parallel is None:
+        if args.max_shard_restarts is not None:
+            raise ConfigError(
+                "--max-shard-restarts only applies to --parallel runs"
+            )
+        if args.heartbeat_timeout is not None:
+            raise ConfigError(
+                "--heartbeat-timeout only applies to --parallel runs"
+            )
+    elif args.max_shard_restarts is not None and args.max_shard_restarts < 0:
+        raise ConfigError(
+            f"--max-shard-restarts must be >= 0, got {args.max_shard_restarts}"
+        )
 
 
 def cmd_pollute(args: argparse.Namespace) -> int:
@@ -210,6 +223,13 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     if args.parallel is not None:
         kwargs["parallelism"] = args.parallel
         kwargs["checkpoint_interval"] = args.checkpoint_interval
+        if args.max_shard_restarts is not None:
+            kwargs["max_shard_restarts"] = args.max_shard_restarts
+        if args.heartbeat_timeout is not None:
+            # 0 is the CLI spelling of "no hang detection".
+            kwargs["heartbeat_timeout"] = (
+                args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
+            )
     if args.key_by is not None:
         kwargs["key_by"] = args.key_by
     if args.resume_from is not None:
@@ -265,11 +285,20 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.time_range:
         start, end = (_parse_time_bound(t) for t in args.time_range)
         time_range = (start, end)
+    policy_actions = {
+        "fail": "fail_fast",
+        "skip": "skip",
+        "retry": "retry",
+        "dead-letter": "dead_letter",
+    }
     options = CheckOptions(
         seed=args.seed,
         parallelism=args.parallel,
         key_by=args.key_by,
         time_range=time_range,
+        failure_policy=(
+            policy_actions[args.on_error] if args.on_error else None
+        ),
     )
     fail_on = Severity.from_label(args.fail_on)
     entries = []
@@ -466,6 +495,17 @@ def build_parser() -> argparse.ArgumentParser:
         "a parallel checkpoint directory for --parallel runs",
     )
     p.add_argument(
+        "--max-shard-restarts", type=int, default=None, metavar="N",
+        help="with --parallel: in-run respawn budget per shard for crashed "
+        "or hung workers (default 2); after the budget, --on-error decides "
+        "between failing and degrading the shard to a sequential drain",
+    )
+    p.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --parallel: declare a worker hung after this much silence "
+        "and recover it (default 30; 0 disables hang detection)",
+    )
+    p.add_argument(
         "--check", choices=["error", "warn", "off"], default="warn",
         help="pre-flight static plan analysis before running (default warn)",
     )
@@ -501,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-range", nargs=2, default=None, metavar=("START", "END"),
         help="stream event-time bounds (epoch seconds or 'YYYY-MM-DD'); "
         "enables dead-window detection",
+    )
+    k.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "retry", "dead-letter"],
+        default=None,
+        help="intended failure policy (enables supervision-composition rules)",
     )
     k.add_argument(
         "--fail-on", choices=["error", "warning", "info"], default="error",

@@ -104,6 +104,7 @@ def _run_preflight(
     parallelism: int | None,
     key_by: Any | None,
     pipeline_factory: Any | None,
+    failure_policy: Any | None = None,
 ) -> None:
     """Static plan check before any record flows (``check="error"|"warn"|"off"``).
 
@@ -126,6 +127,7 @@ def _run_preflight(
         seed=seed,
         parallelism=parallelism,
         key_by=key_by,
+        failure_policy=failure_policy,
     )
 
 
@@ -149,6 +151,8 @@ def pollute(
     mp_context: str | Any | None = None,
     check: str = "warn",
     batch_size: int | None = None,
+    max_shard_restarts: int = 2,
+    heartbeat_timeout: float | None = 30.0,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -226,8 +230,20 @@ def pollute(
         draws. Output — records, metadata, pollution-log CSV, checkpoints —
         is byte-identical to the per-record path for every plan (the
         differential-equivalence suite enforces this). Applies to both
-        engines and to parallel shard workers; supervised (failure-policy)
-        and keyed runs transparently fall back to per-record execution.
+        engines and to parallel shard workers. Under a ``failure_policy``
+        the engine executes whole slabs and, when one fails, rolls the slab
+        back and replays it per-record so only the poison record is skipped,
+        retried, or dead-lettered — never the surrounding ``batch_size - 1``
+        records. Keyed runs transparently fall back to per-record execution.
+    max_shard_restarts:
+        Parallel runtime only (ignored otherwise): in-run respawn budget per
+        shard for crashed or hung workers. After the budget,
+        ``failure_policy`` decides between failing the run and degrading the
+        shard to a sequential drain on the coordinator.
+    heartbeat_timeout:
+        Parallel runtime only (ignored otherwise): seconds of worker silence
+        before the coordinator's watchdog declares the shard hung and
+        recovers it; ``None`` disables hang detection.
     """
     _run_preflight(
         check,
@@ -238,6 +254,7 @@ def pollute(
         parallelism=parallelism,
         key_by=key_by,
         pipeline_factory=pipeline_factory,
+        failure_policy=failure_policy,
     )
     if batch_size is not None and batch_size < 1:
         raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
@@ -279,6 +296,8 @@ def pollute(
             metrics=metrics,
             mp_context=mp_context,
             batch_size=batch_size,
+            max_shard_restarts=max_shard_restarts,
+            heartbeat_timeout=heartbeat_timeout,
             check="off",  # the pre-flight above already covered this plan
         )
     if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
@@ -550,6 +569,15 @@ class PollutionProcessFunction(ProcessFunction):
 
     def restore_state(self, state) -> None:
         self._pipeline.restore_state(state)
+
+    def slab_token(self):
+        # The pollution log is process-local and append-only; a rolled-back
+        # slab must truncate it to the cut or the per-record replay would
+        # record every pre-failure event twice.
+        return len(self._log.events) if self._log is not None else None
+
+    def slab_rollback(self, token) -> None:
+        del self._log.events[token:]
 
 
 class _TeeSink(CollectSink):

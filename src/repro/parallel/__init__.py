@@ -19,12 +19,22 @@ Layout:
 * :mod:`repro.parallel.merge` — per-shard watermark reconciliation and the
   stable k-way output merge;
 * :mod:`repro.parallel.environment` — the coordinator: process lifecycle,
-  bounded-queue backpressure, crash detection, abort propagation;
+  bounded-queue backpressure, heartbeat watchdog, in-run shard recovery,
+  failure-policy composition, abort propagation;
 * :mod:`repro.parallel.runner` — :func:`pollute_parallel`, the user-facing
   entry point mirroring :func:`repro.core.runner.pollute`, including the
-  per-shard checkpoint layout and resume of partially failed runs.
+  per-shard checkpoint layout and resume of partially failed runs;
+* :mod:`repro.parallel.chaos` — process-level fault injectors (worker
+  kill/hang/slowdown, checkpoint corruption) backing the self-healing
+  test and benchmark harnesses.
 """
 
+from repro.parallel.chaos import (
+    HangWorker,
+    KillWorker,
+    SlowWorker,
+    corrupt_checkpoint,
+)
 from repro.parallel.environment import ShardedEnvironment, ShardOutcome
 from repro.parallel.merge import ShardMerger
 from repro.parallel.runner import (
@@ -37,8 +47,12 @@ from repro.parallel.runner import (
 from repro.parallel.shard import QueueSource, ShardOutputSink, ShardTask, run_shard
 
 __all__ = [
+    "HangWorker",
+    "KillWorker",
     "PARALLEL_MANIFEST",
     "QueueSource",
+    "SlowWorker",
+    "corrupt_checkpoint",
     "ShardMerger",
     "ShardOutcome",
     "ShardOutputSink",

@@ -1,42 +1,73 @@
-"""The sharded execution coordinator.
+"""The sharded execution coordinator, with in-run self-healing.
 
 :class:`ShardedEnvironment` owns the full lifecycle of a parallel pollution
 run: it pre-flight-pickles every shard plan (so unpicklable plans fail with
 a coordinator-side :class:`~repro.errors.ShardError`, not a multiprocessing
 traceback), spawns one worker process per shard, streams prepared records to
 them through bounded queues (the bound *is* the backpressure: a slow worker
-stalls the feeder on its queue instead of letting the coordinator buffer
-unboundedly), drains output/terminal messages, detects crashed workers via
-their exit codes, and hands the collected per-shard outcomes plus the
-record merger back to the caller.
+stalls its feeder on its queue instead of letting the coordinator buffer
+unboundedly), drains output/terminal/heartbeat messages, and hands the
+collected per-shard outcomes plus the record merger back to the caller.
 
-Failure model
--------------
+Failure model and recovery protocol
+-----------------------------------
 A worker has exactly two legitimate ends: a ``done`` message or an
-``error`` message. Anything else — a process found dead without a terminal
-message — is a hard crash (OOM kill, segfault in an extension, ``kill -9``)
-and surfaces as a :class:`~repro.errors.ShardError` carrying the exit code.
-Either way the coordinator sets the abort flag (unblocking the feeder
-thread from any full queue), terminates the remaining workers, and raises;
-per-shard checkpoints taken before the failure remain on disk for a
-``resume_from`` run.
+``error`` message. An ``error`` is a *structured plan failure* — the shard's
+environment raised deterministically — and aborts the run immediately:
+respawning would replay the same records into the same exception and burn
+the restart budget for nothing.
+
+Everything else is an *infrastructure fault*, and those are recovered
+in-run. The watchdog (run between queue polls) detects two shapes:
+
+* **crashed** — the process is dead without a terminal message (OOM kill,
+  segfault in an extension, ``kill -9``), observed via the exit code;
+* **hung** — the process is alive but has sent no message (heartbeat,
+  chunk, or terminal) for longer than ``heartbeat_timeout``. Heartbeats are
+  progress-tied on the worker side, so a worker wedged inside an operator
+  goes silent rather than heartbeating through its own hang.
+
+Recovery is a per-shard state machine::
+
+    RUNNING --crash/hang--> RECOVERING --respawn--> RUNNING
+        RECOVERING --budget exhausted--> FAIL_FAST: raise ShardError
+                                     \\-> else: DEGRADED coordinator drain
+
+``RECOVERING`` kills the old attempt, bumps the shard's *epoch* (messages
+from superseded attempts are dropped by epoch tag), discards the dead
+attempt's merged chunks, sleeps an exponential backoff, and respawns the
+shard from its newest *integrity-verified* checkpoint (a snapshot torn by
+the crash fails its SHA-256 digest and recovery falls back to the previous
+one, or to scratch). Because shard state — RNG snapshots, sink contents,
+pollution log — restores through the existing checkpoint protocol, a keyed
+run that recovered is byte-identical to one that never faulted.
+
+After ``max_shard_restarts`` failed attempts the run's
+:class:`~repro.streaming.supervision.FailurePolicy` decides: ``FAIL_FAST``
+(or no policy) raises a :class:`~repro.errors.ShardError`; any other policy
+degrades gracefully — the coordinator drains that shard's partition
+sequentially in-process, preserving output and determinism at the cost of
+that shard's parallelism.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import pickle
 import queue as queue_mod
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.errors import ShardError
 from repro.parallel.merge import ShardMerger
-from repro.parallel.shard import ShardTask, run_shard
+from repro.parallel.shard import ShardTask, _execute_shard, run_shard
+from repro.streaming.checkpoint import latest_valid_checkpoint
 from repro.streaming.partition import Partitioner
 from repro.streaming.record import Record
+from repro.streaming.supervision import FailureAction, FailurePolicy
 
 
 @dataclass
@@ -52,8 +83,34 @@ class ShardOutcome:
     checkpoints_taken: int = 0
     resumed_from_offset: int = 0
     dead_letters: list[dict[str, Any]] = field(default_factory=list)
+    #: Shard-local supervision tallies per node (skipped/retried/...).
+    node_stats: dict[str, dict[str, int]] = field(default_factory=dict)
     completed: bool = False
+    #: Times this shard was respawned before completing.
+    restarts: int = 0
+    #: True when the shard finished via the coordinator's sequential drain.
     degraded: bool = False
+
+
+class _ShardRuntime:
+    """Coordinator-side state of one shard across its attempts."""
+
+    __slots__ = (
+        "shard", "task", "assignment", "epoch", "in_queue", "worker",
+        "feeder", "stop", "restarts", "last_seen",
+    )
+
+    def __init__(self, shard: int, task: ShardTask, assignment: list[Record]) -> None:
+        self.shard = shard
+        self.task = task
+        self.assignment = assignment
+        self.epoch = 0
+        self.in_queue: Any | None = None
+        self.worker: Any | None = None
+        self.feeder: threading.Thread | None = None
+        self.stop = threading.Event()
+        self.restarts = 0
+        self.last_seen = 0.0
 
 
 class ShardedEnvironment:
@@ -74,6 +131,20 @@ class ShardedEnvironment:
         Chunks in flight per worker input queue — the backpressure window.
     chunk_size:
         Records per queue chunk (amortizes pickling overhead).
+    max_shard_restarts:
+        In-run respawn budget *per shard* for crashed or hung workers; 0
+        disables recovery (first fault falls through to the policy).
+    heartbeat_timeout:
+        Seconds of per-shard silence before the watchdog declares a hang;
+        ``None`` disables hang detection (crashes are still detected via
+        exit codes).
+    restart_backoff:
+        Base of the exponential pause before respawn attempt ``k``:
+        ``restart_backoff * 2**(k-1)`` seconds.
+    failure_policy:
+        What to do when a shard exhausts its restart budget: ``FAIL_FAST``
+        (also the ``None`` default) raises; any other action degrades to a
+        sequential coordinator drain of that shard's partition.
     """
 
     def __init__(
@@ -83,9 +154,21 @@ class ShardedEnvironment:
         queue_depth: int = 8,
         chunk_size: int = 256,
         poll_interval: float = 0.05,
+        max_shard_restarts: int = 2,
+        heartbeat_timeout: float | None = 30.0,
+        restart_backoff: float = 0.05,
+        failure_policy: FailurePolicy | None = None,
     ) -> None:
         if parallelism < 1:
             raise ShardError(f"parallelism must be >= 1, got {parallelism}")
+        if max_shard_restarts < 0:
+            raise ShardError(
+                f"max_shard_restarts must be >= 0, got {max_shard_restarts}"
+            )
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ShardError(
+                f"heartbeat_timeout must be > 0 (or None), got {heartbeat_timeout}"
+            )
         self.parallelism = parallelism
         if mp_context is None or isinstance(mp_context, str):
             self._ctx = multiprocessing.get_context(mp_context)
@@ -94,54 +177,64 @@ class ShardedEnvironment:
         self.queue_depth = max(1, queue_depth)
         self.chunk_size = max(1, chunk_size)
         self.poll_interval = poll_interval
+        self.max_shard_restarts = max_shard_restarts
+        self.heartbeat_timeout = heartbeat_timeout
+        self.restart_backoff = max(0.0, restart_backoff)
+        self.failure_policy = failure_policy
 
     # -- feeding -------------------------------------------------------------
 
-    def _put(self, q: Any, item: Any, abort: threading.Event) -> bool:
-        """Put with backpressure: block on a full queue, but heed the abort."""
-        while not abort.is_set():
+    def _put(
+        self, q: Any, item: Any, stop: threading.Event, live: Callable[[], bool]
+    ) -> bool:
+        """Put with backpressure, aborting on a stopped attempt or dead peer.
+
+        Blocking forever on a full queue whose consumer has died is the
+        classic coordinator deadlock; every timeout slice re-checks both the
+        attempt's stop flag (set by recovery/teardown) and the worker's own
+        liveness, so a feeder never outlives the process it feeds by more
+        than ~0.1s.
+        """
+        while not stop.is_set():
             try:
                 q.put(item, timeout=0.1)
                 return True
             except queue_mod.Full:
-                continue
+                if not live():
+                    return False
         return False
 
-    def _feed(
+    def _feed_shard(
         self,
-        records: Iterable[Record],
-        partitioner: Partitioner,
-        in_queues: list[Any],
-        abort: threading.Event,
-        errors: list[BaseException],
+        assignment: list[Record],
+        in_queue: Any,
+        stop: threading.Event,
+        live: Callable[[], bool],
     ) -> None:
-        n = len(in_queues)
-        buffers: list[list[Record]] = [[] for _ in range(n)]
-        try:
-            for index, record in enumerate(records):
-                shard = partitioner.shard_of(record, index)
-                buffers[shard].append(record)
-                if len(buffers[shard]) >= self.chunk_size:
-                    if not self._put(in_queues[shard], ("records", buffers[shard]), abort):
-                        return
-                    buffers[shard] = []
-            for shard in range(n):
-                if buffers[shard]:
-                    if not self._put(in_queues[shard], ("records", buffers[shard]), abort):
-                        return
-                if not self._put(in_queues[shard], ("eof", None), abort):
-                    return
-        except BaseException as exc:  # noqa: BLE001 - reported by the drain loop
-            errors.append(exc)
+        """Feed one attempt its full partition, then EOF.
 
-    # -- draining ------------------------------------------------------------
+        Respawned attempts get the identical feed: resume skipping happens
+        on the worker side (``QueueSource.iter_from``), which keeps the
+        coordinator's partitioning single-pass and deterministic.
+        """
+        chunk = self.chunk_size
+        try:
+            for start in range(0, len(assignment), chunk):
+                if not self._put(
+                    in_queue, ("records", assignment[start : start + chunk]), stop, live
+                ):
+                    return
+            self._put(in_queue, ("eof", None), stop, live)
+        except Exception:  # noqa: BLE001 - queue torn down under the feeder
+            pass
+
+    # -- decoding ------------------------------------------------------------
 
     @staticmethod
     def _decode_payload(blob: bytes) -> dict[str, Any]:
         return pickle.loads(blob)
 
-    def _decode_done(self, shard: int, blob: bytes) -> ShardOutcome:
-        payload = self._decode_payload(blob)
+    def _outcome_from_payload(self, shard: int, payload: dict[str, Any]) -> ShardOutcome:
         if payload.get("degraded"):
             # The worker finished but its result payload would not pickle;
             # treat as a failure — a silent partial result is worse.
@@ -160,8 +253,12 @@ class ShardedEnvironment:
             checkpoints_taken=payload["checkpoints_taken"],
             resumed_from_offset=payload.get("resumed_from_offset", 0),
             dead_letters=payload["dead_letters"],
+            node_stats=payload.get("node_stats", {}),
             completed=payload["completed"],
         )
+
+    def _decode_done(self, shard: int, blob: bytes) -> ShardOutcome:
+        return self._outcome_from_payload(shard, self._decode_payload(blob))
 
     def _decode_error(self, shard: int, blob: bytes) -> ShardError:
         payload = self._decode_payload(blob)
@@ -174,43 +271,25 @@ class ShardedEnvironment:
         error.worker_traceback = payload.get("traceback")
         return error
 
-    def _grace_drain(
-        self, out_queue: Any, merger: ShardMerger, outcomes: dict[int, ShardOutcome]
-    ) -> ShardError | None:
-        """Drain straggler messages after seeing a dead worker.
-
-        A process can be dead while its final message still sits in the
-        queue's pipe buffer; give delivery a moment before declaring a hard
-        crash.
-        """
-        deadline = time.monotonic() + 1.0
-        failure: ShardError | None = None
-        while time.monotonic() < deadline:
-            try:
-                msg = out_queue.get(timeout=0.1)
-            except queue_mod.Empty:
-                continue
-            failure = self._dispatch(msg, merger, outcomes) or failure
-            if failure is not None:
-                break
-        return failure
-
-    def _dispatch(
-        self, msg: tuple, merger: ShardMerger, outcomes: dict[int, ShardOutcome]
-    ) -> ShardError | None:
-        kind = msg[0]
-        if kind == "chunk":
-            _, shard, records, watermark = msg
-            merger.add_chunk(shard, records, watermark)
-            return None
-        if kind == "done":
-            _, shard, blob = msg
-            outcomes[shard] = self._decode_done(shard, blob)
-            return None
-        _, shard, blob = msg
-        return self._decode_error(shard, blob)
-
     # -- execution -----------------------------------------------------------
+
+    def _pickle_task(self, task: ShardTask) -> bytes:
+        try:
+            return pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ShardError(
+                f"shard {task.shard} plan is not picklable (sources, sinks, "
+                f"key selectors, and pipelines must serialize to cross the "
+                f"process boundary): {exc}",
+                shard=task.shard,
+            ) from exc
+
+    def _heartbeat_interval(self) -> float | None:
+        if self.heartbeat_timeout is None:
+            return None
+        # Several beats per timeout window so one lost/late beat cannot
+        # trip the watchdog on a healthy worker.
+        return max(0.01, min(1.0, self.heartbeat_timeout / 4.0))
 
     def execute(
         self,
@@ -234,100 +313,357 @@ class ShardedEnvironment:
                 f"partitioner routes to {partitioner.n_shards} shards but "
                 f"parallelism is {self.parallelism}"
             )
-        blobs = []
-        for task in tasks:
-            try:
-                blobs.append(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
-            except Exception as exc:
-                raise ShardError(
-                    f"shard {task.shard} plan is not picklable (sources, sinks, "
-                    f"key selectors, and pipelines must serialize to cross the "
-                    f"process boundary): {exc}",
-                    shard=task.shard,
-                ) from exc
-
         n = self.parallelism
-        in_queues = [self._ctx.Queue(maxsize=self.queue_depth) for _ in range(n)]
-        out_queue = self._ctx.Queue()
-        workers = [
-            self._ctx.Process(
-                target=run_shard,
-                args=(blobs[i], in_queues[i], out_queue),
-                name=f"repro-shard-{i}",
-                daemon=True,
+        # Partition once, up front: partitioners are deterministic in
+        # (record, index), and a respawned attempt must replay *exactly*
+        # the partition its predecessor saw.
+        assignments: list[list[Record]] = [[] for _ in range(n)]
+        try:
+            for index, record in enumerate(records):
+                assignments[partitioner.shard_of(record, index)].append(record)
+        except Exception as exc:  # noqa: BLE001 - user partitioner boundary
+            failure = ShardError(
+                f"record partitioning failed: {type(exc).__name__}: {exc}"
+            )
+            failure.__cause__ = exc
+            raise failure from exc
+
+        interval = self._heartbeat_interval()
+        runtimes = [
+            _ShardRuntime(
+                shard=i,
+                task=dataclasses.replace(tasks[i], epoch=0, heartbeat_interval=interval),
+                assignment=assignments[i],
             )
             for i in range(n)
         ]
+        # Fail on an unpicklable plan before any process is spawned.
+        for rt in runtimes:
+            self._pickle_task(rt.task)
+
+        out_queue = self._ctx.Queue()
         merger = ShardMerger(tasks[0].schema, n)
         outcomes: dict[int, ShardOutcome] = {}
-        abort = threading.Event()
-        feed_errors: list[BaseException] = []
-        feeder = threading.Thread(
-            target=self._feed,
-            args=(records, partitioner, in_queues, abort, feed_errors),
-            name="repro-shard-feeder",
-            daemon=True,
-        )
         failure: ShardError | None = None
         try:
-            for worker in workers:
-                worker.start()
-            feeder.start()
+            for rt in runtimes:
+                self._start_attempt(rt, out_queue)
+            next_watchdog = time.monotonic() + self.poll_interval
             while len(outcomes) < n and failure is None:
-                if feed_errors:
-                    exc = feed_errors[0]
-                    failure = ShardError(
-                        f"record partitioning failed: {type(exc).__name__}: {exc}"
-                    )
-                    failure.__cause__ = exc
-                    break
                 try:
                     msg = out_queue.get(timeout=self.poll_interval)
                 except queue_mod.Empty:
-                    failure = self._check_liveness(workers, out_queue, merger, outcomes)
-                    continue
-                failure = self._dispatch(msg, merger, outcomes)
+                    msg = None
+                except (OSError, EOFError, pickle.UnpicklingError):
+                    # A message torn by a worker dying mid-send; the
+                    # watchdog will see the corpse and recover the shard.
+                    msg = None
+                if msg is not None:
+                    failure = self._dispatch(msg, runtimes, merger, outcomes)
+                now = time.monotonic()
+                if failure is None and now >= next_watchdog:
+                    # Time-budgeted: a busy out-queue cannot starve
+                    # liveness checking.
+                    next_watchdog = now + self.poll_interval
+                    failure = self._watchdog(runtimes, out_queue, merger, outcomes)
         finally:
-            abort.set()
-            if failure is not None or len(outcomes) < n:
-                for worker in workers:
-                    if worker.is_alive():
-                        worker.terminate()
-            feeder.join(timeout=5.0)
-            for worker in workers:
-                worker.join(timeout=5.0)
-                if worker.is_alive():
-                    worker.kill()
+            for rt in runtimes:
+                rt.stop.set()
+                worker = rt.worker
+                if (
+                    worker is not None
+                    and worker.is_alive()
+                    and (failure is not None or rt.shard not in outcomes)
+                ):
+                    worker.terminate()
+            for rt in runtimes:
+                if rt.feeder is not None:
+                    rt.feeder.join(timeout=5.0)
+                worker = rt.worker
+                if worker is not None:
                     worker.join(timeout=5.0)
-            for q in in_queues:
-                q.cancel_join_thread()
-                q.close()
+                    if worker.is_alive():
+                        worker.kill()
+                        worker.join(timeout=5.0)
+                if rt.in_queue is not None:
+                    rt.in_queue.cancel_join_thread()
+                    rt.in_queue.close()
             out_queue.cancel_join_thread()
             out_queue.close()
         if failure is not None:
             raise failure
         return [outcomes[i] for i in range(n)], merger
 
-    def _check_liveness(
+    def _start_attempt(self, rt: _ShardRuntime, out_queue: Any) -> None:
+        blob = self._pickle_task(rt.task)
+        rt.stop = threading.Event()
+        rt.in_queue = self._ctx.Queue(maxsize=self.queue_depth)
+        rt.worker = self._ctx.Process(
+            target=run_shard,
+            args=(blob, rt.in_queue, out_queue),
+            name=f"repro-shard-{rt.shard}",
+            daemon=True,
+        )
+        rt.worker.start()
+        rt.feeder = threading.Thread(
+            target=self._feed_shard,
+            args=(rt.assignment, rt.in_queue, rt.stop, rt.worker.is_alive),
+            name=f"repro-shard-feeder-{rt.shard}",
+            daemon=True,
+        )
+        rt.feeder.start()
+        rt.last_seen = time.monotonic()
+
+    def _stop_attempt(self, rt: _ShardRuntime) -> None:
+        """Tear one attempt down hard: worker, feeder, input queue."""
+        rt.stop.set()
+        worker = rt.worker
+        if worker is not None:
+            if worker.is_alive():
+                worker.terminate()
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=5.0)
+        if rt.feeder is not None:
+            rt.feeder.join(timeout=5.0)
+            rt.feeder = None
+        if rt.in_queue is not None:
+            rt.in_queue.cancel_join_thread()
+            rt.in_queue.close()
+            rt.in_queue = None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(
         self,
-        workers: list[Any],
+        msg: tuple,
+        runtimes: list[_ShardRuntime],
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        kind = msg[0]
+        if kind == "heartbeat":
+            _, shard, epoch = msg
+            rt = runtimes[shard]
+            if epoch == rt.epoch:
+                rt.last_seen = time.monotonic()
+            return None
+        if kind == "chunk":
+            _, shard, records, watermark, epoch = msg
+            rt = runtimes[shard]
+            if epoch != rt.epoch:
+                return None  # superseded attempt; drop
+            rt.last_seen = time.monotonic()
+            merger.add_chunk(shard, records, watermark)
+            return None
+        if kind == "done":
+            _, shard, blob, epoch = msg
+            rt = runtimes[shard]
+            if epoch != rt.epoch:
+                return None
+            outcome = self._decode_done(shard, blob)
+            outcome.restarts = rt.restarts
+            outcomes[shard] = outcome
+            rt.stop.set()
+            return None
+        # Structured plan failure: deterministic, so recovery would replay
+        # straight back into it — abort the run instead.
+        _, shard, blob, epoch = msg
+        rt = runtimes[shard]
+        if epoch != rt.epoch:
+            return None
+        return self._decode_error(shard, blob)
+
+    # -- watchdog + recovery -------------------------------------------------
+
+    def _grace_drain(
+        self,
+        out_queue: Any,
+        runtimes: list[_ShardRuntime],
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        """Drain straggler messages after seeing a dead worker.
+
+        A process can be dead while its final message still sits in the
+        queue's pipe buffer; give delivery a moment before respawning what
+        may in fact have finished.
+        """
+        deadline = time.monotonic() + 1.0
+        failure: ShardError | None = None
+        while time.monotonic() < deadline:
+            try:
+                msg = out_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+            except (OSError, EOFError, pickle.UnpicklingError):
+                continue
+            failure = self._dispatch(msg, runtimes, merger, outcomes) or failure
+            if failure is not None:
+                break
+        return failure
+
+    def _watchdog(
+        self,
+        runtimes: list[_ShardRuntime],
         out_queue: Any,
         merger: ShardMerger,
         outcomes: dict[int, ShardOutcome],
     ) -> ShardError | None:
-        for shard, worker in enumerate(workers):
-            if shard in outcomes or worker.is_alive():
+        now = time.monotonic()
+        for rt in runtimes:
+            if rt.shard in outcomes:
                 continue
-            failure = self._grace_drain(out_queue, merger, outcomes)
+            worker = rt.worker
+            crashed = worker is not None and not worker.is_alive()
+            hung = (
+                not crashed
+                and self.heartbeat_timeout is not None
+                and now - rt.last_seen > self.heartbeat_timeout
+            )
+            if not crashed and not hung:
+                continue
+            if crashed:
+                failure = self._grace_drain(out_queue, runtimes, merger, outcomes)
+                if failure is not None:
+                    return failure
+                if rt.shard in outcomes:
+                    continue
+                reason = (
+                    f"worker died without reporting "
+                    f"(exit code {worker.exitcode})"
+                )
+            else:
+                reason = (
+                    f"worker sent no heartbeat or output for more than "
+                    f"{self.heartbeat_timeout:.1f}s (hung)"
+                )
+            failure = self._recover(rt, reason, out_queue, merger, outcomes)
             if failure is not None:
                 return failure
-            if shard in outcomes:
-                continue
+        return None
+
+    def _recover(
+        self,
+        rt: _ShardRuntime,
+        reason: str,
+        out_queue: Any,
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        """Respawn one faulted shard, or fall through to the failure policy."""
+        exitcode = rt.worker.exitcode if rt.worker is not None else None
+        self._stop_attempt(rt)
+        if rt.restarts >= self.max_shard_restarts:
+            return self._exhausted(rt, reason, exitcode, merger, outcomes)
+        rt.restarts += 1
+        rt.epoch += 1
+        merger.discard_shard(rt.shard)
+        backoff = self.restart_backoff * (2 ** (rt.restarts - 1))
+        if backoff > 0:
+            time.sleep(backoff)
+        rt.task = dataclasses.replace(
+            rt.task, epoch=rt.epoch, resume_path=self._recovery_resume_path(rt)
+        )
+        self._start_attempt(rt, out_queue)
+        return None
+
+    @staticmethod
+    def _recovery_resume_path(rt: _ShardRuntime) -> str | None:
+        """The newest digest-valid checkpoint of this shard, if any.
+
+        A checkpoint torn by the crash fails verification and is skipped in
+        favour of the previous snapshot; with no usable snapshot (or no
+        checkpointing at all) the shard restarts from scratch — correct
+        either way, merely slower.
+        """
+        if rt.task.checkpoint_dir is None:
+            return None
+        path = latest_valid_checkpoint(rt.task.checkpoint_dir)
+        return str(path) if path is not None else None
+
+    def _exhausted(
+        self,
+        rt: _ShardRuntime,
+        reason: str,
+        exitcode: int | None,
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        policy = self.failure_policy
+        action = policy.action if policy is not None else FailureAction.FAIL_FAST
+        if action is FailureAction.RETRY:
+            action = policy.exhausted_action
+        if action is FailureAction.FAIL_FAST:
             return ShardError(
-                f"shard {shard} worker died without reporting "
-                f"(exit code {worker.exitcode}); partial checkpoints, if "
-                f"enabled, remain on disk for resume",
-                shard=shard,
-                exitcode=worker.exitcode,
+                f"shard {rt.shard} {reason}; restart budget "
+                f"({self.max_shard_restarts}) exhausted. Partial checkpoints, "
+                f"if enabled, remain on disk for resume",
+                shard=rt.shard,
+                exitcode=exitcode,
             )
+        return self._degraded_drain(rt, merger, outcomes)
+
+    def _degraded_drain(
+        self,
+        rt: _ShardRuntime,
+        merger: ShardMerger,
+        outcomes: dict[int, ShardOutcome],
+    ) -> ShardError | None:
+        """Finish one shard's partition sequentially on the coordinator.
+
+        The last rung of the policy ladder: no worker process, no
+        parallelism, but the run completes and determinism holds — the same
+        shard plan executes over the same partition, resumed from the same
+        newest-valid checkpoint a respawn would have used. The task is
+        pickle-round-tripped so the in-process execution operates on private
+        pipeline copies (exactly what a worker would deserialize), and input
+        records are copied because shard pipelines mutate in place.
+        """
+        rt.epoch += 1
+        merger.discard_shard(rt.shard)
+        task: ShardTask = pickle.loads(
+            self._pickle_task(
+                dataclasses.replace(
+                    rt.task,
+                    epoch=rt.epoch,
+                    resume_path=self._recovery_resume_path(rt),
+                    heartbeat_interval=None,
+                )
+            )
+        )
+        in_q: Any = queue_mod.SimpleQueue()
+        out_q: Any = queue_mod.SimpleQueue()
+        for start in range(0, len(rt.assignment), self.chunk_size):
+            in_q.put(
+                (
+                    "records",
+                    [r.copy() for r in rt.assignment[start : start + self.chunk_size]],
+                )
+            )
+        in_q.put(("eof", None))
+        try:
+            payload = _execute_shard(task, in_q, out_q)
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            failure = ShardError(
+                f"shard {rt.shard} degraded coordinator drain failed: "
+                f"{type(exc).__name__}: {exc}",
+                shard=rt.shard,
+            )
+            failure.__cause__ = exc
+            return failure
+        while True:
+            try:
+                msg = out_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            if msg[0] == "chunk":
+                _, shard, records, watermark, epoch = msg
+                if epoch == rt.epoch:
+                    merger.add_chunk(shard, records, watermark)
+        outcome = self._outcome_from_payload(rt.shard, payload)
+        outcome.restarts = rt.restarts
+        outcome.degraded = True
+        outcomes[rt.shard] = outcome
         return None

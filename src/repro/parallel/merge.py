@@ -71,6 +71,22 @@ class ShardMerger:
             return None
         return min(self.watermarks)  # type: ignore[arg-type]
 
+    def discard_shard(self, shard: int) -> None:
+        """Forget everything received from one shard.
+
+        Called by the recovery loop before a respawned worker replays its
+        partition: the replacement re-emits the shard's full output (from
+        its checkpoint onwards plus restored sink state), so chunks from
+        the dead attempt must not survive or records would double-count.
+        """
+        if shard < 0 or shard >= self.n_shards:
+            raise ShardError(
+                f"cannot discard unknown shard {shard} (run has {self.n_shards})",
+                shard=shard,
+            )
+        self._chunks[shard] = []
+        self.watermarks[shard] = None
+
     def shard_records(self, shard: int) -> list[Record]:
         """The raw (unsorted) records received from one shard."""
         return list(self._chunks[shard])

@@ -33,6 +33,7 @@ manifest whose geometry or seed disagrees with the requested run.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Callable, Hashable, Mapping, Sequence
@@ -73,6 +74,12 @@ def shard_store_dir(checkpoint_dir: str | Path, shard: int) -> Path:
     return Path(checkpoint_dir) / f"shard-{shard:02d}"
 
 
+def _manifest_digest(body: dict[str, Any]) -> str:
+    """SHA-256 over the manifest body in canonical (sorted, compact) JSON."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def write_manifest(
     checkpoint_dir: str | Path,
     parallelism: int,
@@ -80,22 +87,25 @@ def write_manifest(
     seed: int | None,
     checkpoint_interval: int,
 ) -> Path:
-    """Record the sharding geometry a resume must reproduce."""
+    """Record the sharding geometry a resume must reproduce.
+
+    The manifest carries a SHA-256 ``digest`` over its own body so a resume
+    can tell a *torn or hand-edited* manifest apart from a merely wrong one
+    — silently resuming with corrupted geometry would produce plausible but
+    irreproducible output.
+    """
     directory = Path(checkpoint_dir)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / PARALLEL_MANIFEST
-    path.write_text(
-        json.dumps(
-            {
-                "version": PARALLEL_FORMAT_VERSION,
-                "parallelism": parallelism,
-                "keyed": keyed,
-                "seed": seed,
-                "checkpoint_interval": checkpoint_interval,
-            },
-            indent=2,
-        )
-    )
+    body = {
+        "version": PARALLEL_FORMAT_VERSION,
+        "parallelism": parallelism,
+        "keyed": keyed,
+        "seed": seed,
+        "checkpoint_interval": checkpoint_interval,
+    }
+    body["digest"] = _manifest_digest(body)
+    path.write_text(json.dumps(body, indent=2))
     return path
 
 
@@ -129,6 +139,15 @@ def read_manifest(checkpoint_dir: str | Path) -> dict[str, Any]:
             f"{manifest.get('version')}, this runtime reads version "
             f"{PARALLEL_FORMAT_VERSION}"
         )
+    stored = manifest.get("digest")
+    if stored is not None:
+        body = {k: v for k, v in manifest.items() if k != "digest"}
+        if _manifest_digest(body) != stored:
+            raise CheckpointError(
+                f"manifest {path} failed integrity verification: SHA-256 "
+                "digest mismatch (the file was corrupted or edited after the "
+                "run wrote it)"
+            )
     return manifest
 
 
@@ -226,6 +245,8 @@ def pollute_parallel(
     queue_depth: int = 8,
     check: str = "warn",
     batch_size: int | None = None,
+    max_shard_restarts: int = 2,
+    heartbeat_timeout: float | None = 30.0,
 ):
     """Run Algorithm 1 sharded across ``parallelism`` worker processes.
 
@@ -238,6 +259,15 @@ def pollute_parallel(
     ``"warn"`` | ``"off"``). ``batch_size`` (> 1) turns on the
     micro-batching fast path inside every shard worker (:mod:`repro.batch`);
     shard output is byte-identical with or without it.
+
+    ``max_shard_restarts`` and ``heartbeat_timeout`` configure the
+    self-healing coordinator: a worker that crashes or goes silent is
+    respawned in-run from its newest intact checkpoint up to
+    ``max_shard_restarts`` times per shard, after which ``failure_policy``
+    decides between failing the run (``FAIL_FAST``, the no-policy default)
+    and degrading that shard to a sequential drain on the coordinator.
+    ``heartbeat_timeout=None`` disables hang detection. Recovery of a keyed
+    checkpointed run is byte-identical to the unfaulted run.
     """
     from repro.core.runner import PollutionResult, _run_preflight
 
@@ -250,6 +280,7 @@ def pollute_parallel(
         parallelism=parallelism,
         key_by=key_by,
         pipeline_factory=pipeline_factory,
+        failure_policy=failure_policy,
     )
     if parallelism < 1:
         raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
@@ -356,6 +387,9 @@ def pollute_parallel(
         mp_context=mp_context,
         queue_depth=queue_depth,
         chunk_size=chunk_size,
+        max_shard_restarts=max_shard_restarts,
+        heartbeat_timeout=heartbeat_timeout,
+        failure_policy=failure_policy,
     )
     outcomes, merger = env.execute(clean, partitioner, tasks)
 
@@ -373,13 +407,33 @@ def pollute_parallel(
     report.resumed_from_offset = sum(
         outcome.resumed_from_offset for outcome in outcomes
     )
+    report.shard_restarts = sum(outcome.restarts for outcome in outcomes)
+    report.degraded_shards = sum(1 for outcome in outcomes if outcome.degraded)
     _rebuild_dead_letters(report, outcomes)
+    # Fold shard-local supervision tallies into the report's own registry
+    # (distinct from the user's, so metered runs — whose worker registries
+    # merge below — are not double-counted anywhere).
+    for outcome in outcomes:
+        for name, tallies in outcome.node_stats.items():
+            stats = report.stats_for(name)
+            stats.processed += tallies["processed"]
+            stats.skipped += tallies["skipped"]
+            stats.retried += tallies["retried"]
+            stats.dead_lettered += tallies["dead_lettered"]
 
     if metered:
         for outcome in outcomes:
             if outcome.metrics is not None:
                 metrics.merge(outcome.metrics)
         metrics.counter("parallel_shards_total").value = parallelism
+        if report.shard_restarts:
+            metrics.counter("parallel_shard_restarts_total").value = (
+                report.shard_restarts
+            )
+        if report.degraded_shards:
+            metrics.counter("parallel_degraded_shards_total").value = (
+                report.degraded_shards
+            )
         low = merger.low_watermark
         if low is not None:
             metrics.gauge("merged_watermark").set(low)

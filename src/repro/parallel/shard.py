@@ -19,16 +19,26 @@ The queue protocol is tiny and one-directional per queue:
 * coordinator -> worker (``in_queue``): ``("records", [Record, ...])``
   chunks, then one ``("eof", None)``;
 * worker -> coordinator (``out_queue``): ``("chunk", shard, [Record, ...],
-  watermark)`` output chunks, then exactly one terminal message — either
-  ``("done", shard, payload_bytes)`` or ``("error", shard, payload_bytes)``.
-  Terminal payloads are pre-pickled *by the worker* so a result the
-  multiprocessing pickler would choke on (an exotic exception, say)
-  degrades to its ``repr`` instead of killing the queue feeder thread.
+  watermark, epoch)`` output chunks, ``("heartbeat", shard, epoch)``
+  liveness marks, then exactly one terminal message — either
+  ``("done", shard, payload_bytes, epoch)`` or ``("error", shard,
+  payload_bytes, epoch)``. Terminal payloads are pre-pickled *by the
+  worker* so a result the multiprocessing pickler would choke on (an
+  exotic exception, say) degrades to its ``repr`` instead of killing the
+  queue feeder thread.
+
+Every outbound message carries the shard's *attempt epoch*: the coordinator
+bumps it on each respawn and drops messages from earlier epochs, so output
+a dead attempt left buffered in the pipe can never contaminate the retried
+attempt's stream. Heartbeats are *progress-tied* — they are sent from the
+record path, not a side thread — so a worker wedged inside an operator goes
+silent and the coordinator's watchdog can tell a hang from slow progress.
 """
 
 from __future__ import annotations
 
 import pickle
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
@@ -76,6 +86,41 @@ class ShardTask:
     resume_path: str | None = None
     chunk_size: int = 256
     batch_size: int | None = None
+    #: Attempt number of this shard; stamped on every outbound message so
+    #: the coordinator can discard output from superseded attempts.
+    epoch: int = 0
+    #: Send a heartbeat at most this often (seconds); None disables them.
+    heartbeat_interval: float | None = None
+
+
+class _Heartbeat:
+    """Time-gated liveness marks on the worker's record path.
+
+    ``beat()`` is called once per record the shard pulls from its input
+    queue; it only actually enqueues a ``("heartbeat", shard, epoch)``
+    message when ``interval`` has elapsed, so the hot path pays a clock
+    read per record and the control queue stays quiet. Send failures are
+    swallowed — a heartbeat that cannot be delivered (coordinator tearing
+    the run down) must never kill the shard itself.
+    """
+
+    __slots__ = ("_queue", "_shard", "_epoch", "interval", "_next")
+
+    def __init__(self, queue: Any, shard: int, epoch: int, interval: float) -> None:
+        self._queue = queue
+        self._shard = shard
+        self._epoch = epoch
+        self.interval = interval
+        self._next = 0.0  # first beat fires immediately
+
+    def beat(self) -> None:
+        now = time.monotonic()
+        if now >= self._next:
+            self._next = now + self.interval
+            try:
+                self._queue.put(("heartbeat", self._shard, self._epoch))
+            except Exception:  # noqa: BLE001 - liveness must not be fatal
+                pass
 
 
 class QueueSource(Source):
@@ -86,18 +131,33 @@ class QueueSource(Source):
     gives checkpoint resume for free: on restore the coordinator re-feeds
     the shard's full partition and the environment skips the first
     ``offset`` records of this source.
+
+    With a ``heartbeat`` attached, the source beats once per yielded record
+    — progress-tied liveness: a downstream operator that stops consuming
+    stops the beats.
     """
 
-    def __init__(self, schema: Schema, queue: Any) -> None:
+    def __init__(
+        self, schema: Schema, queue: Any, heartbeat: _Heartbeat | None = None
+    ) -> None:
         super().__init__(schema)
         self._queue = queue
+        self._heartbeat = heartbeat
 
     def __iter__(self) -> Iterator[Record]:
+        heartbeat = self._heartbeat
         while True:
+            if heartbeat is not None:
+                heartbeat.beat()
             kind, payload = self._queue.get()
             if kind == "eof":
                 return
-            yield from payload
+            if heartbeat is None:
+                yield from payload
+            else:
+                for record in payload:
+                    heartbeat.beat()
+                    yield record
 
 
 class ShardOutputSink(Sink):
@@ -125,11 +185,13 @@ class ShardOutputSink(Sink):
         chunk_size: int = 256,
         retain: bool = False,
         log: PollutionLog | None = None,
+        epoch: int = 0,
     ) -> None:
         self._queue = queue
         self._shard = shard
         self._chunk_size = max(1, chunk_size)
         self._retain = retain
+        self._epoch = epoch
         # In retain mode the sink also carries the shard's pollution log
         # through checkpoints: by the time a snapshot barrier reaches the
         # sink, every processed record's log events have been appended, so
@@ -150,7 +212,7 @@ class ShardOutputSink(Sink):
             self._buffer = []
 
     def _send(self, records: list[Record]) -> None:
-        self._queue.put(("chunk", self._shard, records, self.watermark))
+        self._queue.put(("chunk", self._shard, records, self.watermark, self._epoch))
 
     def close(self) -> None:
         buffer, self._buffer = self._buffer, []
@@ -223,11 +285,30 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
     if task.checkpoint_dir is not None:
         env.enable_checkpointing(task.checkpoint_interval, task.checkpoint_dir)
 
-    source = QueueSource(task.schema, in_queue)
-    retain = task.checkpoint_dir is not None or task.resume_path is not None
+    heartbeat = (
+        _Heartbeat(out_queue, task.shard, task.epoch, task.heartbeat_interval)
+        if task.heartbeat_interval is not None
+        else None
+    )
+    source = QueueSource(task.schema, in_queue, heartbeat=heartbeat)
+    # Retain output when the run checkpoints/resumes (snapshots need the
+    # emitted prefix) and also under supervised batching: a failed slab rolls
+    # the sink back before the per-record replay, which is only possible if
+    # no chunk of the slab has already left the process.
+    supervised_batching = (
+        task.failure_policy is not None
+        and task.batch_size is not None
+        and task.batch_size > 1
+    )
+    retain = (
+        task.checkpoint_dir is not None
+        or task.resume_path is not None
+        or supervised_batching
+    )
     log = PollutionLog() if task.log else None
     sink = ShardOutputSink(
-        out_queue, task.shard, task.chunk_size, retain=retain, log=log
+        out_queue, task.shard, task.chunk_size, retain=retain, log=log,
+        epoch=task.epoch,
     )
     stream = env.from_source(source, name="shard-input")
 
@@ -287,6 +368,12 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
         "checkpoints_taken": report.checkpoints_taken,
         "resumed_from_offset": report.resumed_from_offset,
         "dead_letters": _dead_letter_summaries(report),
+        # Shard-local supervision tallies (skip/retry/dead-letter counts per
+        # node); the coordinator folds them into the run's ExecutionReport
+        # so failure policies report identically under any engine.
+        "node_stats": {
+            name: stats.as_dict() for name, stats in report.node_stats.items()
+        },
         "completed": report.completed,
     }
 
@@ -299,12 +386,12 @@ def run_shard(task_bytes: bytes, in_queue: Any, out_queue: Any) -> None:
     byte-identical and guarantees the worker operates on a private deep
     copy of every pipeline, never on memory shared with the coordinator.
     """
-    shard = -1
+    shard, epoch = -1, 0
     try:
         task = pickle.loads(task_bytes)
-        shard = task.shard
+        shard, epoch = task.shard, task.epoch
         payload = _execute_shard(task, in_queue, out_queue)
-        out_queue.put(("done", shard, _safe_dumps(payload)))
+        out_queue.put(("done", shard, _safe_dumps(payload), epoch))
     except BaseException as exc:  # noqa: BLE001 - must report before dying
         payload = {
             "shard": shard,
@@ -314,4 +401,4 @@ def run_shard(task_bytes: bytes, in_queue: Any, out_queue: Any) -> None:
             "record_id": getattr(exc, "record_id", None),
             "traceback": traceback.format_exc(limit=20),
         }
-        out_queue.put(("error", shard, _safe_dumps(payload)))
+        out_queue.put(("error", shard, _safe_dumps(payload), epoch))

@@ -21,12 +21,18 @@ Sources must therefore be re-iterable and deterministic (every built-in
 source is).
 
 Checkpoints serialize with :mod:`pickle` via :class:`CheckpointStore`; the
-on-disk format is one ``chk-<seq>.ckpt`` pickle per snapshot plus the
-in-memory :class:`Checkpoint` dataclass as the schema.
+on-disk format is one ``chk-<seq>.ckpt`` file per snapshot: an 8-byte magic
+marker, the SHA-256 hex digest of the payload, then the pickled
+:class:`Checkpoint`. The digest lets a restore distinguish "checkpoint was
+half-written when the worker died" from "checkpoint is fine" — crucial for
+the self-healing parallel runtime, which falls back to the previous snapshot
+when the newest one is torn. Headerless files written by older releases are
+still read (without integrity verification).
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +43,9 @@ from repro.errors import CheckpointError
 CHECKPOINT_SUFFIX = ".ckpt"
 #: Bump when the Checkpoint layout changes incompatibly.
 CHECKPOINT_FORMAT_VERSION = 1
+#: Leading marker of digest-framed checkpoint files (8 bytes).
+CHECKPOINT_MAGIC = b"ICEWAFL\x01"
+_DIGEST_LEN = 64  # sha256 hexdigest, ascii
 
 
 @dataclass
@@ -108,8 +117,10 @@ class CheckpointStore:
         path = self.directory / f"chk-{self._seq:06d}{CHECKPOINT_SUFFIX}"
         self._seq += 1
         try:
+            payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest().encode("ascii")
             with open(path, "wb") as f:
-                pickle.dump(checkpoint, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.write(CHECKPOINT_MAGIC + digest + payload)
         except (OSError, pickle.PicklingError) as exc:
             raise CheckpointError(f"could not write checkpoint {path}: {exc}") from exc
         for stale in self._paths()[: -self._keep]:
@@ -129,11 +140,37 @@ class CheckpointStore:
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
-    """Load one checkpoint file, validating its format version."""
+    """Load one checkpoint file, verifying its digest and format version.
+
+    Digest-framed files (the current format) are rejected with a
+    :class:`CheckpointError` naming the file when truncated or corrupted;
+    headerless legacy pickles are parsed without verification.
+    """
     try:
         with open(path, "rb") as f:
-            checkpoint = pickle.load(f)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raw = f.read()
+    except OSError as exc:
+        raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
+    if raw.startswith(CHECKPOINT_MAGIC):
+        header_len = len(CHECKPOINT_MAGIC) + _DIGEST_LEN
+        if len(raw) < header_len:
+            raise CheckpointError(
+                f"checkpoint {path} is truncated: missing integrity header"
+            )
+        expected = raw[len(CHECKPOINT_MAGIC) : header_len].decode("ascii", "replace")
+        payload = raw[header_len:]
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != expected:
+            raise CheckpointError(
+                f"checkpoint {path} failed integrity verification: "
+                f"SHA-256 digest mismatch (file is truncated or corrupted)"
+            )
+    else:
+        payload = raw  # legacy headerless pickle
+    try:
+        checkpoint = pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError,
+            TypeError, IndexError, MemoryError) as exc:
         raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
     if not isinstance(checkpoint, Checkpoint):
         raise CheckpointError(f"{path} does not contain a Checkpoint")
@@ -143,3 +180,23 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
             f"this runtime reads version {CHECKPOINT_FORMAT_VERSION}"
         )
     return checkpoint
+
+
+def latest_valid_checkpoint(directory: str | Path) -> Path | None:
+    """Newest checkpoint in *directory* that passes integrity verification.
+
+    Used by shard recovery: a worker killed mid-``save`` leaves a torn file
+    behind, and the respawned shard must restore from the previous snapshot
+    rather than refuse to start. Returns ``None`` when no readable
+    checkpoint exists (the shard restarts from scratch).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    for path in sorted(directory.glob(f"chk-*{CHECKPOINT_SUFFIX}"), reverse=True):
+        try:
+            load_checkpoint(path)
+        except CheckpointError:
+            continue
+        return path
+    return None

@@ -23,7 +23,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.errors import CheckpointError, StreamError
+from repro.errors import CheckpointError, NodeFailure, StreamError
 from repro.obs.metrics import SIZE_BUCKETS, Histogram, MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.streaming.checkpoint import (
@@ -528,15 +528,14 @@ class StreamExecutionEnvironment:
         start_source: int,
         start_offset: int,
     ) -> None:
-        if (
-            supervisor is None
-            and self._batch_size is not None
-            and self._batch_size > 1
-        ):
-            # Supervised runs stay per-record: dispatching one record at a
-            # time is what gives failure handling its one-record blast
-            # radius, and chaos/restart semantics are defined against it.
-            self._drain_sources_batched(report, resume_from, start_source, start_offset)
+        if self._batch_size is not None and self._batch_size > 1:
+            # Supervised runs take the batched path too: a clean slab runs
+            # the batch kernels, a failed slab is rolled back and replayed
+            # per-record under the supervisor so adjudication keeps its
+            # one-record blast radius (see _dispatch_batch).
+            self._drain_sources_batched(
+                report, supervisor, resume_from, start_source, start_offset
+            )
             return
         cfg = self._checkpoint_cfg
         metrics = self._metrics
@@ -619,6 +618,7 @@ class StreamExecutionEnvironment:
     def _drain_sources_batched(
         self,
         report: ExecutionReport,
+        supervisor: Supervisor | None,
         resume_from: Checkpoint | None,
         start_source: int,
         start_offset: int,
@@ -632,6 +632,14 @@ class StreamExecutionEnvironment:
         Watermarks are coalesced to one emission per slab; the emitted value
         equals the last watermark the per-record path would have emitted at
         the cut, so downstream event-time state agrees at every boundary.
+
+        Supervised runs add slab atomicity: operator state (via the
+        checkpoint snapshot protocol) and emit counters are captured before
+        each slab, and a slab that raises anywhere in the DAG is rolled back
+        and replayed per-record under the supervisor. Because the batch and
+        per-record paths draw identical RNG streams, the replayed slab is
+        byte-identical to a run that had dispatched per-record throughout —
+        only the poison record is adjudicated away.
         """
         cfg = self._checkpoint_cfg
         metrics = self._metrics
@@ -669,7 +677,8 @@ class StreamExecutionEnvironment:
                     boundary = cfg is not None and records_seen % cfg.interval == 0
                     if boundary or len(buffer) >= batch_size:
                         last_auto_wm = self._dispatch_batch(
-                            head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag
+                            head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag,
+                            supervisor, records_seen - len(buffer),
                         )
                         buffer = []
                     if boundary:
@@ -679,7 +688,8 @@ class StreamExecutionEnvironment:
                         report.checkpoints_taken += 1
                 if buffer:
                     last_auto_wm = self._dispatch_batch(
-                        head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag
+                        head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag,
+                        supervisor, records_seen - len(buffer),
                     )
             finally:
                 if src_counter is not None:
@@ -694,8 +704,15 @@ class StreamExecutionEnvironment:
         last_auto_wm: int | None,
         head_obs,
         wm_lag,
+        supervisor: Supervisor | None = None,
+        base_offset: int = 0,
     ) -> int | None:
-        """Push one slab into a source head and emit its coalesced watermark."""
+        """Push one slab into a source head and emit its coalesced watermark.
+
+        ``base_offset`` is the stream offset of the slab's first record;
+        supervised replay uses it so dead-letter entries carry the same
+        offsets a per-record run would record.
+        """
         timed = False
         if head_obs is not None:
             head_obs._countdown -= len(batch)
@@ -703,7 +720,25 @@ class StreamExecutionEnvironment:
                 head_obs._countdown = head_obs.sample_every
                 timed = True
         start = perf_counter() if timed else 0.0
-        head.on_batch(batch)
+        if supervisor is None:
+            head.on_batch(batch)
+        else:
+            # Slab atomicity: snapshot → attempt whole → on failure restore
+            # and replay per-record. Records are copied up front because
+            # operators mutate them in place and a torn slab would otherwise
+            # replay half-polluted inputs.
+            snapshot = self._slab_snapshot()
+            replay = [record.copy() for record in batch]
+            try:
+                head.on_batch(batch)
+            except NodeFailure:
+                raise  # adjudicated fail-fast below us; state is moot
+            except Exception:  # noqa: BLE001 - slab supervision boundary
+                self._slab_restore(snapshot)
+                for i, record in enumerate(replay):
+                    supervisor.offset = base_offset + i
+                    supervisor.dispatch(head, record)
+                batch[:] = replay  # watermark bookkeeping reads the survivors
         if timed:
             head_obs.latency.observe(perf_counter() - start)
         wm: Watermark | None = None
@@ -733,6 +768,28 @@ class StreamExecutionEnvironment:
             if wm_lag is not None and trigger_et is not None:
                 wm_lag.value = trigger_et - wm.timestamp
         return last_auto_wm
+
+    def _slab_snapshot(self) -> list[tuple[Node, Any, int, Any]]:
+        """Capture every node's state and emit counter before a slab.
+
+        Reuses the checkpoint snapshot protocol (already required to be a
+        faithful, isolated copy for resume), plus the ``_emits`` counters the
+        stats finalization reads and each node's volatile slab token (e.g.
+        the pollution-log high-water mark) — a rolled-back slab must not
+        leave ghost emits or ghost log entries behind.
+        """
+        return [
+            (node, node.snapshot_state(), node._emits, node.slab_token())
+            for node in self._nodes
+        ]
+
+    def _slab_restore(self, snapshot: list[tuple[Node, Any, int, Any]]) -> None:
+        for node, state, emits, token in snapshot:
+            if state is not None:
+                node.restore_state(state)
+            node._emits = emits
+            if token is not None:
+                node.slab_rollback(token)
 
     def _take_checkpoint(
         self,

@@ -227,17 +227,18 @@ class Node:
 
         Per-node counters stay exact (``_emits`` grows by the batch length);
         latency is sampled once per batch against the same mask. Supervised
-        execution degrades to per-record :meth:`emit` so failure adjudication
-        keeps its one-record blast radius.
+        execution dispatches the slab whole and lets any failure propagate
+        raw: the environment's slab boundary rolls operator state (including
+        these counters) back to the slab start and replays per-record under
+        the supervisor, isolating the poison record without abandoning the
+        batch fast path on the overwhelmingly common clean slab.
         """
         if not records:
             return
-        if self._supervisor is not None:
-            for record in records:
-                self.emit(record)
-            return
         obs = self._obs
         if obs is None:
+            if self._supervisor is not None:
+                self._emits += len(records)
             for child in self.downstream:
                 child.on_batch(records)
             return
@@ -284,6 +285,22 @@ class Node:
 
     def restore_state(self, state: Any) -> None:
         """Restore operator state from a checkpoint snapshot."""
+
+    # -- slab supervision ------------------------------------------------------
+
+    def slab_token(self) -> Any | None:
+        """Opaque marker of this node's *volatile* side effects at a slab cut.
+
+        Checkpoint state covers what resume needs; some operators also push
+        into process-local structures that never travel through a checkpoint
+        (the pollution log is the canonical case). A rolled-back slab must
+        undo those too, or the per-record replay double-records them. Tokens
+        never leave the process and are never serialized.
+        """
+        return None
+
+    def slab_rollback(self, token: Any) -> None:
+        """Undo volatile side effects back to a :meth:`slab_token` cut."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
@@ -420,6 +437,13 @@ class ProcessNode(Node):
         self._ctx.current_watermark = state["watermark"]
         if state["fn"] is not None:
             self._fn.restore_state(state["fn"])
+
+    def slab_token(self) -> Any | None:
+        fn_token = getattr(self._fn, "slab_token", None)
+        return fn_token() if fn_token is not None else None
+
+    def slab_rollback(self, token: Any) -> None:
+        self._fn.slab_rollback(token)
 
 
 class UnionNode(Node):

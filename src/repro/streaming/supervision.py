@@ -247,6 +247,11 @@ class ExecutionReport:
     dead_letters: DeadLetterSink = field(default_factory=DeadLetterSink)
     checkpoints_taken: int = 0
     resumed_from_offset: int = 0
+    #: Parallel runs only: worker respawns performed by the self-healing
+    #: coordinator, and shards that finished via the degraded sequential
+    #: drain after exhausting their restart budget. Always 0 sequentially.
+    shard_restarts: int = 0
+    degraded_shards: int = 0
 
     def stats_for(self, node_name: str) -> NodeStats:
         stats = self.node_stats.get(node_name)

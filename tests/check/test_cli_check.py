@@ -178,6 +178,7 @@ class TestCheckCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "ICE101" in out
+        assert "ICE506" in out
         assert "ICE601" in out
 
     def test_missing_config_is_usage_error(self, workspace, capsys):

@@ -34,10 +34,21 @@ SCHEMA = Schema(
 )
 
 
-def check(*polluters, seed=7, parallelism=None, key_by=None, time_range=None):
+def check(
+    *polluters,
+    seed=7,
+    parallelism=None,
+    key_by=None,
+    time_range=None,
+    failure_policy=None,
+):
     pipeline = PollutionPipeline(list(polluters), name="t")
     options = CheckOptions(
-        seed=seed, parallelism=parallelism, key_by=key_by, time_range=time_range
+        seed=seed,
+        parallelism=parallelism,
+        key_by=key_by,
+        time_range=time_range,
+        failure_policy=failure_policy,
     )
     return analyze(pipeline, SCHEMA, options)
 
@@ -303,6 +314,45 @@ class TestParallelRules:
             error=DropTuple(), attributes=[], condition=C.ProbabilityCondition(0.1)
         )
         assert "ICE505" not in check(dropper).rules()
+
+
+class TestSupervisionRules:
+    def test_ice506_retry_with_stateful_error(self):
+        frozen = StandardPolluter(
+            error=FrozenValue(), attributes=["v"], condition=C.ProbabilityCondition(0.2)
+        )
+        report = check(frozen, failure_policy="retry")
+        diags = report.by_rule("ICE506")
+        assert diags and diags[0].severity.label == "warning"
+
+    def test_ice506_retry_with_stateful_condition(self):
+        nth = StandardPolluter(
+            error=SetToNull(), attributes=["v"], condition=C.EveryNthCondition(5)
+        )
+        assert "ICE506" in check(nth, failure_policy="retry").rules()
+
+    def test_ice506_retry_with_tracked_history(self):
+        history = ErrorHistory()
+        upstream = track(nulls("v", name="up"), history, track_as="up")
+        assert "ICE506" in check(upstream, failure_policy="retry").rules()
+
+    def test_ice506_fires_without_parallelism(self):
+        # Retry re-dispatch diverges in any engine, not just sharded runs.
+        frozen = StandardPolluter(error=FrozenValue(), attributes=["v"])
+        assert "ICE506" in check(frozen, failure_policy="retry").rules()
+
+    def test_ice506_stateless_retry_clean(self):
+        report = check(
+            nulls("v", C.ProbabilityCondition(0.5)), failure_policy="retry"
+        )
+        assert "ICE506" not in report.rules()
+
+    def test_ice506_stateful_without_retry_clean(self):
+        frozen = StandardPolluter(
+            error=FrozenValue(), attributes=["v"], condition=C.ProbabilityCondition(0.2)
+        )
+        for policy in (None, "skip", "dead_letter", "fail_fast"):
+            assert "ICE506" not in check(frozen, failure_policy=policy).rules()
 
 
 class TestConflictRules:

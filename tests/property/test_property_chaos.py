@@ -1,0 +1,145 @@
+"""Hypothesis property test for the self-healing recovery contract.
+
+The recovery counterpart of ``test_property_parallel``: SIGKILL a random
+worker mid-run (the kill lands on whichever shard owns a randomly drawn
+record) and assert that the recovered keyed run is **byte-identical** —
+records, metadata columns, and pollution-log CSV — to the same plan run
+unfaulted and sequentially. Runs at parallelism 2 and 4, with and without
+checkpoints (without, the shard replays from scratch; with, it resumes from
+its newest intact snapshot — both must land on the same bytes).
+
+Worker processes and SIGKILLs are real, so examples are few and streams
+small; the deterministic tests in ``tests/parallel/test_recovery.py`` cover
+breadth, this covers input shape and kill position.
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import DuplicateTuple, GaussianNoise, SetToNull
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.parallel.chaos import KillWorker
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CsvSink
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("station", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+
+def _template(trigger_ts: int, marker: Path) -> PollutionPipeline:
+    # The kill injector leads the chain so the noise polluter cannot mutate
+    # the trigger attribute before it is read; disarmed (marker absent) the
+    # injector is a pure identity transform, which is what makes the
+    # faulted-vs-unfaulted comparison meaningful.
+    return PollutionPipeline(
+        [
+            StandardPolluter(
+                KillWorker(trigger_ts, marker, attribute="timestamp"),
+                [],
+                name="chaos",
+            ),
+            StandardPolluter(
+                GaussianNoise(2.0), ["value"], ProbabilityCondition(0.5), name="noise"
+            ),
+            StandardPolluter(
+                SetToNull(), ["value"], ProbabilityCondition(0.1), name="null"
+            ),
+            StandardPolluter(
+                DuplicateTuple(copies=1), [], ProbabilityCondition(0.1), name="dup"
+            ),
+        ],
+        name="chaos-prop",
+    )
+
+
+@st.composite
+def keyed_streams(draw):
+    n = draw(st.integers(10, 40))
+    n_keys = draw(st.integers(2, 5))
+    start = draw(st.integers(0, 2**30))
+    keys = draw(st.lists(st.integers(0, n_keys - 1), min_size=n, max_size=n))
+    values = draw(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n)
+    )
+    kill_at = draw(st.integers(0, n - 1))
+    return (
+        [
+            {"value": values[i], "station": f"k{keys[i]}", "timestamp": start + i * 60}
+            for i in range(n)
+        ],
+        start + kill_at * 60,
+    )
+
+
+def _csv_bytes(result) -> tuple[str, str]:
+    out = io.StringIO()
+    sink = CsvSink(SCHEMA, out, include_metadata=True)
+    for record in result.polluted:
+        sink.invoke(record)
+    sink.close()
+    log = io.StringIO()
+    result.log.to_csv(log)
+    return out.getvalue(), log.getvalue()
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(stream=keyed_streams(), seed=st.integers(0, 2**32 - 1))
+def test_killed_worker_recovery_is_byte_identical(stream, seed):
+    rows, trigger_ts = stream
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        sequential = pollute(
+            rows,
+            _template(trigger_ts, tmp / "absent"),
+            schema=SCHEMA,
+            key_by="station",
+            seed=seed,
+            check="off",
+        )
+        expected = _csv_bytes(sequential)
+        for parallelism in (2, 4):
+            for checkpointed in (False, True):
+                marker = tmp / f"kill-{parallelism}-{checkpointed}.marker"
+                marker.write_text("armed")
+                kwargs = {}
+                if checkpointed:
+                    kwargs["checkpoint_dir"] = str(
+                        tmp / f"ckpt-{parallelism}-{checkpointed}"
+                    )
+                    kwargs["checkpoint_interval"] = 7
+                faulted = pollute(
+                    rows,
+                    _template(trigger_ts, marker),
+                    schema=SCHEMA,
+                    key_by="station",
+                    seed=seed,
+                    parallelism=parallelism,
+                    check="off",
+                    heartbeat_timeout=15.0,
+                    **kwargs,
+                )
+                assert not marker.exists(), "the kill fault never fired"
+                assert faulted.report.shard_restarts >= 1
+                assert faulted.report.completed
+                assert _csv_bytes(faulted) == expected, (
+                    f"divergence after recovery at parallelism={parallelism}, "
+                    f"checkpointed={checkpointed}"
+                )

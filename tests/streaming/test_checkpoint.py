@@ -67,6 +67,84 @@ class TestCheckpointStore:
             CheckpointConfig(0)
 
 
+class TestCheckpointIntegrity:
+    """SHA-256 digests over checkpoint payloads: torn or garbled files must
+    be rejected with the offending path in the message, never half-loaded."""
+
+    @staticmethod
+    def _save_one(tmp_path, offset=5):
+        store = CheckpointStore(tmp_path)
+        return store.save(
+            Checkpoint(
+                source_index=0, offset=offset, records_seen=offset,
+                auto_watermark=123, generator_state=None, node_state={"n": offset},
+            )
+        )
+
+    def test_saved_file_carries_magic_and_digest(self, tmp_path):
+        from repro.streaming.checkpoint import CHECKPOINT_MAGIC
+
+        path = self._save_one(tmp_path)
+        raw = path.read_bytes()
+        assert raw.startswith(CHECKPOINT_MAGIC)
+        digest = raw[len(CHECKPOINT_MAGIC) : len(CHECKPOINT_MAGIC) + 64]
+        assert len(digest) == 64 and all(c in b"0123456789abcdef" for c in digest)
+
+    def test_truncated_checkpoint_rejected_naming_file(self, tmp_path):
+        path = self._save_one(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="integrity verification") as exc:
+            load_checkpoint(path)
+        assert path.name in str(exc.value)
+
+    def test_garbled_checkpoint_rejected_naming_file(self, tmp_path):
+        from repro.streaming.checkpoint import CHECKPOINT_MAGIC
+
+        path = self._save_one(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(CHECKPOINT_MAGIC) + 70] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="integrity verification") as exc:
+            load_checkpoint(path)
+        assert path.name in str(exc.value)
+
+    def test_header_torn_inside_digest_rejected(self, tmp_path):
+        from repro.streaming.checkpoint import CHECKPOINT_MAGIC
+
+        path = self._save_one(tmp_path)
+        path.write_bytes(path.read_bytes()[: len(CHECKPOINT_MAGIC) + 8])
+        with pytest.raises(CheckpointError) as exc:
+            load_checkpoint(path)
+        assert path.name in str(exc.value)
+
+    def test_legacy_headerless_checkpoint_still_loads(self, tmp_path):
+        # Pre-digest stores wrote the bare pickle; they must keep loading
+        # (unverified) so old checkpoint directories stay resumable.
+        ck = Checkpoint(0, 7, 7, None, None, {"n": 7})
+        legacy = tmp_path / "chk-000007.ckpt"
+        legacy.write_bytes(pickle.dumps(ck, protocol=pickle.HIGHEST_PROTOCOL))
+        assert load_checkpoint(legacy).offset == 7
+
+    def test_latest_valid_skips_corrupted_newest(self, tmp_path):
+        from repro.streaming.checkpoint import latest_valid_checkpoint
+
+        store = CheckpointStore(tmp_path)
+        first = store.save(Checkpoint(0, 1, 1, None, None, {}))
+        second = store.save(Checkpoint(0, 2, 2, None, None, {}))
+        raw = second.read_bytes()
+        second.write_bytes(raw[: len(raw) // 2])
+        assert latest_valid_checkpoint(tmp_path) == first
+
+    def test_latest_valid_none_when_all_corrupt_or_empty(self, tmp_path):
+        from repro.streaming.checkpoint import latest_valid_checkpoint
+
+        assert latest_valid_checkpoint(tmp_path) is None
+        path = self._save_one(tmp_path)
+        path.write_bytes(b"garbage")
+        assert latest_valid_checkpoint(tmp_path) is None
+
+
 class TestCheckpointedExecution:
     def test_checkpoints_taken_at_interval(self, simple_schema, simple_rows, tmp_path):
         env, _ = build_sum_topology(

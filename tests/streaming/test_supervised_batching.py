@@ -1,0 +1,259 @@
+"""Supervised micro-batching: slab rollback + per-record replay.
+
+Previously ``batch_size`` silently fell back to per-record execution the
+moment a ``failure_policy`` was set. Now the engine executes whole slabs
+and, when one raises, rolls the slab back (node state *and* emit counters)
+and replays it record-by-record under the supervisor — so exactly the
+poison record is skipped/retried/dead-lettered, never the surrounding
+``batch_size - 1`` records, and the output stays byte-identical to the
+supervised per-record path.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+import pytest
+
+from repro.core.conditions import ProbabilityCondition
+from repro.core.errors import GaussianNoise
+from repro.core.errors.base import ErrorFunction, ErrorOutput
+from repro.core.pipeline import PollutionPipeline
+from repro.core.polluter import StandardPolluter
+from repro.core.runner import pollute
+from repro.errors import NodeFailure
+from repro.streaming.record import Record
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.sink import CsvSink
+from repro.streaming.supervision import DEAD_LETTER, SKIP, FailurePolicy
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("station", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+ROWS = [
+    {"value": float(i), "station": f"s{i % 3}", "timestamp": 1_000_000 + i * 60}
+    for i in range(100)
+]
+
+POISON_VALUE = 37.0
+
+
+class ExplodeOnValue(ErrorFunction):
+    """Deterministic poison record: raises when the trigger value arrives."""
+
+    def __init__(self, value: float) -> None:
+        super().__init__()
+        self.value = value
+
+    def apply(
+        self,
+        record: Record,
+        attributes: Sequence[str],
+        tau: int,
+        intensity: float = 1.0,
+    ) -> ErrorOutput:
+        if record.get("value") == self.value:
+            raise RuntimeError(f"poison record at value={self.value}")
+        return record
+
+    def describe(self) -> str:
+        return f"explode(value={self.value})"
+
+
+def _poison_pipeline() -> PollutionPipeline:
+    # The bomb leads the chain so the noise polluter cannot rewrite the
+    # value it keys on.
+    return PollutionPipeline(
+        [
+            StandardPolluter(ExplodeOnValue(POISON_VALUE), ["value"], name="bomb"),
+            StandardPolluter(
+                GaussianNoise(1.0), ["value"], ProbabilityCondition(0.4), name="noise"
+            ),
+        ],
+        name="poisoned",
+    )
+
+
+def _csv_bytes(result) -> tuple[str, str]:
+    out = io.StringIO()
+    sink = CsvSink(SCHEMA, out, include_metadata=True)
+    for record in result.polluted:
+        sink.invoke(record)
+    sink.close()
+    log = io.StringIO()
+    result.log.to_csv(log)
+    return out.getvalue(), log.getvalue()
+
+
+class TestPoisonIsolation:
+    @pytest.mark.parametrize("batch_size", [2, 8, 64])
+    def test_dead_letter_isolates_only_the_poison_record(self, batch_size):
+        result = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=DEAD_LETTER,
+            batch_size=batch_size,
+            check="off",
+        )
+        report = result.report
+        assert len(report.dead_letters) == 1
+        assert report.dead_letters.records[0]["value"] == POISON_VALUE
+        # The rest of the slab survived: everything except the poison came out.
+        assert len(result.polluted) == len(ROWS) - 1
+        assert not any(r["value"] == POISON_VALUE for r in result.polluted)
+
+    @pytest.mark.parametrize("batch_size", [2, 8, 64])
+    def test_skip_isolates_only_the_poison_record(self, batch_size):
+        result = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=SKIP,
+            batch_size=batch_size,
+            check="off",
+        )
+        assert len(result.polluted) == len(ROWS) - 1
+        stats = result.report.stats_for("pollute[0]")
+        assert stats.skipped == 1
+
+    @pytest.mark.parametrize("batch_size", [2, 8, 64])
+    def test_supervised_batched_matches_supervised_per_record(self, batch_size):
+        per_record = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=DEAD_LETTER,
+            check="off",
+        )
+        batched = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=DEAD_LETTER,
+            batch_size=batch_size,
+            check="off",
+        )
+        assert _csv_bytes(batched) == _csv_bytes(per_record)
+        assert [r["value"] for r in batched.report.dead_letters.records] == [
+            r["value"] for r in per_record.report.dead_letters.records
+        ]
+
+    def test_clean_slab_pays_no_replay(self):
+        # Without a poison record the supervised batched run must equal the
+        # unsupervised batched run record-for-record (the slab path is the
+        # same; supervision only engages on failure).
+        plain = pollute(
+            ROWS,
+            PollutionPipeline(
+                [
+                    StandardPolluter(
+                        GaussianNoise(1.0),
+                        ["value"],
+                        ProbabilityCondition(0.4),
+                        name="noise",
+                    )
+                ],
+                name="clean",
+            ),
+            schema=SCHEMA,
+            seed=11,
+            batch_size=8,
+            check="off",
+        )
+        supervised = pollute(
+            ROWS,
+            PollutionPipeline(
+                [
+                    StandardPolluter(
+                        GaussianNoise(1.0),
+                        ["value"],
+                        ProbabilityCondition(0.4),
+                        name="noise",
+                    )
+                ],
+                name="clean",
+            ),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=DEAD_LETTER,
+            batch_size=8,
+            check="off",
+        )
+        assert _csv_bytes(supervised)[0] == _csv_bytes(plain)[0]
+        assert len(supervised.report.dead_letters) == 0
+
+    def test_retry_exhaustion_escalates_within_slab(self):
+        result = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            failure_policy=FailurePolicy.retry(
+                2, backoff=0.0, exhausted=DEAD_LETTER
+            ),
+            batch_size=8,
+            check="off",
+        )
+        assert len(result.report.dead_letters) == 1
+        stats = result.report.stats_for("pollute[0]")
+        assert stats.retried == 2
+        assert stats.dead_lettered == 1
+
+    def test_fail_fast_still_raises_from_slab(self):
+        from repro.streaming.supervision import FAIL_FAST
+
+        with pytest.raises(NodeFailure, match="poison record"):
+            pollute(
+                ROWS,
+                _poison_pipeline(),
+                schema=SCHEMA,
+                seed=11,
+                failure_policy=FAIL_FAST,
+                batch_size=8,
+                check="off",
+            )
+
+
+class TestParallelComposition:
+    @pytest.mark.parametrize("batch_size", [None, 8])
+    def test_shard_workers_enforce_policy_locally(self, batch_size):
+        result = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            key_by="station",
+            parallelism=2,
+            failure_policy=DEAD_LETTER,
+            batch_size=batch_size,
+            check="off",
+        )
+        assert result.report.completed
+        assert len(result.report.dead_letters) == 1
+        assert result.report.dead_letters.records[0]["value"] == POISON_VALUE
+        assert len(result.polluted) == len(ROWS) - 1
+
+    def test_dead_letter_counts_merge_at_coordinator(self):
+        result = pollute(
+            ROWS,
+            _poison_pipeline(),
+            schema=SCHEMA,
+            seed=11,
+            key_by="station",
+            parallelism=2,
+            failure_policy=DEAD_LETTER,
+            batch_size=8,
+            check="off",
+        )
+        assert result.report.total("dead_lettered") == 1

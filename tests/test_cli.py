@@ -456,6 +456,46 @@ class TestParallelCli:
         assert rc == 2
         assert "--parallel" in capsys.readouterr().err
 
+    def test_recovery_flags_require_parallel(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        assert main(self._args(paths, "--max-shard-restarts", "3")) == 2
+        assert "--max-shard-restarts only applies" in capsys.readouterr().err
+        assert main(self._args(paths, "--heartbeat-timeout", "5")) == 2
+        assert "--heartbeat-timeout only applies" in capsys.readouterr().err
+
+    def test_recovery_flags_validated(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        rc = main(
+            self._args(paths, "--parallel", "2", "--max-shard-restarts", "-1")
+        )
+        assert rc == 2
+        assert "--max-shard-restarts must be >= 0" in capsys.readouterr().err
+
+    def test_recovery_flags_accepted_with_parallel(self, keyed_workspace, capsys):
+        paths, _ = keyed_workspace
+        rc = main(
+            self._args(
+                paths,
+                "--seed", "5", "--key-by", "station", "--parallel", "2",
+                "--max-shard-restarts", "1", "--heartbeat-timeout", "10",
+            )
+        )
+        assert rc == 0
+        assert "errors injected" in capsys.readouterr().out
+
+    def test_heartbeat_timeout_zero_disables_watchdog(self, keyed_workspace):
+        # 0 is the CLI spelling of "no hang detection"; the run must still
+        # complete (it maps to heartbeat_timeout=None underneath).
+        paths, _ = keyed_workspace
+        rc = main(
+            self._args(
+                paths,
+                "--seed", "5", "--key-by", "station", "--parallel", "2",
+                "--heartbeat-timeout", "0",
+            )
+        )
+        assert rc == 0
+
     def test_parallel_checkpoint_and_resume(self, keyed_workspace):
         paths, _ = keyed_workspace
         ck = paths["tmp"] / "ck"
