@@ -1,0 +1,138 @@
+"""Overhead bench for the live telemetry plane.
+
+The telemetry plane (per-shard live gauges, the run ledger, ``--profile``
+attribution, the progress renderer) hooks the per-record stream path and
+the worker heartbeat path, so its cost must be bounded in both directions:
+
+* **off** — with every telemetry feature disabled (the shipped default),
+  the hooks reduce to ``is None`` checks and must cost at most 2% over the
+  plain stream run;
+* **on** — with profiling, the run ledger, and a (non-TTY) progress
+  renderer all enabled, the full plane must cost at most 10%.
+
+Timings use interleaved minima (see ``benchmarks/conftest.py``) so
+machine-load drift hits all variants alike. Results land in
+``BENCH_obs_live.json`` at the repo root so CI can upload and diff them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale, interleaved_minima, report, scaled
+from benchmarks.bench_parallel_scaling import SCHEMA, make_pipeline, make_rows
+from repro.core.runner import pollute
+from repro.experiments.reporting import render_table
+from repro.obs import LiveAggregator, ProgressRenderer, RunLedger
+
+OBS_BENCH_FILE = Path(__file__).parent.parent / "BENCH_obs_live.json"
+
+# Disabled hooks are `is None` checks on the hot path; enabled telemetry
+# adds clock reads, ledger appends, and renderer frames — bounded but real.
+OFF_CEILING = 0.02
+ON_CEILING = 0.10
+
+
+def record_obs_bench(data: dict) -> None:
+    payload: dict = {}
+    if OBS_BENCH_FILE.exists():
+        try:
+            payload = json.loads(OBS_BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["live_telemetry_overhead"] = {"scale": bench_scale(), **data}
+    OBS_BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_telemetry_overhead_within_ceilings(benchmark):
+    n = scaled(small=6_000, paper=30_000)
+    terms = scaled(small=80, paper=160)
+    rows = make_rows(n)
+    pipeline_terms = terms
+    cores = os.cpu_count() or 1
+
+    def run(**kwargs) -> float:
+        start = time.perf_counter()
+        result = pollute(
+            rows,
+            make_pipeline(pipeline_terms),
+            schema=SCHEMA,
+            seed=7,
+            check="off",
+            engine="stream",
+            batch_size=256,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - start
+        assert result.polluted
+        return elapsed
+
+    def run_on() -> float:
+        # Full plane: profiling attribution, the run ledger, and a live
+        # progress renderer on a non-TTY stream (the CI-shaped worst case
+        # that still renders every frame to a real buffer).
+        aggregator = LiveAggregator()
+        renderer = ProgressRenderer(aggregator, stream=io.StringIO(), interval=0.1)
+        return run(profile=True, ledger=RunLedger(), progress=renderer)
+
+    runners = {
+        # The shipped default: telemetry compiled in, everything disabled.
+        "off": lambda: run(profile=False, ledger=None, progress=False),
+        # The plain run the hooks were grafted onto.
+        "baseline": lambda: run(),
+        # Everything on.
+        "on": run_on,
+    }
+
+    run()  # warm-up
+    minima = interleaved_minima(
+        runners,
+        min_rounds=4,
+        max_rounds=12,
+        converged=lambda m: (
+            m["off"] / m["baseline"] <= 1.0 + OFF_CEILING
+            and m["on"] / m["baseline"] <= 1.0 + ON_CEILING
+        ),
+    )
+    benchmark.pedantic(runners["off"], rounds=1, iterations=1)
+
+    off_overhead = minima["off"] / minima["baseline"] - 1.0
+    on_overhead = minima["on"] / minima["baseline"] - 1.0
+    report(
+        f"Live telemetry overhead — stream engine, {n} records, {cores} cores",
+        render_table(
+            ["variant", "seconds", "records/s"],
+            [
+                [name, f"{t:.3f}", f"{n / t:,.0f}"]
+                for name, t in minima.items()
+            ],
+        )
+        + f"\noff: {off_overhead * 100:+.2f}% (ceiling {OFF_CEILING * 100:.0f}%)"
+        + f"\non:  {on_overhead * 100:+.2f}% (ceiling {ON_CEILING * 100:.0f}%)",
+    )
+    record_obs_bench(
+        {
+            "n_records": n,
+            "cpu_cores": cores,
+            "seconds_baseline": minima["baseline"],
+            "seconds_off": minima["off"],
+            "seconds_on": minima["on"],
+            "off_overhead_fraction": off_overhead,
+            "on_overhead_fraction": on_overhead,
+            "off_ceiling": OFF_CEILING,
+            "on_ceiling": ON_CEILING,
+        }
+    )
+
+    assert off_overhead <= OFF_CEILING, (
+        f"disabled telemetry costs {off_overhead * 100:.1f}%, over the "
+        f"{OFF_CEILING * 100:.0f}% ceiling"
+    )
+    assert on_overhead <= ON_CEILING, (
+        f"enabled telemetry costs {on_overhead * 100:.1f}%, over the "
+        f"{ON_CEILING * 100:.0f}% ceiling"
+    )

@@ -43,15 +43,17 @@ def run_batched(
     strategy: SplitStrategy,
     log: PollutionLog | None,
     batch_size: int,
+    profiler=None,
 ) -> tuple[list[Record], list[Record]]:
     """Run the direct engine in slabs of ``batch_size`` prepared records.
 
     Returns ``(clean, polluted)`` exactly like the sequential direct path;
-    the caller re-sorts the pollution log afterwards.
+    the caller re-sorts the pollution log afterwards. ``profiler`` makes
+    the compiled kernels time their slabs (observational only).
     """
     if batch_size < 1:
         raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
-    compiled = [compile_pipeline(pipeline) for pipeline in pipelines]
+    compiled = [compile_pipeline(pipeline, profiler=profiler) for pipeline in pipelines]
     clean: list[Record] = []
     substreams: list[list[Record]] = [[] for _ in pipelines]
     pending_records: list[list[Record]] = [[] for _ in pipelines]

@@ -39,7 +39,8 @@ changes (restored by a stable record-ID sort, see
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from time import perf_counter
+from typing import Any, Callable, Sequence
 
 from repro.core.conditions.random import (
     AlwaysCondition,
@@ -57,6 +58,30 @@ from repro.streaming.record import Record
 
 #: A mask function: records + taus -> per-row fired flags.
 MaskFn = Callable[[Sequence[Record], Sequence[int]], list[bool]]
+
+
+def kernel_kind(polluter: Polluter) -> str:
+    """``"standard"`` or ``"fallback"`` — the gate :func:`compile_pipeline` uses.
+
+    Exposed on its own so the profiler can name would-be fallback polluters
+    even when a run never enters batch mode.
+    """
+    if (
+        isinstance(polluter, StandardPolluter)
+        and type(polluter).apply is StandardPolluter.apply
+        and type(polluter).apply_fired is StandardPolluter.apply_fired
+    ):
+        return "standard"
+    return "fallback"
+
+
+def polluter_label(polluter: Polluter) -> str:
+    """Stable display name for profile/ledger attribution."""
+    return (
+        getattr(polluter, "_qualified_name", None)
+        or getattr(polluter, "name", None)
+        or type(polluter).__name__
+    )
 
 
 def _compile_mask(polluter: StandardPolluter) -> MaskFn:
@@ -92,9 +117,39 @@ def _compile_mask(polluter: StandardPolluter) -> MaskFn:
 
 
 class PolluterKernel:
-    """One compiled chain step: a batch in, a (possibly fanned) batch out."""
+    """One compiled chain step: a batch in, a (possibly fanned) batch out.
+
+    When ``profiler`` is attached (see :func:`compile_pipeline`),
+    :meth:`apply_batch` times each slab and feeds the polluter's row in
+    :class:`~repro.obs.profile.Profiler` — timing is observational only and
+    never touches the records, so the byte-identity contract is unaffected.
+    """
+
+    profiler: Any = None  # repro.obs.profile.Profiler, attached at compile
+    label: str = ""
+    mask_seconds = 0.0  # per-slab condition-mask cost, set by StandardKernel
 
     def apply_batch(
+        self,
+        records: list[Record],
+        taus: list[int],
+        log: PollutionLog | None,
+    ) -> tuple[list[Record], list[int]]:
+        profiler = self.profiler
+        if profiler is None:
+            return self._apply_batch(records, taus, log)
+        self.mask_seconds = 0.0
+        start = perf_counter()
+        out = self._apply_batch(records, taus, log)
+        profiler.add_kernel(
+            self.label,
+            perf_counter() - start,
+            rows=len(records),
+            mask_seconds=self.mask_seconds,
+        )
+        return out
+
+    def _apply_batch(
         self,
         records: list[Record],
         taus: list[int],
@@ -114,7 +169,7 @@ class FallbackKernel(PolluterKernel):
     def __init__(self, polluter: Polluter) -> None:
         self.polluter = polluter
 
-    def apply_batch(self, records, taus, log):
+    def _apply_batch(self, records, taus, log):
         out_records: list[Record] = []
         out_taus: list[int] = []
         apply = self.polluter.apply
@@ -134,9 +189,14 @@ class StandardKernel(PolluterKernel):
         # Exact-type gate: a GaussianNoise subclass could change apply().
         self._gaussian = type(polluter.error) is GaussianNoise
 
-    def apply_batch(self, records, taus, log):
+    def _apply_batch(self, records, taus, log):
         polluter = self.polluter
-        mask = self._mask(records, taus)
+        if self.profiler is None:
+            mask = self._mask(records, taus)
+        else:
+            mask_start = perf_counter()
+            mask = self._mask(records, taus)
+            self.mask_seconds = perf_counter() - mask_start
         n_fired = sum(mask)
         obs = polluter._obs
         if obs is not None and n_fired != len(records):
@@ -240,8 +300,15 @@ class CompiledPipeline:
         return records, taus
 
 
-def compile_pipeline(pipeline: PollutionPipeline) -> CompiledPipeline:
-    """Compile a (bound) pipeline into its batch-kernel chain."""
+def compile_pipeline(
+    pipeline: PollutionPipeline, profiler: Any = None
+) -> CompiledPipeline:
+    """Compile a (bound) pipeline into its batch-kernel chain.
+
+    ``profiler`` (a :class:`repro.obs.profile.Profiler`) makes every kernel
+    time its slabs and registers each polluter's kernel kind, so fallback
+    polluters are named in the profile.
+    """
     if not pipeline.is_bound and any(_needs_rng(p) for p in pipeline.polluters):
         raise PollutionError(
             f"pipeline {pipeline.name!r} contains stochastic polluters but was "
@@ -249,12 +316,15 @@ def compile_pipeline(pipeline: PollutionPipeline) -> CompiledPipeline:
         )
     kernels: list[PolluterKernel] = []
     for polluter in pipeline.polluters:
-        if (
-            isinstance(polluter, StandardPolluter)
-            and type(polluter).apply is StandardPolluter.apply
-            and type(polluter).apply_fired is StandardPolluter.apply_fired
-        ):
-            kernels.append(StandardKernel(polluter))
+        kind = kernel_kind(polluter)
+        kernel: PolluterKernel
+        if kind == "standard":
+            kernel = StandardKernel(polluter)  # type: ignore[arg-type]
         else:
-            kernels.append(FallbackKernel(polluter))
+            kernel = FallbackKernel(polluter)
+        if profiler is not None:
+            kernel.profiler = profiler
+            kernel.label = polluter_label(polluter)
+            profiler.register_kernel(kernel.label, kind)
+        kernels.append(kernel)
     return CompiledPipeline(pipeline, kernels)

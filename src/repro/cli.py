@@ -49,7 +49,7 @@ from repro.core.config import pipeline_from_config
 from repro.core.runner import pollute
 from repro.datasets.io import load_records, save_records
 from repro.errors import ConfigError, IcewaflError
-from repro.obs import FORMATS, MetricsRegistry, Tracer, write_metrics
+from repro.obs import FORMATS, MetricsRegistry, RunLedger, Tracer, write_metrics
 from repro.quality import (
     ExpectColumnMeanToBeBetween,
     ExpectColumnMedianToBeBetween,
@@ -213,7 +213,14 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     records = load_records(schema, args.input)
     metrics = MetricsRegistry() if args.metrics_out else None
     tracer = Tracer() if args.trace_out else None
-    kwargs: dict[str, Any] = {"metrics": metrics, "tracer": tracer}
+    ledger = RunLedger() if args.ledger_out else None
+    kwargs: dict[str, Any] = {
+        "metrics": metrics,
+        "tracer": tracer,
+        "ledger": ledger,
+        "profile": bool(args.profile),
+        "progress": bool(args.progress),
+    }
     if args.on_error is not None or args.checkpoint_dir is not None:
         kwargs.update(
             failure_policy=_failure_policy_from_args(args) if args.on_error else None,
@@ -251,8 +258,13 @@ def cmd_pollute(args: argparse.Namespace) -> int:
         print(report.summary())
         if report.dead_letters:
             print(report.dead_letters.summary())
+    if args.profile and result.profile is not None:
+        print(result.profile.render_table())
+    if ledger is not None:
+        ledger.to_jsonl(args.ledger_out)
+        print(f"run ledger: {len(ledger)} events ({args.ledger_out})")
     if metrics is not None:
-        write_metrics(metrics, args.metrics_out, args.metrics_format)
+        write_metrics(metrics, args.metrics_out, args.metrics_format, tracer=tracer)
     if tracer is not None:
         tracer.to_jsonl(args.trace_out)
     return 0
@@ -443,6 +455,24 @@ def _add_observability_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_live_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--progress", action="store_true",
+        help="live progress on stderr: an in-place top-style per-shard table "
+        "on a TTY, one plain line per refresh otherwise",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="attribute run time to phases, nodes, and batch kernels "
+        "(including FallbackKernel polluters); prints a top-offenders table",
+    )
+    p.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="write the run's structured lifecycle event log (run/shard/"
+        "checkpoint events, merged across workers) as JSONL to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Icewafl reproduction command-line interface"
@@ -510,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-flight static plan analysis before running (default warn)",
     )
     _add_observability_args(p)
+    _add_live_args(p)
     p.set_defaults(fn=cmd_pollute)
 
     k = sub.add_parser(

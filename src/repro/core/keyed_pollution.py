@@ -90,17 +90,24 @@ class KeyedPollutionProcessFunction(KeyedProcessFunction):
         random_source: RandomSource,
         log: PollutionLog | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: Any = None,
     ) -> None:
         self._factory = pipeline_factory
         self._source = random_source
         self._log = log
         self._metrics = metrics if metrics is not None and metrics.enabled else None
+        self._profiler = profiler
         self._pipelines: dict[Hashable, PollutionPipeline] = {}
         self._pending_state: dict[str, Any] = {}
 
     def _pipeline_for(self, key: Hashable) -> PollutionPipeline:
         if key not in self._pipelines:
             pipeline = self._factory(key)
+            if self._profiler is not None:
+                # Classify before the name is key-scoped: per-key polluter
+                # instances then share one label per polluter, not one per
+                # (key, polluter).
+                self._profiler.register_pipeline(pipeline)
             # Scope the pipeline's named streams by the key so per-key
             # randomness is independent and stable under key additions.
             pipeline.name = f"{pipeline.name}/key={key!r}"
@@ -161,6 +168,7 @@ def run_keyed_direct(
     random_source: RandomSource,
     pollution_log: PollutionLog | None = None,
     metrics: MetricsRegistry | None = None,
+    profiler: Any = None,
 ) -> list[Record]:
     """Apply per-key pollution to an already-prepared record stream.
 
@@ -172,7 +180,7 @@ def run_keyed_direct(
     originals must survive. Returns the unsorted polluted records.
     """
     operator = KeyedPollutionProcessFunction(
-        pipeline_factory, random_source, pollution_log, metrics
+        pipeline_factory, random_source, pollution_log, metrics, profiler=profiler
     )
     polluted: list[Record] = []
     collector = Collector(polluted.append)

@@ -22,6 +22,9 @@ in the execution substrate.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -32,7 +35,10 @@ from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, PrepareFunction, prepare_stream
 from repro.core.rng import RandomSource
 from repro.errors import PollutionError
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, RunLedger
+from repro.obs.live import ProgressRenderer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
 from repro.obs.tracing import Tracer
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore
 from repro.streaming.environment import StreamExecutionEnvironment
@@ -56,6 +62,10 @@ class PollutionResult:
     seed: int | None = None
     report: ExecutionReport | None = None
     metrics: MetricsRegistry | None = None
+    #: The run's :class:`~repro.obs.profile.Profiler` when ``profile=True``.
+    profile: Profiler | None = None
+    #: The run's :class:`~repro.obs.ledger.RunLedger` when one was passed.
+    ledger: RunLedger | None = None
 
     @property
     def n_clean(self) -> int:
@@ -153,6 +163,9 @@ def pollute(
     batch_size: int | None = None,
     max_shard_restarts: int = 2,
     heartbeat_timeout: float | None = 30.0,
+    profile: bool = False,
+    ledger: RunLedger | None = None,
+    progress: ProgressRenderer | bool = False,
 ) -> PollutionResult:
     """Run Algorithm 1.
 
@@ -244,6 +257,22 @@ def pollute(
         Parallel runtime only (ignored otherwise): seconds of worker silence
         before the coordinator's watchdog declares the shard hung and
         recovers it; ``None`` disables hang detection.
+    profile:
+        Opt-in wall-time attribution (:class:`~repro.obs.profile.Profiler`):
+        run phases, per-node exclusive time, and per-kernel timing —
+        including which polluters run on the ``FallbackKernel`` — land in
+        ``result.profile``. Observational only; output is byte-identical.
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` receiving the run's
+        structured lifecycle event log (run start/complete, checkpoint
+        writes/restores, batch slab boundaries; plus the full shard
+        lifecycle in parallel runs). Write it out with
+        :meth:`~repro.obs.ledger.RunLedger.to_jsonl`.
+    progress:
+        ``True`` (or a preconfigured
+        :class:`~repro.obs.live.ProgressRenderer`) paints live progress to
+        stderr: an in-place ``top``-style table on a TTY, one plain line per
+        refresh otherwise.
     """
     _run_preflight(
         check,
@@ -298,6 +327,9 @@ def pollute(
             batch_size=batch_size,
             max_shard_restarts=max_shard_restarts,
             heartbeat_timeout=heartbeat_timeout,
+            profile=profile,
+            ledger=ledger,
+            progress=progress,
             check="off",  # the pre-flight above already covered this plan
         )
     if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
@@ -320,6 +352,9 @@ def pollute(
             resume_from=resume_from,
             metrics=metrics,
             tracer=tracer,
+            profile=profile,
+            ledger=ledger,
+            progress=progress,
         )
     if pipeline_factory is not None:
         raise PollutionError("pipeline_factory requires key_by")
@@ -345,6 +380,16 @@ def pollute(
     metered = metrics is not None and metrics.enabled
     if metered or tracer is not None:
         engine = "stream"  # node metrics/spans only exist in the stream engine
+    profiler = Profiler() if profile else None
+    renderer: ProgressRenderer | None = (
+        progress
+        if isinstance(progress, ProgressRenderer)
+        else (ProgressRenderer() if progress else None)
+    )
+    if profiler is not None or renderer is not None or ledger is not None:
+        # Telemetry hooks (node timing, progress ticks, slab/checkpoint
+        # events) live in the stream engine; output stays byte-identical.
+        engine = "stream"
 
     source, schema = _coerce_source(data, schema)
     m = len(pipelines)
@@ -362,6 +407,22 @@ def pollute(
         pipeline.bind_metrics(metrics if metered else None)
     pollution_log = PollutionLog() if log else None
 
+    if ledger is not None:
+        config = {
+            "engine": engine,
+            "seed": seed,
+            "batch_size": batch_size,
+            "pipelines": sorted(p.name for p in pipelines),
+            "checkpoint_interval": checkpoint_interval if checkpoint_dir else None,
+        }
+        ledger.record(
+            "run.start",
+            ledger_schema=LEDGER_SCHEMA_VERSION,
+            config_hash=_config_digest(config),
+            engine=engine,
+            seed=seed,
+        )
+
     batched = batch_size is not None and batch_size > 1
     report: ExecutionReport | None = None
     try:
@@ -377,24 +438,41 @@ def pollute(
                     source, schema, pipelines, strategy, pollution_log
                 )
         else:
-            clean, polluted, report = _run_stream(
-                source,
-                schema,
-                pipelines,
-                strategy,
-                pollution_log,
-                failure_policy=failure_policy,
-                checkpoint_dir=checkpoint_dir,
-                checkpoint_interval=checkpoint_interval,
-                resume_from=resume_from,
-                metrics=metrics if metered else None,
-                tracer=tracer,
-                batch_size=batch_size,
-            )
+            with profiler.phase("execute") if profiler is not None else nullcontext():
+                clean, polluted, report = _run_stream(
+                    source,
+                    schema,
+                    pipelines,
+                    strategy,
+                    pollution_log,
+                    failure_policy=failure_policy,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_interval=checkpoint_interval,
+                    resume_from=resume_from,
+                    metrics=metrics if metered else None,
+                    tracer=tracer,
+                    batch_size=batch_size,
+                    profiler=profiler,
+                    ledger=ledger,
+                    progress=renderer,
+                )
     finally:
         if metered:
             for pipeline in pipelines:
                 pipeline.flush_metrics()
+        if renderer is not None:
+            renderer.finish()
+    if profiler is not None:
+        profiler.finish()
+        if metered:
+            profiler.to_metrics(metrics)
+    if ledger is not None:
+        ledger.record(
+            "run.complete",
+            records_in=len(clean),
+            records_out=len(polluted),
+            completed=report.completed if report is not None else True,
+        )
     if batched and pollution_log is not None:
         # Batch kernels append log events polluter-major; the stable
         # record-ID sort restores the sequential record-major order exactly
@@ -409,7 +487,15 @@ def pollute(
         seed=seed,
         report=report,
         metrics=metrics if metered else None,
+        profile=profiler,
+        ledger=ledger,
     )
+
+
+def _config_digest(body: dict[str, Any]) -> str:
+    """SHA-256 over a run configuration in canonical (sorted, compact) JSON."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -432,6 +518,9 @@ def _pollute_keyed_sequential(
     resume_from: Checkpoint | str | Path | None,
     metrics: MetricsRegistry | None,
     tracer: Tracer | None,
+    profile: bool = False,
+    ledger: RunLedger | None = None,
+    progress: ProgressRenderer | bool = False,
 ) -> PollutionResult:
     """``pollute(key_by=...)`` without parallelism: the reference keyed loop.
 
@@ -477,22 +566,70 @@ def _pollute_keyed_sequential(
     source, schema = _coerce_source(data, schema)
     metered = metrics is not None and metrics.enabled
     pollution_log = PollutionLog() if log else None
-    clean = list(prepare_stream(source, schema, IdGenerator()))
-    polluted = run_keyed_direct(
-        (record.copy() for record in clean),
-        key_selector,
-        pipeline_factory,
-        RandomSource(seed),
-        pollution_log,
-        metrics if metered else None,
+    profiler = Profiler() if profile else None
+    renderer: ProgressRenderer | None = (
+        progress
+        if isinstance(progress, ProgressRenderer)
+        else (ProgressRenderer() if progress else None)
     )
+    if ledger is not None:
+        config = {
+            "engine": "keyed-direct",
+            "seed": seed,
+            "keyed": True,
+        }
+        ledger.record(
+            "run.start",
+            ledger_schema=LEDGER_SCHEMA_VERSION,
+            config_hash=_config_digest(config),
+            engine="keyed-direct",
+            seed=seed,
+        )
+    with profiler.phase("prepare") if profiler is not None else nullcontext():
+        clean = list(prepare_stream(source, schema, IdGenerator()))
+
+    def _feed():
+        for i, record in enumerate(clean, 1):
+            if renderer is not None and (i & 1023) == 0:
+                renderer.tick(i)
+            yield record.copy()
+
+    try:
+        with profiler.phase("execute") if profiler is not None else nullcontext():
+            polluted = run_keyed_direct(
+                _feed(),
+                key_selector,
+                pipeline_factory,
+                RandomSource(seed),
+                pollution_log,
+                metrics if metered else None,
+                profiler=profiler,
+            )
+    finally:
+        if renderer is not None:
+            renderer.tick(len(clean))
+            renderer.finish()
+    if profiler is not None:
+        profiler.finish()
+        if metered:
+            profiler.to_metrics(metrics)
+    polluted = sort_by_timestamp(polluted, schema)
+    if ledger is not None:
+        ledger.record(
+            "run.complete",
+            records_in=len(clean),
+            records_out=len(polluted),
+            completed=True,
+        )
     return PollutionResult(
         clean=clean,
-        polluted=sort_by_timestamp(polluted, schema),
+        polluted=polluted,
         log=pollution_log if pollution_log is not None else PollutionLog(),
         schema=schema,
         seed=seed,
         metrics=metrics if metered else None,
+        profile=profiler,
+        ledger=ledger,
     )
 
 
@@ -530,10 +667,18 @@ def _run_direct(
 class PollutionProcessFunction(ProcessFunction):
     """A pollution pipeline as a streaming-engine process operator."""
 
-    def __init__(self, pipeline: PollutionPipeline, log: PollutionLog | None) -> None:
+    def __init__(
+        self,
+        pipeline: PollutionPipeline,
+        log: PollutionLog | None,
+        profiler: Profiler | None = None,
+    ) -> None:
         self._pipeline = pipeline
         self._log = log
+        self._profiler = profiler
         self._compiled = None
+        if profiler is not None:
+            profiler.register_pipeline(pipeline)
 
     def process(self, record: Record, ctx: ProcessContext, out: Collector) -> None:
         tau = record.event_time
@@ -554,7 +699,9 @@ class PollutionProcessFunction(ProcessFunction):
         if compiled is None:
             from repro.batch.kernels import compile_pipeline
 
-            compiled = self._compiled = compile_pipeline(self._pipeline)
+            compiled = self._compiled = compile_pipeline(
+                self._pipeline, profiler=self._profiler
+            )
         taus: list[int] = []
         for record in records:
             tau = record.event_time
@@ -597,8 +744,18 @@ def _run_stream(
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     batch_size: int | None = None,
+    profiler: Profiler | None = None,
+    ledger: RunLedger | None = None,
+    progress: ProgressRenderer | None = None,
 ) -> tuple[list[Record], list[Record], ExecutionReport]:
-    env = StreamExecutionEnvironment(metrics=metrics, tracer=tracer, batch_size=batch_size)
+    env = StreamExecutionEnvironment(
+        metrics=metrics,
+        tracer=tracer,
+        batch_size=batch_size,
+        ledger=ledger,
+        profiler=profiler,
+        progress=progress,
+    )
     if failure_policy is not None:
         env.set_failure_policy(failure_policy)
     if checkpoint_dir is not None:
@@ -610,7 +767,10 @@ def _run_stream(
     prepared.map(lambda r: r.copy(), name="tee-clean").add_sink(clean_sink, name="clean")
     branches = prepared.split(strategy, name="substreams")
     polluted_branches = [
-        branch.process(PollutionProcessFunction(pipeline, log), name=f"pollute[{i}]")
+        branch.process(
+            PollutionProcessFunction(pipeline, log, profiler=profiler),
+            name=f"pollute[{i}]",
+        )
         for i, (branch, pipeline) in enumerate(zip(branches, pipelines))
     ]
     merged = (

@@ -9,7 +9,15 @@ A zero-dependency subsystem threaded through every layer of the runtime:
   open/close, checkpoint write/restore, retry attempts, sampled record
   dispatches) to a bounded ring buffer or a JSONL sink;
 * :mod:`repro.obs.export` — summary-table, JSONL, and Prometheus text
-  renderers.
+  renderers (with ``# HELP``/``# TYPE`` conformance);
+* :mod:`repro.obs.live` — :class:`LiveAggregator` folding streaming
+  per-shard telemetry into live gauges, plus the :class:`ProgressRenderer`
+  behind ``--progress``;
+* :mod:`repro.obs.ledger` — :class:`RunLedger`, the merged JSONL lifecycle
+  event log behind ``--ledger-out`` (schema
+  :data:`~repro.obs.ledger.LEDGER_SCHEMA_VERSION`);
+* :mod:`repro.obs.profile` — :class:`Profiler`, the opt-in wall-time
+  attribution layer behind ``--profile``.
 
 The streaming engine (:mod:`repro.streaming.environment`), the supervisor
 (:mod:`repro.streaming.supervision`), and the pollution layer
@@ -21,12 +29,15 @@ outputs instead of post-hoc reconstructions.
 
 from repro.obs.export import (
     FORMATS,
+    METRIC_HELP,
     render_jsonl,
     render_metrics,
     render_prometheus,
     render_summary,
     write_metrics,
 )
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, RunLedger, replay, shard_timeline
+from repro.obs.live import LiveAggregator, ProgressRenderer, ShardView
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     SIZE_BUCKETS,
@@ -35,6 +46,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import PROFILE_SCHEMA_VERSION, Profiler
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -43,13 +55,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "LEDGER_SCHEMA_VERSION",
+    "LiveAggregator",
+    "METRIC_HELP",
     "MetricsRegistry",
+    "PROFILE_SCHEMA_VERSION",
+    "Profiler",
+    "ProgressRenderer",
+    "RunLedger",
     "SIZE_BUCKETS",
+    "ShardView",
     "Span",
     "Tracer",
     "render_jsonl",
     "render_metrics",
     "render_prometheus",
     "render_summary",
+    "replay",
+    "shard_timeline",
     "write_metrics",
 ]

@@ -17,8 +17,51 @@ import json
 from pathlib import Path
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
 
 FORMATS = ("summary", "jsonl", "prom")
+
+#: Curated ``# HELP`` texts for the metric families the runtime emits.
+#: Keys use the *exposed* name (counters carry their ``_total`` suffix).
+#: Families not listed fall back to a generic text — the conformance test
+#: only requires that every family has one.
+METRIC_HELP: dict[str, str] = {
+    "pollution_injections_total": "Injected errors per polluter, error type, and attribute.",
+    "polluter_activations_total": "Times a polluter's condition fired.",
+    "condition_hits_total": "Condition evaluations that selected a record.",
+    "condition_misses_total": "Condition evaluations that passed a record through.",
+    "source_records_total": "Records drained from each source.",
+    "node_records_in_total": "Records arriving at each stream node.",
+    "node_records_out_total": "Records emitted by each stream node.",
+    "node_process_seconds": "Sampled per-dispatch processing latency per node.",
+    "records_skipped_total": "Records dropped by the SKIP failure policy.",
+    "records_retried_total": "Record dispatches retried under the RETRY policy.",
+    "dead_letters_total": "Records routed to the dead-letter sink.",
+    "watermark_lag_seconds": "Processing-time lag behind the newest event timestamp.",
+    "checkpoints_written_total": "Checkpoints persisted by the engine.",
+    "checkpoints_restored_total": "Checkpoint restores performed by the engine.",
+    "checkpoint_write_seconds": "Wall time spent writing each checkpoint.",
+    "checkpoint_size_bytes": "Serialized size of each checkpoint.",
+    "shard_records_out_total": "Records emitted by each parallel shard.",
+    "shard_watermark": "Final event-time watermark reached by each shard.",
+    "parallel_shards_total": "Worker shards launched for the run.",
+    "parallel_shard_restarts_total": "Shard restarts performed by the self-healing runtime.",
+    "parallel_degraded_shards_total": "Shards degraded to in-coordinator sequential drains.",
+    "merged_watermark": "Low watermark of the coordinator's merged output.",
+    "live_shard_records_out": "Live records emitted by the shard's current incarnation.",
+    "live_shard_records_per_second": "Live per-shard throughput over the last telemetry interval.",
+    "live_shard_queue_depth": "Live input-queue backlog per shard.",
+    "live_shard_watermark": "Live event-time watermark per shard.",
+    "live_shard_restarts": "Live recovery count per shard.",
+    "profile_wall_seconds": "Profiled wall time of the run.",
+    "profile_attributed_fraction": "Fraction of wall time attributed to profiled phases.",
+    "profile_phase_seconds": "Wall time of each top-level run phase.",
+    "profile_detail_seconds": "Wall time of fine-grained profiled segments.",
+    "profile_kernel_seconds": "Batch-kernel time per polluter.",
+    "profile_kernel_mask_seconds": "Condition-mask evaluation time per polluter.",
+    "profile_node_seconds": "Exclusive per-node processing time.",
+    "tracer_dropped_spans": "Spans evicted from the tracer ring buffer.",
+}
 
 
 def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
@@ -38,7 +81,17 @@ def _fmt(value: float | int) -> str:
     return f"{value:.9g}"
 
 
-def render_summary(registry: MetricsRegistry) -> str:
+def _help_text(name: str, kind: str) -> str:
+    return METRIC_HELP.get(name, f"repro {kind} metric.")
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escaping per the exposition format: backslash and newline
+    # only (quotes are legal in help text).
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def render_summary(registry: MetricsRegistry, tracer: Tracer | None = None) -> str:
     """A sectioned, aligned, human-readable dump of every instrument."""
     sections: list[tuple[str, list[tuple[str, str]]]] = []
     counters = [
@@ -63,6 +116,16 @@ def render_summary(registry: MetricsRegistry) -> str:
     sections.append(("counters", counters))
     sections.append(("gauges", gauges))
     sections.append(("histograms", histograms))
+    if tracer is not None:
+        sections.append(
+            (
+                "tracing",
+                [
+                    ("spans_buffered", str(len(tracer))),
+                    ("dropped_spans", str(tracer.dropped_spans)),
+                ],
+            )
+        )
     lines: list[str] = []
     for title, rows in sections:
         if not rows:
@@ -86,6 +149,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     def type_line(name: str, kind: str) -> None:
         if name not in seen_types:
             seen_types.add(name)
+            lines.append(f"# HELP {name} {_escape_help(_help_text(name, kind))}")
             lines.append(f"# TYPE {name} {kind}")
 
     for instrument in registry.instruments():
@@ -120,10 +184,19 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def render_metrics(registry: MetricsRegistry, fmt: str) -> str:
-    """Dispatch on one of :data:`FORMATS`."""
+def render_metrics(
+    registry: MetricsRegistry, fmt: str, tracer: Tracer | None = None
+) -> str:
+    """Dispatch on one of :data:`FORMATS`.
+
+    ``tracer``, when given, surfaces ring-buffer health (buffered span
+    count and :attr:`Tracer.dropped_spans`) in the summary format, and as
+    a ``tracer_dropped_spans`` gauge in the machine formats.
+    """
     if fmt == "summary":
-        return render_summary(registry) + "\n"
+        return render_summary(registry, tracer=tracer) + "\n"
+    if tracer is not None and registry.enabled:
+        registry.gauge("tracer_dropped_spans").set(tracer.dropped_spans)
     if fmt == "jsonl":
         return render_jsonl(registry)
     if fmt == "prom":
@@ -131,9 +204,14 @@ def render_metrics(registry: MetricsRegistry, fmt: str) -> str:
     raise ValueError(f"unknown metrics format {fmt!r}; use one of {FORMATS}")
 
 
-def write_metrics(registry: MetricsRegistry, out: str | Path, fmt: str) -> str:
+def write_metrics(
+    registry: MetricsRegistry,
+    out: str | Path,
+    fmt: str,
+    tracer: Tracer | None = None,
+) -> str:
     """Render and write to ``out`` (``"-"`` = stdout); returns the text."""
-    text = render_metrics(registry, fmt)
+    text = render_metrics(registry, fmt, tracer=tracer)
     if str(out) == "-":
         print(text, end="")
     else:

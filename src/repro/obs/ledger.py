@@ -1,0 +1,261 @@
+"""The run ledger: a structured, mergeable JSONL log of run lifecycle events.
+
+End-of-run metrics answer "how much"; the ledger answers "what happened,
+and when". Every lifecycle event of a pollution run — run start, shard
+spawn, heartbeat, crash/hang detection, respawn from checkpoint, policy
+decision, degrade, checkpoint write/restore, batch slab boundary,
+completion — is recorded as one JSON object with both a wall-clock and a
+monotonic timestamp, so a failed or degraded run is forensically
+reconstructable from the ledger alone (the acceptance test for the
+self-healing runtime literally replays one).
+
+Design points:
+
+* **One writer per process.** The coordinator owns one :class:`RunLedger`;
+  every worker owns its own (``source="shard-N"``). Worker events travel to
+  the coordinator piggybacked on heartbeats (:meth:`RunLedger.drain` hands
+  out the not-yet-shipped tail) with the remainder riding the terminal
+  ``done``/``error`` payload, and the coordinator folds them in with
+  :meth:`RunLedger.absorb`. No shared file, no locks, no partial lines.
+* **Deterministic merge.** Events sort by ``(mono, source, seq)``. On Linux
+  ``time.monotonic()`` is ``CLOCK_MONOTONIC`` — system-wide and
+  boot-relative — so monotonic stamps are comparable across the coordinator
+  and its forked workers, and the tiebreaker makes the merged order a pure
+  function of the event set.
+* **Versioned schema.** Every event carries ``seq``/``source``/``event``/
+  ``wall``/``mono``; the ``run.start`` event additionally records
+  ``ledger_schema`` (currently :data:`LEDGER_SCHEMA_VERSION`) and a config
+  hash, so a reader can reject ledgers it does not understand. The event
+  vocabulary is documented in DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Version of the JSONL event schema written by :meth:`RunLedger.to_jsonl`.
+#: Bump when an event's required fields change meaning or disappear;
+#: carried by every ``run.start`` event as ``ledger_schema``.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Events that mark the end of a shard's life (used by :func:`replay`).
+_TERMINAL_EVENTS = frozenset({"shard.done", "shard.degraded", "shard.error"})
+
+#: Events that must precede a respawn of the same shard (used by :func:`replay`).
+_DETECTION_EVENTS = frozenset({"shard.crash", "shard.hang"})
+
+
+class RunLedger:
+    """An append-only event log for one process's view of a run.
+
+    Parameters
+    ----------
+    source:
+        Identifies the writing process in merged output — ``"coordinator"``
+        for the driver, ``"shard-N"`` for workers.
+    defaults:
+        Fields stamped onto every event this ledger records (workers set
+        ``{"shard": n, "epoch": e}`` so their events need no repetition).
+    """
+
+    def __init__(
+        self,
+        source: str = "coordinator",
+        defaults: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.source = source
+        self.defaults = dict(defaults or {})
+        self._events: list[dict[str, Any]] = []
+        self._seq = 0
+        self._drained = 0  # index of the first event not yet handed out
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one event, stamped with sequence number and timestamps."""
+        entry: dict[str, Any] = {
+            "seq": self._seq,
+            "source": self.source,
+            "event": event,
+            "mono": time.monotonic(),
+            "wall": time.time(),
+        }
+        if self.defaults:
+            entry.update(self.defaults)
+        if fields:
+            entry.update(fields)
+        self._seq += 1
+        self._events.append(entry)
+        return entry
+
+    def absorb(self, events: Iterable[Mapping[str, Any]]) -> None:
+        """Fold already-stamped events from another ledger into this one.
+
+        The coordinator calls this with event batches drained from worker
+        heartbeats and terminal payloads; the foreign ``source``/``seq``
+        stamps are preserved so :meth:`merged_events` stays deterministic.
+        """
+        self._events.extend(dict(e) for e in events)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Events recorded since the previous drain (for piggybacking).
+
+        Each event is handed out exactly once, so streaming the drained
+        tail on every heartbeat and shipping the final :meth:`drain` in the
+        terminal payload never duplicates an event — and events streamed
+        before a worker is killed survive the kill.
+        """
+        tail = self._events[self._drained :]
+        self._drained = len(self._events)
+        return tail
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """All events held by this ledger, in arrival order."""
+        return list(self._events)
+
+    def merged_events(self) -> list[dict[str, Any]]:
+        """Every held event in the canonical merged order.
+
+        Sorted by ``(mono, source, seq)``: monotonic stamps give the true
+        cross-process timeline (system-wide ``CLOCK_MONOTONIC``), and the
+        ``(source, seq)`` tiebreaker makes the order a deterministic
+        function of the event set even for identical timestamps.
+        """
+        return sorted(
+            self._events,
+            key=lambda e: (e.get("mono", 0.0), e.get("source", ""), e.get("seq", 0)),
+        )
+
+    def find(self, event: str, **fields: Any) -> list[dict[str, Any]]:
+        """Held events matching ``event`` and every given field, merged order."""
+        return [
+            e
+            for e in self.merged_events()
+            if e.get("event") == event
+            and all(e.get(k) == v for k, v in fields.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path | None = None) -> str:
+        """Render (and optionally write) the merged ledger as JSONL."""
+        text = "\n".join(
+            json.dumps(e, sort_keys=True, default=str) for e in self.merged_events()
+        )
+        if text:
+            text += "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+        """Load a ledger previously written by :meth:`to_jsonl`."""
+        events = []
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+        return events
+
+
+def shard_timeline(
+    events: Iterable[Mapping[str, Any]], shard: int
+) -> list[dict[str, Any]]:
+    """One shard's lifecycle events in merged order."""
+    picked = [dict(e) for e in events if e.get("shard") == shard]
+    picked.sort(
+        key=lambda e: (e.get("mono", 0.0), e.get("source", ""), e.get("seq", 0))
+    )
+    return picked
+
+
+def replay(events: Iterable[Mapping[str, Any]]) -> list[str]:
+    """Replay a merged ledger and return structural inconsistencies.
+
+    Walks the events as a per-shard state machine and checks the timeline
+    invariants the self-healing runtime guarantees:
+
+    * exactly one ``run.start``, and it precedes every other event;
+    * at most one ``run.complete``, after every shard event;
+    * each shard's first event is its epoch-0 ``shard.spawn``;
+    * shard epochs never decrease;
+    * every ``shard.respawn`` is preceded by a crash/hang detection for
+      that shard, and bumps the epoch;
+    * each shard reaches at most one terminal state
+      (``shard.done`` / ``shard.degraded`` / ``shard.error``).
+
+    Returns a list of human-readable problems — empty means the ledger
+    reconstructs a coherent timeline.
+    """
+    ordered = sorted(
+        (dict(e) for e in events),
+        key=lambda e: (e.get("mono", 0.0), e.get("source", ""), e.get("seq", 0)),
+    )
+    problems: list[str] = []
+    starts = [e for e in ordered if e["event"] == "run.start"]
+    if len(starts) != 1:
+        problems.append(f"expected exactly one run.start, saw {len(starts)}")
+    elif ordered[0]["event"] != "run.start":
+        problems.append(f"run.start is not first (first: {ordered[0]['event']})")
+    completes = [i for i, e in enumerate(ordered) if e["event"] == "run.complete"]
+    if len(completes) > 1:
+        problems.append(f"expected at most one run.complete, saw {len(completes)}")
+
+    epochs: dict[int, int] = {}
+    spawned: set[int] = set()
+    pending_detection: dict[int, bool] = {}
+    terminal: dict[int, str] = {}
+    for index, e in enumerate(ordered):
+        shard = e.get("shard")
+        if shard is None:
+            continue
+        event = e["event"]
+        epoch = e.get("epoch")
+        if completes and completes[0] < index:
+            problems.append(f"shard event {event} (shard {shard}) after run.complete")
+        if shard not in spawned:
+            if event != "shard.spawn":
+                problems.append(
+                    f"shard {shard}: first event is {event}, expected shard.spawn"
+                )
+            elif epoch != 0:
+                problems.append(f"shard {shard}: first spawn has epoch {epoch}, not 0")
+            spawned.add(shard)
+        if shard in terminal and event not in _TERMINAL_EVENTS:
+            # Late worker-side events (shipped in the terminal payload) are
+            # fine; a *coordinator* lifecycle event after terminal is not.
+            if e.get("source") == "coordinator" and event.startswith("shard."):
+                problems.append(
+                    f"shard {shard}: {event} after terminal {terminal[shard]}"
+                )
+        if epoch is not None:
+            last = epochs.get(shard, 0)
+            if epoch < last and e.get("source") == "coordinator":
+                problems.append(
+                    f"shard {shard}: epoch went backwards ({last} -> {epoch})"
+                )
+            epochs[shard] = max(last, epoch)
+        if event in _DETECTION_EVENTS:
+            pending_detection[shard] = True
+        elif event == "shard.respawn":
+            if not pending_detection.get(shard):
+                problems.append(f"shard {shard}: respawn without crash/hang detection")
+            pending_detection[shard] = False
+        elif event in _TERMINAL_EVENTS:
+            if shard in terminal:
+                problems.append(
+                    f"shard {shard}: second terminal event {event} "
+                    f"(already {terminal[shard]})"
+                )
+            terminal[shard] = event
+    return problems

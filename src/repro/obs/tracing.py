@@ -108,6 +108,16 @@ class Tracer:
     # -- inspection ----------------------------------------------------------
 
     @property
+    def dropped_spans(self) -> int:
+        """Spans silently evicted because the ring buffer wrapped.
+
+        A non-zero value means :attr:`spans` is an incomplete record (the
+        JSONL sink, if any, still saw everything); the summary exporter
+        surfaces it so the loss is never silent.
+        """
+        return self.dropped
+
+    @property
     def spans(self) -> list[Span]:
         return list(self._spans)
 

@@ -62,6 +62,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import ShardError
+from repro.obs.ledger import RunLedger
+from repro.obs.live import LiveAggregator, ProgressRenderer
 from repro.parallel.merge import ShardMerger
 from repro.parallel.shard import ShardTask, _execute_shard, run_shard
 from repro.streaming.checkpoint import latest_valid_checkpoint
@@ -90,6 +92,10 @@ class ShardOutcome:
     restarts: int = 0
     #: True when the shard finished via the coordinator's sequential drain.
     degraded: bool = False
+    #: Worker-side ledger tail shipped in the terminal payload.
+    ledger_events: list[dict[str, Any]] = field(default_factory=list)
+    #: Worker-side profile (``Profiler.as_dict()``) when profiling was on.
+    profile: dict[str, Any] | None = None
 
 
 class _ShardRuntime:
@@ -145,6 +151,16 @@ class ShardedEnvironment:
         What to do when a shard exhausts its restart budget: ``FAIL_FAST``
         (also the ``None`` default) raises; any other action degrades to a
         sequential coordinator drain of that shard's partition.
+    telemetry:
+        A :class:`~repro.obs.live.LiveAggregator` to fold heartbeat
+        telemetry snapshots and chunk arrivals into (live per-shard gauges).
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` recording coordinator-side
+        lifecycle events (spawn, crash/hang detection, respawn, policy
+        decisions, terminal messages) and absorbing worker-streamed events.
+    progress:
+        A :class:`~repro.obs.live.ProgressRenderer` refreshed from the
+        coordinator's drain loop.
     """
 
     def __init__(
@@ -158,6 +174,9 @@ class ShardedEnvironment:
         heartbeat_timeout: float | None = 30.0,
         restart_backoff: float = 0.05,
         failure_policy: FailurePolicy | None = None,
+        telemetry: LiveAggregator | None = None,
+        ledger: RunLedger | None = None,
+        progress: ProgressRenderer | None = None,
     ) -> None:
         if parallelism < 1:
             raise ShardError(f"parallelism must be >= 1, got {parallelism}")
@@ -181,6 +200,9 @@ class ShardedEnvironment:
         self.heartbeat_timeout = heartbeat_timeout
         self.restart_backoff = max(0.0, restart_backoff)
         self.failure_policy = failure_policy
+        self._telemetry = telemetry
+        self._ledger = ledger
+        self._progress = progress
 
     # -- feeding -------------------------------------------------------------
 
@@ -255,6 +277,8 @@ class ShardedEnvironment:
             dead_letters=payload["dead_letters"],
             node_stats=payload.get("node_stats", {}),
             completed=payload["completed"],
+            ledger_events=payload.get("ledger_events") or [],
+            profile=payload.get("profile"),
         )
 
     def _decode_done(self, shard: int, blob: bytes) -> ShardOutcome:
@@ -366,6 +390,8 @@ class ShardedEnvironment:
                     # liveness checking.
                     next_watchdog = now + self.poll_interval
                     failure = self._watchdog(runtimes, out_queue, merger, outcomes)
+                if self._progress is not None:
+                    self._progress.maybe_render()
         finally:
             for rt in runtimes:
                 rt.stop.set()
@@ -413,6 +439,12 @@ class ShardedEnvironment:
         )
         rt.feeder.start()
         rt.last_seen = time.monotonic()
+        if self._ledger is not None:
+            self._ledger.record(
+                "shard.spawn", shard=rt.shard, epoch=rt.epoch, pid=rt.worker.pid
+            )
+        if self._telemetry is not None:
+            self._telemetry.mark_spawn(rt.shard, rt.epoch)
 
     def _stop_attempt(self, rt: _ShardRuntime) -> None:
         """Tear one attempt down hard: worker, feeder, input queue."""
@@ -444,10 +476,19 @@ class ShardedEnvironment:
     ) -> ShardError | None:
         kind = msg[0]
         if kind == "heartbeat":
-            _, shard, epoch = msg
+            _, shard, epoch, telemetry = msg
             rt = runtimes[shard]
-            if epoch == rt.epoch:
-                rt.last_seen = time.monotonic()
+            if epoch != rt.epoch:
+                return None  # superseded attempt; drop
+            rt.last_seen = time.monotonic()
+            if telemetry:
+                events = telemetry.pop("events", None)
+                if events and self._ledger is not None:
+                    self._ledger.absorb(events)
+                if self._telemetry is not None and telemetry:
+                    self._telemetry.update(shard, epoch, telemetry)
+            if self._ledger is not None:
+                self._ledger.record("shard.heartbeat", shard=shard, epoch=epoch)
             return None
         if kind == "chunk":
             _, shard, records, watermark, epoch = msg
@@ -456,6 +497,8 @@ class ShardedEnvironment:
                 return None  # superseded attempt; drop
             rt.last_seen = time.monotonic()
             merger.add_chunk(shard, records, watermark)
+            if self._telemetry is not None:
+                self._telemetry.observe_chunk(shard, epoch, len(records), watermark)
             return None
         if kind == "done":
             _, shard, blob, epoch = msg
@@ -466,6 +509,17 @@ class ShardedEnvironment:
             outcome.restarts = rt.restarts
             outcomes[shard] = outcome
             rt.stop.set()
+            if self._ledger is not None:
+                self._ledger.absorb(outcome.ledger_events)
+                self._ledger.record(
+                    "shard.done",
+                    shard=shard,
+                    epoch=epoch,
+                    records_out=outcome.records_out,
+                    restarts=outcome.restarts,
+                )
+            if self._telemetry is not None:
+                self._telemetry.mark_done(shard)
             return None
         # Structured plan failure: deterministic, so recovery would replay
         # straight back into it — abort the run instead.
@@ -473,7 +527,14 @@ class ShardedEnvironment:
         rt = runtimes[shard]
         if epoch != rt.epoch:
             return None
-        return self._decode_error(shard, blob)
+        error = self._decode_error(shard, blob)
+        if self._ledger is not None:
+            self._ledger.record(
+                "shard.error", shard=shard, epoch=epoch, error=str(error)
+            )
+        if self._telemetry is not None:
+            self._telemetry.mark_failed(shard)
+        return error
 
     # -- watchdog + recovery -------------------------------------------------
 
@@ -534,11 +595,27 @@ class ShardedEnvironment:
                     f"worker died without reporting "
                     f"(exit code {worker.exitcode})"
                 )
+                if self._ledger is not None:
+                    self._ledger.record(
+                        "shard.crash",
+                        shard=rt.shard,
+                        epoch=rt.epoch,
+                        exitcode=worker.exitcode,
+                        reason=reason,
+                    )
             else:
                 reason = (
                     f"worker sent no heartbeat or output for more than "
                     f"{self.heartbeat_timeout:.1f}s (hung)"
                 )
+                if self._ledger is not None:
+                    self._ledger.record(
+                        "shard.hang",
+                        shard=rt.shard,
+                        epoch=rt.epoch,
+                        silent_seconds=round(now - rt.last_seen, 3),
+                        reason=reason,
+                    )
             failure = self._recover(rt, reason, out_queue, merger, outcomes)
             if failure is not None:
                 return failure
@@ -563,10 +640,22 @@ class ShardedEnvironment:
         backoff = self.restart_backoff * (2 ** (rt.restarts - 1))
         if backoff > 0:
             time.sleep(backoff)
-        rt.task = dataclasses.replace(
-            rt.task, epoch=rt.epoch, resume_path=self._recovery_resume_path(rt)
-        )
+        resume_path = self._recovery_resume_path(rt)
+        rt.task = dataclasses.replace(rt.task, epoch=rt.epoch, resume_path=resume_path)
+        if self._ledger is not None:
+            self._ledger.record(
+                "shard.respawn",
+                shard=rt.shard,
+                epoch=rt.epoch,
+                attempt=rt.restarts,
+                resume=resume_path,
+                backoff_seconds=backoff,
+            )
         self._start_attempt(rt, out_queue)
+        # After mark_spawn, so the view shows "recovering" until the fresh
+        # incarnation's first telemetry snapshot arrives.
+        if self._telemetry is not None:
+            self._telemetry.mark_restart(rt.shard, rt.epoch)
         return None
 
     @staticmethod
@@ -595,6 +684,16 @@ class ShardedEnvironment:
         action = policy.action if policy is not None else FailureAction.FAIL_FAST
         if action is FailureAction.RETRY:
             action = policy.exhausted_action
+        if self._ledger is not None:
+            self._ledger.record(
+                "policy.exhausted",
+                shard=rt.shard,
+                epoch=rt.epoch,
+                restarts=rt.restarts,
+                budget=self.max_shard_restarts,
+                action=action.name,
+                reason=reason,
+            )
         if action is FailureAction.FAIL_FAST:
             return ShardError(
                 f"shard {rt.shard} {reason}; restart budget "
@@ -623,6 +722,15 @@ class ShardedEnvironment:
         """
         rt.epoch += 1
         merger.discard_shard(rt.shard)
+        if self._ledger is not None:
+            self._ledger.record(
+                "shard.degraded",
+                shard=rt.shard,
+                epoch=rt.epoch,
+                resume=self._recovery_resume_path(rt),
+            )
+        if self._telemetry is not None:
+            self._telemetry.mark_degraded(rt.shard)
         task: ShardTask = pickle.loads(
             self._pickle_task(
                 dataclasses.replace(
@@ -662,8 +770,17 @@ class ShardedEnvironment:
                 _, shard, records, watermark, epoch = msg
                 if epoch == rt.epoch:
                     merger.add_chunk(shard, records, watermark)
+                    if self._telemetry is not None:
+                        self._telemetry.observe_chunk(
+                            shard, epoch, len(records), watermark
+                        )
         outcome = self._outcome_from_payload(rt.shard, payload)
         outcome.restarts = rt.restarts
         outcome.degraded = True
         outcomes[rt.shard] = outcome
+        # The shard.degraded event above is this shard's terminal; the
+        # drain's worker-side events (checkpoint restore, slabs) merge in
+        # behind it as late worker-source entries.
+        if self._ledger is not None:
+            self._ledger.absorb(outcome.ledger_events)
         return None

@@ -43,7 +43,10 @@ from repro.core.log import PollutionLog
 from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, prepare_stream
 from repro.errors import CheckpointError, PollutionError, ShardError
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION, RunLedger
+from repro.obs.live import LiveAggregator, ProgressRenderer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
 from repro.parallel.environment import ShardedEnvironment, ShardOutcome
 from repro.parallel.shard import ShardTask
 from repro.streaming.partition import (
@@ -247,6 +250,10 @@ def pollute_parallel(
     batch_size: int | None = None,
     max_shard_restarts: int = 2,
     heartbeat_timeout: float | None = 30.0,
+    telemetry: LiveAggregator | None = None,
+    ledger: RunLedger | None = None,
+    profile: bool = False,
+    progress: ProgressRenderer | bool = False,
 ):
     """Run Algorithm 1 sharded across ``parallelism`` worker processes.
 
@@ -268,20 +275,59 @@ def pollute_parallel(
     and degrading that shard to a sequential drain on the coordinator.
     ``heartbeat_timeout=None`` disables hang detection. Recovery of a keyed
     checkpointed run is byte-identical to the unfaulted run.
+
+    The live telemetry plane is opt-in: ``telemetry`` (a
+    :class:`~repro.obs.live.LiveAggregator`) folds heartbeat-piggybacked
+    shard snapshots into live gauges; ``ledger`` (a
+    :class:`~repro.obs.ledger.RunLedger`) collects the merged lifecycle
+    event log; ``profile=True`` attributes wall time to phases, kernels,
+    and nodes (``result.profile``); ``progress`` (``True`` or a
+    :class:`~repro.obs.live.ProgressRenderer`) paints a live per-shard
+    table. All are observational only — output bytes are unaffected.
     """
     from repro.core.runner import PollutionResult, _run_preflight
 
-    _run_preflight(
-        check,
-        pipelines,
-        data,
-        schema,
-        seed=seed,
-        parallelism=parallelism,
-        key_by=key_by,
-        pipeline_factory=pipeline_factory,
-        failure_policy=failure_policy,
-    )
+    profiler = Profiler() if profile else None
+    aggregator = telemetry
+    renderer: ProgressRenderer | None = None
+    if isinstance(progress, ProgressRenderer):
+        renderer = progress
+        if renderer.aggregator is None:
+            renderer.aggregator = aggregator = (
+                aggregator if aggregator is not None else LiveAggregator()
+            )
+        elif aggregator is None:
+            aggregator = renderer.aggregator
+    elif progress:
+        if aggregator is None:
+            aggregator = LiveAggregator()
+        renderer = ProgressRenderer(aggregator)
+
+    if profiler is not None:
+        with profiler.phase("preflight"):
+            _run_preflight(
+                check,
+                pipelines,
+                data,
+                schema,
+                seed=seed,
+                parallelism=parallelism,
+                key_by=key_by,
+                pipeline_factory=pipeline_factory,
+                failure_policy=failure_policy,
+            )
+    else:
+        _run_preflight(
+            check,
+            pipelines,
+            data,
+            schema,
+            seed=seed,
+            parallelism=parallelism,
+            key_by=key_by,
+            pipeline_factory=pipeline_factory,
+            failure_policy=failure_policy,
+        )
     if parallelism < 1:
         raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
     if batch_size is not None and batch_size < 1:
@@ -345,9 +391,36 @@ def pollute_parallel(
     if checkpoint_dir is not None:
         write_manifest(checkpoint_dir, parallelism, keyed, seed, checkpoint_interval)
 
+    if ledger is not None:
+        config = {
+            "parallelism": parallelism,
+            "keyed": keyed,
+            "seed": seed,
+            "checkpoint_interval": checkpoint_interval if checkpoint_dir else None,
+            "batch_size": batch_size,
+            "chunk_size": chunk_size,
+            "pipelines": (
+                sorted(p.name for p in plan_pipelines)
+                if plan_pipelines is not None
+                else None
+            ),
+        }
+        ledger.record(
+            "run.start",
+            ledger_schema=LEDGER_SCHEMA_VERSION,
+            config_hash=_manifest_digest(config),
+            parallelism=parallelism,
+            keyed=keyed,
+            seed=seed,
+        )
+
     # Preparation (Algorithm 1, lines 1-3) happens *before* sharding so
     # record identities are global and shard-count-independent.
-    clean = list(prepare_stream(source, schema, IdGenerator()))
+    if profiler is not None:
+        with profiler.phase("prepare"):
+            clean = list(prepare_stream(source, schema, IdGenerator()))
+    else:
+        clean = list(prepare_stream(source, schema, IdGenerator()))
 
     partitioner: Partitioner = (
         KeyPartitioner(parallelism, key_selector)
@@ -378,6 +451,9 @@ def pollute_parallel(
             resume_path=resume_paths[shard],
             chunk_size=chunk_size,
             batch_size=batch_size,
+            telemetry=aggregator is not None,
+            ledger=ledger is not None,
+            profile=profile,
         )
         for shard in range(parallelism)
     ]
@@ -390,15 +466,35 @@ def pollute_parallel(
         max_shard_restarts=max_shard_restarts,
         heartbeat_timeout=heartbeat_timeout,
         failure_policy=failure_policy,
+        telemetry=aggregator,
+        ledger=ledger,
+        progress=renderer,
     )
-    outcomes, merger = env.execute(clean, partitioner, tasks)
+    try:
+        if profiler is not None:
+            with profiler.phase("execute"):
+                outcomes, merger = env.execute(clean, partitioner, tasks)
+        else:
+            outcomes, merger = env.execute(clean, partitioner, tasks)
+    finally:
+        if renderer is not None:
+            renderer.finish()
 
-    polluted = merger.merge()
+    if profiler is not None:
+        with profiler.phase("merge"):
+            polluted = merger.merge()
+    else:
+        polluted = merger.merge()
     pollution_log = (
         PollutionLog.merged(outcome.log_events for outcome in outcomes)
         if log
         else PollutionLog()
     )
+    if profiler is not None:
+        for outcome in outcomes:
+            if outcome.profile is not None:
+                profiler.merge_shard(outcome.shard, outcome.profile)
+        profiler.finish()
 
     report = ExecutionReport(supervised=failure_policy is not None)
     report.completed = all(outcome.completed for outcome in outcomes)
@@ -437,6 +533,18 @@ def pollute_parallel(
         low = merger.low_watermark
         if low is not None:
             metrics.gauge("merged_watermark").set(low)
+        if profiler is not None:
+            profiler.to_metrics(metrics)
+
+    if ledger is not None:
+        ledger.record(
+            "run.complete",
+            records_in=len(clean),
+            records_out=len(polluted),
+            completed=report.completed,
+            shard_restarts=report.shard_restarts,
+            degraded_shards=report.degraded_shards,
+        )
 
     return PollutionResult(
         clean=clean,
@@ -446,4 +554,6 @@ def pollute_parallel(
         seed=seed,
         report=report,
         metrics=metrics if metered else None,
+        profile=profiler,
+        ledger=ledger,
     )

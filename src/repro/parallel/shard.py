@@ -19,13 +19,22 @@ The queue protocol is tiny and one-directional per queue:
 * coordinator -> worker (``in_queue``): ``("records", [Record, ...])``
   chunks, then one ``("eof", None)``;
 * worker -> coordinator (``out_queue``): ``("chunk", shard, [Record, ...],
-  watermark, epoch)`` output chunks, ``("heartbeat", shard, epoch)``
-  liveness marks, then exactly one terminal message — either
-  ``("done", shard, payload_bytes, epoch)`` or ``("error", shard,
+  watermark, epoch)`` output chunks, ``("heartbeat", shard, epoch,
+  telemetry_or_None)`` liveness marks, then exactly one terminal message —
+  either ``("done", shard, payload_bytes, epoch)`` or ``("error", shard,
   payload_bytes, epoch)``. Terminal payloads are pre-pickled *by the
   worker* so a result the multiprocessing pickler would choke on (an
   exotic exception, say) degrades to its ``repr`` instead of killing the
   queue feeder thread.
+
+Heartbeats double as the live telemetry channel: when the task enables
+telemetry or a run ledger, each beat carries a small plain-dict payload —
+cumulative records in/out, the sink watermark, the input queue depth, and
+the worker ledger's not-yet-shipped event tail (see
+:meth:`repro.obs.ledger.RunLedger.drain`) — so the coordinator's live view
+and merged ledger advance while the shard runs, and events streamed before
+a SIGKILL survive the kill. With both disabled the payload is ``None`` and
+the channel costs nothing beyond the tuple slot.
 
 Every outbound message carries the shard's *attempt epoch*: the coordinator
 bumps it on each respawn and drops messages from earlier epochs, so output
@@ -91,34 +100,88 @@ class ShardTask:
     epoch: int = 0
     #: Send a heartbeat at most this often (seconds); None disables them.
     heartbeat_interval: float | None = None
+    #: Piggyback live telemetry snapshots on heartbeats.
+    telemetry: bool = False
+    #: Keep a worker-side RunLedger and stream/ship its events.
+    ledger: bool = False
+    #: Profile this shard (kernel + node attribution in the done payload).
+    profile: bool = False
 
 
 class _Heartbeat:
     """Time-gated liveness marks on the worker's record path.
 
     ``beat()`` is called once per record the shard pulls from its input
-    queue; it only actually enqueues a ``("heartbeat", shard, epoch)``
-    message when ``interval`` has elapsed, so the hot path pays a clock
-    read per record and the control queue stays quiet. Send failures are
-    swallowed — a heartbeat that cannot be delivered (coordinator tearing
-    the run down) must never kill the shard itself.
+    queue; it only actually enqueues a ``("heartbeat", shard, epoch,
+    telemetry)`` message when ``interval`` has elapsed, so the hot path
+    pays a clock read per record and the control queue stays quiet. Send
+    failures are swallowed — a heartbeat that cannot be delivered
+    (coordinator tearing the run down) must never kill the shard itself.
+
+    When ``telemetry``/``ledger`` are enabled the elapsed-interval branch
+    (never the hot path) builds a small snapshot dict: cumulative records
+    in (:attr:`records_in`, counted by :class:`QueueSource`) and out (from
+    the attached ``sink``), the sink watermark, the input queue depth, and
+    the worker ledger's drained event tail.
     """
 
-    __slots__ = ("_queue", "_shard", "_epoch", "interval", "_next")
+    __slots__ = (
+        "_queue",
+        "_shard",
+        "_epoch",
+        "interval",
+        "_next",
+        "records_in",
+        "sink",
+        "in_queue",
+        "ledger",
+        "telemetry",
+    )
 
-    def __init__(self, queue: Any, shard: int, epoch: int, interval: float) -> None:
+    def __init__(
+        self,
+        queue: Any,
+        shard: int,
+        epoch: int,
+        interval: float,
+        telemetry: bool = False,
+        in_queue: Any = None,
+        ledger: Any = None,
+    ) -> None:
         self._queue = queue
         self._shard = shard
         self._epoch = epoch
         self.interval = interval
         self._next = 0.0  # first beat fires immediately
+        self.records_in = 0
+        self.sink: ShardOutputSink | None = None  # attached after construction
+        self.in_queue = in_queue
+        self.ledger = ledger
+        self.telemetry = telemetry
 
     def beat(self) -> None:
         now = time.monotonic()
         if now >= self._next:
             self._next = now + self.interval
+            payload: dict[str, Any] | None = None
+            if self.telemetry or self.ledger is not None:
+                payload = {}
+                if self.telemetry:
+                    sink = self.sink
+                    payload["records_in"] = self.records_in
+                    payload["records_out"] = sink.emitted if sink is not None else 0
+                    payload["watermark"] = sink.watermark if sink is not None else None
+                    if self.in_queue is not None:
+                        try:
+                            payload["queue_depth"] = self.in_queue.qsize()
+                        except (NotImplementedError, OSError):
+                            pass  # qsize is unimplemented on some platforms
+                if self.ledger is not None:
+                    events = self.ledger.drain()
+                    if events:
+                        payload["events"] = events
             try:
-                self._queue.put(("heartbeat", self._shard, self._epoch))
+                self._queue.put(("heartbeat", self._shard, self._epoch, payload))
             except Exception:  # noqa: BLE001 - liveness must not be fatal
                 pass
 
@@ -156,6 +219,7 @@ class QueueSource(Source):
                 yield from payload
             else:
                 for record in payload:
+                    heartbeat.records_in += 1
                     heartbeat.beat()
                     yield record
 
@@ -276,9 +340,24 @@ def _dead_letter_summaries(report) -> list[dict[str, Any]]:
 
 
 def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, Any]:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.profile import Profiler
+
     metrics = MetricsRegistry(enabled=task.metered, sample_every=task.sample_every)
+    ledger = (
+        RunLedger(
+            source=f"shard-{task.shard}",
+            defaults={"shard": task.shard, "epoch": task.epoch},
+        )
+        if task.ledger
+        else None
+    )
+    profiler = Profiler() if task.profile else None
     env = StreamExecutionEnvironment(
-        metrics=metrics if task.metered else None, batch_size=task.batch_size
+        metrics=metrics if task.metered else None,
+        batch_size=task.batch_size,
+        ledger=ledger,
+        profiler=profiler,
     )
     if task.failure_policy is not None:
         env.set_failure_policy(task.failure_policy)
@@ -286,7 +365,15 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
         env.enable_checkpointing(task.checkpoint_interval, task.checkpoint_dir)
 
     heartbeat = (
-        _Heartbeat(out_queue, task.shard, task.epoch, task.heartbeat_interval)
+        _Heartbeat(
+            out_queue,
+            task.shard,
+            task.epoch,
+            task.heartbeat_interval,
+            telemetry=task.telemetry,
+            in_queue=in_queue,
+            ledger=ledger,
+        )
         if task.heartbeat_interval is not None
         else None
     )
@@ -310,6 +397,8 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
         out_queue, task.shard, task.chunk_size, retain=retain, log=log,
         epoch=task.epoch,
     )
+    if heartbeat is not None:
+        heartbeat.sink = sink
     stream = env.from_source(source, name="shard-input")
 
     operator: KeyedPollutionProcessFunction | None = None
@@ -323,6 +412,7 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
             rng,
             log,
             metrics if task.metered else None,
+            profiler=profiler,
         )
         stream.key_by(task.key_selector).process(operator, name="pollute-keyed").add_sink(
             sink, name="shard-output"
@@ -338,7 +428,10 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
             pipeline.bind_metrics(metrics if task.metered else None)
         branches = stream.split(task.split, name="substreams")
         polluted = [
-            branch.process(PollutionProcessFunction(pipeline, log), name=f"pollute[{i}]")
+            branch.process(
+                PollutionProcessFunction(pipeline, log, profiler=profiler),
+                name=f"pollute[{i}]",
+            )
             for i, (branch, pipeline) in enumerate(zip(branches, pipelines))
         ]
         merged = (
@@ -348,7 +441,12 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
         )
         merged.add_sink(sink, name="shard-output")
 
-    report = env.execute(resume_from=task.resume_path)
+    if profiler is not None:
+        with profiler.phase("execute"):
+            report = env.execute(resume_from=task.resume_path)
+        profiler.finish()
+    else:
+        report = env.execute(resume_from=task.resume_path)
     if task.metered:
         if operator is not None:
             operator.flush_metrics()
@@ -375,6 +473,10 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
             name: stats.as_dict() for name, stats in report.node_stats.items()
         },
         "completed": report.completed,
+        # Ledger tail not yet shipped on a heartbeat, and the shard's profile
+        # (kernel/node attribution) — both plain data, both optional.
+        "ledger_events": ledger.drain() if ledger is not None else [],
+        "profile": profiler.as_dict() if profiler is not None else None,
     }
 
 

@@ -18,13 +18,17 @@ Example
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import CheckpointError, NodeFailure, StreamError
+from repro.obs.ledger import RunLedger
+from repro.obs.live import ProgressRenderer
 from repro.obs.metrics import SIZE_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler
 from repro.obs.tracing import Tracer
 from repro.streaming.checkpoint import (
     Checkpoint,
@@ -282,6 +286,9 @@ class StreamExecutionEnvironment:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         batch_size: int | None = None,
+        ledger: RunLedger | None = None,
+        profiler: Profiler | None = None,
+        progress: ProgressRenderer | None = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise StreamError(f"batch_size must be >= 1, got {batch_size}")
@@ -295,6 +302,9 @@ class StreamExecutionEnvironment:
         self._checkpoint_cfg: CheckpointConfig | None = None
         self._metrics = metrics if metrics is not None and metrics.enabled else None
         self._tracer = tracer
+        self._ledger = ledger
+        self._profiler = profiler
+        self._progress = progress
         # Seam for tests/harnesses that need a custom supervisor (fake sleep).
         self._supervisor_factory = Supervisor
         self.last_checkpoint: Checkpoint | None = None
@@ -409,7 +419,9 @@ class StreamExecutionEnvironment:
             raise StreamError("no sources registered")
         self._executed = True
 
+        resume_path: str | None = None
         if isinstance(resume_from, (str, Path)):
+            resume_path = str(resume_from)
             resume_from = load_checkpoint(resume_from)
 
         supervised = self._default_policy is not None or any(
@@ -429,11 +441,24 @@ class StreamExecutionEnvironment:
             supervisor.tracer = self._tracer
             for node in self._nodes:
                 supervisor.attach(node)
-        if metrics is not None:
-            sample_every = metrics.sample_every
+        # Profiling needs per-node latency histograms even without a user
+        # registry; a private one is created on demand. In batch mode the
+        # profiler times every slab dispatch exactly (cheap — two clock
+        # reads per slab); per-record it samples 1-in-node_sample_every
+        # dispatches and the fold scales by the true arrival count.
+        profiler = self._profiler
+        batched = self._batch_size is not None and self._batch_size > 1
+        obs_registry = metrics
+        if obs_registry is None and profiler is not None:
+            obs_registry = MetricsRegistry(sample_every=1)
+        if obs_registry is not None:
+            if profiler is not None:
+                sample_every = 1 if batched else profiler.node_sample_every
+            else:
+                sample_every = obs_registry.sample_every
             for node in self._nodes:
                 node._obs = _NodeObs(
-                    metrics.histogram("node_process_seconds", node=node.name),
+                    obs_registry.histogram("node_process_seconds", node=node.name),
                     sample_every,
                 )
         self.last_report = report
@@ -460,7 +485,7 @@ class StreamExecutionEnvironment:
                     node.open()
                 opened.append(node)
             if resume_from is not None:
-                self._restore(resume_from)
+                self._restore(resume_from, path=resume_path)
             self._drain_sources(
                 report, supervisor, resume_from, start_source, start_offset
             )
@@ -470,6 +495,8 @@ class StreamExecutionEnvironment:
             self._close_nodes(opened, suppress_errors=True)
             raise
         self._finalize_stats(report, supervised)
+        if profiler is not None:
+            self._fold_profile(profiler, obs_registry, batched)
         self._close_nodes(opened, suppress_errors=False)
         return report
 
@@ -539,6 +566,7 @@ class StreamExecutionEnvironment:
             return
         cfg = self._checkpoint_cfg
         metrics = self._metrics
+        progress = self._progress
         records_seen = resume_from.records_seen if resume_from is not None else 0
         for src_idx in range(start_source, len(self._sources)):
             head, source, wm_gen = self._sources[src_idx]
@@ -605,6 +633,8 @@ class StreamExecutionEnvironment:
                     offset += 1
                     records_seen += 1
                     report.source_records += 1
+                    if progress is not None and (records_seen & 1023) == 0:
+                        progress.tick(records_seen)
                     if cfg is not None and records_seen % cfg.interval == 0:
                         self.last_checkpoint = self._take_checkpoint(
                             src_idx, offset, records_seen, last_auto_wm, wm_gen
@@ -614,6 +644,8 @@ class StreamExecutionEnvironment:
                 if src_counter is not None:
                     src_counter.value += report.source_records - records_before
             head.on_watermark(Watermark.max())
+        if progress is not None:
+            progress.tick(records_seen)
 
     def _drain_sources_batched(
         self,
@@ -643,6 +675,8 @@ class StreamExecutionEnvironment:
         """
         cfg = self._checkpoint_cfg
         metrics = self._metrics
+        ledger = self._ledger
+        progress = self._progress
         batch_size = self._batch_size
         records_seen = resume_from.records_seen if resume_from is not None else 0
         for src_idx in range(start_source, len(self._sources)):
@@ -676,21 +710,41 @@ class StreamExecutionEnvironment:
                     report.source_records += 1
                     boundary = cfg is not None and records_seen % cfg.interval == 0
                     if boundary or len(buffer) >= batch_size:
+                        slab_records = len(buffer)
                         last_auto_wm = self._dispatch_batch(
                             head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag,
                             supervisor, records_seen - len(buffer),
                         )
                         buffer = []
+                        if ledger is not None:
+                            ledger.record(
+                                "batch.slab",
+                                records=slab_records,
+                                records_seen=records_seen,
+                                boundary=boundary,
+                            )
+                        if progress is not None:
+                            progress.tick(records_seen)
                     if boundary:
                         self.last_checkpoint = self._take_checkpoint(
                             src_idx, offset, records_seen, last_auto_wm, wm_gen
                         )
                         report.checkpoints_taken += 1
                 if buffer:
+                    slab_records = len(buffer)
                     last_auto_wm = self._dispatch_batch(
                         head, buffer, wm_gen, last_auto_wm, head_obs, wm_lag,
                         supervisor, records_seen - len(buffer),
                     )
+                    if ledger is not None:
+                        ledger.record(
+                            "batch.slab",
+                            records=slab_records,
+                            records_seen=records_seen,
+                            boundary=False,
+                        )
+                    if progress is not None:
+                        progress.tick(records_seen)
             finally:
                 if src_counter is not None:
                     src_counter.value += report.source_records - records_before
@@ -814,12 +868,14 @@ class StreamExecutionEnvironment:
             node_state=node_state,
         )
         cfg = self._checkpoint_cfg
+        saved_path: Path | None = None
         if cfg is not None and cfg.store is not None:
-            cfg.store.save(checkpoint)
-        metrics, tracer = self._metrics, self._tracer
-        if metrics is not None or tracer is not None:
+            saved_path = cfg.store.save(checkpoint)
+        metrics, tracer, ledger = self._metrics, self._tracer, self._ledger
+        if metrics is not None or tracer is not None or ledger is not None:
             duration = perf_counter() - start
-            size = len(pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL))
+            payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+            size = len(payload)
             if metrics is not None:
                 metrics.counter("checkpoints_written_total").inc()
                 metrics.histogram("checkpoint_write_seconds").observe(duration)
@@ -835,9 +891,64 @@ class StreamExecutionEnvironment:
                     size_bytes=size,
                 )
                 span.duration = duration
+            if ledger is not None:
+                # The store frames its file with the sha256 of these same
+                # pickle bytes, so this digest matches the file header.
+                ledger.record(
+                    "checkpoint.write",
+                    records_seen=records_seen,
+                    offset=offset,
+                    bytes=size,
+                    digest=hashlib.sha256(payload).hexdigest(),
+                    path=str(saved_path) if saved_path is not None else None,
+                    duration_seconds=round(duration, 6),
+                )
         return checkpoint
 
-    def _restore(self, checkpoint: Checkpoint) -> None:
+    def _fold_profile(
+        self,
+        profiler: Profiler,
+        registry: MetricsRegistry | None,
+        batched: bool,
+    ) -> None:
+        """Fold per-node latency histograms into the profiler.
+
+        Dispatch is depth-first, so a node's histogram is *inclusive* of
+        its downstream subtree; exclusive (self) time is inclusive minus
+        the children's inclusive time, clamped at zero. In per-record mode
+        the histograms are sampled and the sums are scaled by the true
+        arrival counts; in batch mode every slab dispatch was timed, so
+        the sums are exact.
+        """
+        if registry is None:
+            return
+        arrived = self._arrivals()
+        inclusive: dict[str, float] = {}
+        samples: dict[str, int] = {}
+        for node in self._nodes:
+            hist = registry.get("node_process_seconds", node=node.name)
+            count = getattr(hist, "count", 0) if hist is not None else 0
+            samples[node.name] = count
+            if count == 0:
+                inclusive[node.name] = 0.0
+            elif batched:
+                inclusive[node.name] = hist.sum  # type: ignore[union-attr]
+            else:
+                n = arrived.get(node.name, 0)
+                scale = max(n / count, 1.0) if n else 1.0
+                inclusive[node.name] = hist.sum * scale  # type: ignore[union-attr]
+        for node in self._nodes:
+            child_sum = sum(inclusive.get(c.name, 0.0) for c in node.downstream)
+            exclusive = max(inclusive[node.name] - child_sum, 0.0)
+            profiler.record_node(
+                node.name,
+                exclusive,
+                inclusive[node.name],
+                samples[node.name],
+                arrived.get(node.name, 0),
+            )
+
+    def _restore(self, checkpoint: Checkpoint, path: str | None = None) -> None:
         start = perf_counter()
         by_name = {node.name: node for node in self._nodes}
         for name, state in checkpoint.node_state.items():
@@ -858,6 +969,14 @@ class StreamExecutionEnvironment:
                 stateful_nodes=len(checkpoint.node_state),
             )
             span.duration = perf_counter() - start
+        if self._ledger is not None:
+            self._ledger.record(
+                "checkpoint.restore",
+                path=path,
+                records_seen=checkpoint.records_seen,
+                offset=checkpoint.offset,
+                stateful_nodes=len(checkpoint.node_state),
+            )
 
     def _close_nodes(self, opened: list[Node], suppress_errors: bool) -> None:
         """Close every opened node; raise the first close error unless unwinding."""

@@ -63,7 +63,9 @@ class TestPrometheus:
         assert lines
         for line in lines:
             if line.startswith("#"):
-                assert re.match(r"^# TYPE \S+ (counter|gauge|histogram)$", line), line
+                assert re.match(
+                    r"^# (TYPE \S+ (counter|gauge|histogram)|HELP \S+ \S.*)$", line
+                ), line
             else:
                 assert PROM_LINE.match(line), line
 
@@ -88,6 +90,74 @@ class TestPrometheus:
         registry.counter("c", label='quo"te\nnl').inc()
         text = render_prometheus(registry)
         assert '\\"' in text and "\\n" in text
+
+    def test_backslashes_in_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path="a\\b").inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\\\b"' in text
+
+    def test_every_family_has_help_and_type_before_its_samples(self):
+        # Lint-style conformance pass over the whole exposition output:
+        # each metric family is announced by exactly one HELP line and one
+        # TYPE line, in that order, before its first sample.
+        text = render_prometheus(sample_registry())
+        helped: set[str] = set()
+        typed: set[str] = set()
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP "):
+                name = line.split()[2]
+                assert name not in helped, f"duplicate HELP for {name}"
+                helped.add(name)
+            elif line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert name in helped, f"TYPE before HELP for {name}"
+                assert name not in typed, f"duplicate TYPE for {name}"
+                typed.add(name)
+            else:
+                family = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                        family = family[: -len(suffix)]
+                        break
+                assert family in typed, f"sample before TYPE: {line}"
+        assert helped == typed
+
+    def test_curated_families_get_curated_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("node_records_in_total", node="map").inc()
+        registry.gauge("tracer_dropped_spans").set(0)
+        text = render_prometheus(registry)
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert not line.rstrip().endswith("metric."), (
+                    f"fell back to the generic help text: {line}"
+                )
+
+
+class TestTracerSurfacing:
+    def _tracer_with_drops(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.event(f"e{i}")
+        return tracer
+
+    def test_summary_reports_buffered_and_dropped_spans(self):
+        text = render_summary(sample_registry(), tracer=self._tracer_with_drops())
+        assert "tracing:" in text
+        assert "spans_buffered" in text
+        assert "dropped_spans" in text and "3" in text
+
+    def test_machine_formats_carry_a_dropped_spans_gauge(self):
+        registry = sample_registry()
+        prom = render_metrics(registry, "prom", tracer=self._tracer_with_drops())
+        assert "tracer_dropped_spans 3" in prom
+        jsonl = render_metrics(registry, "jsonl", tracer=self._tracer_with_drops())
+        objs = [json.loads(line) for line in jsonl.strip().splitlines()]
+        gauge = next(o for o in objs if o["name"] == "tracer_dropped_spans")
+        assert gauge["value"] == 3
 
 
 class TestDispatch:

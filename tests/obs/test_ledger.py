@@ -1,0 +1,224 @@
+"""Unit tests for the run ledger: recording, merging, persistence, replay."""
+
+import json
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    replay,
+    shard_timeline,
+)
+
+
+def _stamped(source, seq, mono, event, **fields):
+    """A hand-built, already-stamped event (what absorb() receives)."""
+    entry = {"seq": seq, "source": source, "event": event, "mono": mono, "wall": 0.0}
+    entry.update(fields)
+    return entry
+
+
+class TestRecording:
+    def test_record_stamps_seq_source_and_clocks(self):
+        ledger = RunLedger(source="coordinator")
+        first = ledger.record("run.start", parallelism=2)
+        second = ledger.record("shard.spawn", shard=0)
+        assert first["seq"] == 0 and second["seq"] == 1
+        assert first["source"] == "coordinator"
+        assert first["parallelism"] == 2
+        assert second["mono"] >= first["mono"]
+        assert "wall" in first and "mono" in first
+        assert len(ledger) == 2
+
+    def test_defaults_are_stamped_and_overridable(self):
+        ledger = RunLedger(source="shard-3", defaults={"shard": 3, "epoch": 0})
+        plain = ledger.record("checkpoint.write", bytes=10)
+        bumped = ledger.record("checkpoint.restore", epoch=1)
+        assert plain["shard"] == 3 and plain["epoch"] == 0
+        assert bumped["epoch"] == 1  # explicit field wins over the default
+
+    def test_events_property_returns_a_copy(self):
+        ledger = RunLedger()
+        ledger.record("run.start")
+        ledger.events.clear()
+        assert len(ledger) == 1
+
+
+class TestDrain:
+    def test_each_event_is_handed_out_exactly_once(self):
+        ledger = RunLedger(source="shard-0")
+        ledger.record("checkpoint.write")
+        ledger.record("batch.slab")
+        first = ledger.drain()
+        assert [e["event"] for e in first] == ["checkpoint.write", "batch.slab"]
+        assert ledger.drain() == []
+        ledger.record("checkpoint.write")
+        second = ledger.drain()
+        assert [e["event"] for e in second] == ["checkpoint.write"]
+
+    def test_heartbeat_plus_terminal_drain_covers_everything_without_dupes(self):
+        worker = RunLedger(source="shard-1", defaults={"shard": 1, "epoch": 0})
+        coordinator = RunLedger()
+        worker.record("checkpoint.write")
+        coordinator.absorb(worker.drain())  # heartbeat piggyback
+        worker.record("batch.slab")
+        worker.record("checkpoint.write")
+        coordinator.absorb(worker.drain())  # terminal payload
+        events = [e["event"] for e in coordinator.merged_events()]
+        assert events == ["checkpoint.write", "batch.slab", "checkpoint.write"]
+
+
+class TestMerge:
+    def test_absorb_preserves_foreign_stamps(self):
+        coordinator = RunLedger()
+        coordinator.absorb([_stamped("shard-0", 7, 3.0, "checkpoint.write")])
+        (event,) = coordinator.events
+        assert event["source"] == "shard-0" and event["seq"] == 7
+
+    def test_merged_order_is_mono_then_source_then_seq(self):
+        ledger = RunLedger()
+        ledger.absorb(
+            [
+                _stamped("shard-1", 0, 2.0, "b"),
+                _stamped("coordinator", 5, 1.0, "a"),
+                _stamped("shard-0", 1, 2.0, "d"),
+                _stamped("shard-0", 0, 2.0, "c"),
+            ]
+        )
+        assert [e["event"] for e in ledger.merged_events()] == ["a", "c", "d", "b"]
+
+    def test_merged_order_is_a_pure_function_of_the_event_set(self):
+        events = [
+            _stamped("shard-1", 0, 2.0, "b"),
+            _stamped("shard-0", 0, 2.0, "a"),
+            _stamped("coordinator", 0, 1.0, "start"),
+        ]
+        one, other = RunLedger(), RunLedger()
+        one.absorb(events)
+        other.absorb(reversed(events))
+        assert one.merged_events() == other.merged_events()
+
+    def test_find_filters_on_event_and_fields(self):
+        ledger = RunLedger()
+        ledger.record("shard.spawn", shard=0)
+        ledger.record("shard.spawn", shard=1)
+        ledger.record("shard.done", shard=0)
+        assert len(ledger.find("shard.spawn")) == 2
+        assert [e["shard"] for e in ledger.find("shard.spawn", shard=1)] == [1]
+
+    def test_shard_timeline_picks_one_shard_in_order(self):
+        ledger = RunLedger()
+        ledger.absorb(
+            [
+                _stamped("coordinator", 0, 1.0, "shard.spawn", shard=0),
+                _stamped("coordinator", 1, 1.5, "shard.spawn", shard=1),
+                _stamped("shard-0", 0, 2.0, "checkpoint.write", shard=0),
+                _stamped("coordinator", 2, 3.0, "shard.done", shard=0),
+            ]
+        )
+        timeline = shard_timeline(ledger.merged_events(), 0)
+        assert [e["event"] for e in timeline] == [
+            "shard.spawn",
+            "checkpoint.write",
+            "shard.done",
+        ]
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        ledger = RunLedger()
+        ledger.record("run.start", ledger_schema=LEDGER_SCHEMA_VERSION)
+        ledger.record("run.complete", records_out=10)
+        path = tmp_path / "run.jsonl"
+        text = ledger.to_jsonl(path)
+        assert text.endswith("\n")
+        loaded = RunLedger.read_jsonl(path)
+        assert loaded == ledger.merged_events()
+        assert loaded[0]["ledger_schema"] == LEDGER_SCHEMA_VERSION
+
+    def test_jsonl_lines_are_independent_json_objects(self, tmp_path):
+        ledger = RunLedger()
+        ledger.record("run.start")
+        ledger.record("shard.spawn", shard=0, pid=123)
+        for line in ledger.to_jsonl().splitlines():
+            obj = json.loads(line)
+            assert {"seq", "source", "event", "mono", "wall"} <= set(obj)
+
+    def test_empty_ledger_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert RunLedger().to_jsonl(path) == ""
+        assert RunLedger.read_jsonl(path) == []
+
+
+class TestReplay:
+    def _timeline(self):
+        """A coherent single-shard crash/respawn timeline."""
+        return [
+            _stamped("coordinator", 0, 1.0, "run.start"),
+            _stamped("coordinator", 1, 2.0, "shard.spawn", shard=0, epoch=0),
+            _stamped("coordinator", 2, 3.0, "shard.heartbeat", shard=0, epoch=0),
+            _stamped("coordinator", 3, 4.0, "shard.crash", shard=0, epoch=0),
+            _stamped("coordinator", 4, 5.0, "shard.respawn", shard=0, epoch=1),
+            _stamped("coordinator", 5, 6.0, "shard.done", shard=0, epoch=1),
+            _stamped("coordinator", 6, 7.0, "run.complete"),
+        ]
+
+    def test_coherent_timeline_replays_clean(self):
+        assert replay(self._timeline()) == []
+
+    def test_missing_run_start_is_flagged(self):
+        problems = replay(self._timeline()[1:])
+        assert any("run.start" in p for p in problems)
+
+    def test_respawn_without_detection_is_flagged(self):
+        events = [e for e in self._timeline() if e["event"] != "shard.crash"]
+        problems = replay(events)
+        assert any("respawn without crash/hang detection" in p for p in problems)
+
+    def test_hang_detection_also_licenses_a_respawn(self):
+        events = self._timeline()
+        events[3] = _stamped("coordinator", 3, 4.0, "shard.hang", shard=0, epoch=0)
+        assert replay(events) == []
+
+    def test_double_terminal_is_flagged(self):
+        events = self._timeline()
+        events.insert(
+            6, _stamped("coordinator", 9, 6.5, "shard.error", shard=0, epoch=1)
+        )
+        problems = replay(events)
+        assert any("second terminal" in p for p in problems)
+
+    def test_first_shard_event_must_be_epoch_zero_spawn(self):
+        events = [
+            _stamped("coordinator", 0, 1.0, "run.start"),
+            _stamped("coordinator", 1, 2.0, "shard.heartbeat", shard=0, epoch=0),
+        ]
+        problems = replay(events)
+        assert any("expected shard.spawn" in p for p in problems)
+
+    def test_epoch_going_backwards_is_flagged(self):
+        events = [
+            _stamped("coordinator", 0, 1.0, "run.start"),
+            _stamped("coordinator", 1, 2.0, "shard.spawn", shard=0, epoch=0),
+            _stamped("coordinator", 2, 3.0, "shard.crash", shard=0, epoch=0),
+            _stamped("coordinator", 3, 4.0, "shard.respawn", shard=0, epoch=2),
+            _stamped("coordinator", 4, 5.0, "shard.heartbeat", shard=0, epoch=1),
+        ]
+        problems = replay(events)
+        assert any("epoch went backwards" in p for p in problems)
+
+    def test_shard_event_after_run_complete_is_flagged(self):
+        events = self._timeline()
+        events.append(
+            _stamped("coordinator", 7, 8.0, "shard.heartbeat", shard=0, epoch=1)
+        )
+        problems = replay(events)
+        assert any("after run.complete" in p for p in problems)
+
+    def test_late_worker_events_behind_terminal_are_tolerated(self):
+        # Worker-side events shipped in the terminal payload can sort after
+        # the coordinator's shard.done; that is expected, not a problem.
+        events = self._timeline()[:-1]  # drop run.complete
+        events.append(
+            _stamped("shard-0", 3, 6.5, "checkpoint.write", shard=0, epoch=1)
+        )
+        assert replay(events) == []

@@ -221,3 +221,62 @@ class TestRegistryMerge:
         assert enabled.counter("c").value == 1
         disabled.merge(enabled)
         assert len(disabled) == 0
+
+
+class TestMergeUnderRecovery:
+    """Shard-registry merges across crash/respawn must not double-count.
+
+    The recovery protocol makes this hold structurally: a worker ships its
+    registry only in the *terminal* payload, so a SIGKILLed incarnation's
+    registry never reaches the coordinator, and the respawned incarnation
+    restarts its counters from zero (its records re-emerge from the
+    checkpoint replay, not from inherited counts). These tests pin down the
+    merge semantics each piece of that argument relies on.
+    """
+
+    def _incarnation(self, shard, records, epoch):
+        registry = MetricsRegistry()
+        registry.counter("shard_records_total", shard=shard).inc(records)
+        registry.gauge("shard_epoch", shard=shard).set(epoch)
+        return registry
+
+    def test_only_the_surviving_incarnation_is_merged(self):
+        coordinator = MetricsRegistry()
+        # Epoch 0 processed 40 records, was killed, and its registry died
+        # with it — the coordinator never sees it. Epoch 1 replayed from
+        # the checkpoint and finished all 100.
+        dead = self._incarnation(0, records=40, epoch=0)
+        survivor = self._incarnation(0, records=100, epoch=1)
+        coordinator.merge(survivor)
+        assert coordinator.counter("shard_records_total", shard=0).value == 100
+        assert dead.counter("shard_records_total", shard=0).value == 40  # orphaned
+
+    def test_merging_both_incarnations_would_double_count(self):
+        # The inverse property: if the dead incarnation's registry *did*
+        # arrive, counters would overshoot — which is exactly why terminal
+        # payloads are the only metrics channel.
+        coordinator = MetricsRegistry()
+        coordinator.merge(self._incarnation(0, records=40, epoch=0))
+        coordinator.merge(self._incarnation(0, records=100, epoch=1))
+        assert coordinator.counter("shard_records_total", shard=0).value == 140
+
+    def test_respawn_epoch_gauge_keeps_the_latest_incarnation(self):
+        coordinator = MetricsRegistry()
+        coordinator.merge(self._incarnation(0, records=100, epoch=2))
+        assert coordinator.gauge("shard_epoch", shard=0).value == 2
+
+    def test_per_shard_labels_keep_incarnations_of_different_shards_apart(self):
+        coordinator = MetricsRegistry()
+        coordinator.merge(self._incarnation(0, records=60, epoch=1))
+        coordinator.merge(self._incarnation(1, records=40, epoch=0))
+        assert coordinator.counter("shard_records_total", shard=0).value == 60
+        assert coordinator.counter("shard_records_total", shard=1).value == 40
+        assert coordinator.total("shard_records_total") == 100
+
+    def test_degraded_drain_merges_into_the_same_registry_once(self):
+        # A shard that exhausts its restart budget degrades to an in-process
+        # drain; its metrics merge exactly once like any other terminal.
+        coordinator = MetricsRegistry()
+        degraded = self._incarnation(1, records=75, epoch=3)
+        coordinator.merge(degraded)
+        assert coordinator.counter("shard_records_total", shard=1).value == 75

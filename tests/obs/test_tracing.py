@@ -48,6 +48,13 @@ class TestRingBuffer:
         assert tracer.dropped == 2
         assert len(tracer) == 3
 
+    def test_dropped_spans_property_tracks_evictions(self):
+        tracer = Tracer(capacity=2)
+        assert tracer.dropped_spans == 0
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert tracer.dropped_spans == 3
+
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)

@@ -507,3 +507,79 @@ class TestParallelCli:
         assert (ck / "parallel.json").is_file()
         assert main([*base_args, "--resume-from", str(ck)]) == 0
         assert (paths["dirty"].read_text(), paths["log"].read_text()) == first
+
+
+class TestLiveTelemetryFlags:
+    @staticmethod
+    def _args(paths, *extra):
+        return [
+            "pollute",
+            "--config", str(paths["config"]),
+            "--schema", str(paths["schema"]),
+            "--input", str(paths["clean"]),
+            "--output", str(paths["dirty"]),
+            "--seed", "11",
+            *extra,
+        ]
+
+    def test_profile_prints_the_offenders_table(self, workspace, capsys):
+        paths, _ = workspace
+        assert main(self._args(paths, "--profile")) == 0
+        out = capsys.readouterr().out
+        assert "profile: wall" in out
+        assert "phase:execute" in out
+        assert "fallback kernels:" in out
+
+    def test_ledger_out_writes_a_replayable_jsonl(self, workspace, tmp_path, capsys):
+        from repro.obs import RunLedger, replay
+
+        paths, _ = workspace
+        ledger_path = tmp_path / "run.jsonl"
+        assert main(self._args(paths, "--ledger-out", str(ledger_path))) == 0
+        assert "run ledger:" in capsys.readouterr().out
+        events = RunLedger.read_jsonl(ledger_path)
+        assert replay(events) == []
+        assert events[0]["event"] == "run.start"
+        assert events[-1]["event"] == "run.complete"
+
+    def test_progress_renders_to_stderr(self, workspace, capsys):
+        paths, _ = workspace
+        assert main(self._args(paths, "--progress")) == 0
+        assert "progress:" in capsys.readouterr().err
+
+    def test_live_flags_do_not_change_pollution_output(self, workspace, tmp_path):
+        paths, _ = workspace
+        assert main(self._args(paths)) == 0
+        plain = paths["dirty"].read_text()
+        assert main(
+            self._args(
+                paths,
+                "--profile", "--progress",
+                "--ledger-out", str(tmp_path / "run.jsonl"),
+            )
+        ) == 0
+        assert paths["dirty"].read_text() == plain
+
+    def test_parallel_run_carries_the_telemetry_plane(
+        self, keyed_workspace, tmp_path, capsys
+    ):
+        from repro.obs import RunLedger, replay
+
+        paths, _ = keyed_workspace
+        ledger_path = tmp_path / "run.jsonl"
+        rc = main(
+            self._args(
+                paths,
+                "--key-by", "station", "--parallel", "2",
+                "--profile", "--progress", "--ledger-out", str(ledger_path),
+            )
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "profile: wall" in captured.out
+        assert "progress:" in captured.err
+        events = RunLedger.read_jsonl(ledger_path)
+        assert replay(events) == []
+        assert {e["event"] for e in events} >= {
+            "run.start", "shard.spawn", "shard.done", "run.complete",
+        }
