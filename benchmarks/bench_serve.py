@@ -1,0 +1,212 @@
+"""Serve load bench — many concurrent WebSocket result streams.
+
+The delivery-plane claim under test: one server instance fans a completed
+job's results out to 100+ concurrent streaming clients with zero dropped
+and zero duplicated records, and the per-client delivery latency
+distribution stays sane (p99 within the same order of magnitude as p50,
+no collapse under fan-out).
+
+Writes ``BENCH_serve.json`` at the repo root: client count, p50/p99
+time-to-completion per stream, time-to-first-frame, aggregate delivered
+records/second, and the drop/duplicate counts (asserted zero).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import statistics
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from benchmarks.conftest import report, scaled
+from repro.serve.client import ServeClient
+from repro.serve.protocol import dumps
+from repro.serve.server import PollutionServer, ServeConfig
+
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_serve.json"
+
+SCHEMA_SPEC = {
+    "attributes": [
+        {"name": "v", "dtype": "float"},
+        {"name": "s", "dtype": "string"},
+        {"name": "timestamp", "dtype": "timestamp", "nullable": False},
+    ]
+}
+
+PLAN_CONFIG = {
+    "name": "serve-bench",
+    "polluters": [
+        {
+            "type": "standard",
+            "name": "nulls",
+            "attributes": ["v"],
+            "condition": {"type": "probability", "p": 0.2},
+            "error": {"type": "set_null"},
+        },
+        {
+            "type": "standard",
+            "name": "typos",
+            "attributes": ["s"],
+            "condition": {"type": "every_nth", "n": 9},
+            "error": {"type": "typo"},
+        },
+    ],
+}
+
+
+class _Server:
+    """The production server on a daemon-thread event loop."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.server: PollutionServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.server = PollutionServer(self.config)
+        self.address = self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+        pending = asyncio.all_tasks(self.loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self.loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self.loop.close()
+
+    def __enter__(self) -> "_Server":
+        self._thread.start()
+        assert self._ready.wait(timeout=10)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(
+            timeout=30
+        )
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+
+
+def _job_spec(n_rows: int) -> dict:
+    return {
+        "config": PLAN_CONFIG,
+        "schema": SCHEMA_SPEC,
+        "input": {
+            "type": "inline",
+            "rows": [
+                {
+                    "v": float(i % 31) + 0.5,
+                    "s": f"station-{i % 11}",
+                    "timestamp": 1_700_000_000 + i * 10,
+                }
+                for i in range(n_rows)
+            ],
+        },
+        "seed": 1234,
+    }
+
+
+def test_concurrent_stream_fanout():
+    n_clients = scaled(small=100, paper=250)
+    n_rows = scaled(small=4_000, paper=20_000)
+    config = ServeConfig(port=0, max_concurrent_jobs=2, chunk_size=512)
+    with _Server(config) as srv:
+        host, port = srv.address
+        submitter = ServeClient(host, port, timeout=60)
+        exec_start = time.perf_counter()
+        job_id = submitter.submit(_job_spec(n_rows))["job_id"]
+        final = submitter.wait(job_id, timeout=300)
+        exec_seconds = time.perf_counter() - exec_start
+        assert final["state"] == "completed"
+        reference_digest = final["result"]["digest"]
+
+        barrier = threading.Barrier(n_clients)
+
+        def stream_once(_: int) -> dict:
+            client = ServeClient(host, port, timeout=120)
+            barrier.wait()
+            start = time.perf_counter()
+            first_frame = None
+            records = []
+            for frame in client.stream(job_id):
+                if first_frame is None:
+                    first_frame = time.perf_counter() - start
+                if frame["type"] == "records":
+                    records.extend(frame["records"])
+            elapsed = time.perf_counter() - start
+            digest = hashlib.sha256(dumps(records).encode("utf-8")).hexdigest()
+            return {
+                "elapsed": elapsed,
+                "first_frame": first_frame,
+                "count": len(records),
+                "digest": digest,
+            }
+
+        fanout_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            outcomes = list(pool.map(stream_once, range(n_clients)))
+        fanout_seconds = time.perf_counter() - fanout_start
+
+    # Integrity: every client saw exactly the server's advertised payload.
+    dropped = sum(max(0, n_rows - o["count"]) for o in outcomes)
+    duplicated = sum(max(0, o["count"] - n_rows) for o in outcomes)
+    corrupt = sum(1 for o in outcomes if o["digest"] != reference_digest)
+    assert dropped == 0, f"{dropped} records dropped across streams"
+    assert duplicated == 0, f"{duplicated} records duplicated across streams"
+    assert corrupt == 0, f"{corrupt} streams delivered corrupted payloads"
+
+    elapsed = sorted(o["elapsed"] for o in outcomes)
+    first = sorted(o["first_frame"] for o in outcomes)
+    quantiles = statistics.quantiles(elapsed, n=100)
+    p50_ms = quantiles[49] * 1000
+    p99_ms = quantiles[98] * 1000
+    records_per_second = n_clients * n_rows / fanout_seconds
+
+    data = {
+        "clients": n_clients,
+        "rows_per_job": n_rows,
+        "job_exec_seconds": round(exec_seconds, 4),
+        "fanout_wall_seconds": round(fanout_seconds, 4),
+        "stream_p50_ms": round(p50_ms, 2),
+        "stream_p99_ms": round(p99_ms, 2),
+        "first_frame_p50_ms": round(
+            statistics.quantiles(first, n=100)[49] * 1000, 2
+        ),
+        "delivered_records_per_second": round(records_per_second, 1),
+        "dropped": dropped,
+        "duplicated": duplicated,
+    }
+    payload = {}
+    if BENCH_FILE.exists():
+        try:
+            payload = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["stream_fanout"] = data
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report(
+        f"Serve — streaming fan-out ({n_clients} concurrent clients, "
+        f"{n_rows} records/job)",
+        "\n".join(
+            [
+                f"job execution          {exec_seconds:8.3f} s",
+                f"fan-out wall           {fanout_seconds:8.3f} s",
+                f"stream completion p50  {p50_ms:8.1f} ms",
+                f"stream completion p99  {p99_ms:8.1f} ms",
+                f"delivered throughput   {records_per_second:10.0f} records/s",
+                f"dropped / duplicated   {dropped} / {duplicated}",
+            ]
+        ),
+    )

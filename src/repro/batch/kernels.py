@@ -39,6 +39,11 @@ changes (restored by a stable record-ID sort, see
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
@@ -53,7 +58,7 @@ from repro.core.errors.static_numeric import GaussianNoise, _preserve_int
 from repro.core.log import PollutionLog
 from repro.core.pipeline import PollutionPipeline, _needs_rng
 from repro.core.polluter import Polluter, StandardPolluter
-from repro.errors import PollutionError
+from repro.errors import ConfigError, PollutionError
 from repro.streaming.record import Record
 
 #: A mask function: records + taus -> per-row fired flags.
@@ -84,22 +89,35 @@ def polluter_label(polluter: Polluter) -> str:
     )
 
 
-def _compile_mask(polluter: StandardPolluter) -> MaskFn:
-    """Pick the fastest mask builder that is provably draw-identical."""
-    condition = polluter.condition
+def _mask_kind(condition: Any) -> str:
+    """Classify a condition's mask strategy (a pure function of its class)."""
     evaluate = type(condition).evaluate
     if evaluate is AlwaysCondition.evaluate:
-        return lambda records, taus: [True] * len(records)
+        return "always"
     if evaluate is NeverCondition.evaluate:
-        return lambda records, taus: [False] * len(records)
+        return "never"
     if evaluate is ProbabilityCondition.evaluate:
+        return "probability"
+    if evaluate is PatternProbabilityCondition.evaluate:
+        return "pattern"
+    return "row"
+
+
+def _build_mask(polluter: StandardPolluter, kind: str) -> MaskFn:
+    """Materialize the mask closure for a known strategy."""
+    condition = polluter.condition
+    if kind == "always":
+        return lambda records, taus: [True] * len(records)
+    if kind == "never":
+        return lambda records, taus: [False] * len(records)
+    if kind == "probability":
 
         def probability_mask(records, taus, condition=condition):
             # One bulk draw == n scalar draws, value- and state-identical.
             return (condition.rng.random(len(records)) < condition.p).tolist()
 
         return probability_mask
-    if evaluate is PatternProbabilityCondition.evaluate:
+    if kind == "pattern":
 
         def pattern_mask(records, taus, condition=condition):
             draws = condition.rng.random(len(records)).tolist()
@@ -114,6 +132,11 @@ def _compile_mask(polluter: StandardPolluter) -> MaskFn:
         return [condition.evaluate(r, tau) for r, tau in zip(records, taus)]
 
     return row_mask
+
+
+def _compile_mask(polluter: StandardPolluter) -> MaskFn:
+    """Pick the fastest mask builder that is provably draw-identical."""
+    return _build_mask(polluter, _mask_kind(polluter.condition))
 
 
 class PolluterKernel:
@@ -183,11 +206,20 @@ class FallbackKernel(PolluterKernel):
 class StandardKernel(PolluterKernel):
     """Fused mask + fired-path kernel for a :class:`StandardPolluter`."""
 
-    def __init__(self, polluter: StandardPolluter) -> None:
+    def __init__(
+        self, polluter: StandardPolluter, decision: "KernelDecision | None" = None
+    ) -> None:
         self.polluter = polluter
-        self._mask = _compile_mask(polluter)
-        # Exact-type gate: a GaussianNoise subclass could change apply().
-        self._gaussian = type(polluter.error) is GaussianNoise
+        if decision is None:
+            self._mask = _compile_mask(polluter)
+            # Exact-type gate: a GaussianNoise subclass could change apply().
+            self._gaussian = type(polluter.error) is GaussianNoise
+        else:
+            # Replay a cached compilation decision: skip the classification
+            # pass, build the closures directly against the live polluter.
+            assert decision.mask_kind is not None
+            self._mask = _build_mask(polluter, decision.mask_kind)
+            self._gaussian = decision.gaussian
 
     def _apply_batch(self, records, taus, log):
         polluter = self.polluter
@@ -300,31 +332,185 @@ class CompiledPipeline:
         return records, taus
 
 
+# ---------------------------------------------------------------------------
+# Plan-hash compilation cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelDecision:
+    """One polluter's compilation outcome — everything :func:`compile_pipeline`
+    derives by classification, none of it tied to a live object."""
+
+    kind: str  # "standard" | "fallback"
+    mask_kind: str | None  # mask strategy for standard kernels
+    gaussian: bool  # bulk-Gaussian fast path?
+
+
+def _qualified_type(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def plan_digest(pipeline: PollutionPipeline) -> str | None:
+    """A SHA-256 over the pipeline's declarative form, or ``None``.
+
+    The digest hashes the canonical ``pipeline_to_config`` JSON *plus* the
+    concrete classes of every polluter, condition, and error function.
+    Compilation decisions are pure functions of those classes (method
+    identity and exact-type gates), so equal digests imply equal decisions
+    — a user subclass that serializes like a library class still changes
+    the class fingerprint and therefore the key. Pipelines with no
+    declarative form (custom polluter/condition/error classes) return
+    ``None`` and are simply never cached.
+    """
+    from repro.core.serialize import pipeline_to_config
+
+    try:
+        config = pipeline_to_config(pipeline)
+    except ConfigError:
+        return None
+    classes = []
+    for polluter in pipeline.polluters:
+        entry = _qualified_type(polluter)
+        if isinstance(polluter, StandardPolluter):
+            entry += (
+                f":{_qualified_type(polluter.condition)}"
+                f":{_qualified_type(polluter.error)}"
+            )
+        classes.append(entry)
+    text = json.dumps(
+        {"config": config, "classes": classes},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class KernelCache:
+    """An LRU of compilation decisions, keyed by :func:`plan_digest`.
+
+    The dominant service pattern is the same plan submitted over and over;
+    caching lets repeat compilations skip the classification pass entirely.
+    Decisions — not kernels — are cached: kernels close over live polluter
+    objects (RNG streams, condition state) that differ per run, so they can
+    never be shared, but the *choices* (kernel kind, mask strategy,
+    Gaussian fast path) are per-class facts that transfer exactly.
+
+    Thread-safe; the serve job manager compiles from concurrent worker
+    threads.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[KernelDecision, ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> tuple[KernelDecision, ...] | None:
+        with self._lock:
+            plan = self._entries.get(digest)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return plan
+
+    def put(self, digest: str, plan: tuple[KernelDecision, ...]) -> None:
+        with self._lock:
+            self._entries[digest] = plan
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }
+
+    def publish(self, metrics: Any) -> None:
+        """Surface the counters on a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        stats = self.stats()
+        metrics.counter("kernel_cache_hits_total").value = stats["hits"]
+        metrics.counter("kernel_cache_misses_total").value = stats["misses"]
+        metrics.counter("kernel_cache_evictions_total").value = stats["evictions"]
+        metrics.gauge("kernel_cache_entries").set(stats["entries"])
+
+
+#: The process-wide cache both the batch engine and the stream operators use.
+KERNEL_CACHE = KernelCache()
+
+
+def _decide(polluter: Polluter) -> KernelDecision:
+    kind = kernel_kind(polluter)
+    if kind == "standard":
+        return KernelDecision(
+            kind=kind,
+            mask_kind=_mask_kind(polluter.condition),  # type: ignore[union-attr]
+            gaussian=type(polluter.error) is GaussianNoise,  # type: ignore[union-attr]
+        )
+    return KernelDecision(kind=kind, mask_kind=None, gaussian=False)
+
+
 def compile_pipeline(
-    pipeline: PollutionPipeline, profiler: Any = None
+    pipeline: PollutionPipeline,
+    profiler: Any = None,
+    cache: KernelCache | None = KERNEL_CACHE,
 ) -> CompiledPipeline:
     """Compile a (bound) pipeline into its batch-kernel chain.
 
     ``profiler`` (a :class:`repro.obs.profile.Profiler`) makes every kernel
     time its slabs and registers each polluter's kernel kind, so fallback
     polluters are named in the profile.
+
+    ``cache`` (default: the process-wide :data:`KERNEL_CACHE`) replays
+    compilation decisions for plans seen before, keyed by
+    :func:`plan_digest`; pass ``None`` to force a fresh classification.
     """
     if not pipeline.is_bound and any(_needs_rng(p) for p in pipeline.polluters):
         raise PollutionError(
             f"pipeline {pipeline.name!r} contains stochastic polluters but was "
             "never bound to a RandomSource; call bind() or use the runner"
         )
+    plan: tuple[KernelDecision, ...] | None = None
+    digest: str | None = None
+    if cache is not None:
+        digest = plan_digest(pipeline)
+        if digest is not None:
+            plan = cache.get(digest)
+    if plan is None:
+        plan = tuple(_decide(polluter) for polluter in pipeline.polluters)
+        if cache is not None and digest is not None:
+            cache.put(digest, plan)
     kernels: list[PolluterKernel] = []
-    for polluter in pipeline.polluters:
-        kind = kernel_kind(polluter)
+    for polluter, decision in zip(pipeline.polluters, plan):
         kernel: PolluterKernel
-        if kind == "standard":
-            kernel = StandardKernel(polluter)  # type: ignore[arg-type]
+        if decision.kind == "standard":
+            kernel = StandardKernel(polluter, decision)  # type: ignore[arg-type]
         else:
             kernel = FallbackKernel(polluter)
         if profiler is not None:
             kernel.profiler = profiler
             kernel.label = polluter_label(polluter)
-            profiler.register_kernel(kernel.label, kind)
+            profiler.register_kernel(kernel.label, decision.kind)
         kernels.append(kernel)
     return CompiledPipeline(pipeline, kernels)

@@ -30,6 +30,19 @@ Commands
         python -m repro generate airquality --station Gucheng --hours 8760 \\
             --output gucheng.csv
 
+``serve``
+    Run the pollution-as-a-service HTTP/WebSocket server::
+
+        python -m repro serve --port 8742 --jobs 2
+
+    Jobs are submitted as JSON to ``POST /jobs``, validated by ``repro
+    check`` at admission, and streamed back over ``/jobs/{id}/stream``;
+    see the README "Serving" section for the protocol.
+
+Every command exits 130 on SIGINT/SIGTERM after a clean shutdown —
+parallel runs terminate their worker processes, and ``pollute`` flushes
+any partial run ledger and metrics before exiting.
+
 Schema files are JSON: ``{"attributes": [{"name": ..., "dtype":
 "float|int|string|bool|timestamp|category", "nullable": true}],
 "timestamp_attribute": "..."}``. Suite files: ``{"name": ...,
@@ -244,7 +257,14 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     if args.batch_size is not None:
         kwargs["batch_size"] = args.batch_size
     kwargs["check"] = args.check
-    result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
+    try:
+        result = pollute(records, pipeline, schema=schema, seed=args.seed, **kwargs)
+    except KeyboardInterrupt:
+        # The engines' cleanup already ran (worker processes terminated by
+        # the coordinator's finally); persist whatever observability state
+        # the run accumulated so an interrupted run still leaves evidence.
+        _flush_interrupted(args, ledger, metrics, tracer)
+        raise
     save_records(result.polluted, schema, args.output)
     if args.log:
         result.log.to_csv(args.log)
@@ -268,6 +288,31 @@ def cmd_pollute(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.to_jsonl(args.trace_out)
     return 0
+
+
+def _flush_interrupted(
+    args: argparse.Namespace,
+    ledger: RunLedger | None,
+    metrics: MetricsRegistry | None,
+    tracer: Tracer | None,
+) -> None:
+    """Best-effort flush of partial observability output after an interrupt."""
+    if ledger is not None and args.ledger_out:
+        try:
+            ledger.to_jsonl(args.ledger_out)
+            print(
+                f"interrupted: flushed {len(ledger)} ledger events to "
+                f"{args.ledger_out}",
+                file=sys.stderr,
+            )
+        except OSError:
+            pass
+    if metrics is not None and args.metrics_out and str(args.metrics_out) != "-":
+        try:
+            write_metrics(metrics, args.metrics_out, args.metrics_format, tracer=tracer)
+            print(f"interrupted: flushed metrics to {args.metrics_out}", file=sys.stderr)
+        except OSError:
+            pass
 
 
 def _parse_time_bound(text: str) -> int:
@@ -437,6 +482,34 @@ def cmd_generate(args: argparse.Namespace) -> int:
         records = generate_air_quality(cfg)[args.station]
         save_records(records, AIR_QUALITY_SCHEMA, args.output)
     print(f"wrote {len(records)} tuples to {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.admission import AdmissionLimits
+    from repro.serve.server import ServeConfig, run_server
+
+    if args.jobs < 1:
+        raise ConfigError(f"--jobs must be >= 1, got {args.jobs}")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent_jobs=args.jobs,
+        limits=AdmissionLimits(
+            max_queued_jobs=args.max_queued,
+            max_jobs_per_tenant=args.tenant_quota,
+            fail_on=args.fail_on,
+        ),
+        result_ttl=args.result_ttl,
+        send_timeout=args.send_timeout,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+
+    asyncio.run(run_server(config, ready=ready))
     return 0
 
 
@@ -618,17 +691,74 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--station", default="Wanshouxigong", help="air-quality station")
     g.add_argument("--hours", type=int, default=24 * 365, help="air-quality stream hours")
     g.set_defaults(fn=cmd_generate)
+
+    s = sub.add_parser("serve", help="run the pollution-as-a-service server")
+    s.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    s.add_argument(
+        "--port", type=int, default=8742,
+        help="bind port (default 8742; 0 picks a free port)",
+    )
+    s.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="concurrent job execution slots (default 2)",
+    )
+    s.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="global queued-job bound; submissions beyond it get 429 (default 64)",
+    )
+    s.add_argument(
+        "--tenant-quota", type=int, default=8, metavar="N",
+        help="max queued+running jobs per tenant (default 8)",
+    )
+    s.add_argument(
+        "--result-ttl", type=float, default=600.0, metavar="SECONDS",
+        help="how long finished jobs keep their results (default 600)",
+    )
+    s.add_argument(
+        "--send-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="stream send deadline before a slow consumer is disconnected "
+        "(default 10)",
+    )
+    s.add_argument(
+        "--fail-on", choices=["error", "warning", "info"], default="error",
+        help="admission severity threshold for the repro-check gate "
+        "(default error)",
+    )
+    s.set_defaults(fn=cmd_serve)
     return parser
+
+
+def _install_signal_handlers() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path.
+
+    One shutdown story for both signals: the exception unwinds through the
+    engines' ``finally`` blocks (worker processes terminated, shards
+    drained), ``cmd_pollute`` flushes partial ledger/metrics, and
+    :func:`main` turns it into exit code 130 with no traceback.
+    """
+    import signal
+
+    def _terminate(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (e.g. main() called from a test worker)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_signal_handlers()
     try:
         return args.fn(args)
     except (IcewaflError, FileNotFoundError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted: shut down cleanly", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

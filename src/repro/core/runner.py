@@ -460,6 +460,10 @@ def pollute(
         if metered:
             for pipeline in pipelines:
                 pipeline.flush_metrics()
+            if batched:
+                from repro.batch.kernels import KERNEL_CACHE
+
+                KERNEL_CACHE.publish(metrics)
         if renderer is not None:
             renderer.finish()
     if profiler is not None:

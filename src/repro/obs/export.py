@@ -21,6 +21,11 @@ from repro.obs.tracing import Tracer
 
 FORMATS = ("summary", "jsonl", "prom")
 
+#: The content type a conforming Prometheus scrape endpoint must declare for
+#: the text exposition format. The ``version=0.0.4`` parameter is what tells
+#: the scraper which parser to use — ``text/plain`` alone is not conformant.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 #: Curated ``# HELP`` texts for the metric families the runtime emits.
 #: Keys use the *exposed* name (counters carry their ``_total`` suffix).
 #: Families not listed fall back to a generic text — the conformance test
@@ -61,6 +66,21 @@ METRIC_HELP: dict[str, str] = {
     "profile_kernel_mask_seconds": "Condition-mask evaluation time per polluter.",
     "profile_node_seconds": "Exclusive per-node processing time.",
     "tracer_dropped_spans": "Spans evicted from the tracer ring buffer.",
+    "kernel_cache_hits_total": "Batch pipeline compilations served from the plan-hash cache.",
+    "kernel_cache_misses_total": "Batch pipeline compilations that ran the full analysis.",
+    "kernel_cache_evictions_total": "Plan-hash cache entries evicted by the LRU policy.",
+    "kernel_cache_entries": "Plans currently held by the kernel compilation cache.",
+    "serve_jobs_submitted_total": "Jobs admitted by the serve endpoint, per tenant.",
+    "serve_jobs_rejected_total": "Submissions turned away at admission, per reason.",
+    "serve_jobs_finished_total": "Jobs reaching a terminal state, per state.",
+    "serve_jobs_expired_total": "Terminal jobs forgotten by the TTL sweep.",
+    "serve_jobs_queued": "Jobs currently queued and waiting for an execution slot.",
+    "serve_jobs_running": "Jobs currently executing.",
+    "serve_job_wall_seconds": "End-to-end execution wall time per job.",
+    "serve_http_requests_total": "HTTP requests served, per method, route, and status.",
+    "serve_streams_open": "WebSocket result streams currently connected.",
+    "serve_stream_disconnects_total": "Stream terminations, per reason.",
+    "serve_records_streamed_total": "Polluted records delivered over WebSocket streams.",
 }
 
 

@@ -1,0 +1,39 @@
+"""``repro.serve`` — pollution-as-a-service.
+
+A zero-dependency asyncio HTTP/WebSocket server that turns the in-process
+:func:`~repro.core.runner.pollute` API into a networked job service:
+submissions are statically validated by :mod:`repro.check` before
+admission, queued under per-tenant quotas with priority scheduling, run on
+worker threads over the existing engines, and delivered either as a
+WebSocket stream with backpressure or as cursor-paged HTTP results.
+
+Start one from the CLI::
+
+    repro serve --port 8742
+
+or in-process::
+
+    from repro.serve import PollutionServer, ServeConfig
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionLimits, Decision
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobCancelled, JobManager
+from repro.serve.protocol import PROTOCOL_VERSION, JobSpec
+from repro.serve.server import PollutionServer, ServeConfig, run_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "Decision",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "PollutionServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "run_server",
+]

@@ -1,0 +1,88 @@
+"""The streaming bridge: job state → an ordered sequence of stream frames.
+
+:func:`stream_frames` is the single source of truth for what a
+``/jobs/{id}/stream`` WebSocket carries, independent of the socket
+machinery: ``hello``, live ``status`` frames while the job runs (fed by
+the progress hook the engines tick every ~1k records), then — once the
+job is terminal — the full result as bounded ``records`` / ``log``
+chunks, and finally a ``complete`` frame. Keeping it an async generator
+means the server's send loop *pulls*: a slow consumer stalls its own
+generator, never the job or other clients.
+
+Records stream after completion by design, not limitation: ``pollute()``
+ends with a global event-time sort (integration, Algorithm 1 line 9), so
+the final record order — the one the byte-identity contract is stated
+over — only exists once the run finishes. What streams mid-run is the
+job's live progress. DESIGN §14 discusses the trade-off.
+
+:func:`page_results` is the same data served pull-style for
+``GET /jobs/{id}/results?cursor=`` — both delivery modes read the same
+wire-form lists, which is what makes them byte-identical to each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator
+
+from repro.serve import protocol
+
+#: Records / log entries per stream chunk and per default results page.
+DEFAULT_CHUNK = 256
+#: Ceiling a ``?limit=`` query may request.
+MAX_PAGE = 4096
+
+
+async def stream_frames(
+    job: Any,
+    *,
+    chunk_size: int = DEFAULT_CHUNK,
+    status_interval: float = 0.2,
+) -> AsyncIterator[dict[str, Any]]:
+    """Yield every frame a stream subscriber for ``job`` should see."""
+    yield protocol.hello_frame(job)
+    while not job.done_event.is_set():
+        yield protocol.status_frame(job)
+        await asyncio.sleep(status_interval)
+    if job.state == protocol.COMPLETED:
+        for cursor in range(0, len(job.records), chunk_size):
+            yield protocol.records_frame(
+                job.records[cursor : cursor + chunk_size], cursor
+            )
+        for cursor in range(0, len(job.log_entries), chunk_size):
+            yield protocol.log_frame(
+                job.log_entries[cursor : cursor + chunk_size], cursor
+            )
+    yield protocol.complete_frame(job)
+
+
+def page_results(
+    job: Any,
+    *,
+    cursor: int = 0,
+    limit: int = DEFAULT_CHUNK,
+    kind: str = "records",
+) -> dict[str, Any]:
+    """One page of a terminal job's results (``records`` or ``log``).
+
+    The page carries ``next_cursor`` (``None`` once exhausted) and
+    ``total`` so clients can both iterate and preallocate. Paging a job
+    that is not yet terminal returns an empty page with ``done=False`` —
+    poll again, or use the stream.
+    """
+    items = job.records if kind == "records" else job.log_entries
+    cursor = max(0, cursor)
+    limit = max(1, min(limit, MAX_PAGE))
+    done = job.done_event.is_set()
+    chunk = items[cursor : cursor + limit] if done else []
+    next_cursor = cursor + len(chunk)
+    return {
+        "job_id": job.job_id,
+        "state": job.state,
+        "kind": kind,
+        "cursor": cursor,
+        "next_cursor": next_cursor if done and next_cursor < len(items) else None,
+        "total": len(items) if done else None,
+        "done": done,
+        "items": chunk,
+    }

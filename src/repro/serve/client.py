@@ -1,0 +1,200 @@
+"""A blocking, stdlib-only client for the serve protocol.
+
+Tests, the load bench, and ``examples/serve_client.py`` all speak to the
+server through this module, so the protocol has exactly two
+implementations to keep honest: the server's and this one. REST calls ride
+:mod:`http.client`; the stream is a raw socket driven through the same
+:mod:`repro.serve.wsproto` frame layer the server uses (masked, as RFC
+6455 requires of clients).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterator
+
+from repro.serve import wsproto
+
+
+class ServeError(Exception):
+    """An HTTP error response, with the parsed body attached."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """One client bound to one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- REST ----------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        expect: tuple[int, ...] = (200,),
+    ) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed: Any
+            try:
+                parsed = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                parsed = raw.decode("utf-8", errors="replace")
+            if response.status not in expect:
+                raise ServeError(response.status, parsed)
+            return parsed
+        finally:
+            conn.close()
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Submit a job; returns the job resource (202) or raises ServeError."""
+        return self._request("POST", "/jobs", payload=spec, expect=(202,))
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def results_page(
+        self, job_id: str, cursor: int = 0, limit: int = 256, kind: str = "records"
+    ) -> dict[str, Any]:
+        return self._request(
+            "GET", f"/jobs/{job_id}/results?cursor={cursor}&limit={limit}&kind={kind}"
+        )
+
+    def results(self, job_id: str, kind: str = "records") -> list[dict[str, Any]]:
+        """Every result item, gathered by cursor iteration."""
+        items: list[dict[str, Any]] = []
+        cursor = 0
+        while True:
+            page = self.results_page(job_id, cursor=cursor, kind=kind)
+            items.extend(page["items"])
+            if page["next_cursor"] is None:
+                return items
+            cursor = page["next_cursor"]
+
+    def wait(self, job_id: str, timeout: float = 60.0, interval: float = 0.1) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("completed", "failed", "cancelled"):
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {status['state']}")
+            time.sleep(interval)
+
+    def metrics(self) -> tuple[str, str]:
+        """The ``/metrics`` scrape as ``(content_type, text)``."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            return (
+                response.getheader("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+        finally:
+            conn.close()
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz")["ok"])
+        except (OSError, ServeError):
+            return False
+
+    # -- streaming -----------------------------------------------------------
+
+    def stream(self, job_id: str, timeout: float | None = None) -> Iterator[dict[str, Any]]:
+        """Open ``/jobs/{id}/stream`` and yield frames until the server closes.
+
+        Yields each JSON frame as a dict; returns normally on a clean close
+        and raises :class:`wsproto.WebSocketError` on protocol violations.
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout or self.timeout
+        )
+        try:
+            key = wsproto.make_client_key()
+            sock.sendall(
+                (
+                    f"GET /jobs/{job_id}/stream HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n"
+                    "\r\n"
+                ).encode("ascii")
+            )
+            head, leftover = self._read_until(sock, b"\r\n\r\n")
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in status_line:
+                raise ServeError(
+                    int(status_line.split(" ")[1]),
+                    head.decode("latin-1", errors="replace"),
+                )
+            expected = wsproto.accept_key(key)
+            for line in head.decode("latin-1").split("\r\n"):
+                if line.lower().startswith("sec-websocket-accept:"):
+                    got = line.split(":", 1)[1].strip()
+                    if got != expected:
+                        raise wsproto.WebSocketError("bad Sec-WebSocket-Accept")
+            reader = wsproto.FrameReader()
+            # Frames may already have arrived on the handshake read.
+            pending = reader.feed(leftover) if leftover else []
+            while True:
+                for frame in pending:
+                    if frame.opcode == wsproto.OP_CLOSE:
+                        sock.sendall(wsproto.encode_close(mask=True))
+                        return
+                    if frame.opcode == wsproto.OP_PING:
+                        sock.sendall(
+                            wsproto.encode_frame(
+                                wsproto.OP_PONG, frame.payload, mask=True
+                            )
+                        )
+                        continue
+                    if frame.opcode == wsproto.OP_TEXT:
+                        yield json.loads(frame.text)
+                data = sock.recv(65536)
+                if not data:
+                    return
+                pending = reader.feed(data)
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _read_until(sock: socket.socket, marker: bytes) -> tuple[bytes, bytes]:
+        buf = bytearray()
+        while marker not in buf:
+            data = sock.recv(4096)
+            if not data:
+                raise ConnectionError("connection closed during handshake")
+            buf += data
+        head, _, rest = bytes(buf).partition(marker)
+        return head, rest

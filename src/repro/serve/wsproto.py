@@ -1,0 +1,203 @@
+"""A minimal RFC 6455 WebSocket wire layer (zero dependencies).
+
+The serve subsystem streams polluted records to many concurrent clients;
+pulling in a websocket library would break the repo's zero-dependency
+contract, and the protocol subset a result stream needs is small: the
+HTTP/1.1 upgrade handshake, text/binary data frames, and the
+close/ping/pong control frames. This module implements exactly that subset,
+shared by :mod:`repro.serve.server` (unmasked frames, as RFC 6455 §5.1
+requires of servers) and :mod:`repro.serve.client` (masked frames, as it
+requires of clients).
+
+Fragmented messages are supported on the receive path (continuation frames
+are reassembled by :class:`FrameReader`); the send path always emits
+single-frame messages — result chunks are bounded well below any sane
+fragmentation threshold.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key before SHA-1.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+# Opcodes (RFC 6455 §5.2).
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+#: Close codes the serve layer uses (RFC 6455 §7.4.1).
+CLOSE_NORMAL = 1000
+CLOSE_GOING_AWAY = 1001
+CLOSE_PROTOCOL_ERROR = 1002
+CLOSE_POLICY_VIOLATION = 1008  # slow-consumer disconnects
+CLOSE_INTERNAL_ERROR = 1011
+
+
+class WebSocketError(Exception):
+    """A malformed frame or handshake."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key (§4.2.2)."""
+    digest = hashlib.sha1((client_key.strip() + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def make_client_key() -> str:
+    """A fresh random ``Sec-WebSocket-Key`` (16 random bytes, base64)."""
+    return base64.b64encode(os.urandom(16)).decode("ascii")
+
+
+def encode_frame(
+    opcode: int,
+    payload: bytes = b"",
+    *,
+    mask: bool = False,
+    fin: bool = True,
+) -> bytes:
+    """Serialize one frame. Servers send unmasked, clients masked (§5.3)."""
+    header = bytearray()
+    header.append((0x80 if fin else 0) | (opcode & 0x0F))
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if not mask:
+        return bytes(header) + payload
+    key = os.urandom(4)
+    header += key
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + masked
+
+
+def encode_text(text: str, *, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = CLOSE_NORMAL, reason: str = "", *, mask: bool = False) -> bytes:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")[:120]
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+def parse_close(payload: bytes) -> tuple[int, str]:
+    """The (code, reason) carried by a close frame's payload."""
+    if len(payload) < 2:
+        return CLOSE_NORMAL, ""
+    (code,) = struct.unpack("!H", payload[:2])
+    return code, payload[2:].decode("utf-8", errors="replace")
+
+
+@dataclass
+class Frame:
+    """One complete (reassembled) message or control frame."""
+
+    opcode: int
+    payload: bytes
+
+    @property
+    def text(self) -> str:
+        return self.payload.decode("utf-8")
+
+
+class FrameReader:
+    """Incremental frame parser: feed raw bytes, collect complete frames.
+
+    Handles masked and unmasked frames, 16/64-bit extended lengths, and
+    reassembles fragmented data messages (control frames may interleave,
+    per §5.4). ``max_message`` bounds reassembly so a hostile peer cannot
+    balloon server memory.
+    """
+
+    def __init__(self, max_message: int = 16 * 1024 * 1024) -> None:
+        self._buffer = bytearray()
+        self._max_message = max_message
+        self._fragments: list[bytes] = []
+        self._fragment_opcode: int | None = None
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb bytes; return every message completed by them."""
+        self._buffer += data
+        out: list[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return out
+            fin, opcode, payload = frame
+            if opcode in _CONTROL_OPCODES:
+                if not fin:
+                    raise WebSocketError("fragmented control frame")
+                out.append(Frame(opcode, payload))
+                continue
+            if opcode == OP_CONT:
+                if self._fragment_opcode is None:
+                    raise WebSocketError("continuation frame without a start")
+                self._fragments.append(payload)
+            else:
+                if self._fragment_opcode is not None:
+                    raise WebSocketError("new data frame inside a fragmented message")
+                self._fragment_opcode = opcode
+                self._fragments = [payload]
+            if sum(len(f) for f in self._fragments) > self._max_message:
+                raise WebSocketError(
+                    f"message exceeds the {self._max_message}-byte limit"
+                )
+            if fin:
+                message = Frame(self._fragment_opcode, b"".join(self._fragments))
+                self._fragment_opcode = None
+                self._fragments = []
+                out.append(message)
+
+    def _next_frame(self) -> tuple[bool, int, bytes] | None:
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        if first & 0x70:
+            raise WebSocketError("reserved bits set (no extension negotiated)")
+        fin = bool(first & 0x80)
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < offset + 2:
+                return None
+            (length,) = struct.unpack_from("!H", buf, offset)
+            offset += 2
+        elif length == 127:
+            if len(buf) < offset + 8:
+                return None
+            (length,) = struct.unpack_from("!Q", buf, offset)
+            offset += 8
+        if length > self._max_message:
+            raise WebSocketError(f"frame exceeds the {self._max_message}-byte limit")
+        key = b""
+        if masked:
+            if len(buf) < offset + 4:
+                return None
+            key = bytes(buf[offset : offset + 4])
+            offset += 4
+        if len(buf) < offset + length:
+            return None
+        payload = bytes(buf[offset : offset + length])
+        del self._buffer[: offset + length]
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return fin, opcode, payload

@@ -7,6 +7,7 @@ import pytest
 
 from repro.obs.export import (
     FORMATS,
+    PROMETHEUS_CONTENT_TYPE,
     render_jsonl,
     render_metrics,
     render_prometheus,
@@ -127,6 +128,28 @@ class TestPrometheus:
         registry = MetricsRegistry()
         registry.counter("node_records_in_total", node="map").inc()
         registry.gauge("tracer_dropped_spans").set(0)
+        text = render_prometheus(registry)
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert not line.rstrip().endswith("metric."), (
+                    f"fell back to the generic help text: {line}"
+                )
+
+    def test_content_type_declares_exposition_format_0_0_4(self):
+        # A scrape endpoint must declare the exposition format version —
+        # plain ``text/plain`` is not conformant. The constant is what both
+        # the serve endpoint and any embedding HTTP layer must send.
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+        params = [p.strip() for p in PROMETHEUS_CONTENT_TYPE.split(";")]
+        assert params[0] == "text/plain"
+        assert "version=0.0.4" in params
+        assert "charset=utf-8" in params
+
+    def test_serve_and_cache_families_have_curated_help(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_jobs_submitted_total", tenant="t").inc()
+        registry.counter("kernel_cache_hits_total").inc()
+        registry.gauge("serve_streams_open").set(1)
         text = render_prometheus(registry)
         for line in text.splitlines():
             if line.startswith("# HELP"):

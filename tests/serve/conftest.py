@@ -1,0 +1,144 @@
+"""Shared harness for the serve suite: a real server on a loopback port.
+
+The server is the production :class:`~repro.serve.server.PollutionServer`
+running its own event loop on a daemon thread — no mocks, no shortcut
+transports — so every test exercises the same HTTP parsing, WebSocket
+framing, and thread handoff the CLI entry point uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import PollutionServer, ServeConfig
+
+
+class ServerHarness:
+    """One live server instance plus a client factory bound to it."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.server: PollutionServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-harness", daemon=True
+        )
+
+    def _run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.server = PollutionServer(self.config)
+        self.address = self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_forever()
+        # Drain whatever the stop() call left pending (connection handlers
+        # noticing their sockets died) before the loop goes away, so nothing
+        # schedules onto a closed loop during interpreter teardown.
+        pending = asyncio.all_tasks(self.loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self.loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+        self.loop.close()
+
+    def start(self) -> "ServerHarness":
+        self._thread.start()
+        assert self._started.wait(timeout=10), "server failed to start"
+        return self
+
+    def stop(self) -> None:
+        assert self.loop is not None and self.server is not None
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(
+            timeout=30
+        )
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        assert self.address is not None
+        return ServeClient(self.address[0], self.address[1], timeout=timeout)
+
+
+@pytest.fixture
+def harness():
+    """A fresh default-ish server per test (fast status ticks, 2 slots)."""
+    h = ServerHarness(
+        ServeConfig(port=0, max_concurrent_jobs=2, status_interval=0.05)
+    ).start()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def make_harness():
+    """Factory for tests that need a specially-configured server."""
+    created: list[ServerHarness] = []
+
+    def factory(config: ServeConfig) -> ServerHarness:
+        h = ServerHarness(config).start()
+        created.append(h)
+        return h
+
+    yield factory
+    for h in created:
+        h.stop()
+
+
+SCHEMA_SPEC = {
+    "attributes": [
+        {"name": "v", "dtype": "float"},
+        {"name": "s", "dtype": "string"},
+        {"name": "timestamp", "dtype": "timestamp", "nullable": False},
+    ]
+}
+
+PLAN_CONFIG = {
+    "name": "serve-suite",
+    "polluters": [
+        {
+            "type": "standard",
+            "name": "nulls",
+            "attributes": ["v"],
+            "condition": {"type": "probability", "p": 0.25},
+            "error": {"type": "set_null"},
+        },
+        {
+            "type": "standard",
+            "name": "typos",
+            "attributes": ["s"],
+            "condition": {"type": "every_nth", "n": 5},
+            "error": {"type": "typo"},
+        },
+    ],
+}
+
+
+def rows(n: int) -> list[dict]:
+    return [
+        {
+            "v": float(i % 23) + 0.25,
+            "s": f"station-{i % 7}",
+            "timestamp": 1_700_000_000 + i * 15,
+        }
+        for i in range(n)
+    ]
+
+
+def job_spec(n_rows: int = 300, seed: int = 42, **overrides) -> dict:
+    spec = {
+        "config": PLAN_CONFIG,
+        "schema": SCHEMA_SPEC,
+        "input": {"type": "inline", "rows": rows(n_rows)},
+        "seed": seed,
+    }
+    spec.update(overrides)
+    return spec

@@ -1,0 +1,113 @@
+"""The two admission gates, exercised as pure functions."""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionController, AdmissionLimits, LoadSnapshot
+from repro.serve.protocol import JobSpec
+from tests.serve.conftest import job_spec
+
+
+def _spec(**overrides) -> JobSpec:
+    return JobSpec.from_dict(job_spec(n_rows=5, **overrides))
+
+
+class TestPlanGate:
+    def test_valid_plan_is_admitted_with_its_check_report(self):
+        decision = AdmissionController().review_plan(_spec())
+        assert decision.admitted
+        assert decision.report is not None
+        assert "diagnostics" in decision.report
+
+    def test_unknown_attribute_is_rejected_with_ice_diagnostics(self):
+        config = {
+            "name": "broken",
+            "polluters": [
+                {
+                    "type": "standard",
+                    "name": "ghost",
+                    "attributes": ["no_such_column"],
+                    "condition": {"type": "probability", "p": 0.5},
+                    "error": {"type": "set_null"},
+                }
+            ],
+        }
+        decision = AdmissionController().review_plan(_spec(config=config))
+        assert not decision.admitted
+        assert decision.status == 422
+        assert decision.report is not None
+        rules = [d["rule"] for d in decision.report["diagnostics"]]
+        assert "ICE101" in rules  # unknown attribute
+        body = decision.body()
+        assert body["admitted"] is False
+        assert body["check"] == decision.report
+
+    def test_unbuildable_config_is_rejected_with_a_diagnostic(self):
+        decision = AdmissionController().review_plan(
+            _spec(config={"polluters": [{"type": "warp-drive"}]})
+        )
+        assert not decision.admitted
+        assert decision.status == 422
+        messages = " ".join(
+            d["message"] for d in decision.report["diagnostics"]
+        )
+        assert "warp-drive" in messages
+
+    def test_bad_schema_is_rejected(self):
+        decision = AdmissionController().review_plan(_spec(schema={"attributes": []}))
+        assert not decision.admitted
+        assert "bad schema" in decision.reason
+
+    def test_oversized_inline_input_is_rejected_413(self):
+        controller = AdmissionController(AdmissionLimits(max_inline_rows=3))
+        decision = controller.review_plan(_spec())
+        assert not decision.admitted
+        assert decision.status == 413
+
+    def test_fail_on_warning_tightens_the_gate(self):
+        # Two polluters mutating the same attribute under overlapping
+        # probability conditions draws an ICE601 warning: fine at the
+        # default fail_on=error, rejected at fail_on=warning.
+        config = {
+            "name": "overlap",
+            "polluters": [
+                {
+                    "type": "standard",
+                    "name": f"noise{i}",
+                    "attributes": ["v"],
+                    "condition": {"type": "probability", "p": 0.5},
+                    "error": {"type": "gaussian_noise", "sigma": 1.0},
+                }
+                for i in range(2)
+            ],
+        }
+        lax = AdmissionController().review_plan(_spec(config=config))
+        assert lax.admitted
+        strict = AdmissionController(
+            AdmissionLimits(fail_on="warning")
+        ).review_plan(_spec(config=config))
+        assert not strict.admitted
+        assert strict.status == 422
+
+
+class TestCapacityGate:
+    def test_under_load_is_admitted(self):
+        decision = AdmissionController().review_capacity(
+            _spec(), LoadSnapshot(queued=0)
+        )
+        assert decision.admitted
+
+    def test_full_queue_rejects_with_retry_after(self):
+        controller = AdmissionController(AdmissionLimits(max_queued_jobs=2))
+        decision = controller.review_capacity(_spec(), LoadSnapshot(queued=2))
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.retry_after is not None
+
+    def test_tenant_quota_is_per_tenant(self):
+        controller = AdmissionController(AdmissionLimits(max_jobs_per_tenant=1))
+        load = LoadSnapshot(queued=0, tenant_active={"alice": 1})
+        rejected = controller.review_capacity(_spec(tenant="alice"), load)
+        assert not rejected.admitted
+        assert rejected.status == 429
+        admitted = controller.review_capacity(_spec(tenant="bob"), load)
+        assert admitted.admitted

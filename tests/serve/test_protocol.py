@@ -1,0 +1,65 @@
+"""JobSpec validation and canonical serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.protocol import JobSpec, dumps
+from tests.serve.conftest import PLAN_CONFIG, SCHEMA_SPEC, job_spec
+
+
+class TestJobSpec:
+    def test_minimal_valid_submission(self):
+        spec = JobSpec.from_dict(job_spec(n_rows=3))
+        assert spec.config == PLAN_CONFIG
+        assert spec.schema == SCHEMA_SPEC
+        assert spec.seed == 42
+        assert spec.tenant == "anonymous"
+        assert spec.priority == 0
+        assert spec.log is True
+
+    def test_dataset_input(self):
+        spec = JobSpec.from_dict(
+            job_spec(input={"type": "dataset", "name": "wearable", "n": 100})
+        )
+        assert spec.input["name"] == "wearable"
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"config": None}, "config"),
+            ({"schema": "not-an-object"}, "schema"),
+            ({"input": None}, "'input' object"),
+            ({"input": {"type": "inline"}}, "rows"),
+            ({"input": {"type": "inline", "rows": []}}, "at least one row"),
+            ({"input": {"type": "dataset", "name": "nope"}}, "unknown dataset"),
+            ({"input": {"type": "teleport"}}, "unknown input type"),
+            ({"seed": "not-an-int"}, "seed"),
+            ({"priority": 1.5}, "priority"),
+            ({"tenant": ""}, "tenant"),
+            ({"options": ["list"]}, "options"),
+            ({"options": {"sudo": True}}, "unknown option"),
+        ],
+    )
+    def test_malformed_submissions_raise(self, mutation, message):
+        body = job_spec(n_rows=3)
+        body.update(mutation)
+        with pytest.raises(ConfigError, match=message):
+            JobSpec.from_dict(body)
+
+    def test_options_allow_list_passes_execution_knobs(self):
+        spec = JobSpec.from_dict(
+            job_spec(options={"batch_size": 64, "parallelism": 2, "key_by": "s"})
+        )
+        assert spec.options == {"batch_size": 64, "parallelism": 2, "key_by": "s"}
+
+
+class TestCanonicalDumps:
+    def test_compact_and_key_ordered(self):
+        assert dumps({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_identical_payloads_render_identically(self):
+        left = dumps({"x": {"b": 2, "a": 1}})
+        right = dumps({"x": {"a": 1, "b": 2}})
+        assert left == right

@@ -1,0 +1,114 @@
+"""Unit tests for the hand-rolled RFC 6455 frame layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import wsproto
+
+
+class TestHandshake:
+    def test_rfc_6455_accept_key_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            wsproto.accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_client_keys_are_fresh_16_byte_nonces(self):
+        import base64
+
+        keys = {wsproto.make_client_key() for _ in range(16)}
+        assert len(keys) == 16
+        for key in keys:
+            assert len(base64.b64decode(key)) == 16
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize(
+        "size",
+        [0, 1, 125, 126, 127, 65_535, 65_536],  # all three length encodings
+    )
+    def test_lengths_and_masking(self, mask, size):
+        payload = bytes(i % 251 for i in range(size))
+        wire = wsproto.encode_frame(wsproto.OP_BINARY, payload, mask=mask)
+        frames = wsproto.FrameReader().feed(wire)
+        assert len(frames) == 1
+        assert frames[0].opcode == wsproto.OP_BINARY
+        assert frames[0].payload == payload
+
+    def test_text_frame_utf8(self):
+        wire = wsproto.encode_text("schmutz — données sales", mask=True)
+        (frame,) = wsproto.FrameReader().feed(wire)
+        assert frame.text == "schmutz — données sales"
+
+    def test_close_frame_carries_code_and_reason(self):
+        wire = wsproto.encode_close(
+            wsproto.CLOSE_POLICY_VIOLATION, "consumer too slow"
+        )
+        (frame,) = wsproto.FrameReader().feed(wire)
+        assert frame.opcode == wsproto.OP_CLOSE
+        assert wsproto.parse_close(frame.payload) == (1008, "consumer too slow")
+
+    def test_empty_close_payload_defaults_to_normal(self):
+        assert wsproto.parse_close(b"") == (wsproto.CLOSE_NORMAL, "")
+
+
+class TestFrameReader:
+    def test_byte_at_a_time_feeding(self):
+        wire = wsproto.encode_text("drip-fed", mask=True)
+        reader = wsproto.FrameReader()
+        collected = []
+        for i in range(len(wire)):
+            collected += reader.feed(wire[i : i + 1])
+        assert [f.text for f in collected] == ["drip-fed"]
+
+    def test_multiple_frames_in_one_read(self):
+        wire = wsproto.encode_text("one") + wsproto.encode_text("two")
+        frames = wsproto.FrameReader().feed(wire)
+        assert [f.text for f in frames] == ["one", "two"]
+
+    def test_fragmented_message_is_reassembled(self):
+        parts = [
+            wsproto.encode_frame(wsproto.OP_TEXT, b"he", fin=False),
+            wsproto.encode_frame(wsproto.OP_CONT, b"ll", fin=False),
+            wsproto.encode_frame(wsproto.OP_CONT, b"o"),
+        ]
+        frames = wsproto.FrameReader().feed(b"".join(parts))
+        assert [f.text for f in frames] == ["hello"]
+
+    def test_control_frame_interleaves_with_fragments(self):
+        wire = (
+            wsproto.encode_frame(wsproto.OP_TEXT, b"sp", fin=False)
+            + wsproto.encode_frame(wsproto.OP_PING, b"hb")
+            + wsproto.encode_frame(wsproto.OP_CONT, b"lit")
+        )
+        frames = wsproto.FrameReader().feed(wire)
+        assert [(f.opcode, f.payload) for f in frames] == [
+            (wsproto.OP_PING, b"hb"),
+            (wsproto.OP_TEXT, b"split"),
+        ]
+
+    def test_continuation_without_a_start_is_rejected(self):
+        with pytest.raises(wsproto.WebSocketError, match="continuation"):
+            wsproto.FrameReader().feed(
+                wsproto.encode_frame(wsproto.OP_CONT, b"orphan")
+            )
+
+    def test_reserved_bits_are_rejected(self):
+        wire = bytearray(wsproto.encode_text("x"))
+        wire[0] |= 0x40  # RSV1 without negotiated extension
+        with pytest.raises(wsproto.WebSocketError, match="reserved"):
+            wsproto.FrameReader().feed(bytes(wire))
+
+    def test_oversized_frame_is_rejected(self):
+        reader = wsproto.FrameReader(max_message=64)
+        with pytest.raises(wsproto.WebSocketError, match="limit"):
+            reader.feed(wsproto.encode_frame(wsproto.OP_BINARY, b"x" * 65))
+
+    def test_fragmented_control_frame_is_rejected(self):
+        with pytest.raises(wsproto.WebSocketError, match="control"):
+            wsproto.FrameReader().feed(
+                wsproto.encode_frame(wsproto.OP_PING, b"x", fin=False)
+            )

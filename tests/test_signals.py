@@ -1,0 +1,154 @@
+"""Subprocess signal tests: SIGINT/SIGTERM exit cleanly, flushing state.
+
+The satellite contract: interrupting the CLI mid-run must terminate worker
+processes, flush whatever observability output was requested, and exit
+with code 130 and *no traceback* — an operator hitting Ctrl-C (or an
+orchestrator sending SIGTERM) sees a clean shutdown, not a stack dump.
+
+These tests drive ``python -m repro`` as a real subprocess so the whole
+path is exercised: the signal handler installation in ``main()``, the
+exception unwinding through the engines, and the exit-code mapping. The
+``--progress`` line on stderr is the synchronization point — once it
+appears, the run is provably past startup and mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import schema_from_config
+from repro.datasets.io import save_records
+from repro.streaming.record import Record
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+SCHEMA_SPEC = {
+    "attributes": [
+        {"name": "v", "dtype": "float"},
+        {"name": "timestamp", "dtype": "timestamp", "nullable": False},
+    ],
+    "timestamp_attribute": "timestamp",
+}
+
+CONFIG_SPEC = {
+    "name": "signal-test",
+    "polluters": [
+        {
+            "type": "standard",
+            "name": "nulls",
+            "attributes": ["v"],
+            "condition": {"type": "probability", "p": 0.2},
+            "error": {"type": "set_null"},
+        }
+    ],
+}
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("signals")
+    schema = schema_from_config(SCHEMA_SPEC)
+    rows = [
+        Record({"v": float(i % 97), "timestamp": 1_700_000_000 + i})
+        for i in range(300_000)
+    ]
+    save_records(rows, schema, tmp / "clean.csv")
+    (tmp / "schema.json").write_text(json.dumps(SCHEMA_SPEC))
+    (tmp / "config.json").write_text(json.dumps(CONFIG_SPEC))
+    return tmp
+
+
+def _launch_pollute(tmp: Path, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "pollute",
+            "--config", str(tmp / "config.json"),
+            "--schema", str(tmp / "schema.json"),
+            "--input", str(tmp / "clean.csv"),
+            "--output", str(tmp / "dirty.csv"),
+            "--progress",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+
+
+def _sync_on_progress(proc: subprocess.Popen) -> str:
+    """Block until the first progress line proves the run is mid-stream."""
+    line = proc.stderr.readline()
+    assert line, "run ended before producing any progress output"
+    return line
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_interrupt_exits_130_without_traceback(workspace, signum):
+    proc = _launch_pollute(workspace)
+    _sync_on_progress(proc)
+    proc.send_signal(signum)
+    _, err = proc.communicate(timeout=60)
+    assert proc.returncode == 130
+    assert "Traceback" not in err
+    assert "interrupted: shut down cleanly" in err
+
+
+def test_interrupt_flushes_ledger_and_metrics(workspace, tmp_path):
+    ledger_out = tmp_path / "ledger.jsonl"
+    metrics_out = tmp_path / "metrics.txt"
+    proc = _launch_pollute(
+        workspace,
+        "--ledger-out", str(ledger_out),
+        "--metrics-out", str(metrics_out),
+    )
+    _sync_on_progress(proc)
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=60)
+    assert proc.returncode == 130
+    assert "Traceback" not in err
+    # Partial observability output survives the interrupt.
+    assert ledger_out.exists()
+    assert metrics_out.exists()
+    assert "interrupted: flushed" in err
+
+
+def test_interrupt_parallel_terminates_workers(workspace):
+    """A parallel run's coordinator tears down its worker processes."""
+    proc = _launch_pollute(workspace, "--parallel", "2")
+    _sync_on_progress(proc)
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=120)
+    assert proc.returncode == 130
+    assert "Traceback" not in err
+
+
+def test_serve_sigterm_shuts_down_cleanly(tmp_path):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+    )
+    banner = proc.stdout.readline()
+    assert "listening on" in banner
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=30)
+    assert proc.returncode == 130
+    assert "Traceback" not in err
