@@ -302,7 +302,10 @@ def test_observability_overhead_is_bounded(benchmark):
 
 def test_preflight_overhead_is_bounded(benchmark):
     """The check="warn" pre-flight is a once-per-run analysis, not a
-    per-record cost: the analysis must stay <= ~2% of the pollution run.
+    per-record cost: the analysis (fact-base construction + every rule
+    family, ICE7xx included) must stay <= ~2% of the pollution run cold,
+    and ~0% when the plan-hash fact-base cache hits (the dominant
+    repeat-submission pattern — only the rule pass re-runs).
 
     Differencing two full pollute() runs drowns a sub-millisecond fixed
     cost in scheduler noise, so the bench times the pre-flight itself
@@ -313,6 +316,7 @@ def test_preflight_overhead_is_bounded(benchmark):
     import statistics
     import warnings
 
+    from repro.check.factbase import FACTBASE_CACHE
     from repro.check.preflight import preflight
 
     n = scaled(small=20_000, paper=100_000)
@@ -331,16 +335,23 @@ def test_preflight_overhead_is_bounded(benchmark):
         start = time.perf_counter()
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            preflight([pipeline], SCHEMA, "warn", seed=5)
+            preflight([pipeline], SCHEMA, "warn", seed=5, batch_size=256)
         return time.perf_counter() - start
 
-    run_pollute()  # warm-up
-    run_preflight()
-    benchmark.pedantic(run_preflight, rounds=5, iterations=1)
-    pollute_seconds = statistics.median(run_pollute() for _ in range(5))
-    preflight_seconds = statistics.median(run_preflight() for _ in range(25))
+    def run_preflight_cold() -> float:
+        FACTBASE_CACHE.clear()
+        return run_preflight()
 
-    overhead = preflight_seconds / pollute_seconds
+    run_pollute()  # warm-up
+    run_preflight_cold()
+    benchmark.pedantic(run_preflight_cold, rounds=5, iterations=1)
+    pollute_seconds = statistics.median(run_pollute() for _ in range(5))
+    cold_seconds = statistics.median(run_preflight_cold() for _ in range(25))
+    run_preflight()  # prime the fact-base cache
+    hit_seconds = statistics.median(run_preflight() for _ in range(25))
+
+    cold_overhead = cold_seconds / pollute_seconds
+    hit_overhead = hit_seconds / pollute_seconds
     report(
         f"Throughput — pre-flight check cost (n={n} tuples, l=4)",
         render_table(
@@ -348,13 +359,18 @@ def test_preflight_overhead_is_bounded(benchmark):
             [
                 ["pollution run (check=off)", f"{pollute_seconds:.3f}", ""],
                 [
-                    "pre-flight analysis",
-                    f"{preflight_seconds:.5f}",
-                    f"{overhead * 100:.2f}%",
+                    "pre-flight, cold fact base",
+                    f"{cold_seconds:.5f}",
+                    f"{cold_overhead * 100:.2f}%",
                 ],
                 [
-                    "per record",
-                    f"{preflight_seconds / n * 1e9:.0f} ns",
+                    "pre-flight, fact-base cache hit",
+                    f"{hit_seconds:.5f}",
+                    f"{hit_overhead * 100:.2f}%",
+                ],
+                [
+                    "per record (cold)",
+                    f"{cold_seconds / n * 1e9:.0f} ns",
                     "",
                 ],
             ],
@@ -365,11 +381,18 @@ def test_preflight_overhead_is_bounded(benchmark):
         {
             "n_tuples": n,
             "pollute_seconds": pollute_seconds,
-            "preflight_seconds": preflight_seconds,
-            "overhead_fraction": overhead,
-            "budget_fraction": 0.02,
+            "preflight_cold_seconds": cold_seconds,
+            "preflight_cache_hit_seconds": hit_seconds,
+            "overhead_cold_fraction": cold_overhead,
+            "overhead_cache_hit_fraction": hit_overhead,
+            "budget_cold_fraction": 0.02,
+            "budget_cache_hit_fraction": 0.005,
         },
     )
-    assert overhead <= 0.02, (
-        f"pre-flight costs {overhead:.1%} of the pollution run (budget 2%)"
+    assert cold_overhead <= 0.02, (
+        f"cold pre-flight costs {cold_overhead:.1%} of the pollution run (budget 2%)"
+    )
+    assert hit_overhead <= 0.005, (
+        f"cache-hit pre-flight costs {hit_overhead:.2%} of the pollution run "
+        "(budget 0.5%)"
     )

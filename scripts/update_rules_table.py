@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate the ICE rule reference table in DESIGN.md.
+
+The table between the ``rules-table`` markers is generated from the rule
+catalogue (:data:`repro.check.rules.RULES`) so the document can never
+drift from the code; ``tests/check/test_rules_table.py`` fails the build
+if this script was not re-run after a catalogue change.
+
+Usage::
+
+    python scripts/update_rules_table.py [--check]
+
+``--check`` exits 1 (touching nothing) if the document is stale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.check.rules import (  # noqa: E402
+    RULES_TABLE_BEGIN,
+    RULES_TABLE_END,
+    rules_table_markdown,
+)
+
+DESIGN = REPO / "DESIGN.md"
+
+
+def rewrite(text: str) -> str:
+    try:
+        head, rest = text.split(RULES_TABLE_BEGIN, 1)
+        _, tail = rest.split(RULES_TABLE_END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"DESIGN.md is missing the {RULES_TABLE_BEGIN!r} / "
+            f"{RULES_TABLE_END!r} markers"
+        )
+    return (
+        head
+        + RULES_TABLE_BEGIN
+        + "\n"
+        + rules_table_markdown()
+        + RULES_TABLE_END
+        + tail
+    )
+
+
+def main(argv: list[str]) -> int:
+    text = DESIGN.read_text()
+    fresh = rewrite(text)
+    if "--check" in argv:
+        if fresh != text:
+            print("DESIGN.md rule table is stale; run scripts/update_rules_table.py")
+            return 1
+        print("DESIGN.md rule table is up to date")
+        return 0
+    if fresh != text:
+        DESIGN.write_text(fresh)
+        print("DESIGN.md rule table regenerated")
+    else:
+        print("DESIGN.md rule table already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

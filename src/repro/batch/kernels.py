@@ -39,27 +39,38 @@ changes (restored by a stable record-ID sort, see
 
 from __future__ import annotations
 
-import hashlib
-import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
-from repro.core.conditions.random import (
-    AlwaysCondition,
-    NeverCondition,
-    ProbabilityCondition,
+from repro.check.factbase import (
+    plan_digest,
+    predict_kernel,
+    predict_mask_kind,
 )
-from repro.core.conditions.temporal import PatternProbabilityCondition
 from repro.core.errors.base import require_numeric
 from repro.core.errors.static_numeric import GaussianNoise, _preserve_int
 from repro.core.log import PollutionLog
 from repro.core.pipeline import PollutionPipeline, _needs_rng
 from repro.core.polluter import Polluter, StandardPolluter
-from repro.errors import ConfigError, PollutionError
+from repro.errors import PollutionError
 from repro.streaming.record import Record
+
+__all__ = [
+    "CompiledPipeline",
+    "FallbackKernel",
+    "KERNEL_CACHE",
+    "KernelCache",
+    "KernelDecision",
+    "PolluterKernel",
+    "StandardKernel",
+    "compile_pipeline",
+    "kernel_kind",
+    "plan_digest",
+    "polluter_label",
+]
 
 #: A mask function: records + taus -> per-row fired flags.
 MaskFn = Callable[[Sequence[Record], Sequence[int]], list[bool]]
@@ -68,39 +79,25 @@ MaskFn = Callable[[Sequence[Record], Sequence[int]], list[bool]]
 def kernel_kind(polluter: Polluter) -> str:
     """``"standard"`` or ``"fallback"`` — the gate :func:`compile_pipeline` uses.
 
-    Exposed on its own so the profiler can name would-be fallback polluters
-    even when a run never enters batch mode.
+    Delegates to the shared fact engine
+    (:func:`repro.check.factbase.predict_kernel`); exposed on its own so
+    the profiler can name would-be fallback polluters even when a run never
+    enters batch mode.
     """
-    if (
-        isinstance(polluter, StandardPolluter)
-        and type(polluter).apply is StandardPolluter.apply
-        and type(polluter).apply_fired is StandardPolluter.apply_fired
-    ):
-        return "standard"
-    return "fallback"
+    return predict_kernel(polluter).kind
 
 
 def polluter_label(polluter: Polluter) -> str:
     """Stable display name for profile/ledger attribution."""
-    return (
-        getattr(polluter, "_qualified_name", None)
-        or getattr(polluter, "name", None)
-        or type(polluter).__name__
+    name = getattr(polluter, "_qualified_name", None) or getattr(
+        polluter, "name", None
     )
+    return str(name) if name else type(polluter).__name__
 
 
 def _mask_kind(condition: Any) -> str:
-    """Classify a condition's mask strategy (a pure function of its class)."""
-    evaluate = type(condition).evaluate
-    if evaluate is AlwaysCondition.evaluate:
-        return "always"
-    if evaluate is NeverCondition.evaluate:
-        return "never"
-    if evaluate is ProbabilityCondition.evaluate:
-        return "probability"
-    if evaluate is PatternProbabilityCondition.evaluate:
-        return "pattern"
-    return "row"
+    """Classify a condition's mask strategy — shared with the fact engine."""
+    return predict_mask_kind(condition)
 
 
 def _build_mask(polluter: StandardPolluter, kind: str) -> MaskFn:
@@ -112,21 +109,36 @@ def _build_mask(polluter: StandardPolluter, kind: str) -> MaskFn:
         return lambda records, taus: [False] * len(records)
     if kind == "probability":
 
-        def probability_mask(records, taus, condition=condition):
+        def probability_mask(
+            records: Sequence[Record],
+            taus: Sequence[int],
+            condition: Any = condition,
+        ) -> list[bool]:
             # One bulk draw == n scalar draws, value- and state-identical.
-            return (condition.rng.random(len(records)) < condition.p).tolist()
+            mask: list[bool] = (
+                condition.rng.random(len(records)) < condition.p
+            ).tolist()
+            return mask
 
         return probability_mask
     if kind == "pattern":
 
-        def pattern_mask(records, taus, condition=condition):
+        def pattern_mask(
+            records: Sequence[Record],
+            taus: Sequence[int],
+            condition: Any = condition,
+        ) -> list[bool]:
             draws = condition.rng.random(len(records)).tolist()
             probability = condition.probability
             return [d < probability(tau) for d, tau in zip(draws, taus)]
 
         return pattern_mask
 
-    def row_mask(records, taus, condition=condition):
+    def row_mask(
+        records: Sequence[Record],
+        taus: Sequence[int],
+        condition: Any = condition,
+    ) -> list[bool]:
         # The sequential computation in the sequential order: exact for
         # stateful, composed, value-dependent, and user-defined conditions.
         return [condition.evaluate(r, tau) for r, tau in zip(records, taus)]
@@ -192,7 +204,12 @@ class FallbackKernel(PolluterKernel):
     def __init__(self, polluter: Polluter) -> None:
         self.polluter = polluter
 
-    def _apply_batch(self, records, taus, log):
+    def _apply_batch(
+        self,
+        records: list[Record],
+        taus: list[int],
+        log: PollutionLog | None,
+    ) -> tuple[list[Record], list[int]]:
         out_records: list[Record] = []
         out_taus: list[int] = []
         apply = self.polluter.apply
@@ -221,7 +238,12 @@ class StandardKernel(PolluterKernel):
             self._mask = _build_mask(polluter, decision.mask_kind)
             self._gaussian = decision.gaussian
 
-    def _apply_batch(self, records, taus, log):
+    def _apply_batch(
+        self,
+        records: list[Record],
+        taus: list[int],
+        log: PollutionLog | None,
+    ) -> tuple[list[Record], list[int]]:
         polluter = self.polluter
         if self.profiler is None:
             mask = self._mask(records, taus)
@@ -258,7 +280,12 @@ class StandardKernel(PolluterKernel):
                 out_taus.append(tau)
         return out_records, out_taus
 
-    def _apply_gaussian(self, fired, fired_taus, log):
+    def _apply_gaussian(
+        self,
+        fired: list[Record],
+        fired_taus: list[int],
+        log: PollutionLog | None,
+    ) -> None:
         """Bulk-draw Gaussian noise over the fired rows.
 
         Replicates ``GaussianNoise.apply`` + the fired-path bookkeeping of
@@ -268,7 +295,7 @@ class StandardKernel(PolluterKernel):
         after around that record's mutation), one buffered fire tally each.
         """
         polluter = self.polluter
-        error = polluter.error
+        error: Any = polluter.error
         attributes = polluter.attributes
         sigma = error.sigma
         if log is not None:
@@ -347,46 +374,6 @@ class KernelDecision:
     gaussian: bool  # bulk-Gaussian fast path?
 
 
-def _qualified_type(obj: Any) -> str:
-    cls = type(obj)
-    return f"{cls.__module__}.{cls.__qualname__}"
-
-
-def plan_digest(pipeline: PollutionPipeline) -> str | None:
-    """A SHA-256 over the pipeline's declarative form, or ``None``.
-
-    The digest hashes the canonical ``pipeline_to_config`` JSON *plus* the
-    concrete classes of every polluter, condition, and error function.
-    Compilation decisions are pure functions of those classes (method
-    identity and exact-type gates), so equal digests imply equal decisions
-    — a user subclass that serializes like a library class still changes
-    the class fingerprint and therefore the key. Pipelines with no
-    declarative form (custom polluter/condition/error classes) return
-    ``None`` and are simply never cached.
-    """
-    from repro.core.serialize import pipeline_to_config
-
-    try:
-        config = pipeline_to_config(pipeline)
-    except ConfigError:
-        return None
-    classes = []
-    for polluter in pipeline.polluters:
-        entry = _qualified_type(polluter)
-        if isinstance(polluter, StandardPolluter):
-            entry += (
-                f":{_qualified_type(polluter.condition)}"
-                f":{_qualified_type(polluter.error)}"
-            )
-        classes.append(entry)
-    text = json.dumps(
-        {"config": config, "classes": classes},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
 class KernelCache:
     """An LRU of compilation decisions, keyed by :func:`plan_digest`.
 
@@ -461,14 +448,18 @@ KERNEL_CACHE = KernelCache()
 
 
 def _decide(polluter: Polluter) -> KernelDecision:
-    kind = kernel_kind(polluter)
-    if kind == "standard":
-        return KernelDecision(
-            kind=kind,
-            mask_kind=_mask_kind(polluter.condition),  # type: ignore[union-attr]
-            gaussian=type(polluter.error) is GaussianNoise,  # type: ignore[union-attr]
-        )
-    return KernelDecision(kind=kind, mask_kind=None, gaussian=False)
+    """One polluter's compilation decision, read off the shared fact engine.
+
+    :func:`repro.check.factbase.predict_kernel` is the single authority on
+    kernel eligibility — the same prediction the ICE7xx performance lints
+    and ``repro check --explain`` report.
+    """
+    prediction = predict_kernel(polluter)
+    return KernelDecision(
+        kind=prediction.kind,
+        mask_kind=prediction.mask_kind,
+        gaussian=prediction.gaussian,
+    )
 
 
 def compile_pipeline(
@@ -501,6 +492,21 @@ def compile_pipeline(
         plan = tuple(_decide(polluter) for polluter in pipeline.polluters)
         if cache is not None and digest is not None:
             cache.put(digest, plan)
+    else:
+        # Cached decisions replay against a digest-equal pipeline; the fact
+        # engine's live prediction must agree, or the digest's purity
+        # contract (equal digests => equal decisions) has been broken.
+        assert len(plan) == len(pipeline.polluters), (
+            f"cached plan for {pipeline.name!r} has {len(plan)} decisions for "
+            f"{len(pipeline.polluters)} polluters"
+        )
+        for polluter, decision in zip(pipeline.polluters, plan):
+            predicted = _decide(polluter)
+            assert decision == predicted, (
+                f"cached kernel decision {decision} for polluter "
+                f"{polluter.name!r} disagrees with the fact engine's "
+                f"prediction {predicted}"
+            )
     kernels: list[PolluterKernel] = []
     for polluter, decision in zip(pipeline.polluters, plan):
         kernel: PolluterKernel

@@ -13,6 +13,19 @@ Three entry points:
 """
 
 from repro.check.analyzer import analyze, analyze_config
+from repro.check.costmodel import CostModel, predicted_batch_speedup
+from repro.check.explain import plan_summary, render_explain
+from repro.check.factbase import (
+    FACTBASE_CACHE,
+    FactBaseCache,
+    KernelPrediction,
+    PlanFactBase,
+    PolluterFactBase,
+    build_factbase,
+    factbase_for,
+    plan_digest,
+    predict_kernel,
+)
 from repro.check.facts import plan_facts
 from repro.check.options import CheckOptions
 from repro.check.preflight import CHECK_MODES, PlanCheckWarning, preflight
@@ -23,13 +36,26 @@ __all__ = [
     "CHECK_MODES",
     "CheckOptions",
     "CheckReport",
+    "CostModel",
     "Diagnostic",
+    "FACTBASE_CACHE",
+    "FactBaseCache",
+    "KernelPrediction",
     "PlanCheckWarning",
+    "PlanFactBase",
+    "PolluterFactBase",
     "RULES",
     "Rule",
     "Severity",
     "analyze",
     "analyze_config",
+    "build_factbase",
+    "factbase_for",
+    "plan_digest",
     "plan_facts",
+    "plan_summary",
+    "predict_kernel",
+    "predicted_batch_speedup",
     "preflight",
+    "render_explain",
 ]

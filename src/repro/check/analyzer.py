@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from repro.check.facts import plan_facts
+from repro.check.factbase import FACTBASE_CACHE, FactBaseCache, factbase_for
 from repro.check.options import CheckOptions
 from repro.check.report import CheckReport, Diagnostic, Severity
 from repro.check.rules import run_rules
@@ -25,18 +25,23 @@ def analyze(
     pipelines: PollutionPipeline | Sequence[PollutionPipeline],
     schema: Schema,
     options: CheckOptions | None = None,
+    *,
+    cache: FactBaseCache | None = FACTBASE_CACHE,
 ) -> CheckReport:
     """Statically analyze one or more pipelines against a schema.
 
     Never executes the plan, never consumes RNG state, never mutates the
-    pipeline — safe to call as a pre-flight on a bound pipeline.
+    pipeline — safe to call as a pre-flight on a bound pipeline. The fact
+    base each rule reads is served from the digest-keyed ``cache`` (the
+    process-wide :data:`~repro.check.factbase.FACTBASE_CACHE` by default),
+    so repeat analyses of the same plan skip the fact build entirely.
     """
     if isinstance(pipelines, PollutionPipeline):
         pipelines = [pipelines]
     opts = options or CheckOptions()
     diagnostics: list[Diagnostic] = []
     for pipeline in pipelines:
-        diagnostics.extend(run_rules(plan_facts(pipeline), schema, opts))
+        diagnostics.extend(run_rules(factbase_for(pipeline, cache), schema, opts))
     return CheckReport(diagnostics)
 
 

@@ -1,0 +1,91 @@
+"""A per-operator cost model for predicting batch-mode speedup (ICE702).
+
+The model is deliberately coarse: it answers "is batching this plan worth
+anything at all?", not "what is the exact throughput". Each top-level
+polluter costs one unit per record on the per-record path; on the batched
+path its cost shrinks by a per-kernel-kind factor calibrated from the
+committed ``BENCH_throughput.json`` numbers (record ~68.6k tuples/s vs
+batched[256] ~190k on the bench box, a ~2.8x ceiling for fully fused
+kernels). Fallback kernels run the identical per-row apply under a thin
+batching loop, so their factor is ~1.0 — which is exactly why a
+fallback-dominated plan sees no batch win and ICE702 flags it.
+
+Predicted plan speedup is the ratio of total per-record cost to total
+batched cost: ``n_ops / sum(batched_cost(op))``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.factbase import KernelPrediction, PlanFactBase
+
+#: Predicted speedup below which ICE702 calls a plan fallback-dominated.
+SPEEDUP_THRESHOLD = 1.5
+
+#: Calibrated ceiling: bench-measured batched[256] / record throughput.
+DEFAULT_FUSED_SPEEDUP = 2.8
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative batched cost (per record, per operator) by kernel shape.
+
+    ``fused`` is the cost of a standard kernel on its fastest path (bulk
+    Gaussian draw): ``1 / measured speedup``. The other shapes interpolate:
+    a vectorized mask still pays the per-row fired path, a row mask also
+    pays per-row condition evaluation, and a fallback kernel is the
+    sequential computation wearing a batch interface.
+    """
+
+    fused_cost: float = 1.0 / DEFAULT_FUSED_SPEEDUP
+    vector_mask_cost: float = 0.55
+    row_mask_cost: float = 0.8
+    fallback_cost: float = 1.0
+
+    def batched_cost(self, prediction: KernelPrediction) -> float:
+        if prediction.kind != "standard":
+            return self.fallback_cost
+        if prediction.gaussian and prediction.vectorized_mask:
+            return self.fused_cost
+        if prediction.vectorized_mask:
+            return self.vector_mask_cost
+        return self.row_mask_cost
+
+    def predicted_speedup(self, base: PlanFactBase) -> float:
+        """Predicted batch-vs-record speedup for a whole plan (>= ~1.0)."""
+        predictions = base.predictions
+        if not predictions:
+            return 1.0
+        total = sum(self.batched_cost(p) for p in predictions)
+        return len(predictions) / total
+
+    @classmethod
+    def from_bench(cls, path: str | Path) -> "CostModel":
+        """Calibrate the fused-kernel cost from a ``BENCH_throughput.json``.
+
+        Reads ``batched_speedup.speedup_by_mode["batched[256]"]`` — the
+        measured ceiling for a standard-kernel plan at the reference batch
+        size. Missing files or keys fall back to the committed defaults so
+        analysis never depends on a bench having run.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+            measured = float(data["batched_speedup"]["speedup_by_mode"]["batched[256]"])
+        except (OSError, KeyError, TypeError, ValueError):
+            return cls()
+        if measured <= 1.0:
+            return cls()
+        return cls(fused_cost=1.0 / measured)
+
+
+#: The model the rules use; calibration is baked in from the committed bench.
+DEFAULT_COST_MODEL = CostModel()
+
+
+def predicted_batch_speedup(
+    base: PlanFactBase, model: CostModel | None = None
+) -> float:
+    return (model or DEFAULT_COST_MODEL).predicted_speedup(base)

@@ -1,0 +1,126 @@
+"""Human- and machine-readable dumps of the plan-fact base.
+
+``repro check --explain`` renders :func:`render_explain` — one block per
+pipeline: plan-level facts (digest, sort stability, mergeability, the cost
+model's predicted batch speedup), then each top-level polluter's kernel
+eligibility with its machine-readable reason, then the per-leaf effect
+sets and condition/error facts. ``repro check --format json`` embeds
+:func:`plan_summary`, the same facts as data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.check.costmodel import (
+    SPEEDUP_THRESHOLD,
+    CostModel,
+    predicted_batch_speedup,
+)
+from repro.check.factbase import PlanFactBase
+from repro.check.facts import LeafFacts
+
+
+def _yn(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def leaf_to_dict(leaf: LeafFacts) -> dict[str, Any]:
+    """Compact JSON form of one leaf's effect and behaviour facts."""
+    return {
+        "path": leaf.path,
+        "name": leaf.name,
+        "writes": sorted(leaf.writes),
+        "reads": sorted(leaf.condition.reads),
+        "tracked_as": leaf.tracked_as,
+        "condition": {
+            "p_max": leaf.condition.p_max,
+            "stochastic": leaf.condition.stochastic,
+            "stateful": leaf.condition.stateful,
+            "analyzable": leaf.condition.analyzable,
+            "dead": [c.kind for c in leaf.condition.dead],
+            "time": leaf.condition.time.describe(),
+            "depends_on": list(leaf.condition.depends_on),
+        },
+        "error": {
+            "describe": leaf.error.describe(),
+            "requires": leaf.error.requires,
+            "stochastic": leaf.error.stochastic,
+            "stateful": leaf.error.stateful,
+            "analyzable": leaf.error.analyzable,
+            "multiplicity": leaf.error.multiplicity,
+            "rewrites_timestamp": leaf.error.rewrites_timestamp,
+        },
+    }
+
+
+def plan_summary(base: PlanFactBase, model: CostModel | None = None) -> dict[str, Any]:
+    """The fact base as JSON-able data (the ``facts`` key of ``--format json``)."""
+    out = base.to_dict()
+    out["predicted_batch_speedup"] = round(predicted_batch_speedup(base, model), 3)
+    out["speedup_threshold"] = SPEEDUP_THRESHOLD
+    out["leaves"] = [leaf_to_dict(leaf) for leaf in base.facts.leaves]
+    return out
+
+
+def render_explain(base: PlanFactBase, model: CostModel | None = None) -> str:
+    """One human-readable fact block per plan, for ``repro check --explain``."""
+    lines: list[str] = []
+    digest = (base.digest or "<non-declarative>")[:12]
+    lines.append(f"pipeline {base.name!r}  digest={digest}")
+    lines.append(
+        f"  sort_stable={_yn(base.sort_stable)}  stateful={_yn(base.stateful)}  "
+        f"stochastic={_yn(base.stochastic)}  "
+        f"deterministically_mergeable={_yn(base.deterministically_mergeable)}"
+    )
+    speedup = predicted_batch_speedup(base, model)
+    marker = "" if speedup >= SPEEDUP_THRESHOLD else "  <-- fallback-dominated"
+    lines.append(
+        f"  predicted batch speedup: {speedup:.2f}x "
+        f"(threshold {SPEEDUP_THRESHOLD:.1f}x){marker}"
+    )
+    lines.append("  kernels:")
+    for pf in base.polluters:
+        k = pf.kernel
+        shape = k.kind if k.kind == "fallback" else (
+            "standard/gaussian" if k.gaussian else f"standard/{k.mask_kind}-mask"
+        )
+        lines.append(
+            f"    [{pf.index}] {pf.name!r} ({pf.type_name}): {shape} "
+            f"[{k.reason}]"
+        )
+        lines.append(f"        {k.detail}")
+        lines.append(
+            f"        picklable={_yn(pf.picklable)}  "
+            f"needs_rng={_yn(pf.needs_rng)}  declarative={_yn(pf.declarative)}"
+        )
+        if pf.pickle_error:
+            lines.append(f"        pickle error: {pf.pickle_error}")
+    if base.facts.leaves:
+        lines.append("  leaves:")
+    for leaf in base.facts.leaves:
+        lines.append(f"    {leaf.path} {leaf.name!r}")
+        writes = ", ".join(sorted(leaf.writes)) or "-"
+        reads = ", ".join(sorted(leaf.condition.reads)) or "-"
+        lines.append(f"        writes: {writes}    reads: {reads}")
+        cond = leaf.condition
+        lines.append(
+            f"        condition: p_max={cond.p_max:.2f}  "
+            f"stochastic={_yn(cond.stochastic)}  stateful={_yn(cond.stateful)}  "
+            f"time={cond.time.describe()}"
+        )
+        err = leaf.error
+        flags = []
+        if err.requires:
+            flags.append(f"requires={err.requires}")
+        if err.stateful:
+            flags.append("stateful")
+        if err.multiplicity:
+            flags.append("multiplicity")
+        if err.rewrites_timestamp:
+            flags.append("rewrites-timestamp")
+        suffix = f"  ({', '.join(flags)})" if flags else ""
+        lines.append(f"        error: {err.describe()!r}{suffix}")
+    for path, type_name in base.facts.opaque:
+        lines.append(f"    {path}: opaque polluter of type {type_name!r}")
+    return "\n".join(lines)

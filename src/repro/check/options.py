@@ -32,6 +32,10 @@ class CheckOptions:
         ``"retry"``, ``"dead_letter"``, or ``None`` for unsupervised
         execution). Enables the supervision-composition rules — e.g. a
         RETRY policy re-dispatching into stateful polluters (ICE506).
+    ``batch_size``
+        Intended micro-batch slab size; values > 1 enable the ICE7xx
+        performance lints (fallback kernels, fallback-dominated plans,
+        stateful leaves defeating slabs).
     """
 
     seed: int | None = None
@@ -39,6 +43,7 @@ class CheckOptions:
     key_by: str | None = None
     time_range: tuple[int, int] | None = None
     failure_policy: str | None = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.time_range is not None:
@@ -51,3 +56,7 @@ class CheckOptions:
     @property
     def parallel(self) -> bool:
         return self.parallelism is not None and self.parallelism > 1
+
+    @property
+    def batched(self) -> bool:
+        return self.batch_size is not None and self.batch_size > 1

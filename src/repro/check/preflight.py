@@ -42,6 +42,7 @@ def preflight(
     parallelism: int | None = None,
     key_by: str | None = None,
     failure_policy: object | None = None,
+    batch_size: int | None = None,
 ) -> CheckReport | None:
     """Run the static analyzer as a pre-flight; returns the report (or
     ``None`` when skipped).
@@ -63,6 +64,7 @@ def preflight(
         parallelism=parallelism,
         key_by=key_by if isinstance(key_by, str) else None,
         failure_policy=getattr(action, "value", action),
+        batch_size=batch_size,
     )
     report = analyze(list(pipelines), schema, options)
     if mode == "error" and not report.ok:

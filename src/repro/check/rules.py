@@ -10,7 +10,15 @@ Rule IDs are stable and grouped in families of one hundred:
 * ``ICE5xx`` — runtime-safety: parallel execution (picklability, state,
   keyed-merge guarantees) and supervision composition (failure-policy vs.
   plan statefulness);
-* ``ICE6xx`` — ordering-sensitive write conflicts between polluters.
+* ``ICE6xx`` — ordering-sensitive write conflicts between polluters;
+* ``ICE7xx`` — performance lints: kernel fallbacks, fallback-dominated
+  plans (cost-model predicted speedup), non-mergeable unkeyed parallel
+  plans, stateful leaves inside batch slabs.
+
+All facts the rules consume come from the shared
+:class:`~repro.check.factbase.PlanFactBase` — the same fact base the batch
+compiler and serve admission read — so the rules never re-probe
+picklability, RNG needs, or kernel eligibility themselves.
 
 New rules must be appended with fresh IDs; IDs are never reused, so reports
 stay comparable across versions.
@@ -18,13 +26,13 @@ stay comparable across versions.
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass
 
+from repro.check.costmodel import SPEEDUP_THRESHOLD, predicted_batch_speedup
+from repro.check.factbase import PlanFactBase
 from repro.check.facts import (
     Interval,
     LeafFacts,
-    PlanFacts,
     conditions_disjoint,
     domain_constraint,
 )
@@ -38,85 +46,153 @@ from repro.core.errors import (
     SwapAttributes,
     TimestampJitter,
 )
-from repro.core.pipeline import _needs_rng
-from repro.core.serialize import polluter_to_config
-from repro.errors import ConfigError
 from repro.streaming.schema import DataType, Schema
 
 
 @dataclass(frozen=True)
 class Rule:
-    """Catalogue entry: stable ID, slug, default severity, one-line summary."""
+    """Catalogue entry: stable ID, slug, severity, summary, and fix hint."""
 
     rule_id: str
     slug: str
     severity: Severity
     family: str
     summary: str
+    fix: str
 
 
 RULES: dict[str, Rule] = {
     rule.rule_id: rule
     for rule in (
         Rule("ICE001", "config-invalid", Severity.ERROR, "config",
-             "the declarative spec cannot be built into a plan"),
+             "the declarative spec cannot be built into a plan",
+             "fix the config key named in the diagnostic's location"),
         Rule("ICE101", "unknown-target-attribute", Severity.ERROR, "schema",
-             "a polluter targets an attribute absent from the schema"),
+             "a polluter targets an attribute absent from the schema",
+             "target a declared attribute, or add it to the schema"),
         Rule("ICE102", "unknown-condition-attribute", Severity.ERROR, "schema",
-             "a condition reads an attribute absent from the schema"),
+             "a condition reads an attribute absent from the schema",
+             "read a declared attribute, or add it to the schema"),
         Rule("ICE103", "bad-timestamp-attribute", Severity.ERROR, "schema",
-             "a native temporal error cannot resolve a usable timestamp attribute"),
+             "a native temporal error cannot resolve a usable timestamp attribute",
+             "set timestamp_attribute to a numeric epoch-seconds attribute"),
         Rule("ICE104", "unknown-key-attribute", Severity.ERROR, "schema",
-             "the key_by partitioning attribute is absent from the schema"),
+             "the key_by partitioning attribute is absent from the schema",
+             "pass a key_by attribute that exists in the schema"),
         Rule("ICE201", "numeric-error-on-non-numeric", Severity.ERROR, "types",
-             "a numeric-only error function targets a non-numeric attribute"),
+             "a numeric-only error function targets a non-numeric attribute",
+             "retarget a numeric attribute, or pick a type-agnostic error"),
         Rule("ICE202", "string-error-on-non-string", Severity.ERROR, "types",
-             "a string-only error function targets a non-string attribute"),
+             "a string-only error function targets a non-string attribute",
+             "retarget a string/category attribute, or pick another error"),
         Rule("ICE203", "category-domain-mismatch", Severity.WARNING, "types",
-             "an IncorrectCategory domain shares no values with the attribute's domain"),
+             "an IncorrectCategory domain shares no values with the attribute's domain",
+             "overlap the error's domain with the attribute's declared domain"),
         Rule("ICE204", "swap-attribute-arity", Severity.ERROR, "types",
-             "SwapAttributes needs exactly two target attributes"),
+             "SwapAttributes needs exactly two target attributes",
+             "list exactly two attributes to swap"),
         Rule("ICE301", "dead-condition", Severity.ERROR, "conditions",
-             "a condition is structurally unsatisfiable and can never fire"),
+             "a condition is structurally unsatisfiable and can never fire",
+             "loosen the condition until its constraints are satisfiable"),
         Rule("ICE302", "tautological-condition", Severity.INFO, "conditions",
-             "a condition is always true despite looking restrictive"),
+             "a condition is always true despite looking restrictive",
+             "use 'always', or drop the redundant constraint"),
         Rule("ICE303", "window-outside-stream", Severity.WARNING, "conditions",
-             "a temporal window lies entirely outside the stream's time range"),
+             "a temporal window lies entirely outside the stream's time range",
+             "move the window inside the stream's event-time range"),
         Rule("ICE304", "zero-probability", Severity.WARNING, "conditions",
-             "a stochastic component can never fire (probability or intensity 0)"),
+             "a stochastic component can never fire (probability or intensity 0)",
+             "raise the probability or pattern intensity above zero"),
         Rule("ICE305", "disabled-polluter", Severity.INFO, "conditions",
-             "a polluter is deliberately disabled with an explicit 'never'"),
+             "a polluter is deliberately disabled with an explicit 'never'",
+             "remove the polluter, or drop the 'never' gate to re-enable it"),
         Rule("ICE401", "unseeded-stochastic-plan", Severity.WARNING, "determinism",
-             "the plan needs an RNG but no seed is configured"),
+             "the plan needs an RNG but no seed is configured",
+             "pass seed= (or --seed) to make runs reproducible"),
         Rule("ICE402", "unanalyzable-component", Severity.INFO, "determinism",
-             "a component is opaque to static analysis (custom code)"),
+             "a component is opaque to static analysis (custom code)",
+             "prefer declarative library components where analyzability matters"),
         Rule("ICE403", "non-declarative-plan", Severity.INFO, "determinism",
-             "the plan has no declarative config form and cannot round-trip"),
+             "the plan has no declarative config form and cannot round-trip",
+             "build the plan from declarative config types to enable round-trip"),
         Rule("ICE501", "unpicklable-component", Severity.ERROR, "parallel",
-             "a plan component fails the picklability sweep"),
+             "a plan component fails the picklability sweep",
+             "remove unpicklable state (lambdas, open handles), or run sequentially"),
         Rule("ICE502", "stateful-under-unkeyed-parallelism", Severity.WARNING, "parallel",
-             "a stateful component runs under unkeyed parallelism"),
+             "a stateful component runs under unkeyed parallelism",
+             "partition with key_by for a byte-identical keyed parallel run"),
         Rule("ICE503", "key-attribute-mutated", Severity.WARNING, "parallel",
-             "a polluter mutates the key_by partitioning attribute"),
+             "a polluter mutates the key_by partitioning attribute",
+             "stop mutating the key attribute, or partition by another key"),
         Rule("ICE504", "cross-record-dependency-under-parallelism", Severity.WARNING,
              "parallel",
-             "an error-history dependency cannot cross shard boundaries"),
+             "an error-history dependency cannot cross shard boundaries",
+             "run history-linked polluters sequentially, or key the stream"),
         Rule("ICE505", "multiplicity-under-parallelism", Severity.WARNING, "parallel",
-             "drop/duplicate/timestamp-rewriting errors interact with parallel merge"),
+             "drop/duplicate/timestamp-rewriting errors interact with parallel merge",
+             "use key_by, or accept per-(seed, parallelism) reproducibility"),
         Rule("ICE506", "retry-with-stateful-polluter", Severity.WARNING, "supervision",
              "a RETRY failure policy re-dispatches into stateful or "
-             "history-linked polluters"),
+             "history-linked polluters",
+             "prefer skip/dead-letter policies, or make the polluter stateless"),
         Rule("ICE601", "write-write-overlap", Severity.WARNING, "conflicts",
-             "two polluters mutate the same attribute under overlapping conditions"),
+             "two polluters mutate the same attribute under overlapping conditions",
+             "make the conditions disjoint, or link them with track/fired_recently"),
         Rule("ICE602", "condition-reads-polluted-attribute", Severity.WARNING, "conflicts",
-             "a condition reads an attribute an earlier polluter may have polluted"),
+             "a condition reads an attribute an earlier polluter may have polluted",
+             "document the read-after-write with core.dependencies, or reorder"),
+        Rule("ICE701", "kernel-fallback", Severity.INFO, "performance",
+             "a polluter falls back to the per-record kernel under batching",
+             "rebuild the component from library classes that compile to a "
+             "standard kernel"),
+        Rule("ICE702", "fallback-dominated-plan", Severity.WARNING, "performance",
+             "predicted batch speedup is below threshold; batching buys little",
+             "drop batch_size, or replace the fallback polluters it names"),
+        Rule("ICE703", "unkeyed-parallel-nondeterministic-merge", Severity.WARNING,
+             "performance",
+             "an unkeyed plan under parallelism is not deterministically mergeable",
+             "partition with key_by to make the parallel merge byte-identical"),
+        Rule("ICE704", "stateful-leaf-defeats-slabs", Severity.INFO, "performance",
+             "a stateful leaf forces per-row masks inside batch slabs",
+             "hoist stateful components out of hot plans, or accept per-row masks"),
     )
 }
 
+#: Markers bracketing the generated rule table in ``DESIGN.md``. Exported
+#: so ``scripts/update_rules_table.py`` and the parity test share them.
+RULES_TABLE_BEGIN = (
+    "<!-- rules-table:begin — generated by scripts/update_rules_table.py; "
+    "do not edit by hand -->"
+)
+RULES_TABLE_END = "<!-- rules-table:end -->"
 
-def run_rules(plan: PlanFacts, schema: Schema, options: CheckOptions) -> list[Diagnostic]:
-    """Run every rule against one flattened plan."""
-    ctx = _Context(plan, schema, options)
+
+def rules_table_markdown() -> str:
+    """The rule catalogue as a GitHub-markdown reference table.
+
+    The single source for the ``DESIGN.md`` table:
+    ``scripts/update_rules_table.py`` rewrites the block between
+    :data:`RULES_TABLE_BEGIN`/:data:`RULES_TABLE_END`, and
+    ``tests/check/test_rules_table.py`` asserts the committed document and
+    the ``repro check --list-rules`` output both match this catalogue.
+    """
+    lines = [
+        "| ID | Slug | Severity | What it catches | How to fix |",
+        "|----|------|----------|-----------------|------------|",
+    ]
+    lines.extend(
+        f"| {rule.rule_id} | {rule.slug} | {rule.severity.label} "
+        f"| {rule.summary} | {rule.fix} |"
+        for rule in RULES.values()
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_rules(
+    base: PlanFactBase, schema: Schema, options: CheckOptions
+) -> list[Diagnostic]:
+    """Run every rule against one plan's shared fact base."""
+    ctx = _Context(base, schema, options)
     ctx.schema_rules()
     ctx.type_rules()
     ctx.condition_rules()
@@ -124,12 +200,16 @@ def run_rules(plan: PlanFacts, schema: Schema, options: CheckOptions) -> list[Di
     ctx.parallel_rules()
     ctx.supervision_rules()
     ctx.conflict_rules()
+    ctx.performance_rules()
     return ctx.diagnostics
 
 
 class _Context:
-    def __init__(self, plan: PlanFacts, schema: Schema, options: CheckOptions) -> None:
-        self.plan = plan
+    def __init__(
+        self, base: PlanFactBase, schema: Schema, options: CheckOptions
+    ) -> None:
+        self.base = base
+        self.plan = base.facts
         self.schema = schema
         self.options = options
         self.diagnostics: list[Diagnostic] = []
@@ -410,9 +490,7 @@ class _Context:
 
     def determinism_rules(self) -> None:
         if self.options.seed is None:
-            stochastic = [
-                p.name for p in self.plan.pipeline.polluters if _needs_rng(p)
-            ]
+            stochastic = [pf.name for pf in self.base.polluters if pf.needs_rng]
             if stochastic:
                 self.emit(
                     "ICE401",
@@ -445,16 +523,14 @@ class _Context:
                 "analysis",
                 location=path,
             )
-        for i, polluter in enumerate(self.plan.pipeline.polluters):
-            try:
-                polluter_to_config(polluter)
-            except ConfigError as exc:
+        for pf in self.base.polluters:
+            if not pf.declarative:
                 self.emit(
                     "ICE403",
-                    f"polluter has no declarative config form ({exc}); the plan "
-                    "cannot round-trip to JSON",
-                    location=f"polluters[{i}]",
-                    polluter=polluter.name,
+                    f"polluter has no declarative config form ({pf.config_error}); "
+                    "the plan cannot round-trip to JSON",
+                    location=pf.location,
+                    polluter=pf.name,
                 )
 
     # -- ICE5xx: parallel safety ------------------------------------------
@@ -462,17 +538,15 @@ class _Context:
     def parallel_rules(self) -> None:
         parallel = self.options.parallel
         severity = Severity.ERROR if parallel else Severity.INFO
-        for i, polluter in enumerate(self.plan.pipeline.polluters):
-            try:
-                pickle.dumps(polluter, protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception as exc:  # noqa: BLE001 - pickling raises anything
+        for pf in self.base.polluters:
+            if not pf.picklable:
                 self.emit(
                     "ICE501",
                     f"polluter cannot be pickled for worker dispatch "
-                    f"({type(exc).__name__}: {exc}); parallel execution will "
+                    f"({pf.pickle_error}); parallel execution will "
                     "fail its picklability sweep",
-                    location=f"polluters[{i}]",
-                    polluter=polluter.name,
+                    location=pf.location,
+                    polluter=pf.name,
                     severity=severity,
                 )
         if not parallel:
@@ -629,3 +703,76 @@ class _Context:
             first_names & set(second.condition.depends_on)
             or second_names & set(first.condition.depends_on)
         )
+
+    # -- ICE7xx: performance lints -----------------------------------------
+
+    def performance_rules(self) -> None:
+        """Batch/parallel performance lints over the shared fact base.
+
+        ICE701/702/704 only fire when the run actually intends to batch
+        (``options.batch_size > 1``): a fallback kernel costs nothing on
+        the per-record path. ICE703 fires for unkeyed parallel intent —
+        the one mode where "reproducible" and "byte-identical to
+        sequential" silently diverge.
+        """
+        if self.options.batched:
+            for pf in self.base.fallbacks:
+                self.emit(
+                    "ICE701",
+                    f"polluter compiles to the per-record fallback kernel "
+                    f"[{pf.kernel.reason}]: {pf.kernel.detail}",
+                    location=pf.location,
+                    polluter=pf.name,
+                )
+            speedup = predicted_batch_speedup(self.base)
+            if self.base.polluters and speedup < SPEEDUP_THRESHOLD:
+                slow = [
+                    f"{pf.name} ({pf.kernel.reason})"
+                    for pf in self.base.polluters
+                    if pf.kernel.kind == "fallback" or not pf.kernel.vectorized_mask
+                ]
+                self.emit(
+                    "ICE702",
+                    f"predicted batch speedup is {speedup:.2f}x (threshold "
+                    f"{SPEEDUP_THRESHOLD:.1f}x): the plan is dominated by "
+                    f"per-record work in {', '.join(slow)}; "
+                    f"batch_size={self.options.batch_size} buys little",
+                    location="polluters",
+                )
+            for leaf in self.plan.leaves:
+                parts = []
+                if leaf.condition.stateful:
+                    parts.append("condition")
+                if leaf.error.stateful:
+                    parts.append(f"error {leaf.error.describe()!r}")
+                if parts:
+                    self.emit(
+                        "ICE704",
+                        f"stateful {' and '.join(parts)} must see rows one at "
+                        "a time, so the kernel runs per-row inside every slab; "
+                        "batching only amortizes the loop overhead here",
+                        location=leaf.path,
+                        polluter=leaf.name,
+                    )
+        if (
+            self.options.parallel
+            and self.options.key_by is None
+            and not self.base.deterministically_mergeable
+        ):
+            why = []
+            if self.base.stochastic:
+                why.append("stochastic draws are derived per shard")
+            if self.base.stateful:
+                why.append("per-stream state is split across workers")
+            if not self.base.sort_stable:
+                why.append("tuple multiplicity/timestamps vary with the merge")
+            if not why:
+                why.append("opaque components defeat the mergeability proof")
+            self.emit(
+                "ICE703",
+                f"unkeyed plan at parallelism {self.options.parallelism} is not "
+                f"deterministically mergeable ({'; '.join(why)}); output is "
+                "reproducible per (seed, parallelism) but not byte-identical "
+                "to the sequential run",
+                location="polluters",
+            )

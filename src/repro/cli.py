@@ -326,7 +326,16 @@ def _parse_time_bound(text: str) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from repro.check import RULES, CheckOptions, Severity, analyze_config
+    from repro.check import (
+        RULES,
+        CheckOptions,
+        Severity,
+        analyze_config,
+        factbase_for,
+        plan_summary,
+        render_explain,
+    )
+    from repro.core.config import pipeline_from_config
 
     if args.list_rules:
         for rule in RULES.values():
@@ -334,6 +343,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"{rule.rule_id}  {rule.severity.label:<7} "
                 f"{rule.slug:<44} {rule.summary}"
             )
+            print(f"{'':21}fix: {rule.fix}")
         return 0
     if not args.config or not args.schema:
         raise ConfigError("repro check needs --config and --schema (or --list-rules)")
@@ -356,31 +366,45 @@ def cmd_check(args: argparse.Namespace) -> int:
         failure_policy=(
             policy_actions[args.on_error] if args.on_error else None
         ),
+        batch_size=args.batch_size,
     )
     fail_on = Severity.from_label(args.fail_on)
     entries = []
     exit_code = 0
     for config_path in args.config:
-        report = analyze_config(_load_json(config_path), schema, options)
-        entries.append((config_path, report))
+        spec = _load_json(config_path)
+        report = analyze_config(spec, schema, options)
+        base = None
+        try:
+            base = factbase_for(pipeline_from_config(spec))
+        except ConfigError:
+            pass  # ICE001 already reported; there are no facts to dump
+        entries.append((config_path, report, base))
         exit_code = max(exit_code, report.exit_code(fail_on))
     if args.format == "json":
-        payload = {
-            "fail_on": fail_on.label,
-            "reports": [
-                {"config": str(path), **report.to_dict()} for path, report in entries
-            ],
-        }
+        reports = []
+        for path, report, base in entries:
+            entry = {"config": str(path), **report.to_dict()}
+            if base is not None:
+                entry["facts"] = plan_summary(base)
+            reports.append(entry)
+        payload = {"fail_on": fail_on.label, "reports": reports}
         rendered = json.dumps(payload, indent=2)
     else:
         blocks = []
-        for path, report in entries:
+        for path, report, base in entries:
             body = "\n".join(f"  {line}" for line in report.render_text().splitlines())
-            blocks.append(f"{path}:\n{body}")
+            block = f"{path}:\n{body}"
+            if args.explain and base is not None:
+                facts = "\n".join(
+                    f"  {line}" for line in render_explain(base).splitlines()
+                )
+                block = f"{block}\n{facts}"
+            blocks.append(block)
         rendered = "\n".join(blocks)
     if args.output:
         Path(args.output).write_text(rendered + "\n")
-        total = sum(len(report) for _, report in entries)
+        total = sum(len(report) for _, report, _ in entries)
         print(f"wrote {total} diagnostic(s) for {len(entries)} config(s) to {args.output}")
     else:
         print(rendered)
@@ -651,6 +675,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fail", "skip", "retry", "dead-letter"],
         default=None,
         help="intended failure policy (enables supervision-composition rules)",
+    )
+    k.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="intended micro-batch slab size (enables the ICE7xx "
+        "performance lints)",
+    )
+    k.add_argument(
+        "--explain", action="store_true",
+        help="append a per-leaf fact dump (kernel eligibility with reasons, "
+        "effect sets, sort stability, predicted batch speedup) to the text "
+        "report",
     )
     k.add_argument(
         "--fail-on", choices=["error", "warning", "info"], default="error",

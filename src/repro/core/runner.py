@@ -115,6 +115,7 @@ def _run_preflight(
     key_by: Any | None,
     pipeline_factory: Any | None,
     failure_policy: Any | None = None,
+    batch_size: int | None = None,
 ) -> None:
     """Static plan check before any record flows (``check="error"|"warn"|"off"``).
 
@@ -138,6 +139,7 @@ def _run_preflight(
         parallelism=parallelism,
         key_by=key_by,
         failure_policy=failure_policy,
+        batch_size=batch_size,
     )
 
 
@@ -284,6 +286,7 @@ def pollute(
         key_by=key_by,
         pipeline_factory=pipeline_factory,
         failure_policy=failure_policy,
+        batch_size=batch_size,
     )
     if batch_size is not None and batch_size < 1:
         raise PollutionError(f"batch_size must be >= 1, got {batch_size}")

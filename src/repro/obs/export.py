@@ -70,6 +70,13 @@ METRIC_HELP: dict[str, str] = {
     "kernel_cache_misses_total": "Batch pipeline compilations that ran the full analysis.",
     "kernel_cache_evictions_total": "Plan-hash cache entries evicted by the LRU policy.",
     "kernel_cache_entries": "Plans currently held by the kernel compilation cache.",
+    "factbase_cache_hits_total": "Plan-fact bases served from the plan-hash cache.",
+    "factbase_cache_misses_total": "Plan-fact bases built from scratch.",
+    "factbase_cache_entries": "Fact bases currently held by the plan-hash cache.",
+    "analysis_cache_hits_total": "Admission analyses served from the plan-hash cache.",
+    "analysis_cache_misses_total": "Admission analyses that ran the full static check.",
+    "analysis_cache_evictions_total": "Admission analysis cache entries evicted by the LRU policy.",
+    "analysis_cache_entries": "Analyses currently held by the admission cache.",
     "serve_jobs_submitted_total": "Jobs admitted by the serve endpoint, per tenant.",
     "serve_jobs_rejected_total": "Submissions turned away at admission, per reason.",
     "serve_jobs_finished_total": "Jobs reaching a terminal state, per state.",

@@ -315,6 +315,7 @@ def pollute_parallel(
                 key_by=key_by,
                 pipeline_factory=pipeline_factory,
                 failure_policy=failure_policy,
+                batch_size=batch_size,
             )
     else:
         _run_preflight(
@@ -327,6 +328,7 @@ def pollute_parallel(
             key_by=key_by,
             pipeline_factory=pipeline_factory,
             failure_policy=failure_policy,
+            batch_size=batch_size,
         )
     if parallelism < 1:
         raise PollutionError(f"parallelism must be >= 1, got {parallelism}")

@@ -16,10 +16,21 @@ Two independent gates run, in order, before a job receives an id:
 Both gates are pure functions of the spec and a load snapshot, so the
 :class:`~repro.serve.jobs.JobManager` can run them under its own lock —
 quota checks and slot reservation are atomic.
+
+The dominant service pattern is the same plan submitted over and over, so
+plan-admission verdicts are cached in an :class:`AnalysisCache` keyed by a
+canonical hash of (config, schema, check options) — the serve-side sibling
+of the batch engine's ``KERNEL_CACHE`` and the analyzer's
+``FACTBASE_CACHE``. A repeat submission skips the whole static analysis;
+``/metrics`` exposes ``analysis_cache_hits_total`` / ``_misses_total``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -70,11 +81,110 @@ class LoadSnapshot:
     tenant_active: dict[str, int] = field(default_factory=dict)
 
 
-class AdmissionController:
-    """Runs both gates; stateless beyond its limits."""
+class AnalysisCache:
+    """An LRU of plan-admission analysis reports.
 
-    def __init__(self, limits: AdmissionLimits | None = None) -> None:
+    Keyed by a canonical SHA-256 over (config, schema, check options) — the
+    full preimage of the analysis, so equal keys imply an identical
+    :class:`~repro.check.report.CheckReport`. Stores the report's dict form
+    plus its pass/fail verdict; the surrounding :class:`Decision` (which
+    also depends on inline-row counts and per-request load) is always
+    rebuilt. Thread-safe: admission runs under the job-manager lock but the
+    counters are also read by the ``/metrics`` event-loop path.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[bool, int, dict[str, Any]]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(config: Any, schema: Any, options: Any) -> str:
+        """Canonical digest of one analysis request."""
+        text = json.dumps(
+            {
+                "config": config,
+                "schema": schema,
+                "options": {
+                    "seed": options.seed,
+                    "parallelism": options.parallelism,
+                    "key_by": options.key_by,
+                    "time_range": options.time_range,
+                    "failure_policy": options.failure_policy,
+                    "batch_size": options.batch_size,
+                },
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def get(self, key: str) -> tuple[bool, int, dict[str, Any]] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, entry: tuple[bool, int, dict[str, Any]]) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }
+
+    def publish(self, metrics: Any) -> None:
+        """Surface the counters on a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        stats = self.stats()
+        metrics.counter("analysis_cache_hits_total").value = stats["hits"]
+        metrics.counter("analysis_cache_misses_total").value = stats["misses"]
+        metrics.counter("analysis_cache_evictions_total").value = stats["evictions"]
+        metrics.gauge("analysis_cache_entries").set(stats["entries"])
+
+
+class AdmissionController:
+    """Runs both gates; stateless beyond its limits and the analysis cache."""
+
+    def __init__(
+        self,
+        limits: AdmissionLimits | None = None,
+        analysis_cache: AnalysisCache | None = None,
+    ) -> None:
         self.limits = limits or AdmissionLimits()
+        # ``is None``, not ``or``: an empty cache has len() == 0 and is falsy.
+        self.analysis_cache = (
+            analysis_cache if analysis_cache is not None else AnalysisCache()
+        )
 
     # -- gate 1: the plan ---------------------------------------------------
 
@@ -82,7 +192,10 @@ class AdmissionController:
         """Build + statically analyze the submitted plan.
 
         Import of the analyzer is local so a server that only ever serves
-        ``/metrics`` never pays for it.
+        ``/metrics`` never pays for it. Repeat submissions of the same
+        (config, schema, options) skip the analysis via the cache; the
+        verdict depends only on those inputs plus ``limits.fail_on``, which
+        is fixed per controller, so cached verdicts are exact.
         """
         from repro.check import CheckOptions, Severity, analyze_config
         from repro.cli import schema_from_config
@@ -110,23 +223,36 @@ class AdmissionController:
                 else None
             ),
         )
+        cache_key = AnalysisCache.key(spec.config, spec.schema, options)
+        cached = self.analysis_cache.get(cache_key)
+        if cached is not None:
+            passed, flagged_count, report_dict = cached
+            return self._verdict(passed, flagged_count, report_dict)
         try:
             report = analyze_config(spec.config, schema, options)
         except ConfigError as exc:
             return Decision(admitted=False, status=422, reason=f"bad config: {exc}")
         fail_on = Severity.from_label(self.limits.fail_on)
-        if report.exit_code(fail_on) != 0:
-            flagged = [d for d in report.diagnostics if d.severity >= fail_on]
+        passed = report.exit_code(fail_on) == 0
+        flagged_count = sum(1 for d in report.diagnostics if d.severity >= fail_on)
+        report_dict = report.to_dict()
+        self.analysis_cache.put(cache_key, (passed, flagged_count, report_dict))
+        return self._verdict(passed, flagged_count, report_dict)
+
+    def _verdict(
+        self, passed: bool, flagged_count: int, report_dict: dict[str, Any]
+    ) -> Decision:
+        if not passed:
             return Decision(
                 admitted=False,
                 status=422,
                 reason=(
-                    f"plan rejected at admission: {len(flagged)} "
-                    f"{fail_on.label}-or-worse diagnostic(s)"
+                    f"plan rejected at admission: {flagged_count} "
+                    f"{self.limits.fail_on}-or-worse diagnostic(s)"
                 ),
-                report=report.to_dict(),
+                report=report_dict,
             )
-        return Decision(admitted=True, report=report.to_dict())
+        return Decision(admitted=True, report=report_dict)
 
     # -- gate 2: capacity ---------------------------------------------------
 

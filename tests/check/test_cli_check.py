@@ -181,6 +181,81 @@ class TestCheckCommand:
         assert "ICE506" in out
         assert "ICE601" in out
 
+    def test_explain_appends_the_fact_block(self, workspace, capsys):
+        rc = main(
+            [
+                "check",
+                "--config", str(workspace["clean"]),
+                "--schema", str(workspace["schema"]),
+                "--seed", "7",
+                "--explain",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline 'clean'" in out
+        assert "digest=" in out
+        assert "predicted batch speedup" in out
+        assert "kernels:" in out
+        assert "standard/probability-mask [standard]" in out
+        assert "sort_stable=yes" in out
+        assert "leaves:" in out
+
+    def test_text_report_without_explain_omits_the_fact_block(
+        self, workspace, capsys
+    ):
+        rc = main(
+            [
+                "check",
+                "--config", str(workspace["clean"]),
+                "--schema", str(workspace["schema"]),
+                "--seed", "7",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernels:" not in out
+        assert "predicted batch speedup" not in out
+
+    def test_explain_names_fallbacks_under_batching(
+        self, workspace, tmp_path, capsys
+    ):
+        spec = {
+            "name": "composite-plan",
+            "polluters": [
+                {
+                    "type": "composite",
+                    "name": "faults",
+                    "mode": "first_match",
+                    "children": [
+                        {
+                            "type": "standard",
+                            "attributes": ["v"],
+                            "error": {"type": "set_null"},
+                            "condition": {"type": "probability", "p": 0.1},
+                        }
+                    ],
+                }
+            ],
+        }
+        cfg = tmp_path / "composite.json"
+        cfg.write_text(json.dumps(spec))
+        rc = main(
+            [
+                "check",
+                "--config", str(cfg),
+                "--schema", str(workspace["schema"]),
+                "--seed", "7",
+                "--batch-size", "256",
+                "--explain",
+            ]
+        )
+        assert rc == 0  # ICE701 is a warning; default --fail-on is error
+        out = capsys.readouterr().out
+        assert "ICE701" in out
+        assert "fallback [composite]" in out
+        assert "<-- fallback-dominated" in out
+
     def test_missing_config_is_usage_error(self, workspace, capsys):
         rc = main(["check", "--schema", str(workspace["schema"])])
         assert rc == 2

@@ -1,5 +1,7 @@
 """Every golden config in examples/configs/ must pass the analyzer with zero
-error-severity diagnostics against its paired schema (per manifest.json)."""
+error-severity diagnostics against its paired schema (per manifest.json), and
+the full ``repro check --format json`` output — diagnostics plus the plan-fact
+summary — must match the committed golden files in examples/configs/golden/."""
 
 import json
 from pathlib import Path
@@ -7,7 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.check import CheckOptions, analyze_config
-from repro.cli import schema_from_config
+from repro.cli import main, schema_from_config
 from repro.core.config import pipeline_from_config
 
 CONFIG_DIR = Path(__file__).resolve().parents[2] / "examples" / "configs"
@@ -30,6 +32,43 @@ def test_golden_config_builds_and_targets_schema(config_name, schema_name):
     pipeline = pipeline_from_config(spec)
     assert pipeline.polluters
     assert schema.names  # the paired schema parses
+
+
+@pytest.mark.parametrize("config_name,schema_name", PAIRS, ids=[p[0] for p in PAIRS])
+def test_golden_ice_output_is_unchanged(config_name, schema_name, monkeypatch, capsys):
+    """``repro check --json`` output is pinned byte-for-byte per golden pair.
+
+    Regenerate with (from ``examples/configs/``)::
+
+        python -m repro.cli check --schema <schema> --config <config> \
+            --seed 7 --format json > golden/<config-stem>.check.json
+    """
+    golden_path = CONFIG_DIR / "golden" / f"{Path(config_name).stem}.check.json"
+    monkeypatch.chdir(CONFIG_DIR)
+    rc = main(
+        [
+            "check",
+            "--schema",
+            schema_name,
+            "--config",
+            config_name,
+            "--seed",
+            "7",
+            "--format",
+            "json",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out == golden_path.read_text(), (
+        f"golden ICE output for {config_name} drifted; regenerate "
+        f"{golden_path.relative_to(CONFIG_DIR.parents[1])}"
+    )
+
+
+def test_golden_dir_covers_every_pair():
+    on_disk = {p.name for p in (CONFIG_DIR / "golden").glob("*.check.json")}
+    assert on_disk == {f"{Path(c).stem}.check.json" for c, _ in PAIRS}
 
 
 def test_manifest_covers_every_config():

@@ -41,6 +41,7 @@ def check(
     key_by=None,
     time_range=None,
     failure_policy=None,
+    batch_size=None,
 ):
     pipeline = PollutionPipeline(list(polluters), name="t")
     options = CheckOptions(
@@ -49,6 +50,7 @@ def check(
         key_by=key_by,
         time_range=time_range,
         failure_policy=failure_policy,
+        batch_size=batch_size,
     )
     return analyze(pipeline, SCHEMA, options)
 
@@ -422,6 +424,116 @@ class TestConflictRules:
             name="b",
         )
         assert "ICE602" not in check(a, b).rules()
+
+
+def _composite(name="comp"):
+    return CompositePolluter(
+        children=[
+            nulls("v", C.ProbabilityCondition(0.5), name=f"{name}-a"),
+            StandardPolluter(
+                error=GaussianNoise(1.0),
+                attributes=["w"],
+                condition=C.ProbabilityCondition(0.5),
+                name=f"{name}-b",
+            ),
+        ],
+        mode=CompositeMode.FIRST_MATCH,
+        name=name,
+    )
+
+
+class TestPerformanceRules:
+    """ICE7xx: the lints read the same fact base the batch compiler uses."""
+
+    def test_ice701_composite_falls_back_under_batching(self):
+        report = check(_composite(), batch_size=256)
+        diags = report.by_rule("ICE701")
+        assert diags, report.render_text()
+        assert "composite" in diags[0].message
+
+    def test_ice701_silent_without_batching(self):
+        assert "ICE701" not in check(_composite()).rules()
+
+    def test_ice701_silent_for_standard_kernel(self):
+        noisy = StandardPolluter(
+            error=GaussianNoise(1.0),
+            attributes=["v"],
+            condition=C.ProbabilityCondition(0.5),
+        )
+        assert "ICE701" not in check(noisy, batch_size=256).rules()
+
+    def test_ice701_overridden_apply_names_the_reason(self):
+        class CustomApply(StandardPolluter):
+            def apply(self, record, tau, log=None):
+                return super().apply(record, tau, log)
+
+        custom = CustomApply(
+            error=SetToNull(), attributes=["v"], name="custom"
+        )
+        diags = check(custom, batch_size=256).by_rule("ICE701")
+        assert diags
+        assert "overrides-apply" in diags[0].message
+
+    def test_ice702_fallback_dominated_plan(self):
+        report = check(_composite("c1"), _composite("c2"), batch_size=256)
+        diags = report.by_rule("ICE702")
+        assert diags, report.render_text()
+        assert "c1" in diags[0].message and "c2" in diags[0].message
+
+    def test_ice702_fused_plan_clean(self):
+        noisy = StandardPolluter(
+            error=GaussianNoise(1.0),
+            attributes=["v"],
+            condition=C.ProbabilityCondition(0.5),
+        )
+        assert "ICE702" not in check(noisy, batch_size=256).rules()
+
+    def test_ice702_silent_without_batching(self):
+        assert "ICE702" not in check(_composite("c1"), _composite("c2")).rules()
+
+    def test_ice703_unkeyed_stochastic_parallel_plan(self):
+        report = check(
+            nulls("v", C.ProbabilityCondition(0.5)), parallelism=2
+        )
+        diags = report.by_rule("ICE703")
+        assert diags, report.render_text()
+        assert "stochastic" in diags[0].message
+
+    def test_ice703_keyed_plan_clean(self):
+        report = check(
+            nulls("v", C.ProbabilityCondition(0.5)),
+            parallelism=2,
+            key_by="station",
+        )
+        assert "ICE703" not in report.rules()
+
+    def test_ice703_mergeable_deterministic_plan_clean(self):
+        report = check(
+            nulls("v", C.AttributeCondition("w", ">", 1)), parallelism=2
+        )
+        assert "ICE703" not in report.rules()
+
+    def test_ice703_silent_without_parallelism(self):
+        assert "ICE703" not in check(nulls("v", C.ProbabilityCondition(0.5))).rules()
+
+    def test_ice704_stateful_condition_under_batching(self):
+        report = check(nulls("v", C.EveryNthCondition(3)), batch_size=256)
+        assert "ICE704" in report.rules(), report.render_text()
+
+    def test_ice704_stateful_error_under_batching(self):
+        frozen = StandardPolluter(
+            error=FrozenValue(),
+            attributes=["v"],
+            condition=C.ProbabilityCondition(0.5),
+        )
+        assert "ICE704" in check(frozen, batch_size=256).rules()
+
+    def test_ice704_silent_without_batching(self):
+        assert "ICE704" not in check(nulls("v", C.EveryNthCondition(3))).rules()
+
+    def test_ice704_stateless_plan_clean(self):
+        report = check(nulls("v", C.ProbabilityCondition(0.5)), batch_size=256)
+        assert "ICE704" not in report.rules()
 
 
 class TestCatalogue:

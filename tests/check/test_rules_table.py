@@ -1,0 +1,68 @@
+"""Parity of the rule catalogue's three surfaces.
+
+The catalogue in ``repro.check.rules.RULES`` is rendered twice for
+humans — the generated table in ``DESIGN.md`` and the ``repro check
+--list-rules`` CLI output. These tests fail when either surface drifts
+from the code, so a rule can never be added, reworded, or re-severitied
+in one place only.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.check.rules import (
+    RULES,
+    RULES_TABLE_BEGIN,
+    RULES_TABLE_END,
+    rules_table_markdown,
+)
+from repro.cli import main
+
+DESIGN = Path(__file__).resolve().parents[2] / "DESIGN.md"
+
+
+def _design_block() -> str:
+    text = DESIGN.read_text()
+    assert RULES_TABLE_BEGIN in text, "DESIGN.md lost the rules-table markers"
+    return text.split(RULES_TABLE_BEGIN, 1)[1].split(RULES_TABLE_END, 1)[0]
+
+
+class TestDesignTable:
+    def test_design_table_matches_the_catalogue(self):
+        assert _design_block().strip() == rules_table_markdown().strip(), (
+            "DESIGN.md rule table is stale; run scripts/update_rules_table.py"
+        )
+
+    def test_table_has_one_row_per_rule(self):
+        table = rules_table_markdown()
+        rows = [line for line in table.splitlines() if line.startswith("| ICE")]
+        assert len(rows) == len(RULES)
+        assert [row.split("|")[1].strip() for row in rows] == list(RULES)
+
+    def test_every_row_carries_severity_and_fix(self):
+        for rule_id, rule in RULES.items():
+            row = next(
+                line
+                for line in rules_table_markdown().splitlines()
+                if line.startswith(f"| {rule_id} ")
+            )
+            assert f"| {rule.severity.label} |" in row
+            assert rule.fix in row
+
+
+class TestListRulesParity:
+    def test_cli_lists_every_rule_with_summary_and_fix(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        listed_ids = re.findall(r"^(ICE\d{3})\b", out, flags=re.MULTILINE)
+        assert listed_ids == list(RULES), "CLI order/coverage drifted"
+        for rule in RULES.values():
+            assert rule.slug in out
+            assert rule.summary in out
+            assert f"fix: {rule.fix}" in out
+
+    def test_ids_are_stable_and_well_formed(self):
+        assert all(re.fullmatch(r"ICE\d{3}", rule_id) for rule_id in RULES)
+        assert len(set(RULES)) == len(RULES)

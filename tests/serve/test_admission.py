@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.serve.admission import AdmissionController, AdmissionLimits, LoadSnapshot
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    AnalysisCache,
+    LoadSnapshot,
+)
 from repro.serve.protocol import JobSpec
 from tests.serve.conftest import job_spec
 
@@ -87,6 +92,99 @@ class TestPlanGate:
         ).review_plan(_spec(config=config))
         assert not strict.admitted
         assert strict.status == 422
+
+
+class TestAnalysisCache:
+    """Satellite of the plan-fact engine: repeat submissions skip analysis."""
+
+    def test_repeat_submission_skips_reanalysis(self, monkeypatch):
+        import repro.check as check_mod
+
+        calls = {"n": 0}
+        real = check_mod.analyze_config
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(check_mod, "analyze_config", counting)
+        controller = AdmissionController()
+        first = controller.review_plan(_spec())
+        second = controller.review_plan(_spec())
+        assert calls["n"] == 1, "second identical submission re-ran the analyzer"
+        assert first.admitted and second.admitted
+        assert first.report == second.report
+        assert controller.analysis_cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_distinct_options_are_distinct_entries(self):
+        controller = AdmissionController()
+        controller.review_plan(_spec(seed=1))
+        controller.review_plan(_spec(seed=2))
+        stats = controller.analysis_cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
+    def test_rejection_verdicts_are_cached_too(self):
+        config = {
+            "name": "broken",
+            "polluters": [
+                {
+                    "type": "standard",
+                    "name": "ghost",
+                    "attributes": ["no_such_column"],
+                    "condition": {"type": "probability", "p": 0.5},
+                    "error": {"type": "set_null"},
+                }
+            ],
+        }
+        controller = AdmissionController()
+        first = controller.review_plan(_spec(config=config))
+        second = controller.review_plan(_spec(config=config))
+        assert first.status == second.status == 422
+        assert first.report == second.report
+        assert controller.analysis_cache.stats()["hits"] == 1
+
+    def test_bad_schema_short_circuits_before_the_cache(self):
+        spec = _spec(schema={"attributes": []})
+        controller = AdmissionController()
+        controller.review_plan(spec)
+        controller.review_plan(spec)
+        assert controller.analysis_cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 0,
+        }
+
+    def test_lru_evicts_the_oldest_entry(self):
+        controller = AdmissionController(analysis_cache=AnalysisCache(maxsize=1))
+        controller.review_plan(_spec(seed=1))
+        controller.review_plan(_spec(seed=2))
+        controller.review_plan(_spec(seed=1))  # evicted, so a miss again
+        stats = controller.analysis_cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["hits"] == 0
+        assert stats["misses"] == 3
+        assert stats["entries"] == 1
+
+    def test_publish_surfaces_the_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        controller = AdmissionController()
+        controller.review_plan(_spec())
+        controller.review_plan(_spec())
+        registry = MetricsRegistry()
+        controller.analysis_cache.publish(registry)
+        values = {i.name: i.value for i in registry.instruments()}
+        assert values["analysis_cache_hits_total"] == 1
+        assert values["analysis_cache_misses_total"] == 1
+        assert values["analysis_cache_entries"] == 1
 
 
 class TestCapacityGate:

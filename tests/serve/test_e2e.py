@@ -266,6 +266,19 @@ class TestHttpSurface:
         assert "serve_job_wall_seconds_bucket" not in text or True  # histogram optional
         assert "# TYPE serve_jobs_queued gauge" in text
 
+    def test_repeat_submission_hits_the_analysis_cache(self, harness):
+        client = harness.client()
+        for _ in range(2):
+            job_id = client.submit(job_spec(n_rows=5))["job_id"]
+            client.wait(job_id)
+        _, text = client.metrics()
+        assert "analysis_cache_misses_total 1" in text
+        assert "analysis_cache_hits_total 1" in text
+        assert "# HELP analysis_cache_hits_total" in text
+        # The scrape also surfaces the sibling plan-hash caches.
+        assert "factbase_cache_entries" in text
+        assert "kernel_cache_entries" in text
+
 
 class TestBackpressure:
     def test_slow_consumer_is_disconnected_by_policy(self, make_harness):
