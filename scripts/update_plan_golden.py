@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the golden plan snapshots in examples/configs/golden/.
+
+For every config/schema pair in ``examples/configs/manifest.json`` the
+planner (:func:`repro.plan.snapshots.snapshot_plans`) compiles one plan
+per canonical scenario — engine choice, decision slugs with reasons,
+stages, normalized options — and the result is pinned byte-for-byte as
+``golden/<stem>.plan.json``. ``tests/plan/test_golden_plans.py`` and the
+CI ``conformance`` job fail when the snapshots drift.
+
+Usage::
+
+    python scripts/update_plan_golden.py [--check]
+
+``--check`` exits 1 (touching nothing) if any snapshot is stale.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+CONFIG_DIR = REPO / "examples" / "configs"
+GOLDEN_DIR = CONFIG_DIR / "golden"
+
+
+def render(config_name: str, schema_name: str) -> str:
+    from repro.cli import schema_from_config
+    from repro.plan.snapshots import snapshot_plans
+
+    config = json.loads((CONFIG_DIR / config_name).read_text())
+    schema = schema_from_config(json.loads((CONFIG_DIR / schema_name).read_text()))
+    return json.dumps(snapshot_plans(config, schema), indent=2) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    manifest = json.loads((CONFIG_DIR / "manifest.json").read_text())
+    check = "--check" in argv
+    stale = []
+    for pair in manifest["pairs"]:
+        stem = Path(pair["config"]).stem
+        path = GOLDEN_DIR / f"{stem}.plan.json"
+        fresh = render(pair["config"], pair["schema"])
+        if check:
+            if not path.exists() or path.read_text() != fresh:
+                stale.append(path.name)
+        else:
+            path.write_text(fresh)
+            print(f"wrote {path.relative_to(REPO)}")
+    if check:
+        if stale:
+            print(
+                "stale golden plan snapshot(s): "
+                + ", ".join(stale)
+                + "; run scripts/update_plan_golden.py"
+            )
+            return 1
+        print("golden plan snapshots are up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -175,9 +175,59 @@ def _failure_policy_from_args(args: argparse.Namespace):
     if args.on_error == "dead-letter":
         return DEAD_LETTER
     try:
-        return FailurePolicy.retry(args.retries)
+        return FailurePolicy.retry(getattr(args, "retries", 3))
     except ValueError as exc:
         raise ConfigError(str(exc)) from exc
+
+
+def _compiled_plan(spec: Mapping[str, Any], schema: Schema, args: argparse.Namespace):
+    """Compile the execution plan a run with these CLI options would get.
+
+    Shared by ``repro plan`` (the whole point) and ``repro check`` (the
+    ``--explain`` / JSON plan block). Compilation is pure — no records flow.
+    """
+    from repro.plan import PlanRequest, compile_plan
+
+    pipeline = pipeline_from_config(spec)
+    policy = _failure_policy_from_args(args) if args.on_error else None
+    request = PlanRequest(
+        pipelines=pipeline,
+        schema=schema,
+        seed=args.seed,
+        engine=getattr(args, "engine", None) or "direct",
+        failure_policy=policy,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        parallelism=args.parallel,
+        key_by=args.key_by,
+        batch_size=args.batch_size,
+    )
+    return compile_plan(request)
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``repro plan``: print the compiled execution plan without running it."""
+    schema = schema_from_config(_load_json(args.schema))
+    blocks = []
+    payloads = []
+    for config_path in args.config:
+        plan = _compiled_plan(_load_json(config_path), schema, args)
+        if args.format == "json":
+            payloads.append({"config": str(config_path), **plan.to_dict()})
+        else:
+            blocks.append(f"{config_path}:\n" + "\n".join(
+                f"  {line}" for line in plan.render_text().splitlines()
+            ))
+    rendered = (
+        json.dumps(payloads if len(payloads) != 1 else payloads[0], indent=2)
+        if args.format == "json"
+        else "\n".join(blocks)
+    )
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"wrote {len(args.config)} plan(s) to {args.output}")
+    else:
+        print(rendered)
+    return 0
 
 
 def _check_parallel_args(args: argparse.Namespace) -> None:
@@ -379,20 +429,27 @@ def cmd_check(args: argparse.Namespace) -> int:
             base = factbase_for(pipeline_from_config(spec))
         except ConfigError:
             pass  # ICE001 already reported; there are no facts to dump
-        entries.append((config_path, report, base))
+        plan = None
+        try:
+            plan = _compiled_plan(spec, schema, args)
+        except IcewaflError:
+            pass  # invalid combination; diagnostics above already explain it
+        entries.append((config_path, report, base, plan))
         exit_code = max(exit_code, report.exit_code(fail_on))
     if args.format == "json":
         reports = []
-        for path, report, base in entries:
+        for path, report, base, plan in entries:
             entry = {"config": str(path), **report.to_dict()}
             if base is not None:
                 entry["facts"] = plan_summary(base)
+            if plan is not None:
+                entry["plan"] = plan.to_dict()
             reports.append(entry)
         payload = {"fail_on": fail_on.label, "reports": reports}
         rendered = json.dumps(payload, indent=2)
     else:
         blocks = []
-        for path, report, base in entries:
+        for path, report, base, plan in entries:
             body = "\n".join(f"  {line}" for line in report.render_text().splitlines())
             block = f"{path}:\n{body}"
             if args.explain and base is not None:
@@ -400,11 +457,16 @@ def cmd_check(args: argparse.Namespace) -> int:
                     f"  {line}" for line in render_explain(base).splitlines()
                 )
                 block = f"{block}\n{facts}"
+            if args.explain and plan is not None:
+                plan_text = "\n".join(
+                    f"  {line}" for line in plan.render_text().splitlines()
+                )
+                block = f"{block}\n{plan_text}"
             blocks.append(block)
         rendered = "\n".join(blocks)
     if args.output:
         Path(args.output).write_text(rendered + "\n")
-        total = sum(len(report) for _, report, _ in entries)
+        total = sum(len(report) for _, report, _, _ in entries)
         print(f"wrote {total} diagnostic(s) for {len(entries)} config(s) to {args.output}")
     else:
         print(rendered)
@@ -697,6 +759,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     k.set_defaults(fn=cmd_check)
+
+    pl = sub.add_parser(
+        "plan",
+        help="compile a run to its execution plan and print the IR "
+        "(engine choice, stages, decision reasons) without running it",
+    )
+    pl.add_argument(
+        "--config", action="append", required=True, metavar="PATH",
+        help="pollution pipeline JSON (repeatable)",
+    )
+    pl.add_argument("--schema", required=True, help="stream schema JSON")
+    pl.add_argument("--seed", type=int, default=None, help="intended run seed")
+    pl.add_argument(
+        "--engine", choices=["direct", "stream"], default=None,
+        help="requested sequential engine (default direct)",
+    )
+    pl.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="intended worker count (compiles to the parallel engine)",
+    )
+    pl.add_argument(
+        "--key-by", default=None, metavar="ATTR",
+        help="intended partitioning attribute",
+    )
+    pl.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="intended micro-batch slab size",
+    )
+    pl.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "retry", "dead-letter"],
+        default=None,
+        help="intended failure policy",
+    )
+    pl.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per record for --on-error retry (default 3)",
+    )
+    pl.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="intended checkpoint directory",
+    )
+    pl.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="plan rendering (default text)",
+    )
+    pl.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the plan to PATH instead of stdout",
+    )
+    pl.set_defaults(fn=cmd_plan)
 
     v = sub.add_parser("validate", help="validate a CSV stream with a suite")
     v.add_argument("--suite", required=True, help="expectation suite JSON")

@@ -47,7 +47,7 @@ from repro.streaming.record import Record
 from repro.streaming.schema import Schema
 from repro.streaming.sink import CollectSink
 from repro.streaming.source import CollectionSource, Source
-from repro.streaming.split import Broadcast, SplitStrategy
+from repro.streaming.split import SplitStrategy
 from repro.streaming.supervision import ExecutionReport, FailurePolicy
 
 
@@ -249,7 +249,9 @@ def pollute(
         the engine executes whole slabs and, when one fails, rolls the slab
         back and replays it per-record so only the poison record is skipped,
         retried, or dead-lettered — never the surrounding ``batch_size - 1``
-        records. Keyed runs transparently fall back to per-record execution.
+        records. Keyed runs dispatch per-record (batch kernels do not cross
+        per-key pipeline instances); the planner records this as an explicit
+        ``keyed-batching-per-record`` decision, visible via ``repro plan``.
     max_shard_restarts:
         Parallel runtime only (ignored otherwise): in-run respawn budget per
         shard for crashed or hung workers. After the budget,
@@ -288,148 +290,91 @@ def pollute(
         failure_policy=failure_policy,
         batch_size=batch_size,
     )
-    if batch_size is not None and batch_size < 1:
-        raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
-    if parallelism is not None:
-        if parallelism < 1:
-            raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
-        if tracer is not None:
-            raise PollutionError(
-                "tracing is not supported for parallel runs: spans cannot "
-                "cross worker process boundaries; drop tracer or parallelism"
-            )
-        if isinstance(resume_from, Checkpoint):
-            raise PollutionError(
-                "resume_from is an in-memory sequential checkpoint; a "
-                "parallel run resumes from a parallel checkpoint directory "
-                "(the checkpoint_dir of a previous parallel run)"
-            )
-        if isinstance(checkpoint_dir, CheckpointStore):
-            raise PollutionError(
-                "parallel runs manage per-shard checkpoint stores themselves; "
-                "pass checkpoint_dir as a directory path, not a CheckpointStore"
-            )
-        from repro.parallel import pollute_parallel
+    from repro.plan import PlanRequest, compile_plan, execute_plan
 
-        return pollute_parallel(
-            data,
-            pipelines,
-            schema,
-            parallelism=parallelism,
-            key_by=key_by,
-            pipeline_factory=pipeline_factory,
-            split=split,
-            seed=seed,
-            log=log,
-            failure_policy=failure_policy,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval,
-            resume_from=resume_from,
-            metrics=metrics,
-            mp_context=mp_context,
-            batch_size=batch_size,
-            max_shard_restarts=max_shard_restarts,
-            heartbeat_timeout=heartbeat_timeout,
-            profile=profile,
-            ledger=ledger,
-            progress=progress,
-            check="off",  # the pre-flight above already covered this plan
-        )
-    if isinstance(resume_from, (str, Path)) and Path(resume_from).is_dir():
-        raise PollutionError(
-            f"{resume_from} is a parallel checkpoint directory; pass "
-            "parallelism=N (matching the original run) to resume it"
-        )
-    if key_by is not None:
-        return _pollute_keyed_sequential(
-            data,
-            pipelines,
-            schema,
-            key_by=key_by,
-            pipeline_factory=pipeline_factory,
-            split=split,
-            seed=seed,
-            log=log,
-            failure_policy=failure_policy,
-            checkpoint_dir=checkpoint_dir,
-            resume_from=resume_from,
-            metrics=metrics,
-            tracer=tracer,
-            profile=profile,
-            ledger=ledger,
-            progress=progress,
-        )
-    if pipeline_factory is not None:
-        raise PollutionError("pipeline_factory requires key_by")
-    if pipelines is None:
-        raise PollutionError("need at least one pollution pipeline")
-    if isinstance(pipelines, PollutionPipeline):
-        pipelines = [pipelines]
-    pipelines = list(pipelines)
-    if not pipelines:
-        raise PollutionError("need at least one pollution pipeline")
-    names = [p.name for p in pipelines]
-    if len(set(names)) != len(names):
-        raise PollutionError(f"pipelines need distinct names, got {names}")
-    if engine not in ("direct", "stream"):
-        raise PollutionError(f"unknown engine {engine!r}; use 'direct' or 'stream'")
-    fault_tolerant = (
-        failure_policy is not None
-        or checkpoint_dir is not None
-        or resume_from is not None
+    request = PlanRequest(
+        pipelines=pipelines,
+        schema=schema,
+        split=split,
+        seed=seed,
+        log=log,
+        engine=engine,
+        failure_policy=failure_policy,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume_from=resume_from,
+        metrics=metrics,
+        tracer=tracer,
+        parallelism=parallelism,
+        key_by=key_by,
+        pipeline_factory=pipeline_factory,
+        mp_context=mp_context,
+        batch_size=batch_size,
+        max_shard_restarts=max_shard_restarts,
+        heartbeat_timeout=heartbeat_timeout,
+        profile=profile,
+        ledger=ledger,
+        progress=progress,
     )
-    if fault_tolerant:
-        engine = "stream"  # supervision/checkpointing live in the stream engine
-    metered = metrics is not None and metrics.enabled
-    if metered or tracer is not None:
-        engine = "stream"  # node metrics/spans only exist in the stream engine
-    profiler = Profiler() if profile else None
+    return execute_plan(compile_plan(request), data)
+
+
+def _execute_sequential_plan(plan: Any, data: Any) -> PollutionResult:
+    """Run a compiled sequential plan: direct/stream, per-record/batched.
+
+    Consumes the plan's normalized fields (``plan.pipelines``,
+    ``plan.strategy``, the final ``plan.engine``) — every mode decision was
+    made by :func:`repro.plan.compile_plan`, none is re-derived here.
+    """
+    request = plan.request
+    pipelines: list[PollutionPipeline] = plan.pipelines
+    strategy = plan.strategy
+    streamed = plan.engine in ("stream", "stream-batch")
+    batched = plan.batched
+    seed = request.seed
+    batch_size = request.batch_size
+    metrics = request.metrics
+    metered = request.metered
+    ledger = request.ledger
+    failure_policy = request.failure_policy
+    profiler = request.profiler
+    if profiler is None and request.profile:
+        profiler = Profiler()
     renderer: ProgressRenderer | None = (
-        progress
-        if isinstance(progress, ProgressRenderer)
-        else (ProgressRenderer() if progress else None)
+        request.progress
+        if isinstance(request.progress, ProgressRenderer)
+        else (ProgressRenderer() if request.progress else None)
     )
-    if profiler is not None or renderer is not None or ledger is not None:
-        # Telemetry hooks (node timing, progress ticks, slab/checkpoint
-        # events) live in the stream engine; output stays byte-identical.
-        engine = "stream"
 
-    source, schema = _coerce_source(data, schema)
-    m = len(pipelines)
-    strategy = split or Broadcast(m)
-    if strategy.m != m:
-        raise PollutionError(
-            f"split strategy routes to {strategy.m} sub-streams but "
-            f"{m} pipelines were given"
-        )
-
+    source, schema = _coerce_source(data, request.schema)
     random_source = RandomSource(seed)
     for pipeline in pipelines:
         pipeline.bind(random_source)
         pipeline.reset()
         pipeline.bind_metrics(metrics if metered else None)
-    pollution_log = PollutionLog() if log else None
+    pollution_log = PollutionLog() if request.log else None
 
     if ledger is not None:
         config = {
-            "engine": engine,
+            "engine": plan.engine,
             "seed": seed,
             "batch_size": batch_size,
             "pipelines": sorted(p.name for p in pipelines),
-            "checkpoint_interval": checkpoint_interval if checkpoint_dir else None,
+            "checkpoint_interval": (
+                request.checkpoint_interval if request.checkpoint_dir else None
+            ),
         }
         ledger.record(
             "run.start",
             ledger_schema=LEDGER_SCHEMA_VERSION,
             config_hash=_config_digest(config),
-            engine=engine,
+            engine=plan.engine,
             seed=seed,
         )
 
-    batched = batch_size is not None and batch_size > 1
     report: ExecutionReport | None = None
     try:
-        if engine == "direct":
+        if not streamed:
             if batched:
                 from repro.batch.engine import run_batched
 
@@ -449,11 +394,11 @@ def pollute(
                     strategy,
                     pollution_log,
                     failure_policy=failure_policy,
-                    checkpoint_dir=checkpoint_dir,
-                    checkpoint_interval=checkpoint_interval,
-                    resume_from=resume_from,
+                    checkpoint_dir=request.checkpoint_dir,
+                    checkpoint_interval=request.checkpoint_interval,
+                    resume_from=request.resume_from,
                     metrics=metrics if metered else None,
-                    tracer=tracer,
+                    tracer=request.tracer,
                     batch_size=batch_size,
                     profiler=profiler,
                     ledger=ledger,
@@ -510,74 +455,34 @@ def _config_digest(body: dict[str, Any]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _pollute_keyed_sequential(
-    data: Source | Sequence[Mapping[str, Any] | Record],
-    pipelines: PollutionPipeline | Sequence[PollutionPipeline] | None,
-    schema: Schema | None,
-    *,
-    key_by: str | Any,
-    pipeline_factory: Any | None,
-    split: SplitStrategy | None,
-    seed: int | None,
-    log: bool,
-    failure_policy: FailurePolicy | None,
-    checkpoint_dir: str | Path | CheckpointStore | None,
-    resume_from: Checkpoint | str | Path | None,
-    metrics: MetricsRegistry | None,
-    tracer: Tracer | None,
-    profile: bool = False,
-    ledger: RunLedger | None = None,
-    progress: ProgressRenderer | bool = False,
-) -> PollutionResult:
-    """``pollute(key_by=...)`` without parallelism: the reference keyed loop.
+def _execute_keyed_plan(plan: Any, data: Any) -> PollutionResult:
+    """Run a compiled keyed-direct plan: the reference keyed loop.
 
     This is the sequential baseline the parallel keyed run is byte-compared
     against, so it must use the exact same pipeline factory semantics the
-    shard workers do.
+    shard workers do. The effective ``key_selector`` / ``pipeline_factory``
+    were normalized by the planner; option combinations a keyed run cannot
+    honour were already rejected at compile time.
     """
-    from repro.core.keyed_pollution import FreshPipelineFactory, run_keyed_direct
-    from repro.streaming.partition import AttributeKeySelector
+    from repro.core.keyed_pollution import run_keyed_direct
 
-    if split is not None:
-        raise PollutionError(
-            "key_by and split are mutually exclusive: keyed pollution "
-            "partitions by key, not by sub-stream routing"
-        )
-    if (
-        failure_policy is not None
-        or checkpoint_dir is not None
-        or resume_from is not None
-        or tracer is not None
-    ):
-        raise PollutionError(
-            "sequential keyed runs do not support supervision, checkpointing, "
-            "or tracing; use parallelism=1 to run the keyed plan on the "
-            "supervised sharded runtime"
-        )
-    key_selector = AttributeKeySelector(key_by) if isinstance(key_by, str) else key_by
-    if pipeline_factory is None:
-        if isinstance(pipelines, PollutionPipeline):
-            pipeline_factory = FreshPipelineFactory(pipelines)
-        elif pipelines is not None and len(list(pipelines)) == 1:
-            pipeline_factory = FreshPipelineFactory(list(pipelines)[0])
-        else:
-            raise PollutionError(
-                "keyed pollution needs a pipeline_factory or exactly one "
-                "template pipeline"
-            )
-    elif pipelines is not None:
-        raise PollutionError(
-            "pass either pipelines or pipeline_factory for a keyed run, not both"
-        )
+    request = plan.request
+    key_selector = plan.key_selector
+    pipeline_factory = plan.pipeline_factory
+    seed = request.seed
+    metrics = request.metrics
+    ledger = request.ledger
 
-    source, schema = _coerce_source(data, schema)
-    metered = metrics is not None and metrics.enabled
-    pollution_log = PollutionLog() if log else None
-    profiler = Profiler() if profile else None
+    source, schema = _coerce_source(data, request.schema)
+    metered = request.metered
+    pollution_log = PollutionLog() if request.log else None
+    profiler = request.profiler
+    if profiler is None and request.profile:
+        profiler = Profiler()
     renderer: ProgressRenderer | None = (
-        progress
-        if isinstance(progress, ProgressRenderer)
-        else (ProgressRenderer() if progress else None)
+        request.progress
+        if isinstance(request.progress, ProgressRenderer)
+        else (ProgressRenderer() if request.progress else None)
     )
     if ledger is not None:
         config = {

@@ -38,7 +38,6 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
-from repro.core.keyed_pollution import FreshPipelineFactory
 from repro.core.log import PollutionLog
 from repro.core.pipeline import PollutionPipeline
 from repro.core.prepare import IdGenerator, prepare_stream
@@ -50,7 +49,6 @@ from repro.obs.profile import Profiler
 from repro.parallel.environment import ShardedEnvironment, ShardOutcome
 from repro.parallel.shard import ShardTask
 from repro.streaming.partition import (
-    AttributeKeySelector,
     KeyPartitioner,
     Partitioner,
     RoundRobinPartitioner,
@@ -58,7 +56,7 @@ from repro.streaming.partition import (
 from repro.streaming.record import Record
 from repro.streaming.schema import Schema
 from repro.streaming.source import Source
-from repro.streaming.split import Broadcast, SplitStrategy
+from repro.streaming.split import SplitStrategy
 from repro.streaming.supervision import (
     DeadLetter,
     ExecutionReport,
@@ -285,24 +283,10 @@ def pollute_parallel(
     :class:`~repro.obs.live.ProgressRenderer`) paints a live per-shard
     table. All are observational only — output bytes are unaffected.
     """
-    from repro.core.runner import PollutionResult, _run_preflight
+    from repro.core.runner import _run_preflight
+    from repro.plan import PlanRequest, compile_plan, execute_plan
 
     profiler = Profiler() if profile else None
-    aggregator = telemetry
-    renderer: ProgressRenderer | None = None
-    if isinstance(progress, ProgressRenderer):
-        renderer = progress
-        if renderer.aggregator is None:
-            renderer.aggregator = aggregator = (
-                aggregator if aggregator is not None else LiveAggregator()
-            )
-        elif aggregator is None:
-            aggregator = renderer.aggregator
-    elif progress:
-        if aggregator is None:
-            aggregator = LiveAggregator()
-        renderer = ProgressRenderer(aggregator)
-
     if profiler is not None:
         with profiler.phase("preflight"):
             _run_preflight(
@@ -330,60 +314,86 @@ def pollute_parallel(
             failure_policy=failure_policy,
             batch_size=batch_size,
         )
-    if parallelism < 1:
-        raise PollutionError(f"parallelism must be >= 1, got {parallelism}")
-    if batch_size is not None and batch_size < 1:
-        raise PollutionError(f"batch_size must be >= 1, got {batch_size}")
+    request = PlanRequest(
+        pipelines=pipelines,
+        schema=schema,
+        split=split,
+        seed=seed,
+        log=log,
+        failure_policy=failure_policy,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume_from=resume_from,
+        metrics=metrics,
+        parallelism=parallelism,
+        key_by=key_by,
+        pipeline_factory=pipeline_factory,
+        mp_context=mp_context,
+        batch_size=batch_size,
+        max_shard_restarts=max_shard_restarts,
+        heartbeat_timeout=heartbeat_timeout,
+        profile=profile,
+        profiler=profiler,
+        ledger=ledger,
+        progress=progress,
+        telemetry=telemetry,
+        chunk_size=chunk_size,
+        queue_depth=queue_depth,
+    )
+    return execute_plan(compile_plan(request), data)
 
-    keyed = key_by is not None
-    source, schema = _coerce_source(data, schema)
 
-    if keyed:
-        if split is not None:
-            raise PollutionError(
-                "key_by and split are mutually exclusive: keyed pollution "
-                "partitions by key, not by sub-stream routing"
-            )
-        key_selector = AttributeKeySelector(key_by) if isinstance(key_by, str) else key_by
-        if pipeline_factory is None:
-            if isinstance(pipelines, PollutionPipeline):
-                pipeline_factory = FreshPipelineFactory(pipelines)
-            elif pipelines is not None and len(list(pipelines)) == 1:
-                pipeline_factory = FreshPipelineFactory(list(pipelines)[0])
-            else:
-                raise PollutionError(
-                    "keyed pollution needs a pipeline_factory or exactly one "
-                    "template pipeline"
-                )
-        elif pipelines is not None:
-            raise PollutionError(
-                "pass either pipelines or pipeline_factory for a keyed run, "
-                "not both"
-            )
-        plan_pipelines: list[PollutionPipeline] | None = None
-        strategy: SplitStrategy | None = None
-    else:
-        if pipeline_factory is not None:
-            raise PollutionError("pipeline_factory requires key_by")
-        if pipelines is None:
-            raise PollutionError("need at least one pollution pipeline")
-        if isinstance(pipelines, PollutionPipeline):
-            pipelines = [pipelines]
-        plan_pipelines = list(pipelines)
-        if not plan_pipelines:
-            raise PollutionError("need at least one pollution pipeline")
-        names = [p.name for p in plan_pipelines]
-        if len(set(names)) != len(names):
-            raise PollutionError(f"pipelines need distinct names, got {names}")
-        strategy = split or Broadcast(len(plan_pipelines))
-        if strategy.m != len(plan_pipelines):
-            raise PollutionError(
-                f"split strategy routes to {strategy.m} sub-streams but "
-                f"{len(plan_pipelines)} pipelines were given"
-            )
-        key_selector = None
+def _execute_parallel_plan(plan, data):
+    """Run a compiled parallel plan: the sharded coordinator loop.
 
-    metered = metrics is not None and metrics.enabled
+    Consumes the plan's normalized fields (``plan.pipelines`` /
+    ``plan.strategy`` for unkeyed runs, ``plan.key_selector`` /
+    ``plan.pipeline_factory`` for keyed ones); every validation and mode
+    decision already happened in :func:`repro.plan.compile_plan`.
+    """
+    from repro.core.runner import PollutionResult
+
+    request = plan.request
+    parallelism: int = request.parallelism
+    keyed = request.key_by is not None
+    seed = request.seed
+    log = request.log
+    metrics = request.metrics
+    failure_policy = request.failure_policy
+    checkpoint_dir = request.checkpoint_dir
+    checkpoint_interval = request.checkpoint_interval
+    resume_from = request.resume_from
+    chunk_size = request.chunk_size
+    batch_size = request.batch_size
+    ledger = request.ledger
+    progress = request.progress
+    plan_pipelines: list[PollutionPipeline] | None = plan.pipelines
+    strategy: SplitStrategy | None = plan.strategy
+    key_selector = plan.key_selector
+    pipeline_factory = plan.pipeline_factory
+
+    profiler = request.profiler
+    if profiler is None and request.profile:
+        profiler = Profiler()
+        with profiler.phase("preflight"):
+            pass  # pre-flight already ran in the delegating entry point
+    aggregator = request.telemetry
+    renderer: ProgressRenderer | None = None
+    if isinstance(progress, ProgressRenderer):
+        renderer = progress
+        if renderer.aggregator is None:
+            renderer.aggregator = aggregator = (
+                aggregator if aggregator is not None else LiveAggregator()
+            )
+        elif aggregator is None:
+            aggregator = renderer.aggregator
+    elif progress:
+        if aggregator is None:
+            aggregator = LiveAggregator()
+        renderer = ProgressRenderer(aggregator)
+
+    source, schema = _coerce_source(data, request.schema)
+    metered = request.metered
 
     resume_paths: list[str | None] = [None] * parallelism
     if resume_from is not None:
@@ -455,18 +465,18 @@ def pollute_parallel(
             batch_size=batch_size,
             telemetry=aggregator is not None,
             ledger=ledger is not None,
-            profile=profile,
+            profile=request.profile,
         )
         for shard in range(parallelism)
     ]
 
     env = ShardedEnvironment(
         parallelism,
-        mp_context=mp_context,
-        queue_depth=queue_depth,
+        mp_context=request.mp_context,
+        queue_depth=request.queue_depth,
         chunk_size=chunk_size,
-        max_shard_restarts=max_shard_restarts,
-        heartbeat_timeout=heartbeat_timeout,
+        max_shard_restarts=request.max_shard_restarts,
+        heartbeat_timeout=request.heartbeat_timeout,
         failure_policy=failure_policy,
         telemetry=aggregator,
         ledger=ledger,

@@ -340,9 +340,26 @@ def _dead_letter_summaries(report) -> list[dict[str, Any]]:
 
 
 def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, Any]:
+    """Compile and run one shard's plan inside the worker process.
+
+    The worker routes through the same :func:`repro.plan.compile_plan` /
+    :func:`repro.plan.execute_plan` pair as every other entry point: the
+    :class:`ShardTask` is wrapped in a :class:`~repro.plan.PlanRequest`, the
+    planner picks the shard engine (keyed / stream / stream-batch) and the
+    output-retention mode, and :func:`_execute_shard_plan` consumes only the
+    compiled plan.
+    """
+    from repro.plan import PlanRequest, compile_plan, execute_plan
+
+    plan = compile_plan(PlanRequest.for_shard(task))
+    return execute_plan(plan, in_queue=in_queue, out_queue=out_queue)
+
+
+def _execute_shard_plan(plan: Any, in_queue: Any, out_queue: Any) -> dict[str, Any]:
     from repro.obs.ledger import RunLedger
     from repro.obs.profile import Profiler
 
+    task: ShardTask = plan.request.shard_task
     metrics = MetricsRegistry(enabled=task.metered, sample_every=task.sample_every)
     ledger = (
         RunLedger(
@@ -378,20 +395,10 @@ def _execute_shard(task: ShardTask, in_queue: Any, out_queue: Any) -> dict[str, 
         else None
     )
     source = QueueSource(task.schema, in_queue, heartbeat=heartbeat)
-    # Retain output when the run checkpoints/resumes (snapshots need the
-    # emitted prefix) and also under supervised batching: a failed slab rolls
-    # the sink back before the per-record replay, which is only possible if
-    # no chunk of the slab has already left the process.
-    supervised_batching = (
-        task.failure_policy is not None
-        and task.batch_size is not None
-        and task.batch_size > 1
-    )
-    retain = (
-        task.checkpoint_dir is not None
-        or task.resume_path is not None
-        or supervised_batching
-    )
+    # Output retention (checkpoint/resume snapshots and supervised-batching
+    # slab rollback need the emitted prefix in-process) is a planner
+    # decision: see the shard-retains-output / shard-streams-output slugs.
+    retain = plan.shard_retain
     log = PollutionLog() if task.log else None
     sink = ShardOutputSink(
         out_queue, task.shard, task.chunk_size, retain=retain, log=log,

@@ -111,6 +111,9 @@ class Job:
         self.records: list[dict[str, Any]] = []
         self.log_entries: list[dict[str, Any]] = []
         self.summary: dict[str, Any] | None = None
+        #: Compiled execution-plan summary (engine + decision slugs),
+        #: published when the job starts executing.
+        self.plan: dict[str, Any] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -132,6 +135,8 @@ class Job:
         }
         if self.error is not None:
             body["error"] = self.error
+        if self.plan is not None:
+            body["plan"] = self.plan
         if self.summary is not None:
             body["result"] = self.summary
         return body
@@ -305,23 +310,31 @@ class JobManager:
     def _execute(self, job: Job) -> None:
         from repro.cli import schema_from_config
         from repro.core.config import pipeline_from_config
-        from repro.core.runner import pollute
+        from repro.plan import PlanRequest, compile_plan, execute_plan
 
         spec = job.spec
         schema = schema_from_config(spec.schema)
         pipeline = pipeline_from_config(spec.config)
         data = self._materialize_input(spec, schema)
-        started = self._clock()
-        result = pollute(
-            data,
-            pipeline,
+        # No separate pre-flight: admission already analyzed this plan.
+        # Compiling the execution plan up front also publishes the engine
+        # choice + decision slugs on the job resource before any record
+        # flows, so clients can see how their run will execute.
+        request = PlanRequest(
+            pipelines=pipeline,
             schema=schema,
             seed=spec.seed,
             log=spec.log,
-            check="off",  # admission already analyzed this plan
             progress=_JobProgress(job),
             **spec.options,
         )
+        plan = compile_plan(request)
+        job.plan = {
+            "engine": plan.engine,
+            "decisions": list(plan.decision_slugs),
+        }
+        started = self._clock()
+        result = execute_plan(plan, data)
         wall = self._clock() - started
         records = [protocol.record_to_wire(r) for r in result.polluted]
         log_entries = [protocol.log_event_to_wire(e) for e in result.log]

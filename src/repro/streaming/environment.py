@@ -276,8 +276,9 @@ class StreamExecutionEnvironment:
         transparently. Batch cuts are aligned to the checkpoint interval and
         watermarks are coalesced per slab, so checkpoint/restore semantics
         and per-node counters are preserved. Supervised runs (a failure
-        policy anywhere in the DAG) fall back to per-record dispatch to keep
-        the one-record failure blast radius.
+        policy anywhere in the DAG) keep batching: slabs execute whole
+        against a pre-slab state snapshot, and a failed slab rolls back and
+        replays per-record, preserving the one-record failure blast radius.
     """
 
     def __init__(

@@ -1,0 +1,337 @@
+"""Planner unit suite: every branch of :func:`repro.plan.compile_plan`.
+
+The planner is pure — it sees options, never records — so each test
+compiles a :class:`PlanRequest` and asserts on the resulting IR: the
+engine choice, the machine-readable decision slugs that justify it, the
+stage topology, and the exact error strings for invalid combinations
+(which are pinned because they are the public ``pollute()`` contract).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import pipeline_from_config
+from repro.errors import PollutionError
+from repro.obs import MetricsRegistry
+from repro.plan import (
+    ENGINE_DIRECT,
+    ENGINE_DIRECT_BATCH,
+    ENGINE_KEYED_DIRECT,
+    ENGINE_PARALLEL,
+    ENGINE_SHARD_KEYED,
+    ENGINE_SHARD_STREAM,
+    ENGINE_SHARD_STREAM_BATCH,
+    ENGINE_STREAM,
+    ENGINE_STREAM_BATCH,
+    PLAN_FORMAT_VERSION,
+    PlanRequest,
+    compile_plan,
+)
+from repro.parallel.shard import ShardTask
+from repro.streaming.schema import Attribute, DataType, Schema
+from repro.streaming.split import RoundRobin
+from repro.streaming.supervision import DEAD_LETTER, FAIL_FAST, SKIP, FailurePolicy
+
+SCHEMA = Schema(
+    [
+        Attribute("value", DataType.FLOAT),
+        Attribute("station", DataType.STRING),
+        Attribute("timestamp", DataType.TIMESTAMP, nullable=False),
+    ]
+)
+
+SPEC = {
+    "name": "unit",
+    "polluters": [
+        {
+            "name": "noise",
+            "error": {"type": "gaussian_noise", "sigma": 1.0},
+            "condition": {"type": "probability", "p": 0.5},
+            "attributes": ["value"],
+        }
+    ],
+}
+
+
+def _pipeline(name: str = "unit"):
+    return pipeline_from_config({**SPEC, "name": name})
+
+
+def _request(**kwargs) -> PlanRequest:
+    kwargs.setdefault("pipelines", _pipeline())
+    kwargs.setdefault("schema", SCHEMA)
+    return PlanRequest(**kwargs)
+
+
+# -- sequential engine selection ---------------------------------------------
+
+
+def test_default_is_direct_with_reason():
+    plan = compile_plan(_request())
+    assert plan.engine == ENGINE_DIRECT
+    assert "engine-direct-default" in plan.decision_slugs
+
+
+def test_stream_hint_is_honoured():
+    plan = compile_plan(_request(engine="stream"))
+    assert plan.engine == ENGINE_STREAM
+    assert "engine-stream-requested" in plan.decision_slugs
+
+
+def test_batching_selects_the_batch_engine():
+    plan = compile_plan(_request(batch_size=256))
+    assert plan.engine == ENGINE_DIRECT_BATCH
+    assert "batch-kernels" in plan.decision_slugs
+    assert any(s.kind == "batch" for s in plan.stages)
+
+
+def test_batch_size_one_stays_per_record():
+    plan = compile_plan(_request(batch_size=1))
+    assert plan.engine == ENGINE_DIRECT
+    assert not plan.batched
+
+
+@pytest.mark.parametrize(
+    "field,value,slug",
+    [
+        ("failure_policy", SKIP, "supervision-requires-stream"),
+        ("checkpoint_dir", "chk", "checkpointing-requires-stream"),
+        ("metrics", MetricsRegistry(), "metrics-require-stream"),
+        ("tracer", object(), "tracing-requires-stream"),
+        ("profile", True, "telemetry-requires-stream"),
+        ("progress", True, "telemetry-requires-stream"),
+    ],
+)
+def test_options_that_escalate_to_stream(field, value, slug):
+    plan = compile_plan(_request(**{field: value}))
+    assert plan.engine == ENGINE_STREAM
+    assert slug in plan.decision_slugs
+
+
+def test_supervised_batching_composes():
+    """THE composition fix: RETRY + batch_size=256 compiles to the batched
+    stream engine instead of silently dropping to per-record dispatch."""
+    plan = compile_plan(
+        _request(failure_policy=FailurePolicy.retry(3), batch_size=256)
+    )
+    assert plan.engine == ENGINE_STREAM_BATCH
+    assert "supervised-batching-composes" in plan.decision_slugs
+    assert "supervision-requires-stream" in plan.decision_slugs
+    assert "batch-kernels" in plan.decision_slugs
+
+
+@pytest.mark.parametrize("policy", [FAIL_FAST, SKIP, DEAD_LETTER])
+def test_every_policy_composes_with_batching(policy):
+    plan = compile_plan(_request(failure_policy=policy, batch_size=64))
+    assert plan.engine == ENGINE_STREAM_BATCH
+
+
+def test_kernel_facts_drive_a_vectorization_decision():
+    plan = compile_plan(_request(batch_size=64))
+    slugs = plan.decision_slugs
+    assert ("batch-kernels-vectorized" in slugs) or (
+        "batch-kernels-fallback" in slugs
+    )
+
+
+def test_split_strategy_checks_pipeline_count():
+    with pytest.raises(PollutionError, match="routes to 2 sub-streams"):
+        compile_plan(_request(split=RoundRobin(2)))
+
+
+def test_unknown_engine_hint_is_rejected():
+    with pytest.raises(PollutionError, match="unknown engine 'warp'"):
+        compile_plan(_request(engine="warp"))
+
+
+def test_bad_batch_size_is_rejected():
+    with pytest.raises(PollutionError, match="batch_size must be >= 1, got 0"):
+        compile_plan(_request(batch_size=0))
+
+
+def test_empty_pipelines_are_rejected():
+    with pytest.raises(PollutionError, match="need at least one pollution pipeline"):
+        compile_plan(PlanRequest(pipelines=[], schema=SCHEMA))
+
+
+def test_duplicate_pipeline_names_are_rejected():
+    with pytest.raises(PollutionError, match="distinct names"):
+        compile_plan(
+            PlanRequest(pipelines=[_pipeline("a"), _pipeline("a")], schema=SCHEMA)
+        )
+
+
+def test_parallel_checkpoint_dir_needs_parallelism(tmp_path):
+    (tmp_path / "chk-000050").mkdir(parents=True)
+    with pytest.raises(PollutionError, match="parallel checkpoint directory"):
+        compile_plan(_request(resume_from=str(tmp_path)))
+
+
+# -- keyed compilation -------------------------------------------------------
+
+
+def test_keyed_compiles_to_keyed_direct():
+    plan = compile_plan(_request(key_by="station"))
+    assert plan.engine == ENGINE_KEYED_DIRECT
+    assert "keyed-sequential" in plan.decision_slugs
+    assert plan.key_selector is not None
+    assert plan.pipeline_factory is not None
+
+
+def test_keyed_batching_stays_per_record():
+    plan = compile_plan(_request(key_by="station", batch_size=256))
+    assert plan.engine == ENGINE_KEYED_DIRECT
+    assert "keyed-batching-per-record" in plan.decision_slugs
+
+
+def test_keyed_rejects_split():
+    with pytest.raises(PollutionError):
+        compile_plan(_request(key_by="station", split=RoundRobin(2)))
+
+
+def test_factory_without_key_by_is_rejected():
+    with pytest.raises(PollutionError, match="pipeline_factory requires key_by"):
+        compile_plan(
+            PlanRequest(
+                pipelines=None,
+                schema=SCHEMA,
+                pipeline_factory=lambda key: _pipeline(str(key)),
+            )
+        )
+
+
+# -- parallel compilation ----------------------------------------------------
+
+
+def test_parallel_unkeyed():
+    plan = compile_plan(_request(parallelism=4))
+    assert plan.engine == ENGINE_PARALLEL
+    assert "parallel-sharding" in plan.decision_slugs
+    slugs = plan.decision_slugs
+    assert ("parallel-unkeyed-mergeable" in slugs) or (
+        "parallel-unkeyed-seed-reproducible" in slugs
+    )
+    shard = next(s for s in plan.stages if s.kind == "shard")
+    assert shard.params["count"] == 4
+
+
+def test_parallel_keyed_promises_byte_identity():
+    plan = compile_plan(_request(parallelism=2, key_by="station"))
+    assert plan.engine == ENGINE_PARALLEL
+    assert "parallel-keyed-byte-identical" in plan.decision_slugs
+
+
+def test_parallel_supervised_batched_records_all_three():
+    plan = compile_plan(
+        _request(parallelism=2, batch_size=64, failure_policy=SKIP)
+    )
+    slugs = plan.decision_slugs
+    assert "parallel-shard-batching" in slugs
+    assert "parallel-supervised" in slugs
+
+
+def test_parallel_bad_parallelism():
+    with pytest.raises(PollutionError, match="parallelism must be >= 1"):
+        compile_plan(_request(parallelism=0))
+
+
+# -- shard compilation (PlanRequest.for_shard) -------------------------------
+
+
+def _shard_task(**overrides) -> ShardTask:
+    fields = dict(
+        shard=0,
+        n_shards=2,
+        schema=SCHEMA,
+        seed=7,
+        keyed=False,
+        log=True,
+        metered=False,
+        pipelines=[_pipeline()],
+        split=None,
+    )
+    fields.update(overrides)
+    return ShardTask(**fields)
+
+
+def test_shard_unkeyed_engine_and_seed_decision():
+    plan = compile_plan(PlanRequest.for_shard(_shard_task()))
+    assert plan.engine == ENGINE_SHARD_STREAM
+    assert "shard-derived-seed" in plan.decision_slugs
+    assert "shard-streams-output" in plan.decision_slugs
+    assert not plan.shard_retain
+
+
+def test_shard_batched_engine():
+    plan = compile_plan(PlanRequest.for_shard(_shard_task(batch_size=64)))
+    assert plan.engine == ENGINE_SHARD_STREAM_BATCH
+    assert "shard-batch-kernels" in plan.decision_slugs
+
+
+def test_shard_keyed_engine():
+    task = _shard_task(
+        keyed=True,
+        pipelines=None,
+        key_selector=lambda record: record.data.get("station"),
+        pipeline_factory=lambda key: _pipeline(f"k-{key}"),
+    )
+    plan = compile_plan(PlanRequest.for_shard(task))
+    assert plan.engine == ENGINE_SHARD_KEYED
+    assert "shard-keyed-base-seed" in plan.decision_slugs
+
+
+def test_shard_supervised_batching_retains_output():
+    """The shard-side face of the composition fix: a supervised batched
+    shard must retain records for rollback/replay instead of streaming."""
+    plan = compile_plan(
+        PlanRequest.for_shard(_shard_task(failure_policy=SKIP, batch_size=64))
+    )
+    assert plan.shard_retain
+    assert "shard-retains-output" in plan.decision_slugs
+
+
+def test_shard_checkpointing_retains_output(tmp_path):
+    plan = compile_plan(
+        PlanRequest.for_shard(_shard_task(checkpoint_dir=str(tmp_path)))
+    )
+    assert plan.shard_retain
+
+
+# -- IR serialization --------------------------------------------------------
+
+
+def test_to_dict_round_trips_through_json():
+    plan = compile_plan(
+        _request(
+            seed=7,
+            batch_size=64,
+            failure_policy=FailurePolicy.retry(2),
+            parallelism=2,
+            key_by="station",
+        )
+    )
+    payload = json.loads(json.dumps(plan.to_dict()))
+    assert payload["version"] == PLAN_FORMAT_VERSION
+    assert payload["engine"] == ENGINE_PARALLEL
+    assert payload["options"]["key_by"] == "station"
+    assert [d["slug"] for d in payload["decisions"]] == list(plan.decision_slugs)
+    assert all({"kind", "name", "params"} <= set(s) for s in payload["stages"])
+
+
+def test_render_text_mentions_engine_and_decisions():
+    plan = compile_plan(_request(batch_size=7, failure_policy=SKIP))
+    text = plan.render_text()
+    assert "engine=stream-batch" in text
+    assert "supervised-batching-composes" in text
+    for stage in plan.stages:
+        assert stage.name in text
+
+
+def test_decision_lookup():
+    plan = compile_plan(_request())
+    decision = plan.decision("engine-direct-default")
+    assert decision is not None and decision.detail
+    assert plan.decision("no-such-slug") is None
